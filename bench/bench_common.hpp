@@ -1,0 +1,78 @@
+#pragma once
+// Shared setup for the figure/table reproduction benches: the proxy-model
+// catalogue (DESIGN.md §2 maps each paper model to its CPU-scaled proxy),
+// per-method hyperparameters, and small statistics helpers.
+//
+// Every bench binary runs standalone with defaults sized for a single CPU
+// core; set HYLO_BENCH_SCALE=large in the environment to run closer to the
+// paper's geometry (slower).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "hylo/hylo.hpp"
+
+namespace hylo::bench {
+
+inline bool large_scale() {
+  const char* env = std::getenv("HYLO_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "large";
+}
+
+/// One experiment setup: proxy model + matching synthetic dataset.
+struct Workload {
+  std::string paper_name;   // what the paper calls it
+  std::string proxy_desc;   // what we actually build
+  DataSplit data;
+  index_t classes = 0;      // 0 for segmentation
+  real_t target_metric = 0.0;
+  std::uint64_t model_seed = 42;
+
+  Network make_model() const;
+};
+
+/// The paper's five workloads as CPU proxies. `name` ∈ {"resnet50",
+/// "resnet32", "unet", "densenet", "c3f1"}.
+Workload make_workload(const std::string& name);
+
+/// Per-method hyperparameters tuned for the proxy workloads (the paper
+/// likewise tunes lr/damping per method, Sec. V-A).
+OptimConfig method_config(const std::string& optimizer);
+
+/// p-th percentile (0..100) of a vector (copied, nearest-rank).
+inline real_t percentile(std::vector<real_t> v, real_t p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min<real_t>(static_cast<real_t>(v.size()) - 1,
+                       p / 100.0 * static_cast<real_t>(v.size())));
+  return v[idx];
+}
+
+/// Least-squares slope of log(y) vs log(x) — empirical complexity exponent.
+inline real_t loglog_slope(const std::vector<real_t>& x,
+                           const std::vector<real_t>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  real_t sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const real_t lx = std::log(x[i]);
+    const real_t ly = std::log(std::max(y[i], real_t{1e-12}));
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const real_t denom = static_cast<real_t>(n) * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (static_cast<real_t>(n) * sxy - sx * sy) / denom;
+}
+
+/// Random per-layer capture for kernel-level benches (no training needed):
+/// world ranks of m samples each with the given layer dims and latent rank.
+CaptureSet synth_capture(Rng& rng, index_t layers, index_t world, index_t m,
+                         index_t d_in, index_t d_out, index_t latent_rank,
+                         real_t noise = 0.05);
+
+}  // namespace hylo::bench

@@ -1,0 +1,115 @@
+// Fig. 3 reproduction: computation + communication time of KFAC, standard
+// SNGD and HyLo on ResNet-50-shaped layers for the iterations that refresh
+// second-order information, as the worker count grows 8 -> 64.
+//
+// Geometry: representative ResNet-50 layer dimensions (scaled 1/4 so a
+// single CPU core can execute the KFAC inversions), local batch m per
+// worker. Compute is measured and divided by P (each stage is either
+// distributed over workers or over layers); communication is charged by the
+// α-β model. The paper's claims are about the *growth* (KFAC flat-but-high
+// in d, SNGD blowing up with P·m, HyLo low and flat), which survives the
+// scaling.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hylo;
+using namespace hylo::bench;
+
+namespace {
+
+// Representative scaled ResNet-50 layer dims: (d_in, d_out).
+std::vector<std::pair<index_t, index_t>> layer_dims_scaled() {
+  const auto ref = reference_layer_dims("ResNet-50");
+  // Take a spread of 6 layers from small to the largest, scale 1/4.
+  std::vector<std::pair<index_t, index_t>> picked;
+  for (const std::size_t idx : {0ul, 10ul, 20ul, 30ul, 40ul, ref.size() - 2}) {
+    const auto& ld = ref[idx];
+    picked.push_back({std::max<index_t>(16, ld.d_in / 4),
+                      std::max<index_t>(16, ld.d_out / 4)});
+  }
+  return picked;
+}
+
+struct StageTimes {
+  double comp_ms = 0.0;
+  double comm_ms = 0.0;
+  double total() const { return comp_ms + comm_ms; }
+};
+
+StageTimes run_refresh(const std::string& method, index_t world, index_t m) {
+  const auto dims = layer_dims_scaled();
+  Rng rng(1234 + world);
+  CommSim comm(world, mist_v100());
+
+  OptimConfig cfg = method_config(method == "KFAC" ? "KFAC" : method);
+  std::unique_ptr<Optimizer> opt;
+  if (method == "HyLo") {
+    auto hylo = std::make_unique<HyloOptimizer>(cfg);
+    hylo->set_policy(HyloOptimizer::Policy::kAlwaysKis);
+    hylo->begin_epoch(0, false);
+    opt = std::move(hylo);
+  } else {
+    opt = make_optimizer(method, cfg);
+  }
+
+  // One ParamBlock stand-in per layer.
+  std::vector<ParamBlock> blocks(dims.size());
+  std::vector<ParamBlock*> block_ptrs;
+  CaptureSet cap;
+  cap.a.resize(dims.size());
+  cap.g.resize(dims.size());
+  for (std::size_t l = 0; l < dims.size(); ++l) {
+    block_ptrs.push_back(&blocks[l]);
+    for (index_t r = 0; r < world; ++r) {
+      CaptureSet one = synth_capture(rng, 1, 1, m, dims[l].first,
+                                     dims[l].second, /*latent_rank=*/4);
+      cap.a[l].push_back(std::move(one.a[0][0]));
+      cap.g[l].push_back(std::move(one.g[0][0]));
+    }
+  }
+
+  opt->update_curvature(block_ptrs, cap, &comm);
+  const auto& prof = comm.profiler();
+  StageTimes t;
+  const double inv_wall =
+      std::max(prof.seconds("comp/inversion") / static_cast<double>(world),
+               prof.seconds("comp/inversion_critical"));
+  t.comp_ms = (prof.seconds("comp/factorization") / static_cast<double>(world) +
+               inv_wall) *
+              1e3;
+  t.comm_ms = comm.comm_seconds() * 1e3;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  const index_t m = 16;  // local batch per worker
+  std::cout << "Fig. 3 — second-order refresh cost on ResNet-50-shaped "
+               "layers (scaled 1/4), local batch m=" << m << "\n\n";
+  CsvWriter table({"P", "method", "comp_ms", "comm_ms", "total_ms"});
+  std::vector<index_t> worlds = {8, 16, 32, 64};
+  double kfac64 = 0, sngd64 = 0, hylo64 = 0;
+  for (const index_t p : worlds) {
+    for (const std::string method : {"KFAC", "SNGD", "HyLo"}) {
+      const StageTimes t = run_refresh(method, p, m);
+      table.add(p, method, t.comp_ms, t.comm_ms, t.total());
+      if (p == 64) {
+        if (method == "KFAC") kfac64 = t.total();
+        if (method == "SNGD") sngd64 = t.total();
+        if (method == "HyLo") hylo64 = t.total();
+      }
+    }
+  }
+  table.print_table();
+  table.write_file("fig3_motivation.csv");
+
+  std::cout << "\nAt P=64: HyLo reduces the refresh time "
+            << kfac64 / hylo64 << "x vs KFAC and " << sngd64 / hylo64
+            << "x vs standard SNGD (paper: 28x and 20x).\n"
+            << "Shape checks: KFAC's cost is ~flat in P but high (O(d^3) "
+               "inversion); SNGD's grows steeply with P (O(P^3 m^3)); HyLo "
+               "stays low and flat.\n";
+  return 0;
+}

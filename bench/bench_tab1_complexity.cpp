@@ -1,0 +1,136 @@
+// Table I reproduction: empirical validation of the per-stage computation
+// and communication complexities of HyLo, KFAC and standard SNGD. Each
+// stage is timed over a parameter sweep and the log-log slope is fitted;
+// communication terms are validated against the α-β model's byte counts.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hylo/linalg/id.hpp"
+
+using namespace hylo;
+using namespace hylo::bench;
+
+namespace {
+
+// Median-of-3 timing of a callable.
+template <typename F>
+double time_once(F&& f) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    WallTimer t;
+    f();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(7);
+  CsvWriter table({"method", "stage", "theory", "swept", "fitted_exponent"});
+
+  // --- KFAC inversion: O(d^3) over d -----------------------------------
+  {
+    std::vector<real_t> xs, ys;
+    for (const index_t d : {64, 128, 256, 384}) {
+      const Matrix c = gram_tn(synth_capture(rng, 1, 1, 32, d, 8, 4).a[0][0]);
+      xs.push_back(static_cast<real_t>(d));
+      ys.push_back(time_once([&] { damped_spd_inverse(c, 1e-3); }));
+    }
+    table.add("KFAC", "inversion", "O(d^3)", "d=64..384",
+              loglog_slope(xs, ys));
+  }
+
+  // --- KFAC factorization: O(m d^2) over d ------------------------------
+  {
+    std::vector<real_t> xs, ys;
+    const index_t m = 64;
+    for (const index_t d : {128, 256, 512, 768}) {
+      CaptureSet cap = synth_capture(rng, 1, 1, m, d, 8, 4);
+      xs.push_back(static_cast<real_t>(d));
+      ys.push_back(time_once([&] { gram_tn(cap.a[0][0]); }));
+    }
+    table.add("KFAC", "factorization", "O(m d^2)", "d=128..768",
+              loglog_slope(xs, ys));
+  }
+
+  // --- SNGD inversion: O(P^3 m^3) over the global batch n = P m ---------
+  {
+    std::vector<real_t> xs, ys;
+    for (const index_t n : {96, 192, 384, 576}) {
+      CaptureSet cap = synth_capture(rng, 1, 1, n, 64, 64, 4);
+      const Matrix k = kernel_matrix(cap.a[0][0], cap.g[0][0]);
+      xs.push_back(static_cast<real_t>(n));
+      ys.push_back(time_once([&] { damped_cholesky(k, 1e-2); }));
+    }
+    table.add("SNGD", "inversion", "O(P^3 m^3)", "Pm=96..576",
+              loglog_slope(xs, ys));
+  }
+
+  // --- HyLo (KID) factorization: O(m^2 d + m^3) over m ------------------
+  {
+    std::vector<real_t> xs, ys;
+    for (const index_t m : {48, 96, 192, 288}) {
+      CaptureSet cap = synth_capture(rng, 1, 1, m, 64, 64, 4);
+      const index_t r = std::max<index_t>(4, m / 10);
+      xs.push_back(static_cast<real_t>(m));
+      ys.push_back(time_once([&] {
+        const Matrix q = kernel_matrix(cap.a[0][0], cap.g[0][0]);
+        row_interpolative_decomposition(q, r);
+      }));
+    }
+    table.add("HyLo/KID", "factorization", "O(m^2 d + m^3)", "m=48..288",
+              loglog_slope(xs, ys));
+  }
+
+  // --- HyLo inversion: O(r^3 + r^2 d) over r -----------------------------
+  {
+    std::vector<real_t> xs, ys;
+    const index_t d = 128;
+    for (const index_t r : {32, 64, 128, 192}) {
+      CaptureSet cap = synth_capture(rng, 1, 1, r, d, d, 4);
+      xs.push_back(static_cast<real_t>(r));
+      ys.push_back(time_once([&] {
+        const Matrix k = kernel_matrix(cap.a[0][0], cap.g[0][0]);
+        damped_cholesky(k, 1e-2);
+      }));
+    }
+    table.add("HyLo", "inversion", "O(r^3 + r^2 d)", "r=32..192",
+              loglog_slope(xs, ys));
+  }
+
+  // --- Communication volumes (modeled bytes, exact by construction) -----
+  {
+    // HyLo gather is O(ρ d) per worker vs SNGD's O(m d) raw rows and
+    // KFAC's O(d^2) factors; broadcast O(r^2) vs O(P^2 m^2) vs O(d^2).
+    const index_t P = 16, m = 64, d = 512;
+    const index_t r = static_cast<index_t>(0.1 * static_cast<real_t>(P * m));
+    const index_t rho = r / P;
+    const auto model = mist_v100();
+    const double hylo_gather = allgather_seconds(model, P, rho * d * 4);
+    const double sngd_gather = allgather_seconds(model, P, m * d * 4);
+    const double kfac_gather = allreduce_seconds(model, P, d * d * 4);
+    const double hylo_bcast = broadcast_seconds(model, P, r * r * 4);
+    const double sngd_bcast = broadcast_seconds(model, P, P * m * P * m * 4);
+    const double kfac_bcast = broadcast_seconds(model, P, d * d * 4);
+    table.add("HyLo", "gather(model)", "O(rho d)", "P=16,m=64,d=512",
+              hylo_gather * 1e6);
+    table.add("SNGD", "gather(model)", "O(m d)", "(usec)", sngd_gather * 1e6);
+    table.add("KFAC", "gather(model)", "O(d^2)", "(usec)", kfac_gather * 1e6);
+    table.add("HyLo", "broadcast(model)", "O(r^2)", "(usec)", hylo_bcast * 1e6);
+    table.add("SNGD", "broadcast(model)", "O(P^2 m^2)", "(usec)",
+              sngd_bcast * 1e6);
+    table.add("KFAC", "broadcast(model)", "O(d^2)", "(usec)", kfac_bcast * 1e6);
+  }
+
+  std::cout << "Table I — empirical complexity validation (fitted log-log "
+               "exponents for compute stages; modeled usec for comm)\n\n";
+  table.print_table();
+  table.write_file("tab1_complexity.csv");
+  std::cout << "\nExpected exponents: KFAC inversion ~3 in d, factorization "
+               "~2 in d; SNGD inversion ~3 in Pm; KID factorization ~2-3 in "
+               "m; HyLo inversion ~2-3 in r. Comm rows show HyLo's modeled "
+               "volumes are the smallest of the three methods.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Table III reproduction: HyLo's gradient-based switching vs Random
+// switching (KID/KIS with probability 0.5 each epoch) on the ResNet-50,
+// ResNet-32 and U-Net proxies. The paper's claims: Random matches or
+// slightly trails HyLo's accuracy but is 7.5%-91% *slower*, because it runs
+// the expensive KID updates on non-critical epochs.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hylo;
+using namespace hylo::bench;
+
+namespace {
+
+struct Outcome {
+  real_t accuracy = 0;
+  double seconds = 0;
+  index_t kid_epochs = 0, total_epochs = 0;
+};
+
+Outcome run(const Workload& w, HyloOptimizer::Policy policy, index_t world,
+            index_t epochs) {
+  Network net = w.make_model();
+  OptimConfig oc = method_config("HyLo");
+  oc.update_freq = 5;
+  HyloOptimizer opt(oc);
+  opt.set_policy(policy);
+  TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 8;
+  tc.world = world;
+  tc.interconnect = mist_v100();
+  tc.max_iters_per_epoch = large_scale() ? -1 : 8;
+  tc.lr_schedule = {{epochs * 2 / 3}, 0.1};
+  Trainer trainer(net, opt, w.data, tc);
+  const TrainResult res = trainer.run();
+  Outcome o;
+  o.accuracy = res.best_metric();
+  o.seconds = res.total_seconds;
+  for (const auto m : opt.mode_history()) o.kid_epochs += m == HyloMode::kKid;
+  o.total_epochs = static_cast<index_t>(opt.mode_history().size());
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  struct Setup {
+    std::string workload;
+    index_t world;
+  };
+  const std::vector<Setup> setups = {
+      {"resnet50", 8}, {"resnet32", 8}, {"unet", 4}};
+  const index_t epochs = large_scale() ? 16 : 7;
+
+  std::cout << "Table III — gradient-based switching (HyLo) vs Random "
+               "switching\n\n";
+  CsvWriter table({"model", "policy", "best_metric", "sim_seconds",
+                   "KID_epochs", "slowdown_vs_HyLo_%"});
+  for (const auto& setup : setups) {
+    const Workload w = make_workload(setup.workload);
+    const Outcome hylo =
+        run(w, HyloOptimizer::Policy::kGradientBased, setup.world, epochs);
+    const Outcome random =
+        run(w, HyloOptimizer::Policy::kRandom, setup.world, epochs);
+    table.add(w.paper_name, "HyLo", hylo.accuracy, hylo.seconds,
+              std::to_string(hylo.kid_epochs) + "/" +
+                  std::to_string(hylo.total_epochs),
+              0.0);
+    table.add(w.paper_name, "Random", random.accuracy, random.seconds,
+              std::to_string(random.kid_epochs) + "/" +
+                  std::to_string(random.total_epochs),
+              100.0 * (random.seconds - hylo.seconds) / hylo.seconds);
+  }
+  table.print_table();
+  table.write_file("tab3_switching.csv");
+  std::cout << "\nPaper: Random is 7.5% (ResNet-50), 91% (ResNet-32) and "
+               "8.5% (U-Net) slower at equal-or-lower accuracy, because it "
+               "wastes KID updates on non-critical epochs.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table IV reproduction: optimizer-state memory overhead of HyLo, KAISA,
+// ADAM and SGD on the three multi-GPU workloads. Measured as the actual
+// bytes held by each optimizer after a curvature refresh and one step
+// (momentum + curvature factors + gathered low-rank factors). The paper's
+// claims: HyLo is ~2x (ResNet-50) to ~20x (U-Net) below KAISA, roughly at
+// ADAM's level, and everything is above SGD.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hylo/nn/loss.hpp"
+
+using namespace hylo;
+using namespace hylo::bench;
+
+namespace {
+
+index_t measure_state_bytes(const Workload& w, const std::string& method,
+                            index_t world) {
+  Network net = w.make_model();
+  OptimConfig oc = method_config(method);
+  oc.update_freq = 1;
+  auto opt = make_optimizer(method, oc);
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 8;
+  tc.world = world;
+  tc.interconnect = mist_v100();
+  tc.max_iters_per_epoch = 2;
+  Trainer trainer(net, *opt, w.data, tc);
+  trainer.run();
+  return opt->state_bytes();
+}
+
+}  // namespace
+
+int main() {
+  struct Setup {
+    std::string workload;
+    index_t world;
+  };
+  const std::vector<Setup> setups = {
+      {"resnet50", 8}, {"resnet32", 8}, {"unet", 4}};
+
+  std::cout << "Table IV — optimizer-state memory overhead (KiB)\n\n";
+  CsvWriter table(
+      {"model", "HyLo", "KAISA", "ADAM", "SGD", "KAISA/HyLo"});
+  for (const auto& setup : setups) {
+    const Workload w = make_workload(setup.workload);
+    std::vector<index_t> bytes;
+    for (const std::string m : {"HyLo", "KAISA", "ADAM", "SGD"})
+      bytes.push_back(measure_state_bytes(w, m, setup.world));
+    table.add(w.paper_name, bytes[0] / 1024, bytes[1] / 1024, bytes[2] / 1024,
+              bytes[3] / 1024,
+              static_cast<real_t>(bytes[1]) / static_cast<real_t>(bytes[0]));
+  }
+  table.print_table();
+  table.write_file("tab4_memory.csv");
+  std::cout << "\nPaper (MB at full scale): ResNet-50 317/714/307/102, "
+               "ResNet-32 35.5/34.9/5.6/1.9, U-Net 31.5/603/93/31. The "
+               "orderings to check: KAISA > HyLo everywhere (by ~2x on "
+               "ResNet-50-like and much more on U-Net-like layer shapes), "
+               "SGD smallest.\n";
+  return 0;
+}

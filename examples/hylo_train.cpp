@@ -1,0 +1,166 @@
+// hylo_train — command-line trainer mirroring the paper artifact's
+// train-*.sh interface. Mix and match model, dataset, optimizer, worker
+// count and the analysis flags the artifact exposes:
+//
+//   ./examples/hylo_train --model resnet32 --optimizer HyLo --world 8 \
+//       --epochs 10 --batch 16 --lr 0.1 --damping 0.3 --freq 10 \
+//       --rank-ratio 0.1 --profiling --rank-analysis --grad-norm \
+//       --checkpoint model.ckpt
+//
+// Flags (all optional; sensible defaults):
+//   --model {mlp,c3f1,resnet32,resnet50,densenet,unet}
+//   --optimizer {SGD,ADAM,KFAC,EKFAC,KBFGS-L,SNGD,HyLo}
+//   --world N --epochs N --batch N --max-iters N --seed N
+//   --lr X --damping X --freq N --rank-ratio X --kl-clip X
+//   --wire-bytes X        (4=FP32, 2=FP16, 2.625=21-bit of Ueno et al.)
+//   --interconnect {mist,p2,loopback}
+//   --target X            (early-stop test metric)
+//   --profiling           (dump the comp/comm profiler at the end)
+//   --grad-norm           (print HyLo's Δ-norm history)
+//   --rank-analysis       (print the low rank used per refresh)
+//   --checkpoint PATH     (save final weights)
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "hylo/hylo.hpp"
+
+namespace {
+using namespace hylo;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  std::map<std::string, bool> flags;
+
+  std::string get(const std::string& key, const std::string& def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+  double getd(const std::string& key, double def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : std::stod(it->second);
+  }
+  index_t geti(const std::string& key, index_t def) const {
+    return static_cast<index_t>(getd(key, static_cast<double>(def)));
+  }
+  bool has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  const std::map<std::string, bool> known_flags = {
+      {"profiling", true}, {"grad-norm", true}, {"rank-analysis", true}};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    HYLO_CHECK(arg.rfind("--", 0) == 0, "unexpected argument " << arg);
+    arg = arg.substr(2);
+    if (known_flags.count(arg) > 0) {
+      a.flags[arg] = true;
+    } else {
+      HYLO_CHECK(i + 1 < argc, "missing value for --" << arg);
+      a.kv[arg] = argv[++i];
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hylo;
+  const Args args = parse(argc, argv);
+
+  const std::string model = args.get("model", "resnet32");
+  const std::string optimizer = args.get("optimizer", "HyLo");
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.geti("seed", 42));
+
+  // Dataset + model pairing.
+  DataSplit data;
+  Network net;
+  if (model == "mlp") {
+    data = make_spirals(1536, 384, 3, 0.05, seed);
+    net = make_mlp({2, 1, 1}, {64, 64}, 3, seed);
+  } else if (model == "c3f1") {
+    data = make_gaussian_images(1536, 384, 10, 1, 16, 16, 0.9, seed);
+    net = make_c3f1({1, 16, 16}, 10, 8, seed);
+  } else if (model == "resnet32") {
+    data = make_texture_images(1536, 384, 10, 3, 16, 16, 1.3, seed);
+    net = make_resnet({3, 16, 16}, 10, 2, 8, seed);
+  } else if (model == "resnet50") {
+    data = make_texture_images(1536, 384, 10, 3, 16, 16, 1.2, seed);
+    net = make_resnet({3, 16, 16}, 10, 2, 12, seed);
+  } else if (model == "densenet") {
+    data = make_texture_images(1536, 384, 10, 3, 16, 16, 0.4, seed);
+    net = make_densenet({3, 16, 16}, 10, 8, 4, seed);
+  } else if (model == "unet") {
+    data = make_blob_segmentation(512, 128, 16, 16, 0.25, seed);
+    net = make_unet({1, 16, 16}, 8, 2, seed);
+  } else {
+    std::cerr << "unknown --model " << model << "\n";
+    return 1;
+  }
+
+  OptimConfig oc;
+  oc.lr = args.getd("lr", optimizer == "ADAM" ? 0.002 : 0.1);
+  oc.momentum = 0.9;
+  oc.weight_decay = args.getd("weight-decay", 5e-4);
+  oc.damping = args.getd("damping", 0.3);
+  oc.update_freq = args.geti("freq", 10);
+  oc.rank_ratio = args.getd("rank-ratio", 0.1);
+  oc.kl_clip = args.getd("kl-clip", 0.01);
+  auto opt = make_optimizer(optimizer, oc);
+
+  TrainConfig tc;
+  tc.epochs = args.geti("epochs", 8);
+  tc.batch_size = args.geti("batch", 16);
+  tc.world = args.geti("world", 1);
+  tc.max_iters_per_epoch = args.geti("max-iters", -1);
+  tc.target_metric = args.getd("target", -1.0);
+  tc.wire_scalar_bytes = args.getd("wire-bytes", 4.0);
+  tc.lr_schedule = {{tc.epochs * 2 / 3}, 0.1};
+  tc.verbose = true;
+  const std::string net_name = args.get("interconnect", "mist");
+  tc.interconnect = net_name == "mist" ? mist_v100()
+                    : net_name == "p2" ? aws_p2_k80()
+                                       : loopback();
+
+  std::cout << "hylo_train: " << model << " (" << net.num_params()
+            << " params) + " << opt->name() << ", P=" << tc.world
+            << ", batch=" << tc.batch_size << "/worker, wire="
+            << tc.wire_scalar_bytes << "B/scalar\n";
+  Trainer trainer(net, *opt, data, tc);
+  const TrainResult res = trainer.run();
+
+  std::cout << "\nbest metric " << res.best_metric() << ", simulated time "
+            << res.total_seconds << "s (" << res.compute_seconds
+            << " parallel-compute + " << res.replicated_seconds
+            << " replicated + " << res.comm_seconds << " comm)\n";
+  if (res.time_to_target)
+    std::cout << "reached target in " << *res.time_to_target << "s / "
+              << *res.epochs_to_target << " epochs\n";
+
+  if (args.has("profiling")) {
+    std::cout << "\nprofile:\n";
+    for (const auto& [name, e] : trainer.profiler().sections())
+      std::cout << "  " << name << ": " << e.seconds << "s x" << e.calls
+                << "\n";
+  }
+  if (auto* hy = dynamic_cast<HyloOptimizer*>(opt.get()); hy != nullptr) {
+    if (args.has("grad-norm")) {
+      std::cout << "\ndelta-norm history:";
+      for (const auto n : hy->delta_norm_history()) std::cout << " " << n;
+      std::cout << "\nmodes:";
+      for (const auto m : hy->mode_history())
+        std::cout << " " << (m == HyloMode::kKid ? "KID" : "KIS");
+      std::cout << "\n";
+    }
+    if (args.has("rank-analysis"))
+      std::cout << "low rank at last refresh: " << hy->last_rank() << "\n";
+  }
+  if (const std::string ckpt = args.get("checkpoint", ""); !ckpt.empty()) {
+    net.save_weights(ckpt);
+    std::cout << "weights saved to " << ckpt << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: train a small MLP on the spirals task with every optimizer in
+// the library and compare time-to-accuracy. This is the five-minute tour of
+// the public API: dataset -> model -> optimizer -> Trainer.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "hylo/hylo.hpp"
+
+int main() {
+  using namespace hylo;
+
+  // 1. A deterministic synthetic dataset (three interleaved spirals).
+  const DataSplit data = make_spirals(/*n_train=*/1536, /*n_test=*/512,
+                                      /*classes=*/3, /*noise=*/0.04,
+                                      /*seed=*/7);
+
+  // 2. Train the same model from the same weights with each optimizer.
+  CsvWriter table({"optimizer", "final_acc", "best_acc", "epochs",
+                   "sim_seconds"});
+  for (const std::string name :
+       {"SGD", "ADAM", "KFAC", "EKFAC", "KBFGS-L", "SNGD", "HyLo"}) {
+    Network net = make_mlp({2, 1, 1}, {64, 64}, 3, /*seed=*/42);
+
+    OptimConfig oc;
+    oc.lr = (name == "ADAM") ? 0.003 : 0.05;
+    oc.momentum = 0.9;
+    oc.damping = 0.3;
+    oc.update_freq = 5;
+    oc.rank_ratio = 0.1;
+    auto opt = make_optimizer(name, oc);
+
+    TrainConfig tc;
+    tc.epochs = 15;
+    tc.batch_size = 64;
+    tc.world = 1;
+    tc.lr_schedule = {{10}, 0.1};
+    Trainer trainer(net, *opt, data, tc);
+    const TrainResult res = trainer.run();
+
+    table.add(name, res.epochs.back().test_metric, res.best_metric(),
+              res.epochs.size(), res.total_seconds);
+  }
+
+  std::cout << "\nSpirals (3 classes), MLP 2-64-64-3, identical seeds:\n";
+  table.print_table();
+  std::cout << "\nsim_seconds is simulated wall time (measured compute + "
+               "modeled communication; world=1 here, so pure compute).\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Binary-segmentation example: a small U-Net on the synthetic lesion-blob
+// dataset (the LGG-MRI stand-in), trained with HyLo, evaluated with the
+// Dice similarity coefficient. Renders one test prediction as ASCII art so
+// you can see what the network learned.
+//
+//   $ ./examples/segmentation_unet
+#include <iostream>
+
+#include "hylo/hylo.hpp"
+
+namespace {
+using namespace hylo;
+
+void render(const Tensor4& image, const Tensor4& mask, const Tensor4& logits,
+            index_t sample) {
+  const index_t h = image.h(), w = image.w();
+  auto cell = [](real_t v) {
+    const char* shades = " .:-=+*#%@";
+    const int idx = std::clamp(static_cast<int>((v + 1.0) * 4.5), 0, 9);
+    return shades[idx];
+  };
+  std::cout << "\n  input                  truth                  "
+               "prediction\n";
+  for (index_t y = 0; y < h; ++y) {
+    std::cout << "  ";
+    for (index_t x = 0; x < w; ++x)
+      std::cout << cell(image.at(sample, 0, y, x));
+    std::cout << "   ";
+    for (index_t x = 0; x < w; ++x)
+      std::cout << (mask.at(sample, 0, y, x) > 0.5 ? '#' : '.');
+    std::cout << "   ";
+    for (index_t x = 0; x < w; ++x)
+      std::cout << (logits.at(sample, 0, y, x) > 0.0 ? '#' : '.');
+    std::cout << "\n";
+  }
+}
+}  // namespace
+
+int main() {
+  using namespace hylo;
+
+  const DataSplit data = make_blob_segmentation(/*n_train=*/512,
+                                                /*n_test=*/64, 16, 16,
+                                                /*noise=*/0.25, /*seed=*/31);
+  Network net = make_unet({1, 16, 16}, /*base_channels=*/8, /*depth=*/2,
+                          /*seed=*/77);
+  std::cout << "U-Net with " << net.num_params() << " parameters, "
+            << net.param_blocks().size() << " preconditionable layers\n";
+
+  OptimConfig oc;
+  oc.lr = 0.1;
+  oc.momentum = 0.9;
+  oc.damping = 0.3;
+  oc.update_freq = 10;
+  oc.rank_ratio = 0.1;
+  oc.kl_clip = 0.01;
+  HyloOptimizer opt(oc);
+
+  TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  tc.lr_schedule = {{6}, 0.1};
+  Trainer trainer(net, opt, data, tc);
+  trainer.set_epoch_hook([](const EpochStats& s, Network&) {
+    std::cout << "  epoch " << s.epoch << ": loss " << s.train_loss
+              << ", test Dice " << s.test_metric
+              << (s.note.empty() ? "" : " [" + s.note + "]") << "\n";
+  });
+  const TrainResult res = trainer.run();
+  std::cout << "Best test Dice: " << res.best_metric()
+            << " (paper's LGG U-Net target: 0.91)\n";
+
+  // Visualize one held-out prediction.
+  Tensor4 batch(4, 1, 16, 16);
+  Tensor4 masks(4, 1, 16, 16);
+  for (index_t i = 0; i < 4; ++i) {
+    std::copy(data.test.images.sample_ptr(i),
+              data.test.images.sample_ptr(i) + 256, batch.sample_ptr(i));
+    std::copy(data.test.masks.sample_ptr(i),
+              data.test.masks.sample_ptr(i) + 256, masks.sample_ptr(i));
+  }
+  const PassContext eval{.training = false, .capture = false};
+  const Tensor4& logits = net.forward(batch, eval);
+  render(batch, masks, logits, 0);
+  render(batch, masks, logits, 1);
+  return 0;
+}

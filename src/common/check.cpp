@@ -1,0 +1,13 @@
+#include "hylo/common/check.hpp"
+
+namespace hylo::detail {
+
+void throw_check_failure(const char* cond, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream oss;
+  oss << "HYLO_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace hylo::detail

@@ -1,0 +1,26 @@
+#include "hylo/common/csv.hpp"
+
+#include <algorithm>
+
+namespace hylo {
+
+void CsvWriter::print_table(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      os << "  " << std::left << std::setw(static_cast<int>(width[c])) << r[c];
+    os << "\n";
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (const auto w : width) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace hylo

@@ -1,0 +1,112 @@
+#include "hylo/common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+namespace hylo {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  have_cached_normal_ = false;
+}
+
+Rng Rng::split() {
+  Rng child(next_u64() ^ 0xA0761D6478BD642FULL);
+  return child;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+real_t Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<real_t>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+real_t Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; guard u1 away from 0.
+  real_t u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const real_t u2 = uniform();
+  const real_t mag = std::sqrt(-2.0 * std::log(u1));
+  const real_t ang = 2.0 * std::numbers::pi_v<real_t> * u2;
+  cached_normal_ = mag * std::sin(ang);
+  have_cached_normal_ = true;
+  return mag * std::cos(ang);
+}
+
+index_t Rng::uniform_int(index_t n) {
+  HYLO_CHECK(n > 0, "uniform_int requires n > 0, got " << n);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t un = static_cast<std::uint64_t>(n);
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return static_cast<index_t>(v % un);
+}
+
+std::vector<index_t> Rng::sample_without_replacement(
+    const std::vector<real_t>& weights, index_t k) {
+  const index_t n = static_cast<index_t>(weights.size());
+  HYLO_CHECK(k > 0 && k <= n, "need 0 < k <= n, got k=" << k << " n=" << n);
+  // Efraimidis-Spirakis: key_i = u_i^(1/w_i); take the k largest keys.
+  // Equivalent formulation with -log(u)/w (smallest k) is more stable.
+  std::vector<std::pair<real_t, index_t>> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    if (weights[static_cast<std::size_t>(i)] <= 0) continue;
+    real_t u = uniform();
+    while (u <= 1e-300) u = uniform();
+    keys.emplace_back(-std::log(u) / weights[static_cast<std::size_t>(i)], i);
+  }
+  HYLO_CHECK(static_cast<index_t>(keys.size()) >= k,
+             "fewer than k strictly-positive weights");
+  std::partial_sort(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(k),
+                    keys.end());
+  std::vector<index_t> out(static_cast<std::size_t>(k));
+  for (index_t i = 0; i < k; ++i)
+    out[static_cast<std::size_t>(i)] = keys[static_cast<std::size_t>(i)].second;
+  return out;
+}
+
+std::vector<index_t> Rng::permutation(index_t n) {
+  std::vector<index_t> idx(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  for (index_t i = n - 1; i > 0; --i) {
+    const index_t j = uniform_int(i + 1);
+    std::swap(idx[static_cast<std::size_t>(i)], idx[static_cast<std::size_t>(j)]);
+  }
+  return idx;
+}
+
+}  // namespace hylo

@@ -1,0 +1,216 @@
+#include "hylo/core/trainer.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+#include "hylo/optim/hylo_optimizer.hpp"
+#include "hylo/optim/kfac.hpp"
+#include "hylo/optim/sngd.hpp"
+#include "hylo/tensor/ops.hpp"
+
+namespace hylo {
+
+real_t TrainResult::best_metric() const {
+  real_t best = 0.0;
+  for (const auto& e : epochs) best = std::max(best, e.test_metric);
+  return best;
+}
+
+Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
+                 TrainConfig cfg)
+    : net_(&net), opt_(&opt), data_(&data), cfg_(cfg),
+      comm_(cfg.world, cfg.interconnect),
+      segmentation_(data.train.is_segmentation()) {
+  HYLO_CHECK(cfg_.world >= 1 && cfg_.epochs >= 1 && cfg_.batch_size >= 1,
+             "bad train config");
+  comm_.set_wire_scalar_bytes(cfg_.wire_scalar_bytes);
+  loaders_.reserve(static_cast<std::size_t>(cfg_.world));
+  for (index_t r = 0; r < cfg_.world; ++r)
+    loaders_.emplace_back(data.train, cfg_.batch_size, cfg_.data_seed, r,
+                          cfg_.world);
+}
+
+std::pair<real_t, real_t> Trainer::evaluate() {
+  const PassContext ctx{.training = false, .capture = false};
+  const Dataset& test = data_->test;
+  const index_t n = test.size();
+  const index_t chunk = 256;
+  real_t loss_sum = 0.0, metric_sum = 0.0;
+  index_t covered = 0;
+  for (index_t start = 0; start < n; start += chunk) {
+    const index_t cnt = std::min(chunk, n - start);
+    Tensor4 x(cnt, test.images.c(), test.images.h(), test.images.w());
+    std::copy(test.images.sample_ptr(start),
+              test.images.sample_ptr(start) + cnt * test.images.sample_size(),
+              x.data());
+    const Tensor4& out = net_->forward(x, ctx);
+    if (segmentation_) {
+      Tensor4 mask(cnt, 1, test.masks.h(), test.masks.w());
+      std::copy(test.masks.sample_ptr(start),
+                test.masks.sample_ptr(start) + cnt * test.masks.sample_size(),
+                mask.data());
+      const auto [l, m] = dice_.evaluate(out, mask);
+      loss_sum += l * static_cast<real_t>(cnt);
+      metric_sum += m * static_cast<real_t>(cnt);
+    } else {
+      std::vector<int> labels(test.labels.begin() + start,
+                              test.labels.begin() + start + cnt);
+      const auto [l, m] = ce_.evaluate(out, labels);
+      loss_sum += l * static_cast<real_t>(cnt);
+      metric_sum += m * static_cast<real_t>(cnt);
+    }
+    covered += cnt;
+  }
+  return {loss_sum / static_cast<real_t>(covered),
+          metric_sum / static_cast<real_t>(covered)};
+}
+
+void Trainer::run_epoch(index_t epoch, TrainResult& result) {
+  for (auto& loader : loaders_) loader.start_epoch(epoch);
+  index_t iters = loaders_.front().batches_per_epoch();
+  if (cfg_.max_iters_per_epoch >= 0)
+    iters = std::min(iters, cfg_.max_iters_per_epoch);
+  HYLO_CHECK(iters > 0, "epoch with zero iterations — dataset too small for "
+                        "world*batch");
+
+  auto blocks = net_->param_blocks();
+  const index_t layer_count = static_cast<index_t>(blocks.size());
+  index_t grad_scalars = 0;
+  for (auto* pb : blocks) grad_scalars += pb->gw.size();
+  for (auto pp : net_->plain_params())
+    grad_scalars += static_cast<index_t>(pp.grad->size());
+
+  real_t loss_acc = 0.0, metric_acc = 0.0;
+  Batch batch;
+
+  for (index_t it = 0; it < iters; ++it) {
+    const bool capture = opt_->needs_capture(global_iter_);
+    const PassContext ctx{.training = true, .capture = capture};
+    net_->zero_grad();
+
+    CaptureSet cap;
+    if (capture) {
+      cap.a.resize(static_cast<std::size_t>(layer_count));
+      cap.g.resize(static_cast<std::size_t>(layer_count));
+    }
+
+    WallTimer fb_timer;
+    for (index_t rank = 0; rank < cfg_.world; ++rank) {
+      HYLO_CHECK(loaders_[static_cast<std::size_t>(rank)].next(batch),
+                 "loader exhausted mid-epoch");
+      const Tensor4& out = net_->forward(batch.images, ctx);
+      LossResult lr = segmentation_ ? dice_.compute(out, batch.masks)
+                                    : ce_.compute(out, batch.labels);
+      loss_acc += lr.loss;
+      metric_acc += lr.metric;
+      net_->backward(lr.grad, ctx);
+      if (capture) {
+        for (index_t l = 0; l < layer_count; ++l) {
+          cap.a[static_cast<std::size_t>(l)].push_back(
+              std::move(blocks[static_cast<std::size_t>(l)]->a_samples));
+          cap.g[static_cast<std::size_t>(l)].push_back(
+              std::move(blocks[static_cast<std::size_t>(l)]->g_samples));
+        }
+      }
+    }
+    // Average gradients over workers (the allreduce's arithmetic effect —
+    // each backward already used its local-batch mean).
+    const real_t inv_world = 1.0 / static_cast<real_t>(cfg_.world);
+    if (cfg_.world > 1) {
+      for (auto* pb : blocks) pb->gw *= inv_world;
+      for (auto pp : net_->plain_params())
+        for (auto& g : *pp.grad) g *= inv_world;
+    }
+    comm_.profiler().add("comp/forward_backward", fb_timer.seconds());
+    comm_.charge_allreduce(comm_.wire_bytes(grad_scalars),
+                           "comm/grad_allreduce");
+
+    if (capture) opt_->update_curvature(blocks, cap, &comm_);
+
+    opt_->accumulate_gradient(blocks);
+    WallTimer step_timer;
+    opt_->step(*net_, global_iter_);
+    comm_.profiler().add("comp/step", step_timer.seconds());
+    ++global_iter_;
+  }
+  result.iterations += iters;
+
+  // Simulated wall-time bookkeeping: convert profiler totals accumulated so
+  // far into the three contributions (delta since last epoch is implicit in
+  // recomputing from totals).
+  const auto& prof = comm_.profiler();
+  // Inversion is distributed layer-wise: its wall time is total/P until the
+  // largest single layer (the summed per-refresh critical path) dominates.
+  const double world = static_cast<double>(cfg_.world);
+  const double inv_wall =
+      std::max(prof.seconds("comp/inversion") / world,
+               prof.seconds("comp/inversion_critical"));
+  const double par = prof.seconds("comp/forward_backward") / world +
+                     prof.seconds("comp/factorization") / world + inv_wall;
+  const double rep = prof.seconds("comp/step");
+  double comm = 0.0;
+  for (const auto& [name, entry] : prof.sections())
+    if (name.rfind("comm/", 0) == 0) comm += entry.seconds;
+  comp_par_seconds_ = par;
+  comp_rep_seconds_ = rep;
+  comm_seconds_ = comm;
+  wall_seconds_ = comp_par_seconds_ + comp_rep_seconds_ + comm_seconds_;
+
+  const auto [test_loss, test_metric] = evaluate();
+  EpochStats stats;
+  stats.epoch = epoch;
+  const real_t denom = static_cast<real_t>(iters * cfg_.world);
+  stats.train_loss = loss_acc / denom;
+  stats.train_metric = metric_acc / denom;
+  stats.test_loss = test_loss;
+  stats.test_metric = test_metric;
+  stats.wall_seconds = wall_seconds_;
+  if (auto* hy = dynamic_cast<HyloOptimizer*>(opt_); hy != nullptr)
+    stats.note = hy->mode() == HyloMode::kKid ? "KID" : "KIS";
+  if (cfg_.verbose) {
+    std::cout << "[" << opt_->name() << "] epoch " << epoch << " loss "
+              << stats.train_loss << " train " << stats.train_metric
+              << " test " << stats.test_metric << " t=" << stats.wall_seconds
+              << "s" << (stats.note.empty() ? "" : " (" + stats.note + ")")
+              << "\n";
+  }
+  if (hook_) hook_(stats, *net_);
+  result.epochs.push_back(stats);
+}
+
+TrainResult Trainer::run() {
+  TrainResult result;
+  for (index_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    const bool decayed = epoch > 0 && cfg_.lr_schedule.decays_at(epoch);
+    if (decayed) opt_->set_lr(opt_->lr() * cfg_.lr_schedule.gamma);
+    opt_->begin_epoch(epoch, decayed);
+    run_epoch(epoch, result);
+    const EpochStats& last = result.epochs.back();
+    if (cfg_.target_metric > 0.0 && !result.time_to_target &&
+        last.test_metric >= cfg_.target_metric) {
+      result.time_to_target = last.wall_seconds;
+      result.epochs_to_target = epoch + 1;
+      break;  // time-to-convergence experiments stop at target
+    }
+  }
+  result.total_seconds = wall_seconds_;
+  result.compute_seconds = comp_par_seconds_;
+  result.replicated_seconds = comp_rep_seconds_;
+  result.comm_seconds = comm_seconds_;
+  return result;
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name,
+                                          const OptimConfig& cfg) {
+  if (name == "SGD") return std::make_unique<Sgd>(cfg);
+  if (name == "ADAM") return std::make_unique<Adam>(cfg);
+  if (name == "KFAC" || name == "KAISA") return std::make_unique<KFac>(cfg);
+  if (name == "EKFAC") return std::make_unique<EKFac>(cfg);
+  if (name == "KBFGS-L" || name == "KBFGS") return std::make_unique<KBfgs>(cfg);
+  if (name == "SNGD") return std::make_unique<Sngd>(cfg);
+  if (name == "HyLo") return std::make_unique<HyloOptimizer>(cfg);
+  HYLO_CHECK(false, "unknown optimizer " << name);
+  return nullptr;
+}
+
+}  // namespace hylo

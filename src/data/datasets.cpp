@@ -1,0 +1,243 @@
+#include "hylo/data/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "hylo/common/rng.hpp"
+
+namespace hylo {
+
+namespace {
+constexpr real_t kPi = std::numbers::pi_v<real_t>;
+
+// Smooth random template: sum of a few random low-frequency 2-D cosines.
+// Gives each class a distinctive large-scale structure a small convnet can
+// pick up quickly.
+void fill_smooth_template(Rng& rng, index_t h, index_t w,
+                          std::vector<real_t>& out) {
+  out.assign(static_cast<std::size_t>(h * w), 0.0);
+  const int waves = 4;
+  for (int k = 0; k < waves; ++k) {
+    const real_t fy = rng.uniform(0.5, 2.5);
+    const real_t fx = rng.uniform(0.5, 2.5);
+    const real_t phase = rng.uniform(0.0, 2.0 * kPi);
+    const real_t amp = rng.uniform(0.4, 1.0);
+    for (index_t y = 0; y < h; ++y)
+      for (index_t x = 0; x < w; ++x)
+        out[static_cast<std::size_t>(y * w + x)] +=
+            amp * std::cos(2.0 * kPi *
+                               (fy * static_cast<real_t>(y) / static_cast<real_t>(h) +
+                                fx * static_cast<real_t>(x) / static_cast<real_t>(w)) +
+                           phase);
+  }
+}
+
+void generate_gaussian_split(Rng& rng, index_t n, index_t classes,
+                             index_t channels, index_t h, index_t w,
+                             real_t noise,
+                             const std::vector<std::vector<real_t>>& templates,
+                             Dataset& out) {
+  out.images.resize(n, channels, h, w);
+  out.labels.resize(static_cast<std::size_t>(n));
+  const index_t chw = channels * h * w;
+  for (index_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % classes);
+    out.labels[static_cast<std::size_t>(i)] = label;
+    const auto& tpl =
+        templates[static_cast<std::size_t>(label) * static_cast<std::size_t>(channels)];
+    real_t* dst = out.images.sample_ptr(i);
+    const real_t gain = 1.0 + 0.2 * rng.normal();
+    for (index_t c = 0; c < channels; ++c) {
+      const auto& tc = templates[static_cast<std::size_t>(label * channels + c)];
+      for (index_t j = 0; j < h * w; ++j)
+        dst[c * h * w + j] =
+            gain * tc[static_cast<std::size_t>(j)] + noise * rng.normal();
+    }
+    (void)tpl;
+    (void)chw;
+  }
+}
+}  // namespace
+
+DataSplit make_spirals(index_t n_train, index_t n_test, index_t classes,
+                       real_t noise, std::uint64_t seed) {
+  HYLO_CHECK(classes >= 2, "need at least two spiral arms");
+  Rng rng(seed);
+  auto gen = [&](index_t n, Dataset& ds) {
+    ds.images.resize(n, 2, 1, 1);
+    ds.labels.resize(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      const int label = static_cast<int>(i % classes);
+      const real_t t = rng.uniform(0.1, 1.0);
+      const real_t angle = 2.0 * kPi * (t * 1.5 +
+                                        static_cast<real_t>(label) /
+                                            static_cast<real_t>(classes));
+      ds.images.at(i, 0, 0, 0) = t * std::cos(angle) + noise * rng.normal();
+      ds.images.at(i, 1, 0, 0) = t * std::sin(angle) + noise * rng.normal();
+      ds.labels[static_cast<std::size_t>(i)] = label;
+    }
+  };
+  DataSplit split;
+  gen(n_train, split.train);
+  gen(n_test, split.test);
+  return split;
+}
+
+DataSplit make_gaussian_images(index_t n_train, index_t n_test,
+                               index_t classes, index_t channels, index_t h,
+                               index_t w, real_t noise, std::uint64_t seed) {
+  HYLO_CHECK(classes >= 2 && channels >= 1 && h >= 2 && w >= 2,
+             "bad gaussian image geometry");
+  Rng rng(seed);
+  std::vector<std::vector<real_t>> templates(
+      static_cast<std::size_t>(classes * channels));
+  for (auto& t : templates) fill_smooth_template(rng, h, w, t);
+  DataSplit split;
+  generate_gaussian_split(rng, n_train, classes, channels, h, w, noise,
+                          templates, split.train);
+  generate_gaussian_split(rng, n_test, classes, channels, h, w, noise,
+                          templates, split.test);
+  return split;
+}
+
+DataSplit make_texture_images(index_t n_train, index_t n_test, index_t classes,
+                              index_t channels, index_t h, index_t w,
+                              real_t noise, std::uint64_t seed) {
+  HYLO_CHECK(classes >= 2 && channels >= 1, "bad texture geometry");
+  Rng rng(seed);
+  // Fixed per-class orientation/frequency, drawn once.
+  std::vector<real_t> theta(static_cast<std::size_t>(classes));
+  std::vector<real_t> freq(static_cast<std::size_t>(classes));
+  for (index_t k = 0; k < classes; ++k) {
+    theta[static_cast<std::size_t>(k)] =
+        kPi * static_cast<real_t>(k) / static_cast<real_t>(classes);
+    freq[static_cast<std::size_t>(k)] = 2.0 + static_cast<real_t>(k % 3);
+  }
+  auto gen = [&](index_t n, Dataset& ds) {
+    ds.images.resize(n, channels, h, w);
+    ds.labels.resize(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      const int label = static_cast<int>(i % classes);
+      ds.labels[static_cast<std::size_t>(i)] = label;
+      const real_t th = theta[static_cast<std::size_t>(label)];
+      const real_t f = freq[static_cast<std::size_t>(label)];
+      const real_t cth = std::cos(th), sth = std::sin(th);
+      for (index_t c = 0; c < channels; ++c) {
+        const real_t phase = rng.uniform(0.0, 2.0 * kPi);
+        for (index_t y = 0; y < h; ++y)
+          for (index_t x = 0; x < w; ++x) {
+            const real_t u =
+                (cth * static_cast<real_t>(x) + sth * static_cast<real_t>(y)) /
+                static_cast<real_t>(std::max(h, w));
+            ds.images.at(i, c, y, x) =
+                std::sin(2.0 * kPi * f * u + phase) + noise * rng.normal();
+          }
+      }
+    }
+  };
+  DataSplit split;
+  gen(n_train, split.train);
+  gen(n_test, split.test);
+  return split;
+}
+
+DataSplit make_blob_segmentation(index_t n_train, index_t n_test, index_t h,
+                                 index_t w, real_t noise, std::uint64_t seed) {
+  Rng rng(seed);
+  auto gen = [&](index_t n, Dataset& ds) {
+    ds.images.resize(n, 1, h, w);
+    ds.masks.resize(n, 1, h, w);
+    for (index_t i = 0; i < n; ++i) {
+      real_t* img = ds.images.sample_ptr(i);
+      real_t* msk = ds.masks.sample_ptr(i);
+      // Textured background.
+      const real_t bg_fy = rng.uniform(0.5, 1.5), bg_fx = rng.uniform(0.5, 1.5);
+      for (index_t y = 0; y < h; ++y)
+        for (index_t x = 0; x < w; ++x)
+          img[y * w + x] =
+              0.3 * std::sin(2.0 * kPi *
+                             (bg_fy * static_cast<real_t>(y) / static_cast<real_t>(h) +
+                              bg_fx * static_cast<real_t>(x) / static_cast<real_t>(w)));
+      // 1-3 bright elliptical lesions.
+      const index_t blobs = 1 + rng.uniform_int(3);
+      for (index_t b = 0; b < blobs; ++b) {
+        const real_t cy = rng.uniform(0.2, 0.8) * static_cast<real_t>(h);
+        const real_t cx = rng.uniform(0.2, 0.8) * static_cast<real_t>(w);
+        const real_t ry = rng.uniform(0.08, 0.22) * static_cast<real_t>(h);
+        const real_t rx = rng.uniform(0.08, 0.22) * static_cast<real_t>(w);
+        for (index_t y = 0; y < h; ++y)
+          for (index_t x = 0; x < w; ++x) {
+            const real_t dy = (static_cast<real_t>(y) - cy) / ry;
+            const real_t dx = (static_cast<real_t>(x) - cx) / rx;
+            if (dy * dy + dx * dx <= 1.0) {
+              img[y * w + x] += 1.0;
+              msk[y * w + x] = 1.0;
+            }
+          }
+      }
+      // Pixel noise on the image only.
+      for (index_t j = 0; j < h * w; ++j) img[j] += noise * rng.normal();
+    }
+  };
+  DataSplit split;
+  gen(n_train, split.train);
+  gen(n_test, split.test);
+  return split;
+}
+
+DataLoader::DataLoader(const Dataset& dataset, index_t batch_size,
+                       std::uint64_t seed, index_t rank, index_t world)
+    : dataset_(&dataset), batch_size_(batch_size), rank_(rank), world_(world),
+      seed_(seed) {
+  HYLO_CHECK(batch_size > 0, "batch size must be positive");
+  HYLO_CHECK(world > 0 && rank >= 0 && rank < world, "bad rank/world");
+  HYLO_CHECK(dataset.size() >= world, "dataset smaller than world size");
+  start_epoch(0);
+}
+
+void DataLoader::start_epoch(index_t epoch) {
+  Rng rng(seed_ + 0x5851F42D4C957F2DULL * static_cast<std::uint64_t>(epoch));
+  const auto perm = rng.permutation(dataset_->size());
+  order_.clear();
+  // Strided shard: identical permutation on all ranks, disjoint slices.
+  // Trailing remainder samples (< world) are dropped so every rank sees the
+  // same number of batches — required for lockstep collectives.
+  const index_t usable = (dataset_->size() / world_) * world_;
+  for (index_t i = rank_; i < usable; i += world_)
+    order_.push_back(perm[static_cast<std::size_t>(i)]);
+  cursor_ = 0;
+}
+
+bool DataLoader::next(Batch& batch) {
+  const index_t remaining = static_cast<index_t>(order_.size()) - cursor_;
+  if (remaining < batch_size_) return false;  // drop ragged tail batch
+  const index_t n = batch_size_;
+  const auto& img = dataset_->images;
+  batch.images.resize(n, img.c(), img.h(), img.w());
+  const bool seg = dataset_->is_segmentation();
+  if (seg)
+    batch.masks.resize(n, 1, dataset_->masks.h(), dataset_->masks.w());
+  else
+    batch.labels.resize(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const index_t src = order_[static_cast<std::size_t>(cursor_ + i)];
+    std::copy(img.sample_ptr(src), img.sample_ptr(src) + img.sample_size(),
+              batch.images.sample_ptr(i));
+    if (seg)
+      std::copy(dataset_->masks.sample_ptr(src),
+                dataset_->masks.sample_ptr(src) + dataset_->masks.sample_size(),
+                batch.masks.sample_ptr(i));
+    else
+      batch.labels[static_cast<std::size_t>(i)] =
+          dataset_->labels[static_cast<std::size_t>(src)];
+  }
+  cursor_ += n;
+  return true;
+}
+
+index_t DataLoader::batches_per_epoch() const {
+  return static_cast<index_t>(order_.size()) / batch_size_;
+}
+
+}  // namespace hylo

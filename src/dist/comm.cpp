@@ -1,0 +1,53 @@
+#include "hylo/dist/comm.hpp"
+
+#include "hylo/tensor/ops.hpp"
+
+namespace hylo {
+
+void CommSim::allreduce_mean(std::vector<Matrix*> bufs,
+                             const std::string& section) {
+  HYLO_CHECK(static_cast<index_t>(bufs.size()) == world_,
+             "allreduce needs one buffer per rank");
+  Matrix& first = *bufs[0];
+  for (index_t r = 1; r < world_; ++r) first += *bufs[static_cast<std::size_t>(r)];
+  first *= 1.0 / static_cast<real_t>(world_);
+  for (index_t r = 1; r < world_; ++r) *bufs[static_cast<std::size_t>(r)] = first;
+  charge_allreduce(wire_bytes(first.size()), section);
+}
+
+Matrix CommSim::allgather_rows(const std::vector<const Matrix*>& locals,
+                               const std::string& section) {
+  HYLO_CHECK(static_cast<index_t>(locals.size()) == world_,
+             "allgather needs one block per rank");
+  std::vector<Matrix> parts;
+  parts.reserve(locals.size());
+  index_t max_bytes = 0;
+  for (const auto* m : locals) {
+    parts.push_back(*m);
+    max_bytes = std::max(max_bytes, wire_bytes(m->size()));
+  }
+  charge_allgather(max_bytes, section);
+  return vstack(parts);
+}
+
+void CommSim::charge_broadcast(index_t bytes, const std::string& section) {
+  profiler_.add(section, broadcast_seconds(model_, world_, bytes));
+}
+
+void CommSim::charge_allgather(index_t bytes_per_rank,
+                               const std::string& section) {
+  profiler_.add(section, allgather_seconds(model_, world_, bytes_per_rank));
+}
+
+void CommSim::charge_allreduce(index_t bytes, const std::string& section) {
+  profiler_.add(section, allreduce_seconds(model_, world_, bytes));
+}
+
+double CommSim::comm_seconds() const {
+  double total = 0.0;
+  for (const auto& [name, entry] : profiler_.sections())
+    if (name.rfind("comm/", 0) == 0) total += entry.seconds;
+  return total;
+}
+
+}  // namespace hylo

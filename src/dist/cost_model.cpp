@@ -1,0 +1,68 @@
+#include "hylo/dist/cost_model.hpp"
+
+#include <cmath>
+
+#include "hylo/common/check.hpp"
+
+namespace hylo {
+
+InterconnectModel mist_v100() {
+  // NVLink ~150 GB/s intra-node blended with IB EDR ~12.5 GB/s inter-node;
+  // collectives at P >= 8 are bottlenecked by the IB hop.
+  return {.name = "mist-v100", .latency_s = 4e-6, .bandwidth_bps = 12.5e9};
+}
+
+InterconnectModel aws_p2_k80() {
+  // PCIe gen3 x16 shared through a switch: ~8 GB/s effective, higher launch
+  // latency on K80-era hosts.
+  return {.name = "aws-p2-k80", .latency_s = 12e-6, .bandwidth_bps = 8e9};
+}
+
+InterconnectModel loopback() {
+  return {.name = "loopback", .latency_s = 0.0, .bandwidth_bps = 1e18};
+}
+
+namespace {
+double ceil_log2(index_t world) {
+  double l = 0.0;
+  index_t v = 1;
+  while (v < world) {
+    v *= 2;
+    l += 1.0;
+  }
+  return l;
+}
+double link_time(const InterconnectModel& m, double bytes) {
+  return m.latency_s + bytes / m.bandwidth_bps;
+}
+}  // namespace
+
+double allreduce_seconds(const InterconnectModel& m, index_t world,
+                         index_t bytes) {
+  HYLO_CHECK(world >= 1 && bytes >= 0, "bad allreduce args");
+  if (world == 1) return 0.0;
+  const double chunk = static_cast<double>(bytes) / static_cast<double>(world);
+  return 2.0 * static_cast<double>(world - 1) * link_time(m, chunk);
+}
+
+double allgather_seconds(const InterconnectModel& m, index_t world,
+                         index_t bytes_per_rank) {
+  HYLO_CHECK(world >= 1 && bytes_per_rank >= 0, "bad allgather args");
+  if (world == 1) return 0.0;
+  return static_cast<double>(world - 1) *
+         link_time(m, static_cast<double>(bytes_per_rank));
+}
+
+double broadcast_seconds(const InterconnectModel& m, index_t world,
+                         index_t bytes) {
+  HYLO_CHECK(world >= 1 && bytes >= 0, "bad broadcast args");
+  if (world == 1) return 0.0;
+  return ceil_log2(world) * link_time(m, static_cast<double>(bytes));
+}
+
+double reduce_seconds(const InterconnectModel& m, index_t world,
+                      index_t bytes) {
+  return broadcast_seconds(m, world, bytes);
+}
+
+}  // namespace hylo

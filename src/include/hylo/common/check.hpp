@@ -1,0 +1,43 @@
+#pragma once
+/// \file check.hpp
+/// Precondition/invariant checking. HYLO_CHECK is always on (these guard
+/// user-facing API misuse, e.g. dimension mismatches); HYLO_DCHECK compiles
+/// out in release builds and guards internal invariants on hot paths.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hylo {
+
+/// Exception thrown on any failed hylo precondition or invariant.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* cond, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace hylo
+
+/// Always-on check with streaming message: HYLO_CHECK(m.rows()==n, "got " << m.rows());
+#define HYLO_CHECK(cond, ...)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream hylo_check_oss_;                                  \
+      hylo_check_oss_ << "" __VA_ARGS__;                                   \
+      ::hylo::detail::throw_check_failure(#cond, __FILE__, __LINE__,       \
+                                          hylo_check_oss_.str());          \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define HYLO_DCHECK(cond, ...) \
+  do {                         \
+  } while (false)
+#else
+#define HYLO_DCHECK(cond, ...) HYLO_CHECK(cond, __VA_ARGS__)
+#endif

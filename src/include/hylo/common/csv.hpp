@@ -1,0 +1,75 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV emission used by the bench harness: every figure/table bench
+/// prints its series both as an aligned human-readable table on stdout and,
+/// optionally, as a CSV file for plotting.
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hylo/common/check.hpp"
+
+namespace hylo {
+
+/// Row-oriented CSV writer with a fixed header.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append a row; must match the header arity.
+  void add_row(std::vector<std::string> row) {
+    HYLO_CHECK(row.size() == header_.size(),
+               "row arity " << row.size() << " != header " << header_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  /// Convenience: convert each element with operator<<.
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(Ts));
+    (row.push_back(to_cell(vals)), ...);
+    add_row(std::move(row));
+  }
+
+  /// Write `header\nrow...` to the given path.
+  void write_file(const std::string& path) const {
+    std::ofstream out(path);
+    HYLO_CHECK(out.good(), "cannot open " << path);
+    out << join(header_) << "\n";
+    for (const auto& r : rows_) out << join(r) << "\n";
+  }
+
+  /// Print an aligned table to the stream (what bench binaries show).
+  void print_table(std::ostream& os = std::cout) const;
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream oss;
+    oss << std::setprecision(6) << v;
+    return oss.str();
+  }
+
+  static std::string join(const std::vector<std::string>& cells) {
+    std::string out;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out += ",";
+      out += cells[i];
+    }
+    return out;
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hylo

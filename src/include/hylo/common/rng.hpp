@@ -1,0 +1,60 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic random number generation. All stochastic components of the
+/// library (data synthesis, weight init, importance sampling) draw from an
+/// explicitly seeded Rng so that every experiment is bit-reproducible and
+/// every optimizer comparison sees identical data.
+
+#include <cstdint>
+#include <vector>
+
+#include "hylo/common/check.hpp"
+#include "hylo/common/types.hpp"
+
+namespace hylo {
+
+/// xoshiro256** — small, fast, high-quality PRNG with splittable seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialize state from a single seed via SplitMix64 expansion.
+  void reseed(std::uint64_t seed);
+
+  /// Derive an independent child stream (for per-worker / per-layer rngs).
+  Rng split();
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  real_t uniform();
+
+  /// Uniform in [lo, hi).
+  real_t uniform(real_t lo, real_t hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box-Muller (cached second value).
+  real_t normal();
+
+  /// Normal with the given mean and stddev.
+  real_t normal(real_t mean, real_t stddev) { return mean + stddev * normal(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  index_t uniform_int(index_t n);
+
+  /// Sample k distinct indices from [0, n) with probability proportional to
+  /// weights[i] (without replacement). Used by KIS. Requires 0 < k <= n and
+  /// at least k strictly-positive weights.
+  std::vector<index_t> sample_without_replacement(
+      const std::vector<real_t>& weights, index_t k);
+
+  /// Fisher-Yates shuffle of indices 0..n-1.
+  std::vector<index_t> permutation(index_t n);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  real_t cached_normal_ = 0.0;
+};
+
+}  // namespace hylo

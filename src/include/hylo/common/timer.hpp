@@ -1,0 +1,83 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock timing and a lightweight named-section profiler. The profiler
+/// backs the computation/communication breakdowns reported by the Fig. 3 and
+/// Fig. 7 benches: compute sections are *measured*, communication sections
+/// are *charged* by the interconnect cost model (see dist/cost_model.hpp).
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "hylo/common/types.hpp"
+
+namespace hylo {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { restart(); }
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates seconds and call counts under string keys. Not thread-safe by
+/// design — the distributed simulator is lockstep-sequential.
+class Profiler {
+ public:
+  /// Add `seconds` of measured (or modeled) time to section `name`.
+  void add(const std::string& name, double seconds) {
+    auto& e = sections_[name];
+    e.seconds += seconds;
+    e.calls += 1;
+  }
+
+  double seconds(const std::string& name) const {
+    const auto it = sections_.find(name);
+    return it == sections_.end() ? 0.0 : it->second.seconds;
+  }
+
+  std::int64_t calls(const std::string& name) const {
+    const auto it = sections_.find(name);
+    return it == sections_.end() ? 0 : it->second.calls;
+  }
+
+  void reset() { sections_.clear(); }
+
+  struct Entry {
+    double seconds = 0.0;
+    std::int64_t calls = 0;
+  };
+
+  const std::map<std::string, Entry>& sections() const { return sections_; }
+
+ private:
+  std::map<std::string, Entry> sections_;
+};
+
+/// RAII helper: measures the lifetime of a scope into a profiler section.
+class ScopedTimer {
+ public:
+  ScopedTimer(Profiler& profiler, std::string name)
+      : profiler_(profiler), name_(std::move(name)) {}
+  ~ScopedTimer() { profiler_.add(name_, timer_.seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Profiler& profiler_;
+  std::string name_;
+  WallTimer timer_;
+};
+
+}  // namespace hylo

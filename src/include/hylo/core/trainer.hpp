@@ -1,0 +1,123 @@
+#pragma once
+/// \file trainer.hpp
+/// Training driver for the lockstep-simulated distributed setting. One
+/// physical Network stands in for P bit-identical replicas (data-parallel
+/// replicas stay identical under identical updates); each iteration runs P
+/// local batches through it, averages gradients (allreduce), refreshes the
+/// optimizer's curvature on schedule, and applies the update.
+///
+/// Simulated wall time =
+///     measured parallel compute (fwd/bwd, factorization, inversion) / P
+///   + measured replicated compute (precondition + update)
+///   + modeled communication time (α-β cost model).
+/// This is the time axis of the Fig. 3/5/7/8/9 reproductions.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hylo/data/datasets.hpp"
+#include "hylo/nn/loss.hpp"
+#include "hylo/optim/optimizer.hpp"
+
+namespace hylo {
+
+/// Step decay: lr *= gamma at the start of each listed epoch.
+struct LrSchedule {
+  std::vector<index_t> milestones;
+  real_t gamma = 0.1;
+
+  bool decays_at(index_t epoch) const {
+    for (const auto m : milestones)
+      if (m == epoch) return true;
+    return false;
+  }
+};
+
+struct TrainConfig {
+  index_t epochs = 10;
+  index_t batch_size = 32;  ///< per worker (paper's local batch m)
+  index_t world = 1;        ///< number of simulated workers P
+  InterconnectModel interconnect = loopback();
+  /// Modeled bytes per communicated scalar: 4 = FP32 (KAISA's wire format),
+  /// 2 = FP16, 2.625 = the 21-bit custom float of Ueno et al. [7].
+  double wire_scalar_bytes = 4.0;
+  LrSchedule lr_schedule;
+  std::uint64_t data_seed = 1;
+  /// Cap on iterations per epoch (-1 = full epoch); used by profiling
+  /// benches that need a fixed, small iteration count.
+  index_t max_iters_per_epoch = -1;
+  /// Early-stop once the test metric reaches this value (<0 disables).
+  real_t target_metric = -1.0;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  index_t epoch = 0;
+  real_t train_loss = 0.0, train_metric = 0.0;
+  real_t test_loss = 0.0, test_metric = 0.0;
+  double wall_seconds = 0.0;  ///< cumulative simulated time after this epoch
+  std::string note;           ///< e.g. HyLo mode tag
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  double total_seconds = 0.0;        ///< simulated
+  double compute_seconds = 0.0;      ///< parallel-compute contribution
+  double replicated_seconds = 0.0;   ///< precondition/update contribution
+  double comm_seconds = 0.0;         ///< modeled wire contribution
+  index_t iterations = 0;
+  /// First simulated time at which test_metric >= target (if reached).
+  std::optional<double> time_to_target;
+  std::optional<index_t> epochs_to_target;
+
+  real_t best_metric() const;
+};
+
+class Trainer {
+ public:
+  /// `net` must match the dataset (classification logits or 1-channel
+  /// segmentation). The optimizer is driven through the full distributed
+  /// lifecycle; pass world=1 in `cfg` for the single-device setting.
+  Trainer(Network& net, Optimizer& opt, const DataSplit& data,
+          TrainConfig cfg);
+
+  TrainResult run();
+
+  /// Evaluate on the test split (no gradient, eval-mode BN).
+  std::pair<real_t, real_t> evaluate();
+
+  /// Profiler with comp/* (measured) and comm/* (modeled) sections.
+  const Profiler& profiler() const { return comm_.profiler(); }
+  CommSim& comm() { return comm_; }
+
+  /// Optional per-epoch observer (benches log gradient norms etc.).
+  using EpochHook = std::function<void(const EpochStats&, Network&)>;
+  void set_epoch_hook(EpochHook hook) { hook_ = std::move(hook); }
+
+ private:
+  void run_epoch(index_t epoch, TrainResult& result);
+
+  Network* net_;
+  Optimizer* opt_;
+  const DataSplit* data_;
+  TrainConfig cfg_;
+  CommSim comm_;
+  std::vector<DataLoader> loaders_;
+  SoftmaxCrossEntropy ce_;
+  DiceBceLoss dice_;
+  bool segmentation_;
+  index_t global_iter_ = 0;
+  double wall_seconds_ = 0.0;
+  double comp_par_seconds_ = 0.0, comp_rep_seconds_ = 0.0, comm_seconds_ = 0.0;
+  EpochHook hook_;
+};
+
+/// Construct an optimizer by paper name: "SGD", "ADAM", "KFAC", "EKFAC",
+/// "KBFGS-L", "SNGD", "HyLo". KAISA is the distributed execution of "KFAC"
+/// (pass world > 1 in TrainConfig).
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name,
+                                          const OptimConfig& cfg);
+
+}  // namespace hylo

@@ -1,0 +1,91 @@
+#pragma once
+/// \file datasets.hpp
+/// Synthetic dataset generators. The paper trains on ImageNet-1k, CIFAR,
+/// Fashion-MNIST and the LGG MRI segmentation set; none of those pixels are
+/// available offline, so each task is replaced by a generator producing a
+/// *trainable* supervised problem of the same modality with a controllable
+/// difficulty knob (see DESIGN.md §2). Every generator is deterministic in
+/// its seed so optimizer comparisons see identical data.
+
+#include <cstdint>
+#include <vector>
+
+#include "hylo/tensor/tensor4.hpp"
+
+namespace hylo {
+
+/// A supervised dataset: classification (labels) or binary segmentation
+/// (masks). Exactly one of labels/masks is populated.
+struct Dataset {
+  Tensor4 images;           ///< (N, C, H, W)
+  std::vector<int> labels;  ///< classification targets, size N (or empty)
+  Tensor4 masks;            ///< segmentation targets (N, 1, H, W) (or empty)
+
+  index_t size() const { return images.n(); }
+  bool is_segmentation() const { return !masks.empty(); }
+};
+
+struct DataSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Interleaved k-arm spirals in 2-D (quickstart / MLP tests). Input shape
+/// (2, 1, 1).
+DataSplit make_spirals(index_t n_train, index_t n_test, index_t classes,
+                       real_t noise, std::uint64_t seed);
+
+/// Fashion-MNIST stand-in: per-class smooth random template images plus
+/// Gaussian pixel noise. Larger `noise` makes the task harder.
+DataSplit make_gaussian_images(index_t n_train, index_t n_test,
+                               index_t classes, index_t channels, index_t h,
+                               index_t w, real_t noise, std::uint64_t seed);
+
+/// CIFAR stand-in: oriented sinusoidal gratings; the class determines the
+/// orientation/frequency pair, per-sample phase is random, plus noise.
+DataSplit make_texture_images(index_t n_train, index_t n_test, index_t classes,
+                              index_t channels, index_t h, index_t w,
+                              real_t noise, std::uint64_t seed);
+
+/// LGG-MRI stand-in: random bright ellipses ("lesions") over a textured
+/// background; the mask marks lesion pixels. Output mask shape (N, 1, H, W).
+DataSplit make_blob_segmentation(index_t n_train, index_t n_test, index_t h,
+                                 index_t w, real_t noise, std::uint64_t seed);
+
+/// One minibatch handed to the training loop.
+struct Batch {
+  Tensor4 images;
+  std::vector<int> labels;
+  Tensor4 masks;
+  index_t size() const { return images.n(); }
+};
+
+/// Deterministic shuffling minibatch loader with data-parallel sharding:
+/// all ranks draw the same epoch permutation (same seed), each takes its
+/// strided slice — the standard distributed sampler construction.
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, index_t batch_size, std::uint64_t seed,
+             index_t rank = 0, index_t world = 1);
+
+  /// Reshuffle for the given epoch (deterministic in seed + epoch) and
+  /// rewind.
+  void start_epoch(index_t epoch);
+
+  /// Fetch the next local minibatch; returns false at epoch end.
+  bool next(Batch& batch);
+
+  /// Number of local (per-rank) batches per epoch.
+  index_t batches_per_epoch() const;
+
+  index_t batch_size() const { return batch_size_; }
+
+ private:
+  const Dataset* dataset_;
+  index_t batch_size_, rank_, world_;
+  std::uint64_t seed_;
+  std::vector<index_t> order_;  // this rank's sample indices, shuffled
+  index_t cursor_ = 0;
+};
+
+}  // namespace hylo

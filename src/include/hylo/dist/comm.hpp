@@ -1,0 +1,103 @@
+#pragma once
+/// \file comm.hpp
+/// Lockstep-simulated communicator. Data movement between the P simulated
+/// ranks happens in shared memory (the runner executes ranks sequentially,
+/// bit-exactly), while each collective charges its modeled wire time to a
+/// profiler section. Compute sections are measured and attributed separately
+/// so benches can report the paper's computation/communication breakdowns.
+
+#include <string>
+#include <vector>
+
+#include "hylo/common/timer.hpp"
+#include "hylo/dist/cost_model.hpp"
+#include "hylo/tensor/matrix.hpp"
+
+namespace hylo {
+
+class CommSim {
+ public:
+  CommSim(index_t world, InterconnectModel model)
+      : world_(world), model_(std::move(model)) {
+    HYLO_CHECK(world >= 1, "world must be >= 1");
+  }
+
+  index_t world() const { return world_; }
+  const InterconnectModel& model() const { return model_; }
+
+  /// Sum per-rank gradient buffers into their average (ring allreduce
+  /// semantics); charges allreduce time under `section`.
+  void allreduce_mean(std::vector<Matrix*> bufs, const std::string& section);
+
+  /// Gather per-rank row blocks into one stacked matrix on every rank
+  /// (allgather); charges per-rank-contribution time under `section`.
+  Matrix allgather_rows(const std::vector<const Matrix*>& locals,
+                        const std::string& section);
+
+  /// Charge a broadcast of `bytes` from one root under `section` (the data
+  /// is already visible in shared memory).
+  void charge_broadcast(index_t bytes, const std::string& section);
+
+  /// Charge an allgather where each rank contributes `bytes_per_rank`.
+  void charge_allgather(index_t bytes_per_rank, const std::string& section);
+
+  /// Charge an allreduce of `bytes`.
+  void charge_allreduce(index_t bytes, const std::string& section);
+
+  /// Modeled communication seconds accumulated so far (all comm sections).
+  double comm_seconds() const;
+
+  Profiler& profiler() { return profiler_; }
+  const Profiler& profiler() const { return profiler_; }
+
+  /// Default bytes per scalar on the wire: FP32, as KAISA communicates.
+  static constexpr index_t kWireScalarBytes = 4;
+
+  /// Configure the wire precision (4 = FP32, 2 = FP16, 2.625 = the 21-bit
+  /// custom float of Ueno et al. [7]). Affects modeled time only — the
+  /// shared-memory data stays full precision.
+  void set_wire_scalar_bytes(double bytes) {
+    HYLO_CHECK(bytes > 0.0, "wire scalar bytes must be positive");
+    wire_scalar_bytes_ = bytes;
+  }
+  double wire_scalar_bytes() const { return wire_scalar_bytes_; }
+
+  /// Modeled wire size of `scalars` values at the configured precision.
+  index_t wire_bytes(index_t scalars) const {
+    return static_cast<index_t>(static_cast<double>(scalars) *
+                                wire_scalar_bytes_);
+  }
+
+ private:
+  index_t world_;
+  InterconnectModel model_;
+  Profiler profiler_;
+  double wire_scalar_bytes_ = kWireScalarBytes;
+};
+
+/// Round-robin layer-to-rank assignment used by both distributed KFAC
+/// (KAISA) and HyLo for the inversion step.
+class LayerAssignment {
+ public:
+  LayerAssignment(index_t layers, index_t world)
+      : layers_(layers), world_(world) {
+    HYLO_CHECK(layers >= 0 && world >= 1, "bad assignment args");
+  }
+
+  index_t owner(index_t layer) const {
+    HYLO_CHECK(layer >= 0 && layer < layers_, "layer out of range");
+    return layer % world_;
+  }
+
+  /// Number of layers owned by `rank` (load balance accounting).
+  index_t owned_count(index_t rank) const {
+    HYLO_CHECK(rank >= 0 && rank < world_, "rank out of range");
+    return layers_ / world_ + ((layer_remainder() > rank) ? 1 : 0);
+  }
+
+ private:
+  index_t layer_remainder() const { return layers_ % world_; }
+  index_t layers_, world_;
+};
+
+}  // namespace hylo

@@ -1,0 +1,49 @@
+#pragma once
+/// \file cost_model.hpp
+/// Analytical interconnect cost model (α-β / Hockney). The paper's clusters
+/// (Mist: V100 + NVLink islands over InfiniBand EDR; AWS P2: K80 over PCIe)
+/// are not available, so every collective in the simulator is *charged* a
+/// wire time from this model while its data movement executes in shared
+/// memory. Comparisons between optimizers depend on message volumes and
+/// collective types, which the model preserves (DESIGN.md §2).
+
+#include <string>
+
+#include "hylo/common/types.hpp"
+
+namespace hylo {
+
+/// Point-to-point link parameters.
+struct InterconnectModel {
+  std::string name;
+  double latency_s = 5e-6;        ///< α: per-message startup
+  double bandwidth_bps = 10e9;    ///< β⁻¹: bytes per second per link
+};
+
+/// V100 cluster preset: NVLink inside a 4-GPU node, IB EDR across nodes.
+/// Effective numbers are blended for a flat P-rank view.
+InterconnectModel mist_v100();
+
+/// AWS P2 preset: K80 GPUs over PCIe switch.
+InterconnectModel aws_p2_k80();
+
+/// Loopback for single-device runs (collectives cost nothing at P=1).
+InterconnectModel loopback();
+
+/// Ring allreduce: 2(P-1) steps of (bytes/P) each.
+double allreduce_seconds(const InterconnectModel& m, index_t world,
+                         index_t bytes);
+
+/// Allgather (ring): each rank contributes `bytes_per_rank`, receives
+/// (P-1)·bytes_per_rank in P-1 steps.
+double allgather_seconds(const InterconnectModel& m, index_t world,
+                         index_t bytes_per_rank);
+
+/// Binomial-tree broadcast of `bytes` from one root.
+double broadcast_seconds(const InterconnectModel& m, index_t world,
+                         index_t bytes);
+
+/// Tree reduce of `bytes` to one root.
+double reduce_seconds(const InterconnectModel& m, index_t world, index_t bytes);
+
+}  // namespace hylo

@@ -1,0 +1,37 @@
+#pragma once
+/// \file eigh.hpp
+/// Symmetric eigendecomposition via the cyclic Jacobi method. Used by EKFAC
+/// (Kronecker eigenbasis), the kernel-rank analysis of Fig. 10, and the
+/// KBFGS factor conditioning. Jacobi is O(n³) per sweep but unconditionally
+/// stable and exact enough at the n ≤ few-hundred sizes this library uses.
+
+#include <vector>
+
+#include "hylo/tensor/matrix.hpp"
+
+namespace hylo {
+
+/// Result of eigh(): eigenvalues ascending; eigenvectors[:, i] pairs with
+/// eigenvalues[i] (column eigenvectors, V diag(w) Vᵀ = A).
+struct EighResult {
+  std::vector<real_t> eigenvalues;
+  Matrix eigenvectors;
+};
+
+/// Full symmetric eigendecomposition. `a` must be symmetric (only the upper
+/// triangle is read). Converges when all off-diagonal mass is below
+/// tol * frobenius_norm(a).
+EighResult eigh(const Matrix& a, real_t tol = 1e-12, int max_sweeps = 64);
+
+/// Eigenvalues only (same algorithm, skips vector accumulation).
+std::vector<real_t> eigvalsh(const Matrix& a, real_t tol = 1e-12,
+                             int max_sweeps = 64);
+
+/// Numerical rank in the paper's Fig. 10 sense: the number of largest
+/// eigenvalues whose partial sum reaches `coverage` (default 90%) of the
+/// total eigenvalue sum. Negative eigenvalues are clamped to zero (K is PSD
+/// up to roundoff).
+index_t numerical_rank(const std::vector<real_t>& eigenvalues,
+                       real_t coverage = 0.9);
+
+}  // namespace hylo

@@ -1,0 +1,33 @@
+#pragma once
+/// \file id.hpp
+/// Interpolative decomposition (ID). The row ID selects r physical rows S of
+/// a matrix M and a projection P such that M ≈ P · M(S,:). KID (Algorithm 2
+/// of the paper) applies this to the local Gram matrix Q = (AAᵀ)∘(GGᵀ): the
+/// selected rows S identify the samples whose inputs/gradients are kept as
+/// KID-factors, and P carries the interpolation coefficients.
+
+#include <vector>
+
+#include "hylo/tensor/matrix.hpp"
+
+namespace hylo {
+
+/// Row interpolative decomposition result: M ≈ projection * M(rows,:).
+struct RowId {
+  /// Selected row indices (size = rank), in pivot order.
+  std::vector<index_t> rows;
+  /// m x rank interpolation matrix P.
+  Matrix projection;
+  /// Achieved rank (== rows.size(); may be < requested on exact deficiency).
+  index_t rank = 0;
+};
+
+/// Compute a rank-`r` row ID of M (m x n) using column-pivoted QR of Mᵀ.
+/// Requires 1 <= r; r is clamped to min(m, n). When r == m the decomposition
+/// is exact with P a permuted identity.
+RowId row_interpolative_decomposition(const Matrix& m, index_t r);
+
+/// Reconstruction helper: returns projection * M(rows,:) for error checks.
+Matrix id_reconstruct(const RowId& id, const Matrix& m);
+
+}  // namespace hylo

@@ -1,0 +1,29 @@
+#pragma once
+/// \file kernels.hpp
+/// Khatri-Rao kernel algebra shared by SNGD, KID, KIS and HyLo. The central
+/// object is the kernel matrix K = U Uᵀ = (A Aᵀ) ∘ (G Gᵀ) where U = G ⊙ A is
+/// the row-wise Khatri-Rao Jacobian (Eq. 5 of the paper): row i of U is
+/// kron(g_i, a_i), matching the row-major vectorization of the per-sample
+/// weight gradient dW_i = g_i a_iᵀ (W: d_out x d_in).
+
+#include "hylo/tensor/matrix.hpp"
+
+namespace hylo {
+
+/// K = (A Aᵀ) ∘ (G Gᵀ); A, G: m x d_in / m x d_out with matching m.
+Matrix kernel_matrix(const Matrix& a, const Matrix& g);
+
+/// Materialized row-wise Khatri-Rao product U (m x d_out*d_in), with
+/// U(i, o*d_in + j) = g(i,o) * a(i,j). Only used by tests/small paths —
+/// production code applies U implicitly (see below).
+Matrix khatri_rao_rowwise(const Matrix& g, const Matrix& a);
+
+/// y = U · vec(V) without materializing U: y_i = g_iᵀ V a_i.
+/// V is d_out x d_in (the gradient matrix being preconditioned).
+Matrix apply_jacobian(const Matrix& a, const Matrix& g, const Matrix& v);
+
+/// Vᵀy = Uᵀ y reshaped to d_out x d_in: Σ_i y_i g_i a_iᵀ = Gᵀ diag(y) A.
+/// `y` must be m x 1.
+Matrix apply_jacobian_t(const Matrix& a, const Matrix& g, const Matrix& y);
+
+}  // namespace hylo

@@ -1,0 +1,38 @@
+#pragma once
+/// \file qr.hpp
+/// Householder QR with column pivoting. The pivot order drives the row
+/// selection of the interpolative decomposition (KID, Algorithm 2).
+
+#include <vector>
+
+#include "hylo/tensor/matrix.hpp"
+
+namespace hylo {
+
+/// Column-pivoted QR: A Π = Q R with |r_11| >= |r_22| >= ... The
+/// factorization is truncated after `max_rank` columns when max_rank >= 0.
+struct PivotedQr {
+  /// Upper-trapezoidal R (k x n, k = min(m, n, max_rank)), already permuted:
+  /// column j of `r` corresponds to original column piv[j] of A.
+  Matrix r;
+  /// Householder reflectors packed column-wise (m x k); v_j has an implicit
+  /// unit leading entry at row j.
+  Matrix reflectors;
+  /// Householder scalars tau_j.
+  std::vector<real_t> tau;
+  /// piv[j] = original column index occupying position j after pivoting.
+  std::vector<index_t> piv;
+  /// Number of Householder steps performed.
+  index_t rank = 0;
+};
+
+/// Compute the (possibly truncated) column-pivoted QR of A (m x n).
+PivotedQr pivoted_qr(const Matrix& a, index_t max_rank = -1);
+
+/// Apply Qᵀ to a matrix B (m x k) using the packed reflectors.
+Matrix apply_qt(const PivotedQr& f, const Matrix& b);
+
+/// Solve R11 X = B where R11 is the leading rank x rank block of f.r.
+Matrix solve_r11(const PivotedQr& f, const Matrix& b);
+
+}  // namespace hylo

@@ -1,0 +1,66 @@
+#pragma once
+/// \file zoo.hpp
+/// Model zoo: CPU-scaled proxies of the paper's five architectures plus a
+/// plain MLP. Each builder is deterministic in its seed (identical weights
+/// across optimizer comparisons and across simulated workers).
+///
+/// The proxies keep the *topology* of the originals — residual adds
+/// (ResNet), dense concatenations (DenseNet), encoder/decoder skips (U-Net),
+/// conv-then-fc (3C1F) — at reduced width/depth so that a single CPU core
+/// trains them in seconds. See DESIGN.md §2 for the substitution rationale.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hylo/nn/network.hpp"
+
+namespace hylo {
+
+/// Plain MLP: hidden layers with ReLU, linear head.
+Network make_mlp(Shape input, const std::vector<index_t>& hidden,
+                 index_t classes, std::uint64_t seed);
+
+/// 3C1F (paper's Fashion-MNIST model): three 3x3 conv+ReLU stages with
+/// pooling, one fully-connected head.
+Network make_c3f1(Shape input, index_t classes, index_t base_channels,
+                  std::uint64_t seed);
+
+/// CIFAR-style ResNet: depth = 6*blocks_per_stage + 2 (paper: ResNet-32 has
+/// blocks_per_stage = 5). `width` scales the 16/32/64 channel progression.
+Network make_resnet(Shape input, index_t classes, index_t blocks_per_stage,
+                    index_t width, std::uint64_t seed);
+
+/// DenseNet-style network: two dense blocks of `block_layers` 3x3 convs with
+/// growth-rate concatenation, a 1x1 transition with 2x average pooling.
+Network make_densenet(Shape input, index_t classes, index_t growth,
+                      index_t block_layers, std::uint64_t seed);
+
+/// U-Net-style encoder/decoder with `depth` pooling stages and skip
+/// concatenations; 1-channel logits head for binary segmentation.
+Network make_unet(Shape input, index_t base_channels, index_t depth,
+                  std::uint64_t seed);
+
+/// One preconditionable layer's dimensions (for the Fig. 2 bench): the
+/// KFAC-relevant dimension is max(d_in+1, d_out) of the augmented block.
+struct LayerDim {
+  std::string model;
+  std::string layer;
+  index_t d_in = 0;   // augmented input dim (patch+1 for conv)
+  index_t d_out = 0;
+};
+
+/// Layer-dimension inventory of a constructed network.
+std::vector<LayerDim> layer_dims(Network& net, const std::string& model_name);
+
+/// Hard-coded layer-dimension tables of the *full-size* architectures the
+/// paper plots in Fig. 2 (ResNet-50/ImageNet, U-Net, DenseNet-121,
+/// ResNet-32/CIFAR, 3C1F), derived from the published architectures. Used by
+/// the Fig. 2 bench so the distribution matches the paper even though our
+/// trainable proxies are narrower.
+std::vector<LayerDim> reference_layer_dims(const std::string& model_name);
+
+/// Names accepted by reference_layer_dims().
+std::vector<std::string> reference_model_names();
+
+}  // namespace hylo

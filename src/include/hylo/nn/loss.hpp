@@ -1,0 +1,50 @@
+#pragma once
+/// \file loss.hpp
+/// Loss heads. Each returns the scalar mean-batch loss, a task metric, and
+/// the gradient of the *mean* loss with respect to the network output (the
+/// convention every layer's backward expects).
+
+#include <vector>
+
+#include "hylo/tensor/tensor4.hpp"
+
+namespace hylo {
+
+struct LossResult {
+  real_t loss = 0.0;
+  /// Task metric in [0,1]: classification accuracy or Dice coefficient.
+  real_t metric = 0.0;
+  /// dLoss/d(network output), mean-loss convention.
+  Tensor4 grad;
+};
+
+/// Multi-class softmax cross-entropy over logits shaped (N, classes, 1, 1).
+/// Metric: top-1 accuracy.
+class SoftmaxCrossEntropy {
+ public:
+  LossResult compute(const Tensor4& logits,
+                     const std::vector<int>& labels) const;
+
+  /// Loss + metric only (no gradient allocation) for evaluation loops.
+  std::pair<real_t, real_t> evaluate(const Tensor4& logits,
+                                     const std::vector<int>& labels) const;
+};
+
+/// Binary segmentation head on logits (N, 1, H, W): BCE + soft-Dice loss.
+/// Metric: hard Dice similarity coefficient at threshold 0.5 (the U-Net /
+/// LGG target measure in the paper).
+class DiceBceLoss {
+ public:
+  explicit DiceBceLoss(real_t bce_weight = 0.5, real_t dice_weight = 0.5,
+                       real_t smooth = 1.0)
+      : bce_weight_(bce_weight), dice_weight_(dice_weight), smooth_(smooth) {}
+
+  LossResult compute(const Tensor4& logits, const Tensor4& target) const;
+  std::pair<real_t, real_t> evaluate(const Tensor4& logits,
+                                     const Tensor4& target) const;
+
+ private:
+  real_t bce_weight_, dice_weight_, smooth_;
+};
+
+}  // namespace hylo

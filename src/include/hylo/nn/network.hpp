@@ -1,0 +1,86 @@
+#pragma once
+/// \file network.hpp
+/// Static computation graph. Layers are appended with explicit input edges
+/// (which must reference earlier nodes), so insertion order is already a
+/// topological order; forward walks it, backward walks it in reverse.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hylo/nn/layer.hpp"
+
+namespace hylo {
+
+class Network {
+ public:
+  explicit Network(std::string name = "net") : name_(std::move(name)) {}
+
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  /// Declare the (single) input node; must be called first. Returns node 0.
+  int add_input(Shape shape);
+
+  /// Append a layer consuming the given earlier nodes; returns its node id.
+  int add(std::unique_ptr<Layer> layer, std::vector<int> inputs);
+
+  /// Convenience for single-input chains.
+  int add(std::unique_ptr<Layer> layer, int input) {
+    return add(std::move(layer), std::vector<int>{input});
+  }
+
+  /// Run the graph on a batch; returns the final node's activation.
+  const Tensor4& forward(const Tensor4& x, const PassContext& ctx);
+
+  /// Backpropagate dLoss/d(output); accumulates parameter gradients.
+  /// Must follow a forward() with the same batch.
+  void backward(const Tensor4& grad_out, const PassContext& ctx);
+
+  /// Zero all parameter gradients (weights and plain params).
+  void zero_grad();
+
+  /// Final activation of the last forward pass.
+  const Tensor4& output() const;
+
+  /// Final activation flattened to (batch, features).
+  Matrix output_matrix() const { return output().as_matrix(); }
+
+  Shape output_shape() const;
+  Shape input_shape() const;
+
+  /// All preconditionable weight blocks, in graph order.
+  std::vector<ParamBlock*> param_blocks();
+  /// All first-order-only parameters (BatchNorm scale/shift).
+  std::vector<Layer::PlainParam> plain_params();
+
+  /// Total scalar parameter count (weights + plain params).
+  index_t num_params();
+
+  const std::string& name() const { return name_; }
+  index_t num_nodes() const { return static_cast<index_t>(nodes_.size()); }
+  const Layer* layer(index_t node) const { return nodes_[static_cast<std::size_t>(node)].layer.get(); }
+
+  /// Save all weights, plain parameters and persistent layer state
+  /// (BatchNorm running stats) to a binary checkpoint.
+  void save_weights(const std::string& path);
+
+  /// Load a checkpoint produced by save_weights() into a structurally
+  /// identical network. Throws hylo::Error on any shape mismatch.
+  void load_weights(const std::string& path);
+
+ private:
+  struct Node {
+    std::unique_ptr<Layer> layer;  // null for the input node
+    std::vector<int> inputs;
+    Shape shape;
+    Tensor4 out;
+    Tensor4 grad;
+  };
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  bool ran_forward_ = false;
+};
+
+}  // namespace hylo

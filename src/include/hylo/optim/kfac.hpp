@@ -1,0 +1,106 @@
+#pragma once
+/// \file kfac.hpp
+/// Kronecker-factored baselines:
+///  - KFac: Martens & Grosse KFAC with the KAISA-style distributed pipeline
+///    (factor allreduce, per-owner inversion, inverse broadcast).
+///  - EKFac: KFAC in the Kronecker eigenbasis with per-entry second-moment
+///    rescaling (George et al.).
+///  - KBfgs: Kronecker factors with a limited-memory BFGS inverse on the
+///    gradient side (re-derivation of Goldfarb et al.'s KBFGS-L; see
+///    DESIGN.md §6).
+
+#include <deque>
+
+#include "hylo/optim/second_order.hpp"
+
+namespace hylo {
+
+class KFac : public CurvatureOptimizer {
+ public:
+  explicit KFac(OptimConfig cfg) : CurvatureOptimizer(cfg) {}
+  std::string name() const override { return "KFAC"; }
+
+  void update_curvature(const std::vector<ParamBlock*>& blocks,
+                        const CaptureSet& capture, CommSim* comm) override;
+  index_t state_bytes() const override;
+
+ protected:
+  void precondition_block(ParamBlock& pb, index_t layer) override;
+  bool layer_ready(index_t layer) const override {
+    return layer < static_cast<index_t>(layers_.size()) &&
+           layers_[static_cast<std::size_t>(layer)].ready;
+  }
+
+  struct LayerState {
+    Matrix a_factor, g_factor;  ///< running E[aaᵀ], E[ggᵀ]
+    Matrix a_inv, g_inv;        ///< damped inverses
+    bool ready = false;
+  };
+  std::vector<LayerState> layers_;
+
+  /// Accumulate running factors from a capture (shared with EKFac): updates
+  /// a_factor/g_factor in layers_ and charges the factor allreduce.
+  void refresh_factors(const std::vector<ParamBlock*>& blocks,
+                       const CaptureSet& capture, CommSim* comm);
+};
+
+class EKFac : public KFac {
+ public:
+  explicit EKFac(OptimConfig cfg) : KFac(cfg) {}
+  std::string name() const override { return "EKFAC"; }
+
+  void update_curvature(const std::vector<ParamBlock*>& blocks,
+                        const CaptureSet& capture, CommSim* comm) override;
+  index_t state_bytes() const override;
+
+ protected:
+  void precondition_block(ParamBlock& pb, index_t layer) override;
+  bool layer_ready(index_t layer) const override {
+    return layer < static_cast<index_t>(eig_.size()) &&
+           eig_[static_cast<std::size_t>(layer)].ready;
+  }
+
+ private:
+  struct EigState {
+    Matrix v_a, v_g;   ///< Kronecker eigenbases
+    Matrix scaling;    ///< running E[(V_gᵀ g a V_a)²], d_out x (d_in+1)
+    bool ready = false;
+  };
+  std::vector<EigState> eig_;
+};
+
+class KBfgs : public CurvatureOptimizer {
+ public:
+  explicit KBfgs(OptimConfig cfg) : CurvatureOptimizer(cfg) {}
+  std::string name() const override { return "KBFGS-L"; }
+
+  void update_curvature(const std::vector<ParamBlock*>& blocks,
+                        const CaptureSet& capture, CommSim* comm) override;
+  index_t state_bytes() const override;
+
+ protected:
+  void precondition_block(ParamBlock& pb, index_t layer) override;
+  bool layer_ready(index_t layer) const override {
+    return layer < static_cast<index_t>(layers_.size()) &&
+           layers_[static_cast<std::size_t>(layer)].ready;
+  }
+
+ private:
+  struct LayerState {
+    Matrix a_factor;  ///< running E[aaᵀ]
+    Matrix a_inv;     ///< exact damped inverse of the input factor
+    Matrix g_factor;  ///< running E[ggᵀ] (used to synthesize y = (C+γI)s)
+    Matrix g_mean_prev;  ///< previous mean per-sample gradient (d_out x 1)
+    std::deque<std::pair<std::vector<real_t>, std::vector<real_t>>> sy_pairs;
+    real_t h0_scale = 1.0;  ///< initial inverse-Hessian scaling
+    bool ready = false;
+  };
+
+  /// Two-loop L-BFGS application of the inverse G-side Hessian to each
+  /// column of `m` (in place).
+  void apply_hg(const LayerState& st, Matrix& m) const;
+
+  std::vector<LayerState> layers_;
+};
+
+}  // namespace hylo

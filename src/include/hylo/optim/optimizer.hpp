@@ -1,0 +1,139 @@
+#pragma once
+/// \file optimizer.hpp
+/// Optimizer interface shared by first-order methods (SGD, Adam) and the
+/// NGD family (KFAC, EKFAC, KBFGS, SNGD, HyLo). The distributed trainer
+/// drives the split lifecycle:
+///
+///   1. forward/backward per simulated rank (capture on curvature refreshes)
+///   2. gradient allreduce
+///   3. update_curvature(blocks, capture, comm)   [refresh iterations only]
+///   4. step(net, iteration) = precondition + apply update
+///
+/// Single-device training is the world=1 special case of the same flow.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hylo/dist/comm.hpp"
+#include "hylo/nn/network.hpp"
+
+namespace hylo {
+
+/// Hyper-parameters for all methods (each uses its relevant subset).
+struct OptimConfig {
+  real_t lr = 0.1;
+  real_t momentum = 0.9;
+  real_t weight_decay = 0.0;
+
+  // Second-order family.
+  real_t damping = 0.03;         ///< α in (F + αI)⁻¹
+  real_t factor_damping = 0.003; ///< γ for Kronecker factors
+  index_t update_freq = 10;      ///< curvature refresh period (iterations)
+  real_t stat_decay = 0.95;      ///< running-average factor for KFAC stats
+  real_t kl_clip = 0.001;        ///< trust-region rescaling (KAISA-style)
+
+  // HyLo.
+  real_t rank_ratio = 0.1;       ///< r as a fraction of the global batch
+  real_t switch_threshold = 0.25;///< η in the gradient-based heuristic
+
+  // KBFGS.
+  index_t bfgs_memory = 10;
+
+  // Adam.
+  real_t beta1 = 0.9;
+  real_t beta2 = 0.999;
+  real_t adam_eps = 1e-8;
+};
+
+/// Per-refresh capture across ranks: cap.a[layer][rank] is that rank's local
+/// per-sample (augmented) input matrix, cap.g[layer][rank] the matching
+/// per-sample output-gradient matrix.
+struct CaptureSet {
+  std::vector<std::vector<Matrix>> a;
+  std::vector<std::vector<Matrix>> g;
+
+  index_t layers() const { return static_cast<index_t>(a.size()); }
+  index_t world() const {
+    return a.empty() ? 0 : static_cast<index_t>(a.front().size());
+  }
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(OptimConfig cfg) : cfg_(cfg) {}
+  virtual ~Optimizer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Whether the trainer must run this iteration with per-sample capture.
+  virtual bool needs_capture(index_t /*iteration*/) const { return false; }
+
+  /// Refresh curvature state from a capture (only called when
+  /// needs_capture() was true). `comm` charges the method's collectives and
+  /// hosts the compute profiler; may be null for plain local runs.
+  virtual void update_curvature(const std::vector<ParamBlock*>& /*blocks*/,
+                                const CaptureSet& /*capture*/,
+                                CommSim* /*comm*/) {}
+
+  /// Precondition + apply the parameter update. Consumes `gw`/plain grads.
+  virtual void step(Network& net, index_t iteration) = 0;
+
+  /// Epoch boundary hook (HyLo switching; `lr_decayed` mirrors Alg. 1's
+  /// "learning rate decays" criticality trigger).
+  virtual void begin_epoch(index_t /*epoch*/, bool /*lr_decayed*/) {}
+
+  /// Per-iteration hook after gradients are final (HyLo Δ_e accumulation).
+  virtual void accumulate_gradient(const std::vector<ParamBlock*>& /*b*/) {}
+
+  /// Optimizer-state footprint in bytes (Table IV). Includes momentum,
+  /// curvature factors, gathered factors — not the weights themselves.
+  virtual index_t state_bytes() const;
+
+  real_t lr() const { return cfg_.lr; }
+  void set_lr(real_t lr) { cfg_.lr = lr; }
+  const OptimConfig& config() const { return cfg_; }
+
+ protected:
+  /// Shared momentum + weight-decay update over all parameters (used by SGD
+  /// and, post-preconditioning, by the whole NGD family).
+  /// `scale` multiplies the gradient (KL-clip factor).
+  void apply_sgd_update(Network& net, real_t scale = 1.0);
+
+  /// Bytes held by the momentum buffers.
+  index_t momentum_bytes() const;
+
+  OptimConfig cfg_;
+
+ private:
+  std::unordered_map<const void*, Matrix> momentum_w_;
+  std::unordered_map<const void*, std::vector<real_t>> momentum_plain_;
+};
+
+/// Plain SGD with momentum and weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(OptimConfig cfg) : Optimizer(cfg) {}
+  std::string name() const override { return "SGD"; }
+  void step(Network& net, index_t iteration) override;
+};
+
+/// Adam (Kingma & Ba) with decoupled weight decay applied as L2.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(OptimConfig cfg) : Optimizer(cfg) {}
+  std::string name() const override { return "ADAM"; }
+  void step(Network& net, index_t iteration) override;
+  index_t state_bytes() const override;
+
+ private:
+  struct State {
+    Matrix m, v;
+    std::vector<real_t> m_plain, v_plain;
+  };
+  std::unordered_map<const void*, State> state_;
+  index_t t_ = 0;
+};
+
+}  // namespace hylo

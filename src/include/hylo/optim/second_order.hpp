@@ -1,0 +1,43 @@
+#pragma once
+/// \file second_order.hpp
+/// Shared machinery for the NGD family: capture scheduling, KL-clipped
+/// trust-region application, and damped inversion helpers with escalation.
+
+#include "hylo/optim/optimizer.hpp"
+
+namespace hylo {
+
+/// Base for every curvature-preconditioned optimizer. Subclasses implement
+/// update_curvature() and precondition_block(); step() then snapshots the
+/// raw gradient, preconditions, applies the KAISA-style KL clip
+///   ν = min(1, sqrt(κ / (lr² Σ_l ⟨precond g_l, g_l⟩)))
+/// and performs the common momentum update.
+class CurvatureOptimizer : public Optimizer {
+ public:
+  explicit CurvatureOptimizer(OptimConfig cfg) : Optimizer(cfg) {}
+
+  bool needs_capture(index_t iteration) const override {
+    return cfg_.update_freq <= 1 || iteration % cfg_.update_freq == 0;
+  }
+
+  void step(Network& net, index_t iteration) override;
+
+ protected:
+  /// Replace pb.gw by the preconditioned gradient for layer index `layer`.
+  /// Called only after at least one update_curvature() succeeded for that
+  /// layer; before that, gradients pass through unchanged.
+  virtual void precondition_block(ParamBlock& pb, index_t layer) = 0;
+
+  /// True once layer `layer` has curvature state.
+  virtual bool layer_ready(index_t layer) const = 0;
+};
+
+/// SPD inverse of (c + damping·I) with escalating damping retries (10× per
+/// attempt). Throws only if the matrix stays numerically indefinite after
+/// `attempts` escalations — which indicates NaNs rather than conditioning.
+Matrix damped_spd_inverse(const Matrix& c, real_t damping, int attempts = 4);
+
+/// Cholesky factor of (c + damping·I) with the same escalation.
+Matrix damped_cholesky(const Matrix& c, real_t damping, int attempts = 4);
+
+}  // namespace hylo

@@ -1,0 +1,132 @@
+#pragma once
+/// \file matrix.hpp
+/// Dense row-major matrix of real_t. This is the workhorse container for the
+/// whole library: per-sample input/gradient matrices (A, G), Kronecker
+/// factors, kernel matrices, weights. Vectors are (n x 1) or (1 x n)
+/// matrices; a few helpers treat a Matrix with one column as a vector.
+
+#include <algorithm>
+#include <initializer_list>
+#include <vector>
+
+#include "hylo/common/check.hpp"
+#include "hylo/common/types.hpp"
+
+namespace hylo {
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), 0.0) {
+    HYLO_CHECK(rows >= 0 && cols >= 0, "negative dims");
+  }
+
+  /// rows x cols filled with `fill`.
+  Matrix(index_t rows, index_t cols, real_t fill)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), fill) {}
+
+  /// Build from nested initializer list (row major), e.g.
+  /// Matrix m{{1,2},{3,4}};
+  Matrix(std::initializer_list<std::initializer_list<real_t>> rows);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  real_t& operator()(index_t r, index_t c) {
+    HYLO_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                "index (" << r << "," << c << ") out of " << rows_ << "x"
+                          << cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  real_t operator()(index_t r, index_t c) const {
+    HYLO_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                "index (" << r << "," << c << ") out of " << rows_ << "x"
+                          << cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  /// Flat element access (row-major), mainly for vectors.
+  real_t& operator[](index_t i) {
+    HYLO_DCHECK(i >= 0 && i < size(), "flat index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+  real_t operator[](index_t i) const {
+    HYLO_DCHECK(i >= 0 && i < size(), "flat index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  real_t* data() { return data_.data(); }
+  const real_t* data() const { return data_.data(); }
+
+  real_t* row_ptr(index_t r) { return data() + r * cols_; }
+  const real_t* row_ptr(index_t r) const { return data() + r * cols_; }
+
+  /// Set every element to v.
+  void fill(real_t v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0); }
+
+  /// Reshape in place; total size must be preserved.
+  void reshape(index_t rows, index_t cols) {
+    HYLO_CHECK(rows * cols == size(),
+               "reshape " << rows_ << "x" << cols_ << " -> " << rows << "x"
+                          << cols);
+    rows_ = rows;
+    cols_ = cols;
+  }
+
+  /// Resize, discarding contents (zero-filled).
+  void resize(index_t rows, index_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows * cols), 0.0);
+  }
+
+  // ---- Small constructive helpers -------------------------------------
+
+  static Matrix identity(index_t n);
+
+  /// Diagonal matrix from vector d (d must be n x 1 or 1 x n).
+  static Matrix diag(const Matrix& d);
+
+  /// Copy of the r-th row as a 1 x cols matrix.
+  Matrix row(index_t r) const;
+  /// Copy of the c-th column as a rows x 1 matrix.
+  Matrix col(index_t c) const;
+
+  /// Copy rows [r0, r1) into a new matrix.
+  Matrix rows_range(index_t r0, index_t r1) const;
+
+  /// Copy of rows selected by idx (gather), preserving order.
+  Matrix select_rows(const std::vector<index_t>& idx) const;
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Append a column of ones (bias augmentation for Fisher blocks).
+  Matrix with_ones_column() const;
+
+  // ---- Elementwise arithmetic (allocating) ------------------------------
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(real_t s) const;
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(real_t s);
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<real_t> data_;
+};
+
+}  // namespace hylo

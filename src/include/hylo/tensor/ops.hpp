@@ -1,0 +1,80 @@
+#pragma once
+/// \file ops.hpp
+/// BLAS-style dense kernels on Matrix. All GEMM variants are blocked and
+/// written cache-friendly for row-major storage; they are the compute
+/// backbone of both the NN framework (conv = im2col + gemm) and the
+/// second-order machinery (Gram/kernel matrices, SMW applications).
+
+#include <vector>
+
+#include "hylo/tensor/matrix.hpp"
+
+namespace hylo {
+
+/// C = alpha * A * B + beta * C.  A: m x k, B: k x n, C: m x n.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha = 1.0,
+          real_t beta = 0.0);
+
+/// C = alpha * A^T * B + beta * C.  A: k x m, B: k x n, C: m x n.
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha = 1.0,
+             real_t beta = 0.0);
+
+/// C = alpha * A * B^T + beta * C.  A: m x k, B: n x k, C: m x n.
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha = 1.0,
+             real_t beta = 0.0);
+
+/// Allocating forms.
+Matrix matmul(const Matrix& a, const Matrix& b);
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+/// Symmetric rank-k: C = A * A^T (m x m from m x k). Exploits symmetry.
+Matrix gram_nt(const Matrix& a);
+/// C = A^T * A (k x k from m x k). Exploits symmetry.
+Matrix gram_tn(const Matrix& a);
+
+/// y = A * x for x given as flat vector; y resized to a.rows().
+void matvec(const Matrix& a, const std::vector<real_t>& x,
+            std::vector<real_t>& y);
+/// y = A^T * x; y resized to a.cols().
+void matvec_t(const Matrix& a, const std::vector<real_t>& x,
+              std::vector<real_t>& y);
+
+/// Elementwise (Hadamard) product, used for kernel K = (AA^T) ∘ (GG^T).
+Matrix hadamard(const Matrix& a, const Matrix& b);
+
+/// In-place: a(i,j) *= b(i,j).
+void hadamard_inplace(Matrix& a, const Matrix& b);
+
+/// a += alpha * b  (axpy on matrices).
+void axpy(Matrix& a, const Matrix& b, real_t alpha);
+
+/// Add alpha to the diagonal in place (damping).
+void add_diagonal(Matrix& a, real_t alpha);
+
+/// Frobenius norm, squared Frobenius norm, dot product of flattened views.
+real_t frobenius_norm(const Matrix& a);
+real_t frobenius_norm_sq(const Matrix& a);
+real_t dot(const Matrix& a, const Matrix& b);
+
+/// Euclidean norm of each row; returns rows()-length vector. Used by KIS
+/// scoring (score_j = ||A_j|| * ||G_j||).
+std::vector<real_t> row_norms(const Matrix& a);
+
+/// Largest absolute element.
+real_t max_abs(const Matrix& a);
+
+/// Trace of a square matrix.
+real_t trace(const Matrix& a);
+
+/// Stack matrices vertically (all must share cols). This is the "gather"
+/// data movement in the distributed pipeline: A^s = [A_1^s; ...; A_P^s].
+Matrix vstack(const std::vector<Matrix>& parts);
+
+/// Block-diagonal assembly: Y = diag(Y_1, ..., Y_P). Used for KID factors.
+Matrix block_diag(const std::vector<Matrix>& blocks);
+
+/// Max |a - b| over elements; requires identical shape.
+real_t max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace hylo

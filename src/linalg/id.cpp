@@ -1,0 +1,50 @@
+#include "hylo/linalg/id.hpp"
+
+#include <algorithm>
+
+#include "hylo/linalg/qr.hpp"
+#include "hylo/tensor/ops.hpp"
+
+namespace hylo {
+
+RowId row_interpolative_decomposition(const Matrix& m, index_t r) {
+  const index_t rows = m.rows();
+  HYLO_CHECK(rows > 0 && m.cols() > 0, "ID of empty matrix");
+  HYLO_CHECK(r >= 1, "ID rank must be >= 1, got " << r);
+  r = std::min({r, rows, m.cols()});
+
+  // Row ID of M == column ID of Mᵀ. Column-pivoted QR of Mᵀ (n x m),
+  // truncated at r steps: MᵀΠ = Q[R11 R12]. The first r pivots name the
+  // selected rows; the interpolation coefficients are R11⁻¹R12.
+  const PivotedQr f = pivoted_qr(m.transposed(), r);
+  const index_t k = f.rank;  // achieved rank (<= r on exact deficiency)
+
+  RowId id;
+  id.rank = k;
+  id.rows.assign(f.piv.begin(), f.piv.begin() + static_cast<std::ptrdiff_t>(k));
+
+  // W_perm = [I_k | R11⁻¹ R12] in pivoted order, then unpermute columns so
+  // that column j of W corresponds to original row j of M. P = Wᵀ.
+  Matrix r12(k, rows - k);
+  for (index_t i = 0; i < k; ++i)
+    for (index_t j = 0; j < rows - k; ++j) r12(i, j) = f.r(i, k + j);
+  const Matrix coeff = (rows - k) > 0 ? solve_r11(f, r12) : Matrix(k, 0);
+
+  id.projection.resize(rows, k);
+  for (index_t j = 0; j < k; ++j) {
+    // Selected rows interpolate themselves exactly.
+    id.projection(f.piv[static_cast<std::size_t>(j)], j) = 1.0;
+  }
+  for (index_t j = k; j < rows; ++j) {
+    const index_t orig = f.piv[static_cast<std::size_t>(j)];
+    for (index_t i = 0; i < k; ++i)
+      id.projection(orig, i) = coeff(i, j - k);
+  }
+  return id;
+}
+
+Matrix id_reconstruct(const RowId& id, const Matrix& m) {
+  return matmul(id.projection, m.select_rows(id.rows));
+}
+
+}  // namespace hylo

@@ -1,0 +1,62 @@
+#include "hylo/linalg/kernels.hpp"
+
+#include "hylo/tensor/ops.hpp"
+
+namespace hylo {
+
+Matrix kernel_matrix(const Matrix& a, const Matrix& g) {
+  HYLO_CHECK(a.rows() == g.rows(), "kernel_matrix sample mismatch");
+  Matrix k = gram_nt(a);
+  hadamard_inplace(k, gram_nt(g));
+  return k;
+}
+
+Matrix khatri_rao_rowwise(const Matrix& g, const Matrix& a) {
+  HYLO_CHECK(a.rows() == g.rows(), "khatri_rao sample mismatch");
+  const index_t m = a.rows(), din = a.cols(), dout = g.cols();
+  Matrix u(m, dout * din);
+  for (index_t i = 0; i < m; ++i) {
+    const real_t* gi = g.row_ptr(i);
+    const real_t* ai = a.row_ptr(i);
+    real_t* ui = u.row_ptr(i);
+    for (index_t o = 0; o < dout; ++o) {
+      const real_t go = gi[o];
+      real_t* dst = ui + o * din;
+      for (index_t j = 0; j < din; ++j) dst[j] = go * ai[j];
+    }
+  }
+  return u;
+}
+
+Matrix apply_jacobian(const Matrix& a, const Matrix& g, const Matrix& v) {
+  HYLO_CHECK(a.rows() == g.rows(), "apply_jacobian sample mismatch");
+  HYLO_CHECK(v.rows() == g.cols() && v.cols() == a.cols(),
+             "apply_jacobian V shape " << v.rows() << "x" << v.cols());
+  // y_i = g_iᵀ V a_i  =>  compute M = G V (m x d_in), then rowwise dot with A.
+  const Matrix m1 = matmul(g, v);
+  const index_t m = a.rows();
+  Matrix y(m, 1);
+  for (index_t i = 0; i < m; ++i) {
+    const real_t* mi = m1.row_ptr(i);
+    const real_t* ai = a.row_ptr(i);
+    real_t acc = 0.0;
+    for (index_t j = 0; j < a.cols(); ++j) acc += mi[j] * ai[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix apply_jacobian_t(const Matrix& a, const Matrix& g, const Matrix& y) {
+  HYLO_CHECK(a.rows() == g.rows(), "apply_jacobian_t sample mismatch");
+  HYLO_CHECK(y.rows() == a.rows() && y.cols() == 1, "y must be m x 1");
+  // Gᵀ diag(y) A: scale rows of G by y, then Gᵀ A.
+  Matrix gs = g;
+  for (index_t i = 0; i < gs.rows(); ++i) {
+    const real_t yi = y[i];
+    real_t* gi = gs.row_ptr(i);
+    for (index_t j = 0; j < gs.cols(); ++j) gi[j] *= yi;
+  }
+  return matmul_tn(gs, a);
+}
+
+}  // namespace hylo

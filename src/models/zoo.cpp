@@ -1,0 +1,293 @@
+#include "hylo/models/zoo.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "hylo/common/rng.hpp"
+#include "hylo/nn/layers.hpp"
+
+namespace hylo {
+
+namespace {
+
+// Conv3x3 + BN + ReLU chain; returns the ReLU node id.
+int conv_bn_relu(Network& net, int x, index_t channels, index_t stride,
+                 Rng& rng, const std::string& name) {
+  x = net.add(std::make_unique<Conv2d>(channels, 3, stride, 1, rng, name), x);
+  x = net.add(std::make_unique<BatchNorm2d>(), x);
+  return net.add(std::make_unique<ReLU>(), x);
+}
+
+}  // namespace
+
+Network make_mlp(Shape input, const std::vector<index_t>& hidden,
+                 index_t classes, std::uint64_t seed) {
+  Rng rng(seed);
+  Network net("mlp");
+  int x = net.add_input(input);
+  for (std::size_t i = 0; i < hidden.size(); ++i) {
+    x = net.add(std::make_unique<Linear>(hidden[i], rng,
+                                         "fc" + std::to_string(i + 1)),
+                x);
+    x = net.add(std::make_unique<ReLU>(), x);
+  }
+  net.add(std::make_unique<Linear>(classes, rng, "head"), x);
+  return net;
+}
+
+Network make_c3f1(Shape input, index_t classes, index_t base_channels,
+                  std::uint64_t seed) {
+  Rng rng(seed);
+  Network net("c3f1");
+  int x = net.add_input(input);
+  x = net.add(std::make_unique<Conv2d>(base_channels, 3, 1, 1, rng, "conv1"), x);
+  x = net.add(std::make_unique<ReLU>(), x);
+  x = net.add(std::make_unique<MaxPool2d>(2, 2), x);
+  x = net.add(std::make_unique<Conv2d>(2 * base_channels, 3, 1, 1, rng, "conv2"),
+              x);
+  x = net.add(std::make_unique<ReLU>(), x);
+  x = net.add(std::make_unique<MaxPool2d>(2, 2), x);
+  x = net.add(std::make_unique<Conv2d>(4 * base_channels, 3, 1, 1, rng, "conv3"),
+              x);
+  x = net.add(std::make_unique<ReLU>(), x);
+  x = net.add(std::make_unique<GlobalAvgPool>(), x);
+  net.add(std::make_unique<Linear>(classes, rng, "fc"), x);
+  return net;
+}
+
+Network make_resnet(Shape input, index_t classes, index_t blocks_per_stage,
+                    index_t width, std::uint64_t seed) {
+  HYLO_CHECK(blocks_per_stage >= 1 && width >= 1, "bad resnet config");
+  Rng rng(seed);
+  Network net("resnet" + std::to_string(6 * blocks_per_stage + 2));
+  int x = net.add_input(input);
+  x = conv_bn_relu(net, x, width, 1, rng, "stem");
+  index_t in_ch = width;
+  for (int stage = 0; stage < 3; ++stage) {
+    const index_t ch = width << stage;
+    for (index_t b = 0; b < blocks_per_stage; ++b) {
+      const index_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string tag =
+          "s" + std::to_string(stage + 1) + "b" + std::to_string(b + 1);
+      // Main branch: conv-bn-relu-conv-bn.
+      int y = conv_bn_relu(net, x, ch, stride, rng, tag + "_conv1");
+      y = net.add(std::make_unique<Conv2d>(ch, 3, 1, 1, rng, tag + "_conv2"), y);
+      y = net.add(std::make_unique<BatchNorm2d>(), y);
+      // Shortcut: identity, or 1x1 conv + bn when shape changes.
+      int sc = x;
+      if (stride != 1 || in_ch != ch) {
+        sc = net.add(
+            std::make_unique<Conv2d>(ch, 1, stride, 0, rng, tag + "_down"), x);
+        sc = net.add(std::make_unique<BatchNorm2d>(), sc);
+      }
+      x = net.add(std::make_unique<Add>(), {y, sc});
+      x = net.add(std::make_unique<ReLU>(), x);
+      in_ch = ch;
+    }
+  }
+  x = net.add(std::make_unique<GlobalAvgPool>(), x);
+  net.add(std::make_unique<Linear>(classes, rng, "fc"), x);
+  return net;
+}
+
+Network make_densenet(Shape input, index_t classes, index_t growth,
+                      index_t block_layers, std::uint64_t seed) {
+  HYLO_CHECK(growth >= 1 && block_layers >= 1, "bad densenet config");
+  Rng rng(seed);
+  Network net("densenet");
+  int x = net.add_input(input);
+  index_t channels = 2 * growth;
+  x = net.add(std::make_unique<Conv2d>(channels, 3, 1, 1, rng, "stem"), x);
+  x = net.add(std::make_unique<BatchNorm2d>(), x);
+  x = net.add(std::make_unique<ReLU>(), x);
+  for (int block = 0; block < 2; ++block) {
+    for (index_t l = 0; l < block_layers; ++l) {
+      const std::string tag = "d" + std::to_string(block + 1) + "l" +
+                              std::to_string(l + 1);
+      int y = conv_bn_relu(net, x, growth, 1, rng, tag);
+      x = net.add(std::make_unique<Concat>(), {x, y});
+      channels += growth;
+    }
+    if (block == 0) {
+      // Transition: 1x1 conv halving channels, then 2x average pool.
+      channels = channels / 2;
+      x = net.add(std::make_unique<Conv2d>(channels, 1, 1, 0, rng, "trans"), x);
+      x = net.add(std::make_unique<BatchNorm2d>(), x);
+      x = net.add(std::make_unique<ReLU>(), x);
+      x = net.add(std::make_unique<AvgPool2d>(2), x);
+    }
+  }
+  x = net.add(std::make_unique<GlobalAvgPool>(), x);
+  net.add(std::make_unique<Linear>(classes, rng, "fc"), x);
+  return net;
+}
+
+Network make_unet(Shape input, index_t base_channels, index_t depth,
+                  std::uint64_t seed) {
+  HYLO_CHECK(depth >= 1 && base_channels >= 1, "bad unet config");
+  const index_t div = index_t{1} << depth;
+  HYLO_CHECK(input.h % div == 0 && input.w % div == 0,
+             "unet input must be divisible by 2^depth");
+  Rng rng(seed);
+  Network net("unet");
+  int x = net.add_input(input);
+
+  auto double_conv = [&](int in, index_t ch, const std::string& tag) {
+    int y = conv_bn_relu(net, in, ch, 1, rng, tag + "_c1");
+    return conv_bn_relu(net, y, ch, 1, rng, tag + "_c2");
+  };
+
+  std::vector<int> skips;
+  index_t ch = base_channels;
+  for (index_t d = 0; d < depth; ++d) {
+    x = double_conv(x, ch, "enc" + std::to_string(d + 1));
+    skips.push_back(x);
+    x = net.add(std::make_unique<MaxPool2d>(2, 2), x);
+    ch *= 2;
+  }
+  x = double_conv(x, ch, "bottleneck");
+  for (index_t d = depth; d-- > 0;) {
+    ch /= 2;
+    x = net.add(std::make_unique<Upsample2x>(), x);
+    x = net.add(std::make_unique<Concat>(),
+                {x, skips[static_cast<std::size_t>(d)]});
+    x = double_conv(x, ch, "dec" + std::to_string(d + 1));
+  }
+  net.add(std::make_unique<Conv2d>(1, 1, 1, 0, rng, "head"), x);
+  return net;
+}
+
+std::vector<LayerDim> layer_dims(Network& net, const std::string& model_name) {
+  std::vector<LayerDim> out;
+  for (auto* pb : net.param_blocks())
+    out.push_back({model_name, pb->name, pb->d_in + 1, pb->d_out});
+  return out;
+}
+
+namespace {
+
+void push(std::vector<LayerDim>& v, const std::string& model,
+          const std::string& layer, index_t cin, index_t k, index_t cout) {
+  v.push_back({model, layer, cin * k * k + 1, cout});
+}
+
+std::vector<LayerDim> resnet50_dims() {
+  std::vector<LayerDim> v;
+  const std::string m = "ResNet-50";
+  push(v, m, "stem", 3, 7, 64);
+  const index_t stage_width[4] = {64, 128, 256, 512};
+  const index_t stage_blocks[4] = {3, 4, 6, 3};
+  index_t cin = 64;
+  for (int s = 0; s < 4; ++s) {
+    const index_t w = stage_width[s];
+    for (index_t b = 0; b < stage_blocks[s]; ++b) {
+      const std::string tag = "s" + std::to_string(s + 1) + "b" +
+                              std::to_string(b + 1);
+      push(v, m, tag + "_1x1a", cin, 1, w);
+      push(v, m, tag + "_3x3", w, 3, w);
+      push(v, m, tag + "_1x1b", w, 1, 4 * w);
+      if (b == 0) push(v, m, tag + "_down", cin, 1, 4 * w);
+      cin = 4 * w;
+    }
+  }
+  v.push_back({m, "fc", 2048 + 1, 1000});
+  return v;
+}
+
+std::vector<LayerDim> resnet32_dims() {
+  std::vector<LayerDim> v;
+  const std::string m = "ResNet-32";
+  push(v, m, "stem", 3, 3, 16);
+  index_t cin = 16;
+  for (int s = 0; s < 3; ++s) {
+    const index_t w = index_t{16} << s;
+    for (index_t b = 0; b < 5; ++b) {
+      const std::string tag = "s" + std::to_string(s + 1) + "b" +
+                              std::to_string(b + 1);
+      push(v, m, tag + "_conv1", cin, 3, w);
+      push(v, m, tag + "_conv2", w, 3, w);
+      if (cin != w) push(v, m, tag + "_down", cin, 1, w);
+      cin = w;
+    }
+  }
+  v.push_back({m, "fc", 64 + 1, 10});
+  return v;
+}
+
+std::vector<LayerDim> densenet121_dims() {
+  std::vector<LayerDim> v;
+  const std::string m = "DenseNet-121";
+  const index_t growth = 32;
+  push(v, m, "stem", 3, 7, 64);
+  index_t ch = 64;
+  const index_t blocks[4] = {6, 12, 24, 16};
+  for (int b = 0; b < 4; ++b) {
+    for (index_t l = 0; l < blocks[b]; ++l) {
+      const std::string tag = "d" + std::to_string(b + 1) + "l" +
+                              std::to_string(l + 1);
+      push(v, m, tag + "_1x1", ch, 1, 4 * growth);
+      push(v, m, tag + "_3x3", 4 * growth, 3, growth);
+      ch += growth;
+    }
+    if (b < 3) {
+      push(v, m, "trans" + std::to_string(b + 1), ch, 1, ch / 2);
+      ch /= 2;
+    }
+  }
+  v.push_back({m, "fc", ch + 1, 1000});
+  return v;
+}
+
+std::vector<LayerDim> unet_dims() {
+  std::vector<LayerDim> v;
+  const std::string m = "U-Net";
+  index_t cin = 3;
+  index_t ch = 32;
+  for (int d = 0; d < 4; ++d) {
+    const std::string tag = "enc" + std::to_string(d + 1);
+    push(v, m, tag + "_c1", cin, 3, ch);
+    push(v, m, tag + "_c2", ch, 3, ch);
+    cin = ch;
+    ch *= 2;
+  }
+  push(v, m, "bott_c1", cin, 3, ch);
+  push(v, m, "bott_c2", ch, 3, ch);
+  for (int d = 4; d-- > 0;) {
+    const index_t up_in = ch;
+    ch /= 2;
+    const std::string tag = "dec" + std::to_string(d + 1);
+    push(v, m, tag + "_up", up_in, 2, ch);
+    push(v, m, tag + "_c1", 2 * ch, 3, ch);
+    push(v, m, tag + "_c2", ch, 3, ch);
+  }
+  push(v, m, "head", 32, 1, 1);
+  return v;
+}
+
+std::vector<LayerDim> c3f1_dims() {
+  std::vector<LayerDim> v;
+  const std::string m = "3C1F";
+  push(v, m, "conv1", 1, 3, 32);
+  push(v, m, "conv2", 32, 3, 64);
+  push(v, m, "conv3", 64, 3, 128);
+  v.push_back({m, "fc", 128 * 3 * 3 + 1, 10});
+  return v;
+}
+
+}  // namespace
+
+std::vector<LayerDim> reference_layer_dims(const std::string& model_name) {
+  if (model_name == "ResNet-50") return resnet50_dims();
+  if (model_name == "ResNet-32") return resnet32_dims();
+  if (model_name == "DenseNet-121") return densenet121_dims();
+  if (model_name == "U-Net") return unet_dims();
+  if (model_name == "3C1F") return c3f1_dims();
+  HYLO_CHECK(false, "unknown reference model " << model_name);
+  return {};
+}
+
+std::vector<std::string> reference_model_names() {
+  return {"ResNet-50", "ResNet-32", "DenseNet-121", "U-Net", "3C1F"};
+}
+
+}  // namespace hylo

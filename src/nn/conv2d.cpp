@@ -1,0 +1,133 @@
+#include <cmath>
+
+#include "hylo/nn/layers.hpp"
+#include "hylo/tensor/ops.hpp"
+
+namespace hylo {
+
+Conv2d::Conv2d(index_t out_channels, index_t kernel, index_t stride,
+               index_t pad, Rng& rng, std::string name)
+    : out_channels_(out_channels), kernel_(kernel), stride_(stride), pad_(pad),
+      rng_(&rng) {
+  HYLO_CHECK(out_channels > 0 && kernel > 0 && stride > 0 && pad >= 0,
+             "bad Conv2d geometry");
+  params_.name = std::move(name);
+  params_.kind = ParamKind::kConv;
+  params_.d_out = out_channels;
+}
+
+Shape Conv2d::infer_shape(const std::vector<Shape>& in) {
+  HYLO_CHECK(in.size() == 1, "Conv2d takes one input");
+  geom_ = ConvGeometry{.in_c = in[0].c, .in_h = in[0].h, .in_w = in[0].w,
+                       .kernel_h = kernel_, .kernel_w = kernel_,
+                       .stride = stride_, .pad = pad_};
+  HYLO_CHECK(geom_.out_h() > 0 && geom_.out_w() > 0,
+             "Conv2d output collapses: in " << in[0].h << "x" << in[0].w
+                                            << " k=" << kernel_);
+  const index_t patch = geom_.patch_size();
+  params_.d_in = patch;
+  params_.w.resize(out_channels_, patch + 1);
+  params_.gw.resize(out_channels_, patch + 1);
+  const real_t std = std::sqrt(2.0 / static_cast<real_t>(patch));
+  for (index_t o = 0; o < out_channels_; ++o)
+    for (index_t j = 0; j < patch; ++j) params_.w(o, j) = std * rng_->normal();
+  return Shape{out_channels_, geom_.out_h(), geom_.out_w()};
+}
+
+void Conv2d::forward(const std::vector<const Tensor4*>& in, Tensor4& out,
+                     const PassContext& ctx) {
+  const Tensor4& x = *in[0];
+  const index_t n = x.n(), oh = geom_.out_h(), ow = geom_.out_w();
+  const index_t s = oh * ow, patch = geom_.patch_size();
+  out.resize(n, out_channels_, oh, ow);
+  cols_.resize(static_cast<std::size_t>(n));
+  if (ctx.capture) {
+    params_.a_samples.resize(n, patch + 1);
+  }
+  Matrix y;  // s x c_out scratch
+  for (index_t i = 0; i < n; ++i) {
+    Matrix& cols = cols_[static_cast<std::size_t>(i)];
+    im2col(x.sample_ptr(i), geom_, cols);
+    // y = cols · W_mainᵀ + bias. W columns [0, patch) are the kernel, column
+    // `patch` is the bias.
+    y.resize(s, out_channels_);
+    for (index_t p = 0; p < s; ++p) {
+      const real_t* cp = cols.row_ptr(p);
+      real_t* yp = y.row_ptr(p);
+      for (index_t o = 0; o < out_channels_; ++o) {
+        const real_t* wo = params_.w.row_ptr(o);
+        real_t acc = wo[patch];  // bias
+        for (index_t j = 0; j < patch; ++j) acc += wo[j] * cp[j];
+        yp[o] = acc;
+      }
+    }
+    // Scatter s x c_out into the NCHW output plane.
+    real_t* dst = out.sample_ptr(i);
+    for (index_t o = 0; o < out_channels_; ++o)
+      for (index_t p = 0; p < s; ++p) dst[o * s + p] = y(p, o);
+    if (ctx.capture) {
+      // Sec. IV spatial-sum: x̂_i = Σ_p cols(p,:); augmentation column = S so
+      // the bias block of ĝ_i â_iᵀ matches Σ_p g_p [x_p; 1]ᵀ exactly in the
+      // bias coordinate.
+      real_t* arow = params_.a_samples.row_ptr(i);
+      for (index_t j = 0; j < patch; ++j) {
+        real_t acc = 0.0;
+        for (index_t p = 0; p < s; ++p) acc += cols(p, j);
+        arow[j] = acc;
+      }
+      arow[patch] = static_cast<real_t>(s);
+    }
+  }
+}
+
+void Conv2d::backward(const std::vector<const Tensor4*>& in,
+                      const Tensor4& /*out*/, const Tensor4& gout,
+                      const std::vector<Tensor4*>& grad_in,
+                      const PassContext& ctx) {
+  const index_t n = gout.n(), oh = geom_.out_h(), ow = geom_.out_w();
+  const index_t s = oh * ow, patch = geom_.patch_size();
+  Tensor4& gin = *grad_in[0];
+  if (ctx.capture) params_.g_samples.resize(n, out_channels_);
+
+  Matrix gy(s, out_channels_);  // per-sample output grad as s x c_out
+  Matrix dcols;
+  for (index_t i = 0; i < n; ++i) {
+    const real_t* src = gout.sample_ptr(i);
+    for (index_t o = 0; o < out_channels_; ++o)
+      for (index_t p = 0; p < s; ++p) gy(p, o) = src[o * s + p];
+    const Matrix& cols = cols_[static_cast<std::size_t>(i)];
+
+    // dW_main += gyᵀ cols; db += column sums of gy.
+    for (index_t o = 0; o < out_channels_; ++o) {
+      real_t* go = params_.gw.row_ptr(o);
+      real_t bias_acc = 0.0;
+      for (index_t p = 0; p < s; ++p) {
+        const real_t g = gy(p, o);
+        if (g == 0.0) continue;
+        bias_acc += g;
+        const real_t* cp = cols.row_ptr(p);
+        for (index_t j = 0; j < patch; ++j) go[j] += g * cp[j];
+      }
+      go[patch] += bias_acc;
+      if (ctx.capture)
+        params_.g_samples(i, o) = bias_acc * static_cast<real_t>(n);
+    }
+
+    // dcols = gy · W_main, then scatter back with col2im.
+    dcols.resize(s, patch);
+    for (index_t p = 0; p < s; ++p) {
+      const real_t* gp = gy.row_ptr(p);
+      real_t* dp = dcols.row_ptr(p);
+      for (index_t o = 0; o < out_channels_; ++o) {
+        const real_t g = gp[o];
+        if (g == 0.0) continue;
+        const real_t* wo = params_.w.row_ptr(o);
+        for (index_t j = 0; j < patch; ++j) dp[j] += g * wo[j];
+      }
+    }
+    col2im_add(dcols, geom_, gin.sample_ptr(i));
+  }
+  (void)in;
+}
+
+}  // namespace hylo

@@ -1,0 +1,175 @@
+#include "hylo/nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace hylo {
+
+namespace {
+real_t sigmoid(real_t x) {
+  // Branch keeps exp() off large magnitudes (no overflow either way).
+  return x >= 0.0 ? 1.0 / (1.0 + std::exp(-x))
+                  : std::exp(x) / (1.0 + std::exp(x));
+}
+constexpr real_t kLogFloor = 1e-12;
+}  // namespace
+
+LossResult SoftmaxCrossEntropy::compute(const Tensor4& logits,
+                                        const std::vector<int>& labels) const {
+  const index_t n = logits.n(), c = logits.c();
+  HYLO_CHECK(logits.h() == 1 && logits.w() == 1,
+             "classification logits must be (N, C, 1, 1)");
+  HYLO_CHECK(static_cast<index_t>(labels.size()) == n, "labels size");
+  LossResult res;
+  res.grad.resize(n, c, 1, 1);
+  real_t loss = 0.0;
+  index_t correct = 0;
+  const real_t inv_n = 1.0 / static_cast<real_t>(n);
+  for (index_t i = 0; i < n; ++i) {
+    const real_t* row = logits.sample_ptr(i);
+    real_t* grow = res.grad.sample_ptr(i);
+    const int label = labels[static_cast<std::size_t>(i)];
+    HYLO_CHECK(label >= 0 && label < c, "label " << label << " out of range");
+    // Stable softmax.
+    real_t mx = row[0];
+    index_t argmax = 0;
+    for (index_t k = 1; k < c; ++k)
+      if (row[k] > mx) {
+        mx = row[k];
+        argmax = k;
+      }
+    real_t z = 0.0;
+    for (index_t k = 0; k < c; ++k) z += std::exp(row[k] - mx);
+    const real_t log_z = std::log(z) + mx;
+    loss -= (row[label] - log_z);
+    correct += (argmax == label);
+    for (index_t k = 0; k < c; ++k) {
+      const real_t p = std::exp(row[k] - log_z);
+      grow[k] = (p - (k == label ? 1.0 : 0.0)) * inv_n;
+    }
+  }
+  res.loss = loss * inv_n;
+  res.metric = static_cast<real_t>(correct) * inv_n;
+  return res;
+}
+
+std::pair<real_t, real_t> SoftmaxCrossEntropy::evaluate(
+    const Tensor4& logits, const std::vector<int>& labels) const {
+  const index_t n = logits.n(), c = logits.c();
+  HYLO_CHECK(static_cast<index_t>(labels.size()) == n, "labels size");
+  real_t loss = 0.0;
+  index_t correct = 0;
+  for (index_t i = 0; i < n; ++i) {
+    const real_t* row = logits.sample_ptr(i);
+    const int label = labels[static_cast<std::size_t>(i)];
+    real_t mx = row[0];
+    index_t argmax = 0;
+    for (index_t k = 1; k < c; ++k)
+      if (row[k] > mx) {
+        mx = row[k];
+        argmax = k;
+      }
+    real_t z = 0.0;
+    for (index_t k = 0; k < c; ++k) z += std::exp(row[k] - mx);
+    loss -= (row[label] - (std::log(z) + mx));
+    correct += (argmax == label);
+  }
+  const real_t inv_n = 1.0 / static_cast<real_t>(n);
+  return {loss * inv_n, static_cast<real_t>(correct) * inv_n};
+}
+
+LossResult DiceBceLoss::compute(const Tensor4& logits,
+                                const Tensor4& target) const {
+  HYLO_CHECK(logits.c() == 1, "binary segmentation logits must have 1 channel");
+  HYLO_CHECK(logits.same_shape(target), "target shape mismatch");
+  const index_t n = logits.n(), px = logits.sample_size();
+  LossResult res;
+  res.grad.resize(n, 1, logits.h(), logits.w());
+  const real_t inv_n = 1.0 / static_cast<real_t>(n);
+  const real_t inv_px = 1.0 / static_cast<real_t>(px);
+
+  real_t bce_total = 0.0, dice_total = 0.0, hard_dice_total = 0.0;
+  std::vector<real_t> s(static_cast<std::size_t>(px));
+  for (index_t i = 0; i < n; ++i) {
+    const real_t* lg = logits.sample_ptr(i);
+    const real_t* t = target.sample_ptr(i);
+    real_t* g = res.grad.sample_ptr(i);
+
+    real_t sum_s = 0.0, sum_t = 0.0, sum_st = 0.0;
+    real_t hard_inter = 0.0, hard_union = 0.0;
+    real_t bce = 0.0;
+    for (index_t j = 0; j < px; ++j) {
+      const real_t sj = sigmoid(lg[j]);
+      s[static_cast<std::size_t>(j)] = sj;
+      sum_s += sj;
+      sum_t += t[j];
+      sum_st += sj * t[j];
+      bce -= t[j] * std::log(std::max(sj, kLogFloor)) +
+             (1.0 - t[j]) * std::log(std::max(1.0 - sj, kLogFloor));
+      const real_t hard = sj > 0.5 ? 1.0 : 0.0;
+      hard_inter += hard * t[j];
+      hard_union += hard + t[j];
+    }
+    bce *= inv_px;
+    bce_total += bce;
+    const real_t denom = sum_s + sum_t + smooth_;
+    const real_t dice = (2.0 * sum_st + smooth_) / denom;
+    dice_total += dice;
+    hard_dice_total += (hard_union > 0.0)
+                           ? 2.0 * hard_inter / hard_union
+                           : 1.0;  // empty mask & empty prediction agree
+
+    // Gradient wrt logits: BCE term (s - t)/px + Dice term via chain rule
+    // through s' = s(1-s); total scaled by per-loss weights and 1/n.
+    for (index_t j = 0; j < px; ++j) {
+      const real_t sj = s[static_cast<std::size_t>(j)];
+      const real_t dbce_ds_dlogit = (sj - t[j]) * inv_px;  // already chained
+      const real_t ddice_ds =
+          (2.0 * t[j] * denom - (2.0 * sum_st + smooth_)) / (denom * denom);
+      const real_t ddiceloss_dlogit = -ddice_ds * sj * (1.0 - sj);
+      g[j] = (bce_weight_ * dbce_ds_dlogit + dice_weight_ * ddiceloss_dlogit) *
+             inv_n;
+    }
+  }
+  res.loss = (bce_weight_ * bce_total + dice_weight_ * (static_cast<real_t>(n) - dice_total)) * inv_n;
+  res.metric = hard_dice_total * inv_n;
+  return res;
+}
+
+std::pair<real_t, real_t> DiceBceLoss::evaluate(const Tensor4& logits,
+                                                const Tensor4& target) const {
+  HYLO_CHECK(logits.same_shape(target), "target shape mismatch");
+  const index_t n = logits.n(), px = logits.sample_size();
+  const real_t inv_n = 1.0 / static_cast<real_t>(n);
+  const real_t inv_px = 1.0 / static_cast<real_t>(px);
+  real_t bce_total = 0.0, dice_total = 0.0, hard_dice_total = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const real_t* lg = logits.sample_ptr(i);
+    const real_t* t = target.sample_ptr(i);
+    real_t sum_s = 0.0, sum_t = 0.0, sum_st = 0.0, bce = 0.0;
+    real_t hard_inter = 0.0, hard_union = 0.0;
+    for (index_t j = 0; j < px; ++j) {
+      const real_t sj = sigmoid(lg[j]);
+      sum_s += sj;
+      sum_t += t[j];
+      sum_st += sj * t[j];
+      bce -= t[j] * std::log(std::max(sj, kLogFloor)) +
+             (1.0 - t[j]) * std::log(std::max(1.0 - sj, kLogFloor));
+      const real_t hard = sj > 0.5 ? 1.0 : 0.0;
+      hard_inter += hard * t[j];
+      hard_union += hard + t[j];
+    }
+    bce_total += bce * inv_px;
+    dice_total += (2.0 * sum_st + smooth_) / (sum_s + sum_t + smooth_);
+    hard_dice_total +=
+        (hard_union > 0.0) ? 2.0 * hard_inter / hard_union : 1.0;
+  }
+  const real_t loss =
+      (bce_weight_ * bce_total +
+       dice_weight_ * (static_cast<real_t>(n) - dice_total)) *
+      inv_n;
+  return {loss, hard_dice_total * inv_n};
+}
+
+}  // namespace hylo

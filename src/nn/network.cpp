@@ -1,0 +1,185 @@
+#include "hylo/nn/network.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace hylo {
+
+int Network::add_input(Shape shape) {
+  HYLO_CHECK(nodes_.empty(), "add_input must be the first node");
+  HYLO_CHECK(shape.numel() > 0, "input shape has zero elements");
+  Node n;
+  n.shape = shape;
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+int Network::add(std::unique_ptr<Layer> layer, std::vector<int> inputs) {
+  HYLO_CHECK(!nodes_.empty(), "add_input before adding layers");
+  HYLO_CHECK(layer != nullptr, "null layer");
+  HYLO_CHECK(!inputs.empty(), "layer needs at least one input");
+  std::vector<Shape> in_shapes;
+  in_shapes.reserve(inputs.size());
+  for (const int id : inputs) {
+    HYLO_CHECK(id >= 0 && id < static_cast<int>(nodes_.size()),
+               "input node " << id << " out of range");
+    in_shapes.push_back(nodes_[static_cast<std::size_t>(id)].shape);
+  }
+  Node n;
+  n.shape = layer->infer_shape(in_shapes);
+  n.layer = std::move(layer);
+  n.inputs = std::move(inputs);
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+const Tensor4& Network::forward(const Tensor4& x, const PassContext& ctx) {
+  HYLO_CHECK(nodes_.size() >= 2, "network has no layers");
+  const Shape& in = nodes_[0].shape;
+  HYLO_CHECK(x.c() == in.c && x.h() == in.h && x.w() == in.w,
+             "input shape mismatch: got " << x.c() << "x" << x.h() << "x"
+                                          << x.w());
+  nodes_[0].out = x;
+  std::vector<const Tensor4*> in_ptrs;
+  for (std::size_t k = 1; k < nodes_.size(); ++k) {
+    Node& n = nodes_[k];
+    in_ptrs.clear();
+    for (const int id : n.inputs)
+      in_ptrs.push_back(&nodes_[static_cast<std::size_t>(id)].out);
+    n.layer->forward(in_ptrs, n.out, ctx);
+    HYLO_DCHECK(n.out.c() == n.shape.c && n.out.h() == n.shape.h &&
+                    n.out.w() == n.shape.w,
+                "layer " << n.layer->kind() << " produced wrong shape");
+  }
+  ran_forward_ = true;
+  return nodes_.back().out;
+}
+
+void Network::backward(const Tensor4& grad_out, const PassContext& ctx) {
+  HYLO_CHECK(ran_forward_, "backward before forward");
+  HYLO_CHECK(grad_out.same_shape(nodes_.back().out),
+             "grad_out shape mismatch");
+  // (Re)size and zero all activation gradients for this batch.
+  for (auto& n : nodes_) {
+    if (n.out.same_shape(n.grad))
+      n.grad.zero();
+    else
+      n.grad.resize(n.out.n(), n.out.c(), n.out.h(), n.out.w());
+  }
+  nodes_.back().grad = grad_out;
+
+  std::vector<const Tensor4*> in_ptrs;
+  std::vector<Tensor4*> gin_ptrs;
+  for (std::size_t k = nodes_.size(); k-- > 1;) {
+    Node& n = nodes_[k];
+    in_ptrs.clear();
+    gin_ptrs.clear();
+    for (const int id : n.inputs) {
+      in_ptrs.push_back(&nodes_[static_cast<std::size_t>(id)].out);
+      gin_ptrs.push_back(&nodes_[static_cast<std::size_t>(id)].grad);
+    }
+    n.layer->backward(in_ptrs, n.out, n.grad, gin_ptrs, ctx);
+  }
+}
+
+void Network::zero_grad() {
+  for (auto* pb : param_blocks()) pb->gw.zero();
+  for (auto pp : plain_params())
+    std::fill(pp.grad->begin(), pp.grad->end(), 0.0);
+}
+
+const Tensor4& Network::output() const {
+  HYLO_CHECK(ran_forward_, "output before forward");
+  return nodes_.back().out;
+}
+
+Shape Network::output_shape() const {
+  HYLO_CHECK(!nodes_.empty(), "empty network");
+  return nodes_.back().shape;
+}
+
+Shape Network::input_shape() const {
+  HYLO_CHECK(!nodes_.empty(), "empty network");
+  return nodes_.front().shape;
+}
+
+std::vector<ParamBlock*> Network::param_blocks() {
+  std::vector<ParamBlock*> out;
+  for (auto& n : nodes_)
+    if (n.layer != nullptr)
+      if (ParamBlock* pb = n.layer->param_block(); pb != nullptr)
+        out.push_back(pb);
+  return out;
+}
+
+std::vector<Layer::PlainParam> Network::plain_params() {
+  std::vector<Layer::PlainParam> out;
+  for (auto& n : nodes_)
+    if (n.layer != nullptr)
+      for (auto pp : n.layer->plain_params()) out.push_back(pp);
+  return out;
+}
+
+index_t Network::num_params() {
+  index_t total = 0;
+  for (auto* pb : param_blocks()) total += pb->weight_count();
+  for (auto pp : plain_params()) total += static_cast<index_t>(pp.value->size());
+  return total;
+}
+
+namespace {
+constexpr std::uint64_t kCheckpointMagic = 0x48794C6F43505431ULL;  // "HyLoCPT1"
+
+void write_block(std::ofstream& out, const real_t* data, index_t count) {
+  const std::uint64_t n = static_cast<std::uint64_t>(count);
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(sizeof(real_t) * n));
+}
+
+void read_block(std::ifstream& in, real_t* data, index_t count,
+                const char* what) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  HYLO_CHECK(in.good() && n == static_cast<std::uint64_t>(count),
+             "checkpoint " << what << " size mismatch: file has " << n
+                           << ", network expects " << count);
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(sizeof(real_t) * n));
+  HYLO_CHECK(in.good(), "truncated checkpoint while reading " << what);
+}
+}  // namespace
+
+void Network::save_weights(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  HYLO_CHECK(out.good(), "cannot open " << path << " for writing");
+  out.write(reinterpret_cast<const char*>(&kCheckpointMagic),
+            sizeof(kCheckpointMagic));
+  for (auto* pb : param_blocks()) write_block(out, pb->w.data(), pb->w.size());
+  for (auto pp : plain_params())
+    write_block(out, pp.value->data(), static_cast<index_t>(pp.value->size()));
+  for (auto& n : nodes_)
+    if (n.layer != nullptr)
+      for (auto* state : n.layer->mutable_state())
+        write_block(out, state->data(), static_cast<index_t>(state->size()));
+  HYLO_CHECK(out.good(), "write failure on " << path);
+}
+
+void Network::load_weights(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HYLO_CHECK(in.good(), "cannot open " << path);
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  HYLO_CHECK(magic == kCheckpointMagic, "not a hylo checkpoint: " << path);
+  for (auto* pb : param_blocks()) read_block(in, pb->w.data(), pb->w.size(), "weights");
+  for (auto pp : plain_params())
+    read_block(in, pp.value->data(), static_cast<index_t>(pp.value->size()),
+               "plain params");
+  for (auto& n : nodes_)
+    if (n.layer != nullptr)
+      for (auto* state : n.layer->mutable_state())
+        read_block(in, state->data(), static_cast<index_t>(state->size()),
+                   "layer state");
+}
+
+}  // namespace hylo

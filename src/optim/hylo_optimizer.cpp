@@ -1,0 +1,298 @@
+#include "hylo/optim/hylo_optimizer.hpp"
+
+#include <cmath>
+
+#include "hylo/linalg/id.hpp"
+#include "hylo/linalg/kernels.hpp"
+#include "hylo/tensor/ops.hpp"
+
+namespace hylo {
+
+namespace {
+index_t wire_bytes(const CommSim& comm, index_t scalars) {
+  return comm.wire_bytes(scalars);
+}
+
+// LU factorization with escalating diagonal damping (the KID middle matrix
+// is non-symmetric, so Cholesky retries do not apply).
+LuFactor damped_lu(Matrix m, real_t damping) {
+  real_t added = 0.0;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    try {
+      return lu_factor(m);
+    } catch (const Error&) {
+      const real_t next = added == 0.0 ? damping : added * 10.0;
+      add_diagonal(m, next - added);
+      added = next;
+    }
+  }
+  return lu_factor(m);  // propagate the final failure
+}
+}  // namespace
+
+void HyloOptimizer::begin_epoch(index_t /*epoch*/, bool lr_decayed) {
+  // Close out Δ_{e-1}: ‖Δ‖ = sqrt(Σ_l ‖Δ_l‖²).
+  if (delta_dirty_) {
+    real_t sq = 0.0;
+    for (auto& d : delta_) {
+      sq += frobenius_norm_sq(d);
+      d.zero();
+    }
+    delta_norms_.push_back(std::sqrt(sq));
+    delta_dirty_ = false;
+  }
+
+  switch (policy_) {
+    case Policy::kAlwaysKid:
+      mode_ = HyloMode::kKid;
+      break;
+    case Policy::kAlwaysKis:
+      mode_ = HyloMode::kKis;
+      break;
+    case Policy::kRandom:
+      mode_ = rng_.uniform() < 0.5 ? HyloMode::kKid : HyloMode::kKis;
+      break;
+    case Policy::kGradientBased: {
+      // Alg. 1 lines 2-3: R = |‖Δ_{e-1}‖ − ‖Δ_{e-2}‖| / ‖Δ_{e-2}‖; KID on
+      // critical epochs (R ≥ η or LR decay), KIS otherwise. With fewer than
+      // two completed epochs the run is still in its critical warmup: KID.
+      bool critical = lr_decayed;
+      if (delta_norms_.size() < 2) {
+        critical = true;
+      } else {
+        const real_t n1 = delta_norms_[delta_norms_.size() - 1];
+        const real_t n2 = delta_norms_[delta_norms_.size() - 2];
+        if (n2 > 0.0 && std::abs(n1 - n2) / n2 >= cfg_.switch_threshold)
+          critical = true;
+      }
+      mode_ = critical ? HyloMode::kKid : HyloMode::kKis;
+      break;
+    }
+  }
+  mode_history_.push_back(mode_);
+}
+
+void HyloOptimizer::accumulate_gradient(const std::vector<ParamBlock*>& blocks) {
+  if (delta_.size() != blocks.size()) {
+    delta_.clear();
+    delta_.resize(blocks.size());
+  }
+  for (std::size_t l = 0; l < blocks.size(); ++l) {
+    Matrix& d = delta_[l];
+    if (d.rows() != blocks[l]->gw.rows() || d.cols() != blocks[l]->gw.cols())
+      d.resize(blocks[l]->gw.rows(), blocks[l]->gw.cols());
+    d += blocks[l]->gw;
+  }
+  delta_dirty_ = true;
+}
+
+void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
+                                     const CaptureSet& capture, CommSim* comm) {
+  const index_t layers = capture.layers();
+  HYLO_CHECK(layers == static_cast<index_t>(blocks.size()),
+             "capture/block count mismatch");
+  if (static_cast<index_t>(layers_.size()) != layers)
+    layers_.resize(static_cast<std::size_t>(layers));
+
+  // Global batch and rank budget: r = rank_ratio · (P·m), split evenly as
+  // ρ = r / P rows per worker (paper Table I).
+  const index_t world = capture.world();
+  index_t global_m = 0;
+  for (const auto& m : capture.a[0]) global_m += m.rows();
+  index_t r = std::max<index_t>(1, static_cast<index_t>(
+                                       cfg_.rank_ratio * static_cast<real_t>(global_m) + 0.5));
+  index_t r_local = std::max<index_t>(1, r / world);
+  last_rank_ = r_local * world;
+
+  double inv_max = 0.0;
+  for (index_t l = 0; l < layers; ++l) {
+    LayerState& st = layers_[static_cast<std::size_t>(l)];
+    st.mode = mode_;
+    const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
+    const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
+    const double inv_before =
+        comm != nullptr ? comm->profiler().seconds("comp/inversion") : 0.0;
+    if (mode_ == HyloMode::kKid)
+      update_layer_kid(st, a_ranks, g_ranks, r_local, comm);
+    else
+      update_layer_kis(st, a_ranks, g_ranks, r_local, comm);
+    if (comm != nullptr)
+      inv_max = std::max(
+          inv_max, comm->profiler().seconds("comp/inversion") - inv_before);
+    st.ready = true;
+  }
+  if (comm != nullptr)
+    comm->profiler().add("comp/inversion_critical", inv_max);
+}
+
+void HyloOptimizer::update_layer_kid(LayerState& st,
+                                     const std::vector<Matrix>& a_ranks,
+                                     const std::vector<Matrix>& g_ranks,
+                                     index_t r_local, CommSim* comm) {
+  const index_t world = static_cast<index_t>(a_ranks.size());
+  std::vector<Matrix> a_parts(static_cast<std::size_t>(world));
+  std::vector<Matrix> g_parts(static_cast<std::size_t>(world));
+  std::vector<Matrix> y_parts(static_cast<std::size_t>(world));
+
+  // --- Per-worker factorization (Algorithm 2) --------------------------
+  WallTimer factor_timer;
+  for (index_t rank = 0; rank < world; ++rank) {
+    const Matrix& a = a_ranks[static_cast<std::size_t>(rank)];
+    const Matrix& g = g_ranks[static_cast<std::size_t>(rank)];
+    const index_t m = a.rows();
+    const index_t rk = std::min(r_local, m);
+
+    // Line 1: local Gram matrix Q = (AAᵀ)∘(GGᵀ).
+    const Matrix q = kernel_matrix(a, g);
+    // Line 2: [P, S] = ID(Q, r).
+    const RowId id = row_interpolative_decomposition(q, rk);
+    // Line 4: KID-factors.
+    a_parts[static_cast<std::size_t>(rank)] = a.select_rows(id.rows);
+    g_parts[static_cast<std::size_t>(rank)] = g.select_rows(id.rows);
+    // Line 3: residue R = Q − P·Q(S,:);  line 4: Y = Pᵀ(R+αI)⁻¹P.
+    Matrix resid = q - id_reconstruct(id, q);
+    add_diagonal(resid, cfg_.damping);
+    const Matrix x = lu_solve(lu_factor(resid), id.projection);  // m x r
+    y_parts[static_cast<std::size_t>(rank)] = matmul_tn(id.projection, x);
+  }
+  if (comm != nullptr) comm->profiler().add("comp/factorization", factor_timer.seconds());
+
+  // --- Gather the KID-factors (Alg. 1 line 7) --------------------------
+  if (comm != nullptr) {
+    std::vector<const Matrix*> ap, gp;
+    for (const auto& m : a_parts) ap.push_back(&m);
+    for (const auto& m : g_parts) gp.push_back(&m);
+    st.a_s = comm->allgather_rows(ap, "comm/gather");
+    st.g_s = comm->allgather_rows(gp, "comm/gather");
+    comm->charge_allgather(
+        wire_bytes(*comm, y_parts[0].size()), "comm/gather");
+  } else {
+    st.a_s = vstack(a_parts);
+    st.g_s = vstack(g_parts);
+  }
+  const Matrix y = block_diag(y_parts);
+
+  // --- Inversion (Alg. 1 line 10, Eq. 8) --------------------------------
+  WallTimer invert_timer;
+  Matrix middle = kernel_matrix(st.a_s, st.g_s);  // K̂
+  middle += lu_inverse(y);                        // K̂ + Y⁻¹
+  st.kid_middle = damped_lu(std::move(middle), cfg_.damping);
+  if (comm != nullptr) {
+    comm->profiler().add("comp/inversion", invert_timer.seconds());
+    // Line 11: broadcast the r x r inverse.
+    comm->charge_broadcast(wire_bytes(*comm, st.a_s.rows() * st.a_s.rows()),
+                           "comm/broadcast");
+  }
+}
+
+void HyloOptimizer::update_layer_kis(LayerState& st,
+                                     const std::vector<Matrix>& a_ranks,
+                                     const std::vector<Matrix>& g_ranks,
+                                     index_t r_local, CommSim* comm) {
+  const index_t world = static_cast<index_t>(a_ranks.size());
+  std::vector<Matrix> a_parts(static_cast<std::size_t>(world));
+  std::vector<Matrix> g_parts(static_cast<std::size_t>(world));
+
+  // --- Per-worker importance sampling (Algorithm 3) ---------------------
+  WallTimer factor_timer;
+  for (index_t rank = 0; rank < world; ++rank) {
+    const Matrix& a = a_ranks[static_cast<std::size_t>(rank)];
+    const Matrix& g = g_ranks[static_cast<std::size_t>(rank)];
+    const index_t m = a.rows();
+    const index_t rho = std::min(r_local, m);
+
+    // Scores via the Khatri-Rao structure: ‖u_j‖² = ‖a_j‖²·‖g_j‖².
+    const auto na = row_norms(a);
+    const auto ng = row_norms(g);
+    std::vector<real_t> score(static_cast<std::size_t>(m));
+    real_t total = 0.0;
+    index_t positive = 0;
+    for (index_t j = 0; j < m; ++j) {
+      const real_t s = na[static_cast<std::size_t>(j)] * ng[static_cast<std::size_t>(j)];
+      score[static_cast<std::size_t>(j)] = s * s;
+      total += s * s;
+      positive += s > 0.0;
+    }
+    std::vector<index_t> picked;
+    if (positive < rho) {
+      // Degenerate batch (fewer than ρ samples carry gradient, e.g. dead
+      // activations): blend in a uniform floor so sampling stays valid —
+      // the zero-score rows contribute nothing to the kernel anyway.
+      const real_t floor =
+          std::max(total, real_t{1.0}) / static_cast<real_t>(m) * 1e-9 + 1e-30;
+      for (auto& s : score) s += floor;
+      total += floor * static_cast<real_t>(m);
+    }
+    picked = rng_.sample_without_replacement(score, rho);
+
+    // Row scaling 1/√(ρ p_j), split as ^(1/4) on each of a_j and g_j so the
+    // Khatri-Rao product of the scaled rows carries the full factor.
+    Matrix as = a.select_rows(picked);
+    Matrix gs = g.select_rows(picked);
+    for (index_t i = 0; i < static_cast<index_t>(picked.size()); ++i) {
+      const real_t p =
+          score[static_cast<std::size_t>(picked[static_cast<std::size_t>(i)])] / total;
+      const real_t scale =
+          std::pow(static_cast<real_t>(rho) * std::max(p, real_t{1e-300}),
+                   real_t{-0.25});
+      real_t* ar = as.row_ptr(i);
+      for (index_t j = 0; j < as.cols(); ++j) ar[j] *= scale;
+      real_t* gr = gs.row_ptr(i);
+      for (index_t j = 0; j < gs.cols(); ++j) gr[j] *= scale;
+    }
+    a_parts[static_cast<std::size_t>(rank)] = std::move(as);
+    g_parts[static_cast<std::size_t>(rank)] = std::move(gs);
+  }
+  if (comm != nullptr) comm->profiler().add("comp/factorization", factor_timer.seconds());
+
+  // --- Gather the KIS-factors (Alg. 1 line 18) --------------------------
+  if (comm != nullptr) {
+    std::vector<const Matrix*> ap, gp;
+    for (const auto& m : a_parts) ap.push_back(&m);
+    for (const auto& m : g_parts) gp.push_back(&m);
+    st.a_s = comm->allgather_rows(ap, "comm/gather");
+    st.g_s = comm->allgather_rows(gp, "comm/gather");
+  } else {
+    st.a_s = vstack(a_parts);
+    st.g_s = vstack(g_parts);
+  }
+
+  // --- Inversion (Alg. 1 line 21, Eq. 9) --------------------------------
+  WallTimer invert_timer;
+  const Matrix k = kernel_matrix(st.a_s, st.g_s);
+  st.kis_chol = damped_cholesky(k, cfg_.damping);
+  if (comm != nullptr) {
+    comm->profiler().add("comp/inversion", invert_timer.seconds());
+    comm->charge_broadcast(wire_bytes(*comm, k.size()), "comm/broadcast");
+  }
+}
+
+Matrix HyloOptimizer::preconditioned(const Matrix& grad, index_t layer) const {
+  HYLO_CHECK(layer >= 0 && layer < static_cast<index_t>(layers_.size()),
+             "HyLo layer " << layer << " unknown");
+  const LayerState& st = layers_[static_cast<std::size_t>(layer)];
+  HYLO_CHECK(st.ready, "HyLo layer " << layer << " has no curvature yet");
+  const Matrix uv = apply_jacobian(st.a_s, st.g_s, grad);
+  const Matrix y = (st.mode == HyloMode::kKid)
+                       ? lu_solve(st.kid_middle, uv)
+                       : cholesky_solve(st.kis_chol, uv);
+  Matrix out = grad - apply_jacobian_t(st.a_s, st.g_s, y);
+  out *= 1.0 / cfg_.damping;
+  return out;
+}
+
+void HyloOptimizer::precondition_block(ParamBlock& pb, index_t layer) {
+  pb.gw = preconditioned(pb.gw, layer);
+}
+
+index_t HyloOptimizer::state_bytes() const {
+  index_t scalars = 0;
+  for (const auto& st : layers_) {
+    scalars += st.a_s.size() + st.g_s.size();
+    scalars += st.kid_middle.lu.size() + st.kis_chol.size();
+  }
+  for (const auto& d : delta_) scalars += d.size();
+  return scalars * static_cast<index_t>(sizeof(real_t)) + momentum_bytes();
+}
+
+}  // namespace hylo

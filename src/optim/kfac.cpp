@@ -1,0 +1,326 @@
+#include "hylo/optim/kfac.hpp"
+
+#include <cmath>
+
+#include "hylo/linalg/eigh.hpp"
+#include "hylo/tensor/ops.hpp"
+
+namespace hylo {
+
+namespace {
+// π-corrected Tikhonov split of the damping between the two Kronecker
+// factors (Martens & Grosse §6.3): π = sqrt((tr A / dim A)/(tr G / dim G)).
+real_t pi_correction(const Matrix& a, const Matrix& g) {
+  const real_t ta = trace(a) / static_cast<real_t>(a.rows());
+  const real_t tg = trace(g) / static_cast<real_t>(g.rows());
+  if (!(ta > 0.0) || !(tg > 0.0)) return 1.0;
+  return std::sqrt(ta / tg);
+}
+
+index_t wire_bytes(const CommSim& comm, index_t scalars) {
+  return comm.wire_bytes(scalars);
+}
+}  // namespace
+
+void KFac::refresh_factors(const std::vector<ParamBlock*>& blocks,
+                           const CaptureSet& capture, CommSim* comm) {
+  const index_t layers = capture.layers();
+  HYLO_CHECK(layers == static_cast<index_t>(blocks.size()),
+             "capture/block count mismatch");
+  if (static_cast<index_t>(layers_.size()) != layers) layers_.resize(static_cast<std::size_t>(layers));
+
+  WallTimer timer;
+  for (index_t l = 0; l < layers; ++l) {
+    const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
+    const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
+    index_t m_total = 0;
+    Matrix a_new, g_new;
+    for (std::size_t r = 0; r < a_ranks.size(); ++r) {
+      m_total += a_ranks[r].rows();
+      if (r == 0) {
+        a_new = gram_tn(a_ranks[r]);
+        g_new = gram_tn(g_ranks[r]);
+      } else {
+        a_new += gram_tn(a_ranks[r]);
+        g_new += gram_tn(g_ranks[r]);
+      }
+    }
+    HYLO_CHECK(m_total > 0, "empty capture for layer " << l);
+    a_new *= 1.0 / static_cast<real_t>(m_total);
+    g_new *= 1.0 / static_cast<real_t>(m_total);
+
+    LayerState& st = layers_[static_cast<std::size_t>(l)];
+    if (st.a_factor.empty()) {
+      st.a_factor = std::move(a_new);
+      st.g_factor = std::move(g_new);
+    } else {
+      st.a_factor *= cfg_.stat_decay;
+      axpy(st.a_factor, a_new, 1.0 - cfg_.stat_decay);
+      st.g_factor *= cfg_.stat_decay;
+      axpy(st.g_factor, g_new, 1.0 - cfg_.stat_decay);
+    }
+  }
+  if (comm != nullptr) {
+    comm->profiler().add("comp/factorization", timer.seconds());
+    for (index_t l = 0; l < layers; ++l) {
+      const LayerState& st = layers_[static_cast<std::size_t>(l)];
+      comm->charge_allreduce(
+          wire_bytes(*comm, st.a_factor.size() + st.g_factor.size()),
+          "comm/gather");
+    }
+  }
+}
+
+void KFac::update_curvature(const std::vector<ParamBlock*>& blocks,
+                            const CaptureSet& capture, CommSim* comm) {
+  refresh_factors(blocks, capture, comm);
+  // Per-layer timing: the total is the cluster-wide inversion work (layers
+  // are distributed over owners), the max single layer is the critical path
+  // when P exceeds the layer count.
+  double inv_total = 0.0, inv_max = 0.0;
+  for (auto& st : layers_) {
+    WallTimer timer;
+    const real_t pi = pi_correction(st.a_factor, st.g_factor);
+    const real_t root = std::sqrt(cfg_.damping);
+    st.a_inv = damped_spd_inverse(st.a_factor, pi * root);
+    st.g_inv = damped_spd_inverse(st.g_factor, root / pi);
+    st.ready = true;
+    const double sec = timer.seconds();
+    inv_total += sec;
+    inv_max = std::max(inv_max, sec);
+  }
+  if (comm != nullptr) {
+    comm->profiler().add("comp/inversion", inv_total);
+    comm->profiler().add("comp/inversion_critical", inv_max);
+    for (const auto& st : layers_)
+      comm->charge_broadcast(wire_bytes(*comm, st.a_inv.size() + st.g_inv.size()),
+                             "comm/broadcast");
+  }
+}
+
+void KFac::precondition_block(ParamBlock& pb, index_t layer) {
+  const LayerState& st = layers_[static_cast<std::size_t>(layer)];
+  pb.gw = matmul(st.g_inv, matmul(pb.gw, st.a_inv));
+}
+
+index_t KFac::state_bytes() const {
+  index_t scalars = 0;
+  for (const auto& st : layers_)
+    scalars += st.a_factor.size() + st.g_factor.size() + st.a_inv.size() +
+               st.g_inv.size();
+  return scalars * static_cast<index_t>(sizeof(real_t)) + momentum_bytes();
+}
+
+// ------------------------------------------------------------- EKFac ----
+
+void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
+                             const CaptureSet& capture, CommSim* comm) {
+  refresh_factors(blocks, capture, comm);
+  const index_t layers = capture.layers();
+  if (static_cast<index_t>(eig_.size()) != layers) eig_.resize(static_cast<std::size_t>(layers));
+
+  double inv_total = 0.0, inv_max = 0.0;
+  for (index_t l = 0; l < layers; ++l) {
+    WallTimer timer;
+    const LayerState& kst = layers_[static_cast<std::size_t>(l)];
+    EigState& est = eig_[static_cast<std::size_t>(l)];
+    est.v_a = eigh(kst.a_factor).eigenvectors;
+    est.v_g = eigh(kst.g_factor).eigenvectors;
+
+    // Per-entry second moments in the eigenbasis:
+    // s_{oj} = E_i[(V_gᵀ g_i)_o² (a_iᵀ V_a)_j²].
+    const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
+    const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
+    Matrix s_new(est.v_g.cols(), est.v_a.cols());
+    index_t m_total = 0;
+    for (std::size_t r = 0; r < a_ranks.size(); ++r) {
+      Matrix pa = matmul(a_ranks[r], est.v_a);  // m x (d_in+1)
+      Matrix pg = matmul(g_ranks[r], est.v_g);  // m x d_out
+      hadamard_inplace(pa, pa);
+      hadamard_inplace(pg, pg);
+      gemm_tn(pg, pa, s_new, 1.0, 1.0);
+      m_total += a_ranks[r].rows();
+    }
+    s_new *= 1.0 / static_cast<real_t>(m_total);
+    if (est.scaling.empty()) {
+      est.scaling = std::move(s_new);
+    } else {
+      est.scaling *= cfg_.stat_decay;
+      axpy(est.scaling, s_new, 1.0 - cfg_.stat_decay);
+    }
+    est.ready = true;
+    const double sec = timer.seconds();
+    inv_total += sec;
+    inv_max = std::max(inv_max, sec);
+  }
+  if (comm != nullptr) {
+    comm->profiler().add("comp/inversion", inv_total);
+    comm->profiler().add("comp/inversion_critical", inv_max);
+    for (const auto& est : eig_)
+      comm->charge_broadcast(
+          wire_bytes(*comm, est.v_a.size() + est.v_g.size() + est.scaling.size()),
+          "comm/broadcast");
+  }
+}
+
+void EKFac::precondition_block(ParamBlock& pb, index_t layer) {
+  const EigState& est = eig_[static_cast<std::size_t>(layer)];
+  // Project, rescale by the damped second moments, project back.
+  Matrix t = matmul(matmul_tn(est.v_g, pb.gw), est.v_a);
+  for (index_t i = 0; i < t.rows(); ++i)
+    for (index_t j = 0; j < t.cols(); ++j)
+      t(i, j) /= est.scaling(i, j) + cfg_.damping;
+  pb.gw = matmul_nt(matmul(est.v_g, t), est.v_a);
+}
+
+index_t EKFac::state_bytes() const {
+  index_t scalars = 0;
+  for (const auto& est : eig_)
+    scalars += est.v_a.size() + est.v_g.size() + est.scaling.size();
+  for (const auto& st : layers_)
+    scalars += st.a_factor.size() + st.g_factor.size();
+  return scalars * static_cast<index_t>(sizeof(real_t)) + momentum_bytes();
+}
+
+// ------------------------------------------------------------- KBfgs ----
+
+void KBfgs::update_curvature(const std::vector<ParamBlock*>& blocks,
+                             const CaptureSet& capture, CommSim* comm) {
+  const index_t layers = capture.layers();
+  HYLO_CHECK(layers == static_cast<index_t>(blocks.size()),
+             "capture/block count mismatch");
+  if (static_cast<index_t>(layers_.size()) != layers) layers_.resize(static_cast<std::size_t>(layers));
+
+  WallTimer factor_timer;
+  for (index_t l = 0; l < layers; ++l) {
+    const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
+    const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
+    LayerState& st = layers_[static_cast<std::size_t>(l)];
+    index_t m_total = 0;
+    Matrix a_new, g_new;
+    Matrix g_mean(g_ranks[0].cols(), 1);
+    for (std::size_t r = 0; r < a_ranks.size(); ++r) {
+      m_total += a_ranks[r].rows();
+      if (r == 0) {
+        a_new = gram_tn(a_ranks[r]);
+        g_new = gram_tn(g_ranks[r]);
+      } else {
+        a_new += gram_tn(a_ranks[r]);
+        g_new += gram_tn(g_ranks[r]);
+      }
+      for (index_t i = 0; i < g_ranks[r].rows(); ++i)
+        for (index_t o = 0; o < g_ranks[r].cols(); ++o)
+          g_mean[o] += g_ranks[r](i, o);
+    }
+    a_new *= 1.0 / static_cast<real_t>(m_total);
+    g_new *= 1.0 / static_cast<real_t>(m_total);
+    g_mean *= 1.0 / static_cast<real_t>(m_total);
+
+    if (st.a_factor.empty()) {
+      st.a_factor = std::move(a_new);
+      st.g_factor = std::move(g_new);
+    } else {
+      st.a_factor *= cfg_.stat_decay;
+      axpy(st.a_factor, a_new, 1.0 - cfg_.stat_decay);
+      st.g_factor *= cfg_.stat_decay;
+      axpy(st.g_factor, g_new, 1.0 - cfg_.stat_decay);
+    }
+    st.a_inv = damped_spd_inverse(st.a_factor, cfg_.damping);
+
+    // (L-)BFGS pair from the change in the mean per-sample gradient, with
+    // curvature synthesized through the damped G factor: y = (C_g + γI)s.
+    if (!st.g_mean_prev.empty()) {
+      const Matrix s = g_mean - st.g_mean_prev;
+      const real_t s_norm = frobenius_norm(s);
+      if (s_norm > 1e-12) {
+        Matrix y = matmul(st.g_factor, s);
+        axpy(y, s, cfg_.damping);
+        const real_t sy = dot(s, y);
+        if (sy > 1e-12 * s_norm * frobenius_norm(y)) {
+          std::vector<real_t> sv(static_cast<std::size_t>(s.size()));
+          std::vector<real_t> yv(static_cast<std::size_t>(y.size()));
+          for (index_t i = 0; i < s.size(); ++i) {
+            sv[static_cast<std::size_t>(i)] = s[i];
+            yv[static_cast<std::size_t>(i)] = y[i];
+          }
+          st.sy_pairs.emplace_back(std::move(sv), std::move(yv));
+          while (static_cast<index_t>(st.sy_pairs.size()) > cfg_.bfgs_memory)
+            st.sy_pairs.pop_front();
+          st.h0_scale = sy / dot(y, y);
+        }
+      }
+    }
+    st.g_mean_prev = g_mean;
+    st.ready = true;
+  }
+  if (comm != nullptr) {
+    comm->profiler().add("comp/factorization", factor_timer.seconds());
+    for (const auto& st : layers_) {
+      comm->charge_allreduce(
+          wire_bytes(*comm, st.a_factor.size() + st.g_factor.size()), "comm/gather");
+      comm->charge_broadcast(wire_bytes(*comm, st.a_inv.size()), "comm/broadcast");
+    }
+  }
+}
+
+void KBfgs::apply_hg(const LayerState& st, Matrix& m) const {
+  const index_t n = m.rows(), cols = m.cols();
+  const index_t k = static_cast<index_t>(st.sy_pairs.size());
+  std::vector<real_t> q(static_cast<std::size_t>(n));
+  std::vector<real_t> alpha(static_cast<std::size_t>(k));
+  for (index_t c = 0; c < cols; ++c) {
+    for (index_t i = 0; i < n; ++i) q[static_cast<std::size_t>(i)] = m(i, c);
+    // Two-loop recursion.
+    for (index_t j = k; j-- > 0;) {
+      const auto& [s, y] = st.sy_pairs[static_cast<std::size_t>(j)];
+      real_t sy = 0.0, sq = 0.0;
+      for (index_t i = 0; i < n; ++i) {
+        sy += s[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+        sq += s[static_cast<std::size_t>(i)] * q[static_cast<std::size_t>(i)];
+      }
+      const real_t a = sq / sy;
+      alpha[static_cast<std::size_t>(j)] = a;
+      for (index_t i = 0; i < n; ++i)
+        q[static_cast<std::size_t>(i)] -= a * y[static_cast<std::size_t>(i)];
+    }
+    for (index_t i = 0; i < n; ++i) q[static_cast<std::size_t>(i)] *= st.h0_scale;
+    for (index_t j = 0; j < k; ++j) {
+      const auto& [s, y] = st.sy_pairs[static_cast<std::size_t>(j)];
+      real_t sy = 0.0, yq = 0.0;
+      for (index_t i = 0; i < n; ++i) {
+        sy += s[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+        yq += y[static_cast<std::size_t>(i)] * q[static_cast<std::size_t>(i)];
+      }
+      const real_t b = yq / sy;
+      for (index_t i = 0; i < n; ++i)
+        q[static_cast<std::size_t>(i)] +=
+            (alpha[static_cast<std::size_t>(j)] - b) * s[static_cast<std::size_t>(i)];
+    }
+    for (index_t i = 0; i < n; ++i) m(i, c) = q[static_cast<std::size_t>(i)];
+  }
+}
+
+void KBfgs::precondition_block(ParamBlock& pb, index_t layer) {
+  const LayerState& st = layers_[static_cast<std::size_t>(layer)];
+  Matrix g = pb.gw;
+  if (st.sy_pairs.empty()) {
+    // No curvature pairs yet: fall back to H_g = (C_g + γI)⁻¹-free identity.
+    pb.gw = matmul(g, st.a_inv);
+    return;
+  }
+  apply_hg(st, g);
+  pb.gw = matmul(g, st.a_inv);
+}
+
+index_t KBfgs::state_bytes() const {
+  index_t scalars = 0;
+  for (const auto& st : layers_) {
+    scalars += st.a_factor.size() + st.a_inv.size() + st.g_factor.size() +
+               st.g_mean_prev.size();
+    for (const auto& [s, y] : st.sy_pairs)
+      scalars += static_cast<index_t>(s.size() + y.size());
+  }
+  return scalars * static_cast<index_t>(sizeof(real_t)) + momentum_bytes();
+}
+
+}  // namespace hylo

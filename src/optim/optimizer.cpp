@@ -1,0 +1,92 @@
+#include "hylo/optim/optimizer.hpp"
+
+#include <cmath>
+
+#include "hylo/tensor/ops.hpp"
+
+namespace hylo {
+
+void Optimizer::apply_sgd_update(Network& net, real_t scale) {
+  for (auto* pb : net.param_blocks()) {
+    Matrix& buf = momentum_w_[pb];
+    if (buf.rows() != pb->gw.rows() || buf.cols() != pb->gw.cols())
+      buf.resize(pb->gw.rows(), pb->gw.cols());
+    real_t* b = buf.data();
+    real_t* w = pb->w.data();
+    const real_t* g = pb->gw.data();
+    for (index_t i = 0; i < buf.size(); ++i) {
+      b[i] = cfg_.momentum * b[i] + scale * g[i] + cfg_.weight_decay * w[i];
+      w[i] -= cfg_.lr * b[i];
+    }
+  }
+  for (auto pp : net.plain_params()) {
+    auto& buf = momentum_plain_[pp.value];
+    if (buf.size() != pp.value->size()) buf.assign(pp.value->size(), 0.0);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      // Plain params (BatchNorm scale/shift) are never preconditioned and
+      // conventionally excluded from weight decay.
+      buf[i] = cfg_.momentum * buf[i] + scale * (*pp.grad)[i];
+      (*pp.value)[i] -= cfg_.lr * buf[i];
+    }
+  }
+}
+
+index_t Optimizer::momentum_bytes() const {
+  index_t total = 0;
+  for (const auto& [ptr, m] : momentum_w_) total += m.size();
+  for (const auto& [ptr, v] : momentum_plain_)
+    total += static_cast<index_t>(v.size());
+  return total * static_cast<index_t>(sizeof(real_t));
+}
+
+index_t Optimizer::state_bytes() const { return momentum_bytes(); }
+
+void Sgd::step(Network& net, index_t /*iteration*/) { apply_sgd_update(net); }
+
+void Adam::step(Network& net, index_t /*iteration*/) {
+  ++t_;
+  const real_t bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<real_t>(t_));
+  const real_t bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<real_t>(t_));
+  for (auto* pb : net.param_blocks()) {
+    State& st = state_[pb];
+    if (st.m.rows() != pb->gw.rows() || st.m.cols() != pb->gw.cols()) {
+      st.m.resize(pb->gw.rows(), pb->gw.cols());
+      st.v.resize(pb->gw.rows(), pb->gw.cols());
+    }
+    real_t* m = st.m.data();
+    real_t* v = st.v.data();
+    real_t* w = pb->w.data();
+    const real_t* g = pb->gw.data();
+    for (index_t i = 0; i < st.m.size(); ++i) {
+      const real_t gi = g[i] + cfg_.weight_decay * w[i];
+      m[i] = cfg_.beta1 * m[i] + (1.0 - cfg_.beta1) * gi;
+      v[i] = cfg_.beta2 * v[i] + (1.0 - cfg_.beta2) * gi * gi;
+      w[i] -= cfg_.lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + cfg_.adam_eps);
+    }
+  }
+  for (auto pp : net.plain_params()) {
+    State& st = state_[pp.value];
+    if (st.m_plain.size() != pp.value->size()) {
+      st.m_plain.assign(pp.value->size(), 0.0);
+      st.v_plain.assign(pp.value->size(), 0.0);
+    }
+    for (std::size_t i = 0; i < pp.value->size(); ++i) {
+      const real_t gi = (*pp.grad)[i];
+      st.m_plain[i] = cfg_.beta1 * st.m_plain[i] + (1.0 - cfg_.beta1) * gi;
+      st.v_plain[i] = cfg_.beta2 * st.v_plain[i] + (1.0 - cfg_.beta2) * gi * gi;
+      (*pp.value)[i] -= cfg_.lr * (st.m_plain[i] / bc1) /
+                        (std::sqrt(st.v_plain[i] / bc2) + cfg_.adam_eps);
+    }
+  }
+}
+
+index_t Adam::state_bytes() const {
+  index_t total = 0;
+  for (const auto& [ptr, st] : state_) {
+    total += st.m.size() + st.v.size();
+    total += static_cast<index_t>(st.m_plain.size() + st.v_plain.size());
+  }
+  return total * static_cast<index_t>(sizeof(real_t)) + momentum_bytes();
+}
+
+}  // namespace hylo

@@ -1,0 +1,55 @@
+#include "hylo/optim/second_order.hpp"
+
+#include <cmath>
+
+#include "hylo/linalg/cholesky.hpp"
+#include "hylo/tensor/ops.hpp"
+
+namespace hylo {
+
+void CurvatureOptimizer::step(Network& net, index_t /*iteration*/) {
+  auto blocks = net.param_blocks();
+  // Snapshot raw gradients, then precondition in place.
+  std::vector<Matrix> raw;
+  raw.reserve(blocks.size());
+  for (auto* pb : blocks) raw.push_back(pb->gw);
+  for (std::size_t l = 0; l < blocks.size(); ++l)
+    if (layer_ready(static_cast<index_t>(l)))
+      precondition_block(*blocks[l], static_cast<index_t>(l));
+
+  // KL clip (trust region on the quadratic model).
+  real_t vg = 0.0;
+  for (std::size_t l = 0; l < blocks.size(); ++l)
+    vg += cfg_.lr * cfg_.lr * dot(blocks[l]->gw, raw[l]);
+  real_t nu = 1.0;
+  if (cfg_.kl_clip > 0.0 && vg > cfg_.kl_clip)
+    nu = std::sqrt(cfg_.kl_clip / vg);
+  apply_sgd_update(net, nu);
+}
+
+Matrix damped_cholesky(const Matrix& c, real_t damping, int attempts) {
+  Matrix work = c;
+  // Escalation floor scaled to the matrix magnitude, so retries make real
+  // progress even when the caller passed a denormal damping.
+  const real_t scale =
+      1e-8 * (std::abs(trace(c)) / static_cast<real_t>(c.rows()) + 1.0);
+  real_t added = 0.0;
+  real_t next = damping;
+  Matrix l;
+  for (int k = 0; k < attempts; ++k) {
+    add_diagonal(work, next - added);
+    added = next;
+    if (try_cholesky(work, l)) return l;
+    next = std::max(next * 10.0, scale);
+  }
+  HYLO_CHECK(false, "matrix stayed indefinite after damping escalation (n="
+                        << c.rows() << ", final damping " << added << ")");
+  return l;
+}
+
+Matrix damped_spd_inverse(const Matrix& c, real_t damping, int attempts) {
+  const Matrix l = damped_cholesky(c, damping, attempts);
+  return cholesky_solve(l, Matrix::identity(c.rows()));
+}
+
+}  // namespace hylo

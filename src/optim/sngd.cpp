@@ -1,0 +1,79 @@
+#include "hylo/optim/sngd.hpp"
+
+#include "hylo/linalg/kernels.hpp"
+#include "hylo/tensor/ops.hpp"
+
+namespace hylo {
+
+void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
+                            const CaptureSet& capture, CommSim* comm) {
+  const index_t layers = capture.layers();
+  HYLO_CHECK(layers == static_cast<index_t>(blocks.size()),
+             "capture/block count mismatch");
+  if (static_cast<index_t>(layers_.size()) != layers)
+    layers_.resize(static_cast<std::size_t>(layers));
+
+  double inv_total = 0.0, inv_max = 0.0;
+  for (index_t l = 0; l < layers; ++l) {
+    LayerState& st = layers_[static_cast<std::size_t>(l)];
+    const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
+    const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
+
+    // Gather the raw per-sample matrices to every rank (step 2 of Fig. 1).
+    if (comm != nullptr) {
+      std::vector<const Matrix*> ap, gp;
+      for (const auto& m : a_ranks) ap.push_back(&m);
+      for (const auto& m : g_ranks) gp.push_back(&m);
+      st.a_glob = comm->allgather_rows(ap, "comm/gather");
+      st.g_glob = comm->allgather_rows(gp, "comm/gather");
+    } else {
+      std::vector<Matrix> ap(a_ranks.begin(), a_ranks.end());
+      std::vector<Matrix> gp(g_ranks.begin(), g_ranks.end());
+      st.a_glob = vstack(ap);
+      st.g_glob = vstack(gp);
+    }
+
+    // Kernel inversion at global-batch dimension (step 3).
+    WallTimer timer;
+    const Matrix k = kernel_matrix(st.a_glob, st.g_glob);
+    st.kernel_chol = damped_cholesky(k, cfg_.damping);
+    st.ready = true;
+    const double sec = timer.seconds();
+    inv_total += sec;
+    inv_max = std::max(inv_max, sec);
+    if (comm != nullptr) {
+      // Broadcast of the inverted kernel (step 4): (P·m)² scalars.
+      comm->charge_broadcast(comm->wire_bytes(k.size()),
+                             "comm/broadcast");
+    }
+  }
+  if (comm != nullptr) {
+    comm->profiler().add("comp/inversion", inv_total);
+    comm->profiler().add("comp/inversion_critical", inv_max);
+  }
+}
+
+Matrix Sngd::preconditioned(const Matrix& grad, index_t layer) const {
+  HYLO_CHECK(layer >= 0 && layer < static_cast<index_t>(layers_.size()),
+             "SNGD layer " << layer << " unknown");
+  const LayerState& st = layers_[static_cast<std::size_t>(layer)];
+  HYLO_CHECK(st.ready, "SNGD layer " << layer << " has no curvature yet");
+  const Matrix uv = apply_jacobian(st.a_glob, st.g_glob, grad);
+  const Matrix y = cholesky_solve(st.kernel_chol, uv);
+  Matrix out = grad - apply_jacobian_t(st.a_glob, st.g_glob, y);
+  out *= 1.0 / cfg_.damping;
+  return out;
+}
+
+void Sngd::precondition_block(ParamBlock& pb, index_t layer) {
+  pb.gw = preconditioned(pb.gw, layer);
+}
+
+index_t Sngd::state_bytes() const {
+  index_t scalars = 0;
+  for (const auto& st : layers_)
+    scalars += st.a_glob.size() + st.g_glob.size() + st.kernel_chol.size();
+  return scalars * static_cast<index_t>(sizeof(real_t)) + momentum_bytes();
+}
+
+}  // namespace hylo

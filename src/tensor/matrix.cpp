@@ -1,0 +1,120 @@
+#include "hylo/tensor/matrix.hpp"
+
+namespace hylo {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<real_t>> rows) {
+  rows_ = static_cast<index_t>(rows.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<index_t>(rows.begin()->size());
+  data_.reserve(static_cast<std::size_t>(rows_ * cols_));
+  for (const auto& r : rows) {
+    HYLO_CHECK(static_cast<index_t>(r.size()) == cols_, "ragged init list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(index_t n) {
+  Matrix m(n, n);
+  for (index_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diag(const Matrix& d) {
+  HYLO_CHECK(d.rows() == 1 || d.cols() == 1, "diag needs a vector");
+  const index_t n = d.size();
+  Matrix m(n, n);
+  for (index_t i = 0; i < n; ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::row(index_t r) const {
+  HYLO_CHECK(r >= 0 && r < rows_, "row " << r << " out of " << rows_);
+  Matrix out(1, cols_);
+  const real_t* src = row_ptr(r);
+  std::copy(src, src + cols_, out.data());
+  return out;
+}
+
+Matrix Matrix::col(index_t c) const {
+  HYLO_CHECK(c >= 0 && c < cols_, "col " << c << " out of " << cols_);
+  Matrix out(rows_, 1);
+  for (index_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::rows_range(index_t r0, index_t r1) const {
+  HYLO_CHECK(r0 >= 0 && r0 <= r1 && r1 <= rows_,
+             "rows_range [" << r0 << "," << r1 << ") of " << rows_);
+  Matrix out(r1 - r0, cols_);
+  std::copy(row_ptr(r0), row_ptr(r0) + (r1 - r0) * cols_, out.data());
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<index_t>& idx) const {
+  Matrix out(static_cast<index_t>(idx.size()), cols_);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const index_t r = idx[i];
+    HYLO_CHECK(r >= 0 && r < rows_, "select_rows index " << r);
+    std::copy(row_ptr(r), row_ptr(r) + cols_,
+              out.row_ptr(static_cast<index_t>(i)));
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  constexpr index_t kBlock = 32;
+  for (index_t rb = 0; rb < rows_; rb += kBlock)
+    for (index_t cb = 0; cb < cols_; cb += kBlock) {
+      const index_t rend = std::min(rb + kBlock, rows_);
+      const index_t cend = std::min(cb + kBlock, cols_);
+      for (index_t r = rb; r < rend; ++r)
+        for (index_t c = cb; c < cend; ++c) out(c, r) = (*this)(r, c);
+    }
+  return out;
+}
+
+Matrix Matrix::with_ones_column() const {
+  Matrix out(rows_, cols_ + 1);
+  for (index_t r = 0; r < rows_; ++r) {
+    std::copy(row_ptr(r), row_ptr(r) + cols_, out.row_ptr(r));
+    out(r, cols_) = 1.0;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  Matrix out = *this;
+  out += o;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  Matrix out = *this;
+  out -= o;
+  return out;
+}
+
+Matrix Matrix::operator*(real_t s) const {
+  Matrix out = *this;
+  out *= s;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  HYLO_CHECK(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in +=");
+  for (index_t i = 0; i < size(); ++i) data_[static_cast<std::size_t>(i)] += o[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  HYLO_CHECK(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in -=");
+  for (index_t i = 0; i < size(); ++i) data_[static_cast<std::size_t>(i)] -= o[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(real_t s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+}  // namespace hylo

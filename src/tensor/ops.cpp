@@ -1,0 +1,287 @@
+#include "hylo/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hylo {
+
+namespace {
+// Cache blocking parameters: tuned for ~32KB L1d with doubles. The kernels
+// below use an i-k-j loop order so the innermost loop streams rows of B and
+// C, which vectorizes well for row-major storage.
+constexpr index_t kBlockI = 64;
+constexpr index_t kBlockK = 64;
+constexpr index_t kBlockJ = 256;
+}  // namespace
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
+          real_t beta) {
+  const index_t m = a.rows(), k = a.cols(), n = b.cols();
+  HYLO_CHECK(b.rows() == k, "gemm inner dim " << b.rows() << " != " << k);
+  if (c.rows() != m || c.cols() != n) {
+    HYLO_CHECK(beta == 0.0, "beta != 0 with mismatched C");
+    c.resize(m, n);
+  }
+  if (beta == 0.0)
+    c.zero();
+  else if (beta != 1.0)
+    c *= beta;
+
+  for (index_t ib = 0; ib < m; ib += kBlockI)
+    for (index_t kb = 0; kb < k; kb += kBlockK)
+      for (index_t jb = 0; jb < n; jb += kBlockJ) {
+        const index_t iend = std::min(ib + kBlockI, m);
+        const index_t kend = std::min(kb + kBlockK, k);
+        const index_t jend = std::min(jb + kBlockJ, n);
+        for (index_t i = ib; i < iend; ++i) {
+          real_t* ci = c.row_ptr(i);
+          const real_t* ai = a.row_ptr(i);
+          for (index_t kk = kb; kk < kend; ++kk) {
+            const real_t aik = alpha * ai[kk];
+            if (aik == 0.0) continue;
+            const real_t* bk = b.row_ptr(kk);
+            for (index_t j = jb; j < jend; ++j) ci[j] += aik * bk[j];
+          }
+        }
+      }
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
+             real_t beta) {
+  // C = alpha * A^T B + beta * C, A: k x m, B: k x n.
+  const index_t k = a.rows(), m = a.cols(), n = b.cols();
+  HYLO_CHECK(b.rows() == k, "gemm_tn inner dim " << b.rows() << " != " << k);
+  if (c.rows() != m || c.cols() != n) {
+    HYLO_CHECK(beta == 0.0, "beta != 0 with mismatched C");
+    c.resize(m, n);
+  }
+  if (beta == 0.0)
+    c.zero();
+  else if (beta != 1.0)
+    c *= beta;
+
+  // Loop over k outermost: rank-1 updates C += alpha * a_k^T b_k, where a_k
+  // and b_k are contiguous rows — good locality without transposing A.
+  for (index_t kk = 0; kk < k; ++kk) {
+    const real_t* ak = a.row_ptr(kk);
+    const real_t* bk = b.row_ptr(kk);
+    for (index_t i = 0; i < m; ++i) {
+      const real_t aik = alpha * ak[i];
+      if (aik == 0.0) continue;
+      real_t* ci = c.row_ptr(i);
+      for (index_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
+             real_t beta) {
+  // C = alpha * A B^T + beta * C, A: m x k, B: n x k. Inner loop is a dot of
+  // two contiguous rows.
+  const index_t m = a.rows(), k = a.cols(), n = b.rows();
+  HYLO_CHECK(b.cols() == k, "gemm_nt inner dim " << b.cols() << " != " << k);
+  if (c.rows() != m || c.cols() != n) {
+    HYLO_CHECK(beta == 0.0, "beta != 0 with mismatched C");
+    c.resize(m, n);
+  }
+  for (index_t i = 0; i < m; ++i) {
+    const real_t* ai = a.row_ptr(i);
+    real_t* ci = c.row_ptr(i);
+    for (index_t j = 0; j < n; ++j) {
+      const real_t* bj = b.row_ptr(j);
+      real_t acc = 0.0;
+      for (index_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
+      ci[j] = alpha * acc + (beta == 0.0 ? 0.0 : beta * ci[j]);
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  gemm(a, b, c);
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  gemm_tn(a, b, c);
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  gemm_nt(a, b, c);
+  return c;
+}
+
+Matrix gram_nt(const Matrix& a) {
+  const index_t m = a.rows(), k = a.cols();
+  Matrix c(m, m);
+  for (index_t i = 0; i < m; ++i) {
+    const real_t* ai = a.row_ptr(i);
+    for (index_t j = i; j < m; ++j) {
+      const real_t* aj = a.row_ptr(j);
+      real_t acc = 0.0;
+      for (index_t kk = 0; kk < k; ++kk) acc += ai[kk] * aj[kk];
+      c(i, j) = acc;
+      c(j, i) = acc;
+    }
+  }
+  return c;
+}
+
+Matrix gram_tn(const Matrix& a) {
+  const index_t m = a.rows(), k = a.cols();
+  Matrix c(k, k);
+  // Accumulate rank-1 updates over rows; fill upper triangle then mirror.
+  for (index_t r = 0; r < m; ++r) {
+    const real_t* ar = a.row_ptr(r);
+    for (index_t i = 0; i < k; ++i) {
+      const real_t v = ar[i];
+      if (v == 0.0) continue;
+      real_t* ci = c.row_ptr(i);
+      for (index_t j = i; j < k; ++j) ci[j] += v * ar[j];
+    }
+  }
+  for (index_t i = 0; i < k; ++i)
+    for (index_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  return c;
+}
+
+void matvec(const Matrix& a, const std::vector<real_t>& x,
+            std::vector<real_t>& y) {
+  HYLO_CHECK(static_cast<index_t>(x.size()) == a.cols(), "matvec dim");
+  y.assign(static_cast<std::size_t>(a.rows()), 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const real_t* ai = a.row_ptr(i);
+    real_t acc = 0.0;
+    for (index_t j = 0; j < a.cols(); ++j) acc += ai[j] * x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+void matvec_t(const Matrix& a, const std::vector<real_t>& x,
+              std::vector<real_t>& y) {
+  HYLO_CHECK(static_cast<index_t>(x.size()) == a.rows(), "matvec_t dim");
+  y.assign(static_cast<std::size_t>(a.cols()), 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const real_t xi = x[static_cast<std::size_t>(i)];
+    if (xi == 0.0) continue;
+    const real_t* ai = a.row_ptr(i);
+    for (index_t j = 0; j < a.cols(); ++j) y[static_cast<std::size_t>(j)] += xi * ai[j];
+  }
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  hadamard_inplace(out, b);
+  return out;
+}
+
+void hadamard_inplace(Matrix& a, const Matrix& b) {
+  HYLO_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "hadamard shape");
+  real_t* pa = a.data();
+  const real_t* pb = b.data();
+  for (index_t i = 0; i < a.size(); ++i) pa[i] *= pb[i];
+}
+
+void axpy(Matrix& a, const Matrix& b, real_t alpha) {
+  HYLO_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "axpy shape");
+  real_t* pa = a.data();
+  const real_t* pb = b.data();
+  for (index_t i = 0; i < a.size(); ++i) pa[i] += alpha * pb[i];
+}
+
+void add_diagonal(Matrix& a, real_t alpha) {
+  const index_t n = std::min(a.rows(), a.cols());
+  for (index_t i = 0; i < n; ++i) a(i, i) += alpha;
+}
+
+real_t frobenius_norm_sq(const Matrix& a) {
+  const real_t* p = a.data();
+  real_t acc = 0.0;
+  for (index_t i = 0; i < a.size(); ++i) acc += p[i] * p[i];
+  return acc;
+}
+
+real_t frobenius_norm(const Matrix& a) { return std::sqrt(frobenius_norm_sq(a)); }
+
+real_t dot(const Matrix& a, const Matrix& b) {
+  HYLO_CHECK(a.size() == b.size(), "dot size");
+  const real_t* pa = a.data();
+  const real_t* pb = b.data();
+  real_t acc = 0.0;
+  for (index_t i = 0; i < a.size(); ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+std::vector<real_t> row_norms(const Matrix& a) {
+  std::vector<real_t> out(static_cast<std::size_t>(a.rows()));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const real_t* ai = a.row_ptr(i);
+    real_t acc = 0.0;
+    for (index_t j = 0; j < a.cols(); ++j) acc += ai[j] * ai[j];
+    out[static_cast<std::size_t>(i)] = std::sqrt(acc);
+  }
+  return out;
+}
+
+real_t max_abs(const Matrix& a) {
+  real_t best = 0.0;
+  const real_t* p = a.data();
+  for (index_t i = 0; i < a.size(); ++i) best = std::max(best, std::abs(p[i]));
+  return best;
+}
+
+real_t trace(const Matrix& a) {
+  HYLO_CHECK(a.rows() == a.cols(), "trace needs square");
+  real_t acc = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) acc += a(i, i);
+  return acc;
+}
+
+Matrix vstack(const std::vector<Matrix>& parts) {
+  HYLO_CHECK(!parts.empty(), "vstack of nothing");
+  const index_t cols = parts.front().cols();
+  index_t rows = 0;
+  for (const auto& p : parts) {
+    HYLO_CHECK(p.cols() == cols, "vstack column mismatch");
+    rows += p.rows();
+  }
+  Matrix out(rows, cols);
+  index_t r = 0;
+  for (const auto& p : parts) {
+    std::copy(p.data(), p.data() + p.size(), out.row_ptr(r));
+    r += p.rows();
+  }
+  return out;
+}
+
+Matrix block_diag(const std::vector<Matrix>& blocks) {
+  HYLO_CHECK(!blocks.empty(), "block_diag of nothing");
+  index_t n = 0;
+  for (const auto& b : blocks) {
+    HYLO_CHECK(b.rows() == b.cols(), "block_diag needs square blocks");
+    n += b.rows();
+  }
+  Matrix out(n, n);
+  index_t off = 0;
+  for (const auto& b : blocks) {
+    for (index_t i = 0; i < b.rows(); ++i)
+      for (index_t j = 0; j < b.cols(); ++j) out(off + i, off + j) = b(i, j);
+    off += b.rows();
+  }
+  return out;
+}
+
+real_t max_abs_diff(const Matrix& a, const Matrix& b) {
+  HYLO_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "shape");
+  real_t best = 0.0;
+  const real_t* pa = a.data();
+  const real_t* pb = b.data();
+  for (index_t i = 0; i < a.size(); ++i)
+    best = std::max(best, std::abs(pa[i] - pb[i]));
+  return best;
+}
+
+}  // namespace hylo

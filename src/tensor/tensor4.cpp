@@ -1,0 +1,77 @@
+#include "hylo/tensor/tensor4.hpp"
+
+#include <algorithm>
+
+namespace hylo {
+
+Matrix Tensor4::as_matrix() const {
+  Matrix m(n_, sample_size());
+  std::copy(data_.begin(), data_.end(), m.data());
+  return m;
+}
+
+Tensor4 Tensor4::from_matrix(const Matrix& m, index_t c, index_t h, index_t w) {
+  HYLO_CHECK(m.cols() == c * h * w, "from_matrix shape");
+  Tensor4 t(m.rows(), c, h, w);
+  std::copy(m.data(), m.data() + m.size(), t.data());
+  return t;
+}
+
+void im2col(const real_t* sample, const ConvGeometry& g, Matrix& cols) {
+  const index_t oh = g.out_h(), ow = g.out_w();
+  if (cols.rows() != oh * ow || cols.cols() != g.patch_size())
+    cols.resize(oh * ow, g.patch_size());
+  const index_t hw = g.in_h * g.in_w;
+  for (index_t oy = 0; oy < oh; ++oy) {
+    for (index_t ox = 0; ox < ow; ++ox) {
+      real_t* dst = cols.row_ptr(oy * ow + ox);
+      index_t col = 0;
+      for (index_t c = 0; c < g.in_c; ++c) {
+        const real_t* plane = sample + c * hw;
+        for (index_t ky = 0; ky < g.kernel_h; ++ky) {
+          const index_t iy = oy * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= g.in_h) {
+            for (index_t kx = 0; kx < g.kernel_w; ++kx) dst[col++] = 0.0;
+            continue;
+          }
+          const real_t* row = plane + iy * g.in_w;
+          for (index_t kx = 0; kx < g.kernel_w; ++kx) {
+            const index_t ix = ox * g.stride + kx - g.pad;
+            dst[col++] = (ix < 0 || ix >= g.in_w) ? 0.0 : row[ix];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_add(const Matrix& cols, const ConvGeometry& g, real_t* sample) {
+  const index_t oh = g.out_h(), ow = g.out_w();
+  HYLO_CHECK(cols.rows() == oh * ow && cols.cols() == g.patch_size(),
+             "col2im shape");
+  const index_t hw = g.in_h * g.in_w;
+  for (index_t oy = 0; oy < oh; ++oy) {
+    for (index_t ox = 0; ox < ow; ++ox) {
+      const real_t* src = cols.row_ptr(oy * ow + ox);
+      index_t col = 0;
+      for (index_t c = 0; c < g.in_c; ++c) {
+        real_t* plane = sample + c * hw;
+        for (index_t ky = 0; ky < g.kernel_h; ++ky) {
+          const index_t iy = oy * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= g.in_h) {
+            col += g.kernel_w;
+            continue;
+          }
+          real_t* row = plane + iy * g.in_w;
+          for (index_t kx = 0; kx < g.kernel_w; ++kx) {
+            const index_t ix = ox * g.stride + kx - g.pad;
+            if (ix >= 0 && ix < g.in_w) row[ix] += src[col];
+            ++col;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hylo

@@ -1,0 +1,128 @@
+// Weight checkpointing: save/load round trips, BN state persistence,
+// structural validation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "hylo/hylo.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+const char* kPath = "/tmp/hylo_test_ckpt.bin";
+
+Tensor4 random_batch(Rng& rng, index_t n, Shape s) {
+  Tensor4 x(n, s.c, s.h, s.w);
+  for (index_t i = 0; i < x.size(); ++i) x[i] = rng.normal();
+  return x;
+}
+
+TEST(Checkpoint, RoundTripRestoresOutputs) {
+  Network a = make_resnet({3, 8, 8}, 4, 1, 8, 5);
+  // Train a little so BN running stats and weights are non-initial.
+  {
+    const DataSplit data = make_texture_images(128, 32, 4, 3, 8, 8, 0.3, 1);
+    OptimConfig oc;
+    Sgd opt(oc);
+    TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 16;
+    Trainer trainer(a, opt, data, tc);
+    trainer.run();
+  }
+  a.save_weights(kPath);
+
+  Network b = make_resnet({3, 8, 8}, 4, 1, 8, 99);  // different init
+  b.load_weights(kPath);
+
+  Rng rng(7);
+  const Tensor4 x = random_batch(rng, 3, {3, 8, 8});
+  const PassContext eval{.training = false, .capture = false};
+  const Tensor4& ya = a.forward(x, eval);
+  const Tensor4& yb = b.forward(x, eval);
+  for (index_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, CarriesBatchNormRunningStats) {
+  // Eval-mode output depends on running stats: loading must restore them
+  // even though they are not parameters.
+  Rng wrng(3);
+  Network a;
+  int x = a.add_input({2, 4, 4});
+  a.add(std::make_unique<BatchNorm2d>(0.5), x);
+  Rng rng(4);
+  const Tensor4 in = random_batch(rng, 8, {2, 4, 4});
+  const PassContext train{.training = true, .capture = false};
+  for (int it = 0; it < 10; ++it) a.forward(in, train);
+  a.save_weights(kPath);
+
+  Network b;
+  b.add_input({2, 4, 4});
+  b.add(std::make_unique<BatchNorm2d>(0.5), 0);
+  b.load_weights(kPath);
+  const PassContext eval{.training = false, .capture = false};
+  const Tensor4& ya = a.forward(in, eval);
+  const Tensor4& yb = b.forward(in, eval);
+  for (index_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+  std::remove(kPath);
+  (void)wrng;
+}
+
+TEST(Checkpoint, RejectsShapeMismatch) {
+  Network a = make_mlp({2, 1, 1}, {8}, 2, 1);
+  a.save_weights(kPath);
+  Network b = make_mlp({2, 1, 1}, {16}, 2, 1);
+  EXPECT_THROW(b.load_weights(kPath), Error);
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+  FILE* f = std::fopen(kPath, "wb");
+  std::fputs("definitely not a checkpoint", f);
+  std::fclose(f);
+  Network net = make_mlp({2, 1, 1}, {8}, 2, 1);
+  EXPECT_THROW(net.load_weights(kPath), Error);
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Network net = make_mlp({2, 1, 1}, {8}, 2, 1);
+  EXPECT_THROW(net.load_weights("/tmp/does_not_exist_hylo.bin"), Error);
+}
+
+TEST(WirePrecision, HalvesModeledCommTime) {
+  // FP16 wire halves bandwidth-dominated comm relative to FP32. Run the
+  // same HyLo schedule at both precisions and compare modeled comm time.
+  const DataSplit data = make_spirals(512, 64, 2, 0.1, 9);
+  auto comm_seconds = [&](double wire_bytes) {
+    Network net = make_mlp({2, 1, 1}, {128, 128}, 2, 5);
+    OptimConfig oc;
+    oc.update_freq = 1;
+    auto opt = make_optimizer("SNGD", oc);  // big broadcasts
+    TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 32;
+    tc.world = 4;
+    tc.max_iters_per_epoch = 2;
+    tc.interconnect = mist_v100();
+    tc.wire_scalar_bytes = wire_bytes;
+    Trainer trainer(net, *opt, data, tc);
+    return trainer.run().comm_seconds;
+  };
+  const double fp32 = comm_seconds(4.0);
+  const double fp16 = comm_seconds(2.0);
+  EXPECT_LT(fp16, fp32);
+  EXPECT_GT(fp16, 0.35 * fp32);  // not *below* half: latency floor remains
+}
+
+TEST(WirePrecision, Validation) {
+  CommSim comm(2, loopback());
+  EXPECT_THROW(comm.set_wire_scalar_bytes(0.0), Error);
+  comm.set_wire_scalar_bytes(2.625);  // the 21-bit format
+  EXPECT_EQ(comm.wire_bytes(1000), 2625);
+}
+
+}  // namespace
+}  // namespace hylo

@@ -1,0 +1,82 @@
+// Cholesky factorization and SPD solves across a size sweep.
+#include <gtest/gtest.h>
+
+#include "hylo/linalg/cholesky.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+class CholeskySizes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(CholeskySizes, FactorReconstructs) {
+  const index_t n = GetParam();
+  Rng rng(n);
+  const Matrix a = testutil::random_spd(rng, n);
+  const Matrix l = cholesky(a);
+  EXPECT_LT(max_abs_diff(matmul_nt(l, l), a), 1e-8 * max_abs(a));
+  // L is lower triangular.
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = i + 1; j < n; ++j) EXPECT_EQ(l(i, j), 0.0);
+}
+
+TEST_P(CholeskySizes, SolveMatchesResidual) {
+  const index_t n = GetParam();
+  Rng rng(1000 + n);
+  const Matrix a = testutil::random_spd(rng, n);
+  const Matrix b = testutil::random_matrix(rng, n, 3);
+  const Matrix x = spd_solve(a, b);
+  EXPECT_LT(max_abs_diff(matmul(a, x), b), 1e-7);
+}
+
+TEST_P(CholeskySizes, InverseIsInverse) {
+  const index_t n = GetParam();
+  Rng rng(2000 + n);
+  const Matrix a = testutil::random_spd(rng, n);
+  const Matrix inv = spd_inverse(a);
+  EXPECT_LT(max_abs_diff(matmul(a, inv), Matrix::identity(n)), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CholeskySizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 37, 64, 100));
+
+TEST(Cholesky, VectorSolve) {
+  Rng rng(9);
+  const Matrix a = testutil::random_spd(rng, 12);
+  const Matrix l = cholesky(a);
+  std::vector<real_t> b(12);
+  for (auto& v : b) v = rng.normal();
+  const std::vector<real_t> b0 = b;
+  cholesky_solve_inplace(l, b);
+  std::vector<real_t> back;
+  matvec(a, b, back);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(back[i], b0[i], 1e-8);
+}
+
+TEST(Cholesky, IndefiniteFailsGracefully) {
+  Matrix a{{1, 0}, {0, -1}};
+  Matrix l;
+  EXPECT_FALSE(try_cholesky(a, l));
+  EXPECT_THROW(cholesky(a), Error);
+}
+
+TEST(Cholesky, SingularFails) {
+  Matrix a{{1, 1}, {1, 1}};
+  Matrix l;
+  EXPECT_FALSE(try_cholesky(a, l));
+}
+
+TEST(Cholesky, NonSquareThrows) { EXPECT_THROW(cholesky(Matrix(2, 3)), Error); }
+
+TEST(Cholesky, DampingRescuesSemiDefinite) {
+  Rng rng(10);
+  // Rank-deficient Gram matrix becomes PD after adding damping.
+  Matrix a = gram_nt(testutil::random_matrix(rng, 10, 3));
+  Matrix l;
+  EXPECT_FALSE(try_cholesky(a, l));
+  add_diagonal(a, 1e-3);
+  EXPECT_TRUE(try_cholesky(a, l));
+}
+
+}  // namespace
+}  // namespace hylo

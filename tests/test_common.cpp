@@ -1,0 +1,101 @@
+// Infrastructure: CsvWriter, Profiler/timers, HYLO_CHECK.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "hylo/common/check.hpp"
+#include "hylo/common/csv.hpp"
+#include "hylo/common/timer.hpp"
+
+namespace hylo {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    HYLO_CHECK(1 == 2, "values " << 1 << " vs " << 2);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("values 1 vs 2"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(HYLO_CHECK(true));
+  EXPECT_NO_THROW(HYLO_CHECK(2 > 1, "never shown"));
+}
+
+TEST(Csv, RowArityEnforced) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), Error);
+  EXPECT_NO_THROW(w.add(1, 2));
+}
+
+TEST(Csv, WritesParsableFile) {
+  CsvWriter w({"x", "y"});
+  w.add(1, 2.5);
+  w.add("s", -3);
+  const std::string path = "/tmp/hylo_test_csv.csv";
+  w.write_file(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "s,-3");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, PrintTableAligns) {
+  CsvWriter w({"name", "v"});
+  w.add("long-name-here", 1);
+  std::ostringstream oss;
+  w.print_table(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("long-name-here"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  t.restart();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Profiler, AccumulatesSections) {
+  Profiler p;
+  p.add("a", 1.0);
+  p.add("a", 2.0);
+  p.add("b", 0.5);
+  EXPECT_EQ(p.seconds("a"), 3.0);
+  EXPECT_EQ(p.calls("a"), 2);
+  EXPECT_EQ(p.seconds("b"), 0.5);
+  EXPECT_EQ(p.seconds("missing"), 0.0);
+  EXPECT_EQ(p.calls("missing"), 0);
+  p.reset();
+  EXPECT_EQ(p.seconds("a"), 0.0);
+}
+
+TEST(Profiler, ScopedTimerAddsOnDestruction) {
+  Profiler p;
+  {
+    ScopedTimer t(p, "scope");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(p.seconds("scope"), 0.005);
+  EXPECT_EQ(p.calls("scope"), 1);
+}
+
+}  // namespace
+}  // namespace hylo

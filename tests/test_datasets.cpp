@@ -1,0 +1,181 @@
+// Synthetic datasets and the sharded DataLoader: determinism, label balance,
+// shard disjointness, mask validity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hylo/data/datasets.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+TEST(Datasets, SpiralsShapesAndLabels) {
+  const DataSplit s = make_spirals(120, 30, 3, 0.05, 1);
+  EXPECT_EQ(s.train.size(), 120);
+  EXPECT_EQ(s.test.size(), 30);
+  EXPECT_EQ(s.train.images.c(), 2);
+  EXPECT_FALSE(s.train.is_segmentation());
+  std::set<int> labels(s.train.labels.begin(), s.train.labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(Datasets, SpiralsDeterministic) {
+  const DataSplit a = make_spirals(50, 10, 2, 0.1, 7);
+  const DataSplit b = make_spirals(50, 10, 2, 0.1, 7);
+  for (index_t i = 0; i < a.train.images.size(); ++i)
+    EXPECT_EQ(a.train.images[i], b.train.images[i]);
+  const DataSplit c = make_spirals(50, 10, 2, 0.1, 8);
+  real_t diff = 0.0;
+  for (index_t i = 0; i < a.train.images.size(); ++i)
+    diff += std::abs(a.train.images[i] - c.train.images[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(Datasets, GaussianImagesClassSeparation) {
+  // With modest noise, same-class samples must be closer to their own class
+  // mean than to other class means (in expectation) — check via per-class
+  // template correlation.
+  const DataSplit s = make_gaussian_images(60, 20, 3, 1, 8, 8, 0.2, 2);
+  EXPECT_EQ(s.train.images.c(), 1);
+  EXPECT_EQ(s.train.images.h(), 8);
+  // Compute class means, then check each sample correlates best with its own
+  // class mean.
+  const index_t d = s.train.images.sample_size();
+  std::vector<std::vector<real_t>> mean(3, std::vector<real_t>(static_cast<std::size_t>(d), 0.0));
+  std::vector<int> count(3, 0);
+  for (index_t i = 0; i < s.train.size(); ++i) {
+    const int y = s.train.labels[static_cast<std::size_t>(i)];
+    count[static_cast<std::size_t>(y)]++;
+    const real_t* p = s.train.images.sample_ptr(i);
+    for (index_t j = 0; j < d; ++j) mean[static_cast<std::size_t>(y)][static_cast<std::size_t>(j)] += p[j];
+  }
+  for (int k = 0; k < 3; ++k)
+    for (auto& v : mean[static_cast<std::size_t>(k)]) v /= count[static_cast<std::size_t>(k)];
+  int correct = 0;
+  for (index_t i = 0; i < s.test.size(); ++i) {
+    const real_t* p = s.test.images.sample_ptr(i);
+    real_t best = -1e300;
+    int best_k = -1;
+    for (int k = 0; k < 3; ++k) {
+      real_t dotp = 0.0;
+      for (index_t j = 0; j < d; ++j)
+        dotp += p[j] * mean[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+      if (dotp > best) {
+        best = dotp;
+        best_k = k;
+      }
+    }
+    correct += (best_k == s.test.labels[static_cast<std::size_t>(i)]);
+  }
+  // Nearest-class-mean should do far better than chance (1/3).
+  EXPECT_GT(correct, 15);  // out of 20
+}
+
+TEST(Datasets, TextureImagesBalancedLabels) {
+  const DataSplit s = make_texture_images(40, 12, 4, 3, 8, 8, 0.1, 3);
+  EXPECT_EQ(s.train.images.c(), 3);
+  std::vector<int> counts(4, 0);
+  for (const int y : s.train.labels) counts[static_cast<std::size_t>(y)]++;
+  for (const int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Datasets, BlobSegmentationMasksValid) {
+  const DataSplit s = make_blob_segmentation(10, 4, 16, 16, 0.1, 4);
+  EXPECT_TRUE(s.train.is_segmentation());
+  EXPECT_EQ(s.train.masks.c(), 1);
+  index_t fg = 0;
+  for (index_t i = 0; i < s.train.masks.size(); ++i) {
+    const real_t v = s.train.masks[i];
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+    fg += v == 1.0;
+  }
+  // Lesions exist but don't dominate.
+  EXPECT_GT(fg, 0);
+  EXPECT_LT(fg, s.train.masks.size() / 2);
+}
+
+TEST(DataLoader, CoversEpochWithoutRepeats) {
+  const DataSplit s = make_spirals(64, 8, 2, 0.1, 5);
+  DataLoader loader(s.train, 16, 99);
+  EXPECT_EQ(loader.batches_per_epoch(), 4);
+  Batch b;
+  int batches = 0;
+  while (loader.next(b)) {
+    EXPECT_EQ(b.size(), 16);
+    ++batches;
+  }
+  EXPECT_EQ(batches, 4);
+}
+
+TEST(DataLoader, EpochShufflesDeterministically) {
+  const DataSplit s = make_spirals(32, 8, 2, 0.1, 5);
+  DataLoader a(s.train, 8, 99), b(s.train, 8, 99);
+  a.start_epoch(3);
+  b.start_epoch(3);
+  Batch ba, bb;
+  while (a.next(ba) && b.next(bb))
+    for (index_t i = 0; i < ba.images.size(); ++i)
+      EXPECT_EQ(ba.images[i], bb.images[i]);
+  // Different epochs shuffle differently.
+  a.start_epoch(1);
+  b.start_epoch(2);
+  a.next(ba);
+  b.next(bb);
+  real_t diff = 0.0;
+  for (index_t i = 0; i < ba.images.size(); ++i)
+    diff += std::abs(ba.images[i] - bb.images[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(DataLoader, ShardsAreDisjointAndCover) {
+  // Mark each sample with a unique value, then check 4 ranks see disjoint
+  // sample sets covering the usable prefix.
+  Dataset ds;
+  ds.images.resize(40, 1, 1, 1);
+  ds.labels.assign(40, 0);
+  for (index_t i = 0; i < 40; ++i) ds.images.sample_ptr(i)[0] = static_cast<real_t>(i);
+
+  std::set<int> seen;
+  for (index_t rank = 0; rank < 4; ++rank) {
+    DataLoader loader(ds, 5, 7, rank, 4);
+    loader.start_epoch(0);
+    Batch b;
+    while (loader.next(b))
+      for (index_t i = 0; i < b.size(); ++i) {
+        const int v = static_cast<int>(b.images.sample_ptr(i)[0]);
+        EXPECT_TRUE(seen.insert(v).second) << "duplicate sample " << v;
+      }
+  }
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(DataLoader, AllRanksSameBatchCount) {
+  const DataSplit s = make_spirals(70, 8, 2, 0.1, 5);
+  index_t count0 = -1;
+  for (index_t rank = 0; rank < 3; ++rank) {
+    DataLoader loader(s.train, 4, 7, rank, 3);
+    if (rank == 0)
+      count0 = loader.batches_per_epoch();
+    else
+      EXPECT_EQ(loader.batches_per_epoch(), count0);
+  }
+}
+
+TEST(DataLoader, SegmentationBatchesCarryMasks) {
+  const DataSplit s = make_blob_segmentation(12, 4, 8, 8, 0.1, 4);
+  DataLoader loader(s.train, 4, 1);
+  Batch b;
+  ASSERT_TRUE(loader.next(b));
+  EXPECT_EQ(b.masks.n(), 4);
+  EXPECT_TRUE(b.labels.empty());
+}
+
+TEST(DataLoader, Validation) {
+  const DataSplit s = make_spirals(16, 4, 2, 0.1, 5);
+  EXPECT_THROW(DataLoader(s.train, 0, 1), Error);
+  EXPECT_THROW(DataLoader(s.train, 4, 1, 5, 4), Error);
+}
+
+}  // namespace
+}  // namespace hylo

@@ -1,0 +1,100 @@
+// Cost model and simulated collectives.
+#include <gtest/gtest.h>
+
+#include "hylo/dist/comm.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+TEST(CostModel, ZeroAtWorldOne) {
+  const auto m = mist_v100();
+  EXPECT_EQ(allreduce_seconds(m, 1, 1 << 20), 0.0);
+  EXPECT_EQ(allgather_seconds(m, 1, 1 << 20), 0.0);
+  EXPECT_EQ(broadcast_seconds(m, 1, 1 << 20), 0.0);
+}
+
+TEST(CostModel, AllreduceRingScaling) {
+  const auto m = mist_v100();
+  // Ring allreduce: 2(P-1)/P * bytes / BW + 2(P-1) * alpha. For large byte
+  // counts the bandwidth term dominates and is nearly P-independent.
+  const index_t big = 512 << 20;
+  const double t8 = allreduce_seconds(m, 8, big);
+  const double t64 = allreduce_seconds(m, 64, big);
+  EXPECT_GT(t64, t8);
+  EXPECT_LT(t64 / t8, 1.25);  // within the 2(P-1)/P asymptote
+}
+
+TEST(CostModel, AllgatherGrowsLinearlyInWorld) {
+  const auto m = mist_v100();
+  const double t4 = allgather_seconds(m, 4, 1 << 20);
+  const double t16 = allgather_seconds(m, 16, 1 << 20);
+  EXPECT_NEAR(t16 / t4, 5.0, 0.01);  // (16-1)/(4-1)
+}
+
+TEST(CostModel, BroadcastLogarithmic) {
+  const auto m = mist_v100();
+  const double t8 = broadcast_seconds(m, 8, 1 << 20);
+  const double t64 = broadcast_seconds(m, 64, 1 << 20);
+  EXPECT_NEAR(t64 / t8, 2.0, 0.01);  // log2(64)/log2(8)
+}
+
+TEST(CostModel, LatencyDominatesSmallMessages) {
+  const auto m = aws_p2_k80();
+  const double tiny = allreduce_seconds(m, 8, 8);
+  EXPECT_GT(tiny, 2.0 * 7.0 * m.latency_s * 0.99);
+}
+
+TEST(CostModel, PresetsAreOrdered) {
+  // NVLink/IB preset must be faster than the K80 PCIe preset.
+  EXPECT_GT(mist_v100().bandwidth_bps, aws_p2_k80().bandwidth_bps);
+  EXPECT_LT(mist_v100().latency_s, aws_p2_k80().latency_s);
+}
+
+TEST(CommSim, AllreduceMeanAveragesAndSyncs) {
+  CommSim comm(3, mist_v100());
+  Matrix a{{3.0}}, b{{6.0}}, c{{0.0}};
+  comm.allreduce_mean({&a, &b, &c}, "comm/grad_allreduce");
+  EXPECT_EQ(a(0, 0), 3.0);
+  EXPECT_EQ(b(0, 0), 3.0);
+  EXPECT_EQ(c(0, 0), 3.0);
+  EXPECT_GT(comm.comm_seconds(), 0.0);
+}
+
+TEST(CommSim, AllgatherStacksInRankOrder) {
+  CommSim comm(2, mist_v100());
+  Matrix r0{{1.0, 1.0}}, r1{{2.0, 2.0}};
+  const Matrix g = comm.allgather_rows({&r0, &r1}, "comm/gather");
+  EXPECT_EQ(g.rows(), 2);
+  EXPECT_EQ(g(0, 0), 1.0);
+  EXPECT_EQ(g(1, 0), 2.0);
+}
+
+TEST(CommSim, CommSecondsCountsOnlyCommSections) {
+  CommSim comm(4, mist_v100());
+  comm.profiler().add("comp/inversion", 100.0);
+  comm.charge_broadcast(1 << 20, "comm/broadcast");
+  EXPECT_LT(comm.comm_seconds(), 1.0);
+  EXPECT_GT(comm.comm_seconds(), 0.0);
+}
+
+TEST(CommSim, WorldValidation) {
+  CommSim comm(2, loopback());
+  Matrix a(1, 1);
+  EXPECT_THROW(comm.allreduce_mean({&a}, "comm/x"), Error);
+}
+
+TEST(LayerAssignment, RoundRobin) {
+  LayerAssignment asg(10, 4);
+  EXPECT_EQ(asg.owner(0), 0);
+  EXPECT_EQ(asg.owner(5), 1);
+  EXPECT_EQ(asg.owner(7), 3);
+  EXPECT_EQ(asg.owned_count(0), 3);  // layers 0,4,8
+  EXPECT_EQ(asg.owned_count(1), 3);  // layers 1,5,9
+  EXPECT_EQ(asg.owned_count(2), 2);
+  EXPECT_EQ(asg.owned_count(3), 2);
+  EXPECT_THROW(asg.owner(10), Error);
+}
+
+}  // namespace
+}  // namespace hylo

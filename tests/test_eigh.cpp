@@ -1,0 +1,106 @@
+// Jacobi eigensolver: reconstruction, orthonormality, ordering, and the
+// Fig. 10 numerical-rank definition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hylo/linalg/eigh.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+class EighSizes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(EighSizes, Reconstructs) {
+  const index_t n = GetParam();
+  Rng rng(n);
+  const Matrix a = testutil::random_symmetric(rng, n);
+  const auto [w, v] = eigh(a);
+  // A == V diag(w) Vᵀ.
+  Matrix vd = v;
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      vd(i, j) *= w[static_cast<std::size_t>(j)];
+  EXPECT_LT(max_abs_diff(matmul_nt(vd, v), a), 1e-8 * std::max<real_t>(1, max_abs(a)));
+}
+
+TEST_P(EighSizes, EigenvectorsOrthonormal) {
+  const index_t n = GetParam();
+  Rng rng(100 + n);
+  const auto [w, v] = eigh(testutil::random_symmetric(rng, n));
+  EXPECT_LT(max_abs_diff(matmul_tn(v, v), Matrix::identity(n)), 1e-9);
+}
+
+TEST_P(EighSizes, EigenvaluesAscending) {
+  const index_t n = GetParam();
+  Rng rng(200 + n);
+  const auto [w, v] = eigh(testutil::random_symmetric(rng, n));
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LE(w[i - 1], w[i]);
+}
+
+TEST_P(EighSizes, EigvalshAgrees) {
+  const index_t n = GetParam();
+  Rng rng(300 + n);
+  const Matrix a = testutil::random_symmetric(rng, n);
+  const auto full = eigh(a).eigenvalues;
+  const auto only = eigvalsh(a);
+  ASSERT_EQ(full.size(), only.size());
+  for (std::size_t i = 0; i < full.size(); ++i)
+    EXPECT_NEAR(full[i], only[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EighSizes,
+                         ::testing::Values(1, 2, 3, 5, 10, 24, 50, 80));
+
+TEST(Eigh, DiagonalMatrix) {
+  Matrix a{{3, 0, 0}, {0, -1, 0}, {0, 0, 2}};
+  const auto [w, v] = eigh(a);
+  EXPECT_NEAR(w[0], -1.0, 1e-12);
+  EXPECT_NEAR(w[1], 2.0, 1e-12);
+  EXPECT_NEAR(w[2], 3.0, 1e-12);
+}
+
+TEST(Eigh, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const auto [w, v] = eigh(Matrix{{2, 1}, {1, 2}});
+  EXPECT_NEAR(w[0], 1.0, 1e-12);
+  EXPECT_NEAR(w[1], 3.0, 1e-12);
+}
+
+TEST(Eigh, PsdGramHasNonNegativeEigs) {
+  Rng rng(42);
+  const Matrix k = gram_nt(testutil::random_matrix(rng, 20, 8));
+  const auto w = eigvalsh(k);
+  for (const auto v : w) EXPECT_GT(v, -1e-9);
+  // Gram of a 20x8 matrix has rank <= 8: at least 12 (near-)zero eigs.
+  int zeros = 0;
+  for (const auto v : w) zeros += std::abs(v) < 1e-9;
+  EXPECT_GE(zeros, 12);
+}
+
+TEST(NumericalRank, ExactLowRank) {
+  Rng rng(3);
+  const Matrix k = gram_nt(testutil::random_low_rank(rng, 30, 30, 4));
+  EXPECT_LE(numerical_rank(eigvalsh(k), 0.999), 4);
+}
+
+TEST(NumericalRank, CoverageDefinition) {
+  // Eigenvalues {10, 5, 3, 1, 1}: sum=20; 90% coverage needs 10+5+3 = 18.
+  EXPECT_EQ(numerical_rank({10, 5, 3, 1, 1}, 0.9), 3);
+  // 70% needs 10+5 = 15 >= 14.
+  EXPECT_EQ(numerical_rank({10, 5, 3, 1, 1}, 0.7), 2);
+}
+
+TEST(NumericalRank, ClampsNegatives) {
+  EXPECT_EQ(numerical_rank({5.0, -2.0, 0.0}, 0.9), 1);
+}
+
+TEST(NumericalRank, AllZero) { EXPECT_EQ(numerical_rank({0.0, 0.0}), 0); }
+
+TEST(NumericalRank, IdentityNeedsAll) {
+  EXPECT_EQ(numerical_rank({1, 1, 1, 1}, 0.9), 4);
+}
+
+}  // namespace
+}  // namespace hylo

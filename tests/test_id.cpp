@@ -1,0 +1,113 @@
+// Interpolative decomposition properties KID depends on: exactness at full
+// rank and on exactly-low-rank inputs, identity rows on the selected set,
+// and monotone error decay in r.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "hylo/linalg/id.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+TEST(RowId, ExactAtFullRank) {
+  Rng rng(1);
+  const Matrix m = testutil::random_matrix(rng, 12, 12);
+  const RowId id = row_interpolative_decomposition(m, 12);
+  EXPECT_EQ(id.rank, 12);
+  EXPECT_LT(max_abs_diff(id_reconstruct(id, m), m), 1e-8);
+}
+
+TEST(RowId, ExactOnLowRankInput) {
+  Rng rng(2);
+  const Matrix m = testutil::random_low_rank(rng, 30, 25, 6);
+  const RowId id = row_interpolative_decomposition(m, 6);
+  EXPECT_EQ(id.rank, 6);
+  EXPECT_LT(max_abs_diff(id_reconstruct(id, m), m), 1e-7 * max_abs(m));
+}
+
+TEST(RowId, SelectedRowsAreDistinctAndValid) {
+  Rng rng(3);
+  const Matrix m = testutil::random_matrix(rng, 20, 15);
+  const RowId id = row_interpolative_decomposition(m, 7);
+  std::set<index_t> uniq(id.rows.begin(), id.rows.end());
+  EXPECT_EQ(uniq.size(), 7u);
+  for (const auto r : id.rows) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 20);
+  }
+}
+
+TEST(RowId, SelectedRowsInterpolateThemselves) {
+  // P restricted to the selected rows must be the identity: the factor rows
+  // reproduce themselves exactly in the reconstruction.
+  Rng rng(4);
+  const Matrix m = testutil::random_matrix(rng, 18, 12);
+  const RowId id = row_interpolative_decomposition(m, 5);
+  for (index_t j = 0; j < id.rank; ++j) {
+    const index_t sel = id.rows[static_cast<std::size_t>(j)];
+    for (index_t k = 0; k < id.rank; ++k)
+      EXPECT_NEAR(id.projection(sel, k), (k == j) ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+class IdErrorDecay : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(IdErrorDecay, ErrorShrinksWithRank) {
+  const index_t n = GetParam();
+  Rng rng(100 + n);
+  // Matrix with geometrically decaying spectrum: ID error should decay too.
+  Matrix m(n, n);
+  const Matrix u = testutil::random_matrix(rng, n, n);
+  const Matrix v = testutil::random_matrix(rng, n, n);
+  for (index_t k = 0; k < n; ++k) {
+    const real_t s = std::pow(0.5, static_cast<real_t>(k));
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = 0; j < n; ++j) m(i, j) += s * u(i, k) * v(k, j);
+  }
+  real_t prev = frobenius_norm(m);
+  for (index_t r = 2; r <= n; r += n / 4) {
+    const RowId id = row_interpolative_decomposition(m, r);
+    const real_t err = frobenius_norm(id_reconstruct(id, m) - m);
+    EXPECT_LE(err, prev * 1.2 + 1e-9);  // non-increasing modulo noise
+    prev = err;
+  }
+  // At near-full rank the error must be tiny.
+  const RowId full = row_interpolative_decomposition(m, n);
+  EXPECT_LT(frobenius_norm(id_reconstruct(full, m) - m), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IdErrorDecay, ::testing::Values(8, 16, 32));
+
+TEST(RowId, ClampsRankToMatrixSize) {
+  Rng rng(5);
+  const Matrix m = testutil::random_matrix(rng, 6, 9);
+  const RowId id = row_interpolative_decomposition(m, 100);
+  EXPECT_EQ(id.rank, 6);
+}
+
+TEST(RowId, RejectsEmptyAndBadRank) {
+  Rng rng(6);
+  const Matrix m = testutil::random_matrix(rng, 4, 4);
+  EXPECT_THROW(row_interpolative_decomposition(Matrix(), 2), Error);
+  EXPECT_THROW(row_interpolative_decomposition(m, 0), Error);
+}
+
+TEST(RowId, SymmetricGramUseCase) {
+  // The KID call site: Q = (AAᵀ)∘(GGᵀ) with strong low-rank structure.
+  Rng rng(7);
+  const Matrix a = testutil::random_low_rank(rng, 40, 30, 3);
+  const Matrix g = testutil::random_low_rank(rng, 40, 20, 3);
+  Matrix q = gram_nt(a);
+  hadamard_inplace(q, gram_nt(g));
+  // rank(Q) <= rank(A)² * rank(G)² bound is loose; 9 suffices here since
+  // hadamard of two rank-3 grams has rank <= 9.
+  const RowId id = row_interpolative_decomposition(q, 9);
+  EXPECT_LT(frobenius_norm(id_reconstruct(id, q) - q),
+            1e-6 * frobenius_norm(q));
+}
+
+}  // namespace
+}  // namespace hylo

@@ -1,0 +1,174 @@
+// Cross-module integration properties of the distributed simulation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hylo/hylo.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+// The lockstep world=2 trainer must produce exactly the update that two
+// physical data-parallel replicas would: average of the two shards' batch
+// gradients, applied identically.
+TEST(Integration, DistributedGradientEqualsManualAverage) {
+  const index_t m = 8;
+  const DataSplit data = make_spirals(4 * m, 8, 2, 0.1, 3);
+
+  // --- Trainer path: world=2, one iteration, plain SGD ------------------
+  Network net_a = make_mlp({2, 1, 1}, {6}, 2, 11);
+  OptimConfig oc;
+  oc.lr = 0.25;
+  oc.momentum = 0.0;
+  oc.weight_decay = 0.0;
+  Sgd opt(oc);
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = m;
+  tc.world = 2;
+  tc.max_iters_per_epoch = 1;
+  tc.data_seed = 99;
+  Trainer trainer(net_a, opt, data, tc);
+  trainer.run();
+
+  // --- Manual path: same shards through an identical replica ------------
+  Network net_b = make_mlp({2, 1, 1}, {6}, 2, 11);
+  const PassContext ctx{.training = true, .capture = false};
+  net_b.zero_grad();
+  SoftmaxCrossEntropy ce;
+  for (index_t rank = 0; rank < 2; ++rank) {
+    DataLoader loader(data.train, m, 99, rank, 2);
+    loader.start_epoch(0);
+    Batch b;
+    ASSERT_TRUE(loader.next(b));
+    const Tensor4& out = net_b.forward(b.images, ctx);
+    const LossResult lr = ce.compute(out, b.labels);
+    net_b.backward(lr.grad, ctx);
+  }
+  for (auto* pb : net_b.param_blocks()) {
+    pb->gw *= 0.5;  // allreduce-average
+    axpy(pb->w, pb->gw, -oc.lr);
+  }
+
+  auto pa = net_a.param_blocks();
+  auto pb = net_b.param_blocks();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t l = 0; l < pa.size(); ++l)
+    EXPECT_LT(max_abs_diff(pa[l]->w, pb[l]->w), 1e-12) << "layer " << l;
+}
+
+// Training with more workers at the same global batch must not change the
+// number of samples consumed per epoch.
+TEST(Integration, GlobalSamplesPerEpochIndependentOfWorld) {
+  const DataSplit data = make_spirals(256, 16, 2, 0.1, 5);
+  for (const index_t world : {1, 2, 4}) {
+    Network net = make_mlp({2, 1, 1}, {8}, 2, 1);
+    OptimConfig oc;
+    Sgd opt(oc);
+    TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 32 / world;  // constant global batch of 32
+    tc.world = world;
+    Trainer trainer(net, opt, data, tc);
+    const TrainResult res = trainer.run();
+    EXPECT_EQ(res.iterations * 32 / world * world, 256)
+        << "world=" << world;
+  }
+}
+
+// HyLo inside the full trainer at full rank behaves like SNGD inside the
+// full trainer: identical weights after identical schedules.
+TEST(Integration, TrainerHyloFullRankTracksSngd) {
+  const DataSplit data = make_spirals(128, 32, 2, 0.1, 7);
+  auto run = [&](const std::string& which) {
+    Network net = make_mlp({2, 1, 1}, {8}, 2, 21);
+    OptimConfig oc;
+    oc.lr = 0.1;
+    oc.damping = 0.5;
+    oc.update_freq = 2;
+    oc.rank_ratio = 1.0;
+    std::unique_ptr<Optimizer> opt;
+    if (which == "HyLo") {
+      auto hy = std::make_unique<HyloOptimizer>(oc);
+      hy->set_policy(HyloOptimizer::Policy::kAlwaysKid);
+      opt = std::move(hy);
+    } else {
+      opt = std::make_unique<Sngd>(oc);
+    }
+    TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 16;
+    tc.world = 2;
+    Trainer trainer(net, *opt, data, tc);
+    trainer.run();
+    Matrix w = net.param_blocks()[0]->w;
+    return w;
+  };
+  const Matrix hylo_w = run("HyLo");
+  const Matrix sngd_w = run("SNGD");
+  EXPECT_LT(max_abs_diff(hylo_w, sngd_w), 1e-6);
+}
+
+// Second-order methods must beat plain SGD on the spiral task at equal
+// epoch budget — the qualitative claim behind the whole NGD line of work.
+TEST(Integration, SecondOrderBeatsFirstOrderAtEqualEpochs) {
+  const DataSplit data = make_spirals(512, 128, 3, 0.05, 13);
+  auto best_acc = [&](const std::string& name) {
+    Network net = make_mlp({2, 1, 1}, {32, 32}, 3, 5);
+    OptimConfig oc;
+    oc.lr = name == "SGD" ? 0.1 : 0.05;
+    oc.damping = name == "KFAC" ? 0.03 : 0.3;
+    oc.kl_clip = 0.01;
+    oc.update_freq = 5;
+    oc.rank_ratio = 0.25;
+    auto opt = make_optimizer(name, oc);
+    TrainConfig tc;
+    tc.epochs = 20;
+    tc.batch_size = 32;
+    tc.lr_schedule = {{13}, 0.1};
+    Trainer trainer(net, *opt, data, tc);
+    return trainer.run().best_metric();
+  };
+  const real_t sgd = best_acc("SGD");
+  const real_t hylo = best_acc("HyLo");
+  const real_t kfac = best_acc("KFAC");
+  EXPECT_GT(hylo, sgd);
+  EXPECT_GT(kfac, sgd);
+}
+
+// The modeled communication of HyLo must be below KAISA's and far below
+// SNGD's for an identical training schedule — Table I's comm column,
+// observed end-to-end. This ordering holds in the bandwidth-dominated
+// regime the paper targets (large layer dim d AND large global batch P·m);
+// for tiny messages per-collective latency dominates and the ordering is
+// genuinely different.
+TEST(Integration, CommunicationOrderingHyloKaisaSngd) {
+  const DataSplit data = make_spirals(1024, 16, 2, 0.1, 17);
+  auto comm_time = [&](const std::string& name) {
+    Network net = make_mlp({2, 1, 1}, {256, 256}, 2, 5);
+    OptimConfig oc;
+    oc.update_freq = 1;
+    oc.rank_ratio = 0.1;
+    auto opt = make_optimizer(name, oc);
+    TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 64;  // global batch 512 > d = 257
+    tc.world = 8;
+    tc.max_iters_per_epoch = 1;
+    tc.interconnect = mist_v100();
+    Trainer trainer(net, *opt, data, tc);
+    TrainResult res = trainer.run();
+    // Exclude the gradient allreduce shared by all methods.
+    return res.comm_seconds -
+           trainer.profiler().seconds("comm/grad_allreduce");
+  };
+  const double hylo = comm_time("HyLo");
+  const double kaisa = comm_time("KAISA");
+  const double sngd = comm_time("SNGD");
+  EXPECT_LT(hylo, kaisa);
+  EXPECT_LT(kaisa, sngd);
+}
+
+}  // namespace
+}  // namespace hylo

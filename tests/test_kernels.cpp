@@ -1,0 +1,117 @@
+// Khatri-Rao kernel algebra: K = UUᵀ identity, implicit-U application, and
+// the SMW inversion identity (Eq. 7) that all SNGD-family optimizers rely on.
+#include <gtest/gtest.h>
+
+#include "hylo/linalg/cholesky.hpp"
+#include "hylo/linalg/kernels.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+struct Dims {
+  index_t m, din, dout;
+};
+
+class KernelDims : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(KernelDims, KernelEqualsUUt) {
+  const auto [m, din, dout] = GetParam();
+  Rng rng(m + din + dout);
+  const Matrix a = testutil::random_matrix(rng, m, din);
+  const Matrix g = testutil::random_matrix(rng, m, dout);
+  const Matrix u = khatri_rao_rowwise(g, a);
+  EXPECT_LT(max_abs_diff(kernel_matrix(a, g), gram_nt(u)), 1e-9);
+}
+
+TEST_P(KernelDims, ApplyJacobianMatchesMaterialized) {
+  const auto [m, din, dout] = GetParam();
+  Rng rng(100 + m + din + dout);
+  const Matrix a = testutil::random_matrix(rng, m, din);
+  const Matrix g = testutil::random_matrix(rng, m, dout);
+  const Matrix v = testutil::random_matrix(rng, dout, din);
+  const Matrix u = khatri_rao_rowwise(g, a);
+
+  // U vec(V): flatten V row-major (matches kron(g, a) row convention).
+  std::vector<real_t> vflat(static_cast<std::size_t>(v.size()));
+  for (index_t i = 0; i < v.size(); ++i)
+    vflat[static_cast<std::size_t>(i)] = v.data()[i];
+  std::vector<real_t> want;
+  matvec(u, vflat, want);
+
+  const Matrix got = apply_jacobian(a, g, v);
+  for (index_t i = 0; i < m; ++i)
+    EXPECT_NEAR(got[i], want[static_cast<std::size_t>(i)], 1e-9);
+}
+
+TEST_P(KernelDims, ApplyJacobianTMatchesMaterialized) {
+  const auto [m, din, dout] = GetParam();
+  Rng rng(200 + m + din + dout);
+  const Matrix a = testutil::random_matrix(rng, m, din);
+  const Matrix g = testutil::random_matrix(rng, m, dout);
+  const Matrix y = testutil::random_matrix(rng, m, 1);
+  const Matrix u = khatri_rao_rowwise(g, a);
+
+  std::vector<real_t> yv(static_cast<std::size_t>(m));
+  for (index_t i = 0; i < m; ++i) yv[static_cast<std::size_t>(i)] = y[i];
+  std::vector<real_t> want;
+  matvec_t(u, yv, want);
+
+  const Matrix got = apply_jacobian_t(a, g, y);
+  ASSERT_EQ(got.rows(), dout);
+  ASSERT_EQ(got.cols(), din);
+  for (index_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got.data()[i], want[static_cast<std::size_t>(i)], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KernelDims,
+                         ::testing::Values(Dims{1, 1, 1}, Dims{4, 3, 2},
+                                           Dims{8, 5, 5}, Dims{16, 10, 7},
+                                           Dims{32, 6, 12}, Dims{3, 20, 20}));
+
+TEST(Kernels, SmwIdentityEq7) {
+  // (UᵀU + αI)⁻¹ v == (1/α)(v − Uᵀ(K+αI)⁻¹ U v)  with K = UUᵀ.
+  Rng rng(42);
+  const index_t m = 10, din = 6, dout = 4;
+  const real_t alpha = 0.3;
+  const Matrix a = testutil::random_matrix(rng, m, din);
+  const Matrix g = testutil::random_matrix(rng, m, dout);
+  const Matrix u = khatri_rao_rowwise(g, a);
+  const Matrix v = testutil::random_matrix(rng, dout, din);
+
+  // Direct dense route.
+  Matrix f = gram_tn(u);
+  add_diagonal(f, alpha);
+  Matrix vcol(v.size(), 1);
+  for (index_t i = 0; i < v.size(); ++i) vcol[i] = v.data()[i];
+  const Matrix direct = spd_solve(f, vcol);
+
+  // SMW route via the kernel matrix.
+  Matrix k = kernel_matrix(a, g);
+  add_diagonal(k, alpha);
+  const Matrix uv = apply_jacobian(a, g, v);       // m x 1
+  const Matrix y = spd_solve(k, uv);               // (K+αI)⁻¹ U v
+  Matrix smw = v - apply_jacobian_t(a, g, y);
+  smw *= 1.0 / alpha;
+
+  for (index_t i = 0; i < v.size(); ++i)
+    EXPECT_NEAR(smw.data()[i], direct[i], 1e-8);
+}
+
+TEST(Kernels, KernelIsPsd) {
+  Rng rng(7);
+  const Matrix a = testutil::random_matrix(rng, 12, 5);
+  const Matrix g = testutil::random_matrix(rng, 12, 5);
+  Matrix k = kernel_matrix(a, g);
+  add_diagonal(k, 1e-9);
+  Matrix l;
+  EXPECT_TRUE(try_cholesky(k, l));
+}
+
+TEST(Kernels, SampleCountMismatchThrows) {
+  EXPECT_THROW(kernel_matrix(Matrix(3, 2), Matrix(4, 2)), Error);
+  EXPECT_THROW(khatri_rao_rowwise(Matrix(3, 2), Matrix(4, 2)), Error);
+}
+
+}  // namespace
+}  // namespace hylo

@@ -1,0 +1,163 @@
+// Loss heads: analytic values on hand-computable cases and finite-difference
+// gradient validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hylo/nn/loss.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+TEST(SoftmaxCE, UniformLogitsGiveLogC) {
+  Tensor4 logits(2, 4, 1, 1);  // all-zero logits -> uniform distribution
+  const LossResult r = SoftmaxCrossEntropy().compute(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-12);
+}
+
+TEST(SoftmaxCE, PerfectPredictionLowLoss) {
+  Tensor4 logits(1, 3, 1, 1);
+  logits.sample_ptr(0)[1] = 50.0;
+  const LossResult r = SoftmaxCrossEntropy().compute(logits, {1});
+  EXPECT_LT(r.loss, 1e-6);
+  EXPECT_EQ(r.metric, 1.0);
+}
+
+TEST(SoftmaxCE, AccuracyCountsArgmax) {
+  Tensor4 logits(4, 2, 1, 1);
+  // Samples 0,1 predict class 0; samples 2,3 predict class 1.
+  logits.sample_ptr(0)[0] = 1.0;
+  logits.sample_ptr(1)[0] = 1.0;
+  logits.sample_ptr(2)[1] = 1.0;
+  logits.sample_ptr(3)[1] = 1.0;
+  const LossResult r = SoftmaxCrossEntropy().compute(logits, {0, 1, 1, 1});
+  EXPECT_NEAR(r.metric, 0.75, 1e-12);
+}
+
+TEST(SoftmaxCE, GradientSumsToZeroPerSample) {
+  Rng rng(1);
+  Tensor4 logits(3, 5, 1, 1);
+  for (index_t i = 0; i < logits.size(); ++i) logits[i] = rng.normal();
+  const LossResult r = SoftmaxCrossEntropy().compute(logits, {0, 2, 4});
+  for (index_t i = 0; i < 3; ++i) {
+    real_t s = 0.0;
+    for (index_t k = 0; k < 5; ++k) s += r.grad.sample_ptr(i)[k];
+    EXPECT_NEAR(s, 0.0, 1e-12);  // softmax-minus-onehot rows sum to zero
+  }
+}
+
+TEST(SoftmaxCE, GradientMatchesFiniteDifference) {
+  Rng rng(2);
+  Tensor4 logits(4, 3, 1, 1);
+  for (index_t i = 0; i < logits.size(); ++i) logits[i] = rng.normal();
+  const std::vector<int> y = {2, 0, 1, 1};
+  const SoftmaxCrossEntropy loss;
+  const LossResult r = loss.compute(logits, y);
+  const real_t eps = 1e-6;
+  for (index_t i = 0; i < logits.size(); ++i) {
+    Tensor4 lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const real_t numeric =
+        (loss.compute(lp, y).loss - loss.compute(lm, y).loss) / (2 * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-7);
+  }
+}
+
+TEST(SoftmaxCE, EvaluateMatchesCompute) {
+  Rng rng(3);
+  Tensor4 logits(8, 6, 1, 1);
+  for (index_t i = 0; i < logits.size(); ++i) logits[i] = rng.normal();
+  std::vector<int> y(8);
+  for (auto& v : y) v = static_cast<int>(rng.uniform_int(6));
+  const auto [l, acc] = SoftmaxCrossEntropy().evaluate(logits, y);
+  const LossResult r = SoftmaxCrossEntropy().compute(logits, y);
+  EXPECT_NEAR(l, r.loss, 1e-12);
+  EXPECT_NEAR(acc, r.metric, 1e-12);
+}
+
+TEST(SoftmaxCE, BadLabelThrows) {
+  Tensor4 logits(1, 2, 1, 1);
+  EXPECT_THROW(SoftmaxCrossEntropy().compute(logits, {5}), Error);
+  EXPECT_THROW(SoftmaxCrossEntropy().compute(logits, {0, 1}), Error);
+}
+
+TEST(DiceBce, PerfectMaskScoresOne) {
+  Tensor4 logits(1, 1, 4, 4);
+  Tensor4 target(1, 1, 4, 4);
+  for (index_t j = 0; j < 8; ++j) {
+    logits.sample_ptr(0)[j] = 20.0;  // confident foreground
+    target.sample_ptr(0)[j] = 1.0;
+  }
+  for (index_t j = 8; j < 16; ++j) logits.sample_ptr(0)[j] = -20.0;
+  const LossResult r = DiceBceLoss().compute(logits, target);
+  EXPECT_GT(r.metric, 0.999);
+  EXPECT_LT(r.loss, 0.01);
+}
+
+TEST(DiceBce, EmptyMaskAndEmptyPredictionAgree) {
+  Tensor4 logits(1, 1, 3, 3);
+  for (index_t j = 0; j < 9; ++j) logits.sample_ptr(0)[j] = -10.0;
+  Tensor4 target(1, 1, 3, 3);
+  const LossResult r = DiceBceLoss().compute(logits, target);
+  EXPECT_NEAR(r.metric, 1.0, 1e-12);
+}
+
+TEST(DiceBce, HalfOverlapDice) {
+  // Prediction covers 8 pixels, target covers 8, overlap 4: DSC = 0.5.
+  Tensor4 logits(1, 1, 4, 4);
+  Tensor4 target(1, 1, 4, 4);
+  for (index_t j = 0; j < 16; ++j) logits.sample_ptr(0)[j] = -20.0;
+  for (index_t j = 0; j < 8; ++j) logits.sample_ptr(0)[j] = 20.0;
+  for (index_t j = 4; j < 12; ++j) target.sample_ptr(0)[j] = 1.0;
+  const LossResult r = DiceBceLoss().compute(logits, target);
+  EXPECT_NEAR(r.metric, 0.5, 1e-9);
+}
+
+TEST(DiceBce, GradientMatchesFiniteDifference) {
+  Rng rng(4);
+  Tensor4 logits(2, 1, 3, 3);
+  Tensor4 target(2, 1, 3, 3);
+  for (index_t i = 0; i < logits.size(); ++i) {
+    logits[i] = rng.normal();
+    target[i] = rng.uniform() > 0.5 ? 1.0 : 0.0;
+  }
+  const DiceBceLoss loss;
+  const LossResult r = loss.compute(logits, target);
+  const real_t eps = 1e-6;
+  for (index_t i = 0; i < logits.size(); ++i) {
+    Tensor4 lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const real_t numeric =
+        (loss.compute(lp, target).loss - loss.compute(lm, target).loss) /
+        (2 * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-6);
+  }
+}
+
+TEST(DiceBce, EvaluateMatchesCompute) {
+  Rng rng(5);
+  Tensor4 logits(3, 1, 4, 4);
+  Tensor4 target(3, 1, 4, 4);
+  for (index_t i = 0; i < logits.size(); ++i) {
+    logits[i] = rng.normal();
+    target[i] = rng.uniform() > 0.6 ? 1.0 : 0.0;
+  }
+  const DiceBceLoss loss;
+  const auto [l, dice] = loss.evaluate(logits, target);
+  const LossResult r = loss.compute(logits, target);
+  EXPECT_NEAR(l, r.loss, 1e-12);
+  EXPECT_NEAR(dice, r.metric, 1e-12);
+}
+
+TEST(DiceBce, ShapeMismatchThrows) {
+  EXPECT_THROW(DiceBceLoss().compute(Tensor4(1, 1, 2, 2), Tensor4(1, 1, 3, 3)),
+               Error);
+  EXPECT_THROW(DiceBceLoss().compute(Tensor4(1, 2, 2, 2), Tensor4(1, 2, 2, 2)),
+               Error);
+}
+
+}  // namespace
+}  // namespace hylo

@@ -1,0 +1,71 @@
+// LU with partial pivoting: general solves backing the KID middle matrices.
+#include <gtest/gtest.h>
+
+#include "hylo/linalg/lu.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+class LuSizes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(LuSizes, SolveResidualSmall) {
+  const index_t n = GetParam();
+  Rng rng(n);
+  const Matrix a = testutil::random_matrix(rng, n, n);
+  const Matrix b = testutil::random_matrix(rng, n, 4);
+  const Matrix x = general_solve(a, b);
+  EXPECT_LT(max_abs_diff(matmul(a, x), b), 1e-7);
+}
+
+TEST_P(LuSizes, InverseIsInverse) {
+  const index_t n = GetParam();
+  Rng rng(100 + n);
+  const Matrix a = testutil::random_matrix(rng, n, n);
+  EXPECT_LT(max_abs_diff(matmul(a, lu_inverse(a)), Matrix::identity(n)), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LuSizes,
+                         ::testing::Values(1, 2, 3, 7, 16, 33, 64, 90));
+
+TEST(Lu, VectorSolve) {
+  Rng rng(5);
+  const Matrix a = testutil::random_matrix(rng, 9, 9);
+  std::vector<real_t> b(9);
+  for (auto& v : b) v = rng.normal();
+  const auto f = lu_factor(a);
+  const auto x = lu_solve(f, b);
+  std::vector<real_t> back;
+  matvec(a, x, back);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(back[i], b[i], 1e-8);
+}
+
+TEST(Lu, NeedsPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  Matrix a{{0, 1}, {1, 0}};
+  const Matrix x = general_solve(a, Matrix::identity(2));
+  EXPECT_LT(max_abs_diff(x, Matrix{{0, 1}, {1, 0}}), 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(lu_factor(a), Error);
+}
+
+TEST(Lu, NonSquareThrows) { EXPECT_THROW(lu_factor(Matrix(2, 3)), Error); }
+
+TEST(Lu, IllConditionedStaysAccurate) {
+  // Hilbert-like 6x6: partial pivoting should still deliver ~1e-6 residual.
+  const index_t n = 6;
+  Matrix a(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      a(i, j) = 1.0 / static_cast<real_t>(i + j + 1);
+  Rng rng(6);
+  const Matrix b = testutil::random_matrix(rng, n, 1);
+  const Matrix x = general_solve(a, b);
+  EXPECT_LT(max_abs_diff(matmul(a, x), b), 1e-8);
+}
+
+}  // namespace
+}  // namespace hylo

@@ -1,0 +1,143 @@
+// Matrix container semantics: construction, views, stacking, arithmetic.
+#include <gtest/gtest.h>
+
+#include "hylo/tensor/matrix.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  for (index_t i = 0; i < m.size(); ++i) EXPECT_EQ(m[i], 0.0);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 0), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), Error);
+}
+
+TEST(Matrix, RowMajorLayout) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.data()[1], 2.0);
+  EXPECT_EQ(m.data()[2], 3.0);
+  EXPECT_EQ(m.row_ptr(1)[0], 3.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_EQ(trace(i), 3.0);
+  EXPECT_EQ(i(0, 1), 0.0);
+}
+
+TEST(Matrix, DiagFromVector) {
+  Matrix v(3, 1);
+  v[0] = 1;
+  v[1] = 2;
+  v[2] = 3;
+  const Matrix d = Matrix::diag(v);
+  EXPECT_EQ(d(1, 1), 2.0);
+  EXPECT_EQ(d(0, 2), 0.0);
+}
+
+TEST(Matrix, DiagRejectsNonVector) {
+  EXPECT_THROW(Matrix::diag(Matrix(2, 2)), Error);
+}
+
+TEST(Matrix, RowAndColCopies) {
+  Matrix m{{1, 2}, {3, 4}};
+  const Matrix r = m.row(1);
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_EQ(r[1], 4.0);
+  const Matrix c = m.col(0);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c[1], 3.0);
+}
+
+TEST(Matrix, RowsRange) {
+  Matrix m{{1, 1}, {2, 2}, {3, 3}};
+  const Matrix r = m.rows_range(1, 3);
+  EXPECT_EQ(r.rows(), 2);
+  EXPECT_EQ(r(0, 0), 2.0);
+  EXPECT_EQ(r(1, 1), 3.0);
+}
+
+TEST(Matrix, SelectRowsPreservesOrder) {
+  Matrix m{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const Matrix s = m.select_rows({3, 1});
+  EXPECT_EQ(s(0, 0), 3.0);
+  EXPECT_EQ(s(1, 0), 1.0);
+}
+
+TEST(Matrix, SelectRowsValidates) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.select_rows({5}), Error);
+}
+
+TEST(Matrix, TransposedRoundTrip) {
+  Rng rng(1);
+  const Matrix m = testutil::random_matrix(rng, 17, 33);
+  EXPECT_EQ(max_abs_diff(m.transposed().transposed(), m), 0.0);
+  EXPECT_EQ(m.transposed()(5, 11), m(11, 5));
+}
+
+TEST(Matrix, WithOnesColumn) {
+  Matrix m{{1, 2}, {3, 4}};
+  const Matrix a = m.with_ones_column();
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a(0, 2), 1.0);
+  EXPECT_EQ(a(1, 0), 3.0);
+}
+
+TEST(Matrix, ArithmeticOps) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  const Matrix s = a + b;
+  EXPECT_EQ(s(0, 0), 5.0);
+  EXPECT_EQ(s(1, 1), 5.0);
+  const Matrix d = a - b;
+  EXPECT_EQ(d(0, 0), -3.0);
+  const Matrix sc = a * 2.0;
+  EXPECT_EQ(sc(1, 0), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, Error);
+}
+
+TEST(Matrix, ReshapePreservesData) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  m.reshape(3, 2);
+  EXPECT_EQ(m(2, 1), 6.0);
+  EXPECT_THROW(m.reshape(4, 2), Error);
+}
+
+TEST(Matrix, ResizeZeroes) {
+  Matrix m{{1, 2}, {3, 4}};
+  m.resize(3, 3);
+  EXPECT_EQ(m.rows(), 3);
+  for (index_t i = 0; i < m.size(); ++i) EXPECT_EQ(m[i], 0.0);
+}
+
+}  // namespace
+}  // namespace hylo

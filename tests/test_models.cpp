@@ -1,0 +1,171 @@
+// Model zoo: construction, forward/backward execution, seed determinism,
+// and the reference layer-dimension tables used by the Fig. 2 bench.
+#include <gtest/gtest.h>
+
+#include "hylo/models/zoo.hpp"
+#include "hylo/nn/loss.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+Tensor4 random_batch(Rng& rng, index_t n, Shape s) {
+  Tensor4 x(n, s.c, s.h, s.w);
+  for (index_t i = 0; i < x.size(); ++i) x[i] = rng.normal();
+  return x;
+}
+
+void run_train_step(Network& net, index_t classes, std::uint64_t seed) {
+  Rng rng(seed);
+  const Tensor4 x = random_batch(rng, 4, net.input_shape());
+  std::vector<int> y(4);
+  for (auto& v : y) v = static_cast<int>(rng.uniform_int(classes));
+  const PassContext ctx{.training = true, .capture = true};
+  net.zero_grad();
+  const Tensor4& logits = net.forward(x, ctx);
+  const LossResult lr = SoftmaxCrossEntropy().compute(logits, y);
+  net.backward(lr.grad, ctx);
+  // Every preconditionable block must have captured A and G.
+  for (auto* pb : net.param_blocks()) {
+    EXPECT_EQ(pb->a_samples.rows(), 4) << pb->name;
+    EXPECT_EQ(pb->g_samples.rows(), 4) << pb->name;
+    EXPECT_EQ(pb->a_samples.cols(), pb->d_in + 1) << pb->name;
+    EXPECT_EQ(pb->g_samples.cols(), pb->d_out) << pb->name;
+    EXPECT_GT(frobenius_norm(pb->gw), 0.0) << pb->name;
+  }
+}
+
+TEST(Zoo, MlpBuildsAndTrains) {
+  Network net = make_mlp({2, 1, 1}, {16, 16}, 3, 1);
+  EXPECT_EQ(net.output_shape().c, 3);
+  EXPECT_EQ(net.param_blocks().size(), 3u);
+  run_train_step(net, 3, 100);
+}
+
+TEST(Zoo, C3f1BuildsAndTrains) {
+  Network net = make_c3f1({1, 16, 16}, 10, 8, 2);
+  EXPECT_EQ(net.output_shape().c, 10);
+  EXPECT_EQ(net.param_blocks().size(), 4u);  // 3 conv + 1 fc
+  run_train_step(net, 10, 101);
+}
+
+TEST(Zoo, ResnetBuildsAndTrains) {
+  Network net = make_resnet({3, 16, 16}, 10, 1, 8, 3);  // ResNet-8
+  EXPECT_EQ(net.output_shape().c, 10);
+  run_train_step(net, 10, 102);
+}
+
+TEST(Zoo, ResnetDepthFormula) {
+  // blocks_per_stage=2 -> ResNet-14: stem + 3 stages * 2 blocks * 2 convs
+  // + 2 downsample convs + fc = 1 + 12 + 2 + 1 = 16 param blocks.
+  Network net = make_resnet({3, 16, 16}, 10, 2, 8, 4);
+  EXPECT_EQ(net.param_blocks().size(), 16u);
+}
+
+TEST(Zoo, DensenetBuildsAndTrains) {
+  Network net = make_densenet({3, 16, 16}, 10, 6, 3, 5);
+  EXPECT_EQ(net.output_shape().c, 10);
+  run_train_step(net, 10, 103);
+}
+
+TEST(Zoo, DensenetChannelGrowth) {
+  // 2 blocks of 3 layers with growth 6, stem 12: param conv count =
+  // stem + 6 dense convs + 1 transition + fc = 9.
+  Network net = make_densenet({3, 16, 16}, 10, 6, 3, 5);
+  EXPECT_EQ(net.param_blocks().size(), 9u);
+}
+
+TEST(Zoo, UnetBuildsAndSegments) {
+  Network net = make_unet({1, 16, 16}, 4, 2, 6);
+  const Shape out = net.output_shape();
+  EXPECT_EQ(out.c, 1);
+  EXPECT_EQ(out.h, 16);
+  EXPECT_EQ(out.w, 16);
+
+  Rng rng(7);
+  const Tensor4 x = random_batch(rng, 2, {1, 16, 16});
+  Tensor4 mask(2, 1, 16, 16);
+  for (index_t i = 0; i < mask.size(); ++i)
+    mask[i] = rng.uniform() > 0.7 ? 1.0 : 0.0;
+  const PassContext ctx{.training = true, .capture = true};
+  net.zero_grad();
+  const Tensor4& logits = net.forward(x, ctx);
+  const LossResult lr = DiceBceLoss().compute(logits, mask);
+  net.backward(lr.grad, ctx);
+  for (auto* pb : net.param_blocks())
+    EXPECT_GT(frobenius_norm(pb->gw), 0.0) << pb->name;
+}
+
+TEST(Zoo, UnetRejectsIndivisibleInput) {
+  EXPECT_THROW(make_unet({1, 10, 10}, 4, 2, 6), Error);
+}
+
+TEST(Zoo, SeedDeterminism) {
+  Network a = make_resnet({3, 8, 8}, 10, 1, 8, 42);
+  Network b = make_resnet({3, 8, 8}, 10, 1, 8, 42);
+  auto pa = a.param_blocks();
+  auto pb = b.param_blocks();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(max_abs_diff(pa[i]->w, pb[i]->w), 0.0);
+  // Different seed -> different weights.
+  Network c = make_resnet({3, 8, 8}, 10, 1, 8, 43);
+  EXPECT_GT(max_abs_diff(pa[0]->w, c.param_blocks()[0]->w), 0.0);
+}
+
+TEST(Zoo, ForwardDeterminism) {
+  Network a = make_c3f1({1, 8, 8}, 4, 4, 9);
+  Network b = make_c3f1({1, 8, 8}, 4, 4, 9);
+  Rng rng(1);
+  const Tensor4 x = random_batch(rng, 3, {1, 8, 8});
+  const PassContext ctx{.training = true, .capture = false};
+  const Tensor4& ya = a.forward(x, ctx);
+  const Tensor4& yb = b.forward(x, ctx);
+  for (index_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(Zoo, LayerDimsInventory) {
+  Network net = make_c3f1({1, 16, 16}, 10, 8, 2);
+  const auto dims = layer_dims(net, "c3f1");
+  ASSERT_EQ(dims.size(), 4u);
+  EXPECT_EQ(dims[0].d_in, 1 * 3 * 3 + 1);
+  EXPECT_EQ(dims[0].d_out, 8);
+  EXPECT_EQ(dims[3].d_out, 10);
+}
+
+TEST(ReferenceDims, ResNet50HasExpectedStructure) {
+  const auto dims = reference_layer_dims("ResNet-50");
+  // 1 stem + (3+4+6+3)*3 bottleneck convs + 4 downsamples + 1 fc = 54.
+  EXPECT_EQ(dims.size(), 54u);
+  // The widest block is the stage-4 3x3 conv: 512*9+1 = 4609.
+  index_t max_d = 0;
+  for (const auto& d : dims) max_d = std::max({max_d, d.d_in, d.d_out});
+  EXPECT_EQ(max_d, 4609);
+}
+
+TEST(ReferenceDims, ResNet32LayerCount) {
+  const auto dims = reference_layer_dims("ResNet-32");
+  // stem + 30 block convs + 2 downsamples + fc = 34.
+  EXPECT_EQ(dims.size(), 34u);
+}
+
+TEST(ReferenceDims, DenseNet121LayerCount) {
+  const auto dims = reference_layer_dims("DenseNet-121");
+  // stem + 58*2 + 3 transitions + fc = 120... (6+12+24+16)=58 pairs.
+  EXPECT_EQ(dims.size(), 121u);
+}
+
+TEST(ReferenceDims, AllModelsNonEmptyAndPositive) {
+  for (const auto& name : reference_model_names()) {
+    const auto dims = reference_layer_dims(name);
+    EXPECT_FALSE(dims.empty()) << name;
+    for (const auto& d : dims) {
+      EXPECT_GT(d.d_in, 0) << name << "/" << d.layer;
+      EXPECT_GT(d.d_out, 0) << name << "/" << d.layer;
+    }
+  }
+  EXPECT_THROW(reference_layer_dims("nope"), Error);
+}
+
+}  // namespace
+}  // namespace hylo

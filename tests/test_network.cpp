@@ -1,0 +1,154 @@
+// Network graph mechanics: construction validation, forward/backward
+// lifecycle, parameter enumeration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hylo/nn/layers.hpp"
+#include "hylo/nn/network.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+TEST(Network, RequiresInputFirst) {
+  Rng rng(1);
+  Network net;
+  EXPECT_THROW(net.add(std::make_unique<ReLU>(), 0), Error);
+  net.add_input({1, 2, 2});
+  EXPECT_THROW(net.add_input({1, 2, 2}), Error);  // only one input node
+}
+
+TEST(Network, ValidatesInputEdges) {
+  Network net;
+  net.add_input({1, 2, 2});
+  EXPECT_THROW(net.add(std::make_unique<ReLU>(), 5), Error);
+  EXPECT_THROW(net.add(std::make_unique<ReLU>(), -1), Error);
+  EXPECT_THROW(net.add(nullptr, 0), Error);
+  EXPECT_THROW(net.add(std::make_unique<ReLU>(), std::vector<int>{}), Error);
+}
+
+TEST(Network, ShapePropagation) {
+  Rng rng(2);
+  Network net;
+  int x = net.add_input({3, 8, 8});
+  x = net.add(std::make_unique<Conv2d>(5, 3, 2, 1, rng), x);
+  EXPECT_EQ(net.output_shape().c, 5);
+  EXPECT_EQ(net.output_shape().h, 4);
+  x = net.add(std::make_unique<Linear>(7, rng), x);
+  EXPECT_EQ(net.output_shape(), (Shape{7, 1, 1}));
+  EXPECT_EQ(net.input_shape(), (Shape{3, 8, 8}));
+  EXPECT_EQ(net.num_nodes(), 3);
+}
+
+TEST(Network, ForwardRejectsWrongShape) {
+  Rng rng(3);
+  Network net;
+  int x = net.add_input({2, 4, 4});
+  net.add(std::make_unique<Linear>(3, rng), x);
+  const PassContext ctx{};
+  EXPECT_THROW(net.forward(Tensor4(1, 3, 4, 4), ctx), Error);
+}
+
+TEST(Network, BackwardRequiresForward) {
+  Rng rng(4);
+  Network net;
+  int x = net.add_input({2, 2, 2});
+  net.add(std::make_unique<Linear>(3, rng), x);
+  EXPECT_THROW(net.backward(Tensor4(1, 3, 1, 1), PassContext{}), Error);
+  EXPECT_THROW(net.output(), Error);
+}
+
+TEST(Network, BackwardValidatesGradShape) {
+  Rng rng(5);
+  Network net;
+  int x = net.add_input({2, 2, 2});
+  net.add(std::make_unique<Linear>(3, rng), x);
+  net.forward(Tensor4(2, 2, 2, 2), PassContext{});
+  EXPECT_THROW(net.backward(Tensor4(2, 4, 1, 1), PassContext{}), Error);
+}
+
+TEST(Network, NumParamsCountsEverything) {
+  Rng rng(6);
+  Network net;
+  int x = net.add_input({2, 4, 4});
+  x = net.add(std::make_unique<Conv2d>(3, 3, 1, 1, rng), x);  // 3*(2*9+1)=57
+  x = net.add(std::make_unique<BatchNorm2d>(), x);            // 2*3=6
+  net.add(std::make_unique<Linear>(5, rng), x);  // 5*(48+1)=245
+  EXPECT_EQ(net.num_params(), 57 + 6 + 245);
+  EXPECT_EQ(net.param_blocks().size(), 2u);
+  EXPECT_EQ(net.plain_params().size(), 2u);
+}
+
+TEST(Network, ZeroGradClearsAll) {
+  Rng rng(7);
+  Network net;
+  int x = net.add_input({1, 4, 4});
+  x = net.add(std::make_unique<Conv2d>(2, 3, 1, 1, rng), x);
+  x = net.add(std::make_unique<BatchNorm2d>(), x);
+  net.add(std::make_unique<Linear>(2, rng), x);
+
+  Tensor4 in(3, 1, 4, 4);
+  for (index_t i = 0; i < in.size(); ++i) in[i] = rng.normal();
+  const PassContext ctx{.training = true, .capture = false};
+  net.forward(in, ctx);
+  Tensor4 g(3, 2, 1, 1);
+  for (index_t i = 0; i < g.size(); ++i) g[i] = rng.normal();
+  net.backward(g, ctx);
+  for (auto* pb : net.param_blocks()) EXPECT_GT(frobenius_norm(pb->gw), 0.0);
+
+  net.zero_grad();
+  for (auto* pb : net.param_blocks()) EXPECT_EQ(frobenius_norm(pb->gw), 0.0);
+  for (auto pp : net.plain_params())
+    for (const auto v : *pp.grad) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Network, GradientsAccumulateAcrossBackwards) {
+  // Two identical backward passes double the parameter gradient — the
+  // property the multi-rank trainer loop relies on.
+  Rng rng(8);
+  Network net;
+  int x = net.add_input({2, 1, 1});
+  net.add(std::make_unique<Linear>(2, rng), x);
+  Tensor4 in(2, 2, 1, 1);
+  for (index_t i = 0; i < in.size(); ++i) in[i] = rng.normal();
+  Tensor4 g(2, 2, 1, 1);
+  for (index_t i = 0; i < g.size(); ++i) g[i] = rng.normal();
+  const PassContext ctx{};
+  net.zero_grad();
+  net.forward(in, ctx);
+  net.backward(g, ctx);
+  const Matrix once = net.param_blocks()[0]->gw;
+  net.forward(in, ctx);
+  net.backward(g, ctx);
+  EXPECT_LT(max_abs_diff(net.param_blocks()[0]->gw, once * 2.0), 1e-12);
+}
+
+TEST(Network, DagFanOutAccumulatesInputGradients) {
+  // One node feeding two consumers must receive the sum of their gradients:
+  // y = relu(x) + relu(x) means dL/dx = 2 * dL/dy (for positive x).
+  Network net;
+  int x = net.add_input({1, 1, 1});
+  int r1 = net.add(std::make_unique<ReLU>(), x);
+  int r2 = net.add(std::make_unique<ReLU>(), x);
+  net.add(std::make_unique<Add>(), {r1, r2});
+  Tensor4 in(1, 1, 1, 1);
+  in[0] = 3.0;
+  const PassContext ctx{};
+  const Tensor4& out = net.forward(in, ctx);
+  EXPECT_EQ(out[0], 6.0);
+}
+
+TEST(Network, MoveSemantics) {
+  Rng rng(9);
+  Network a;
+  int x = a.add_input({2, 1, 1});
+  a.add(std::make_unique<Linear>(3, rng), x);
+  Network b = std::move(a);
+  EXPECT_EQ(b.num_nodes(), 2);
+  const PassContext ctx{};
+  EXPECT_NO_THROW(b.forward(Tensor4(1, 2, 1, 1), ctx));
+}
+
+}  // namespace
+}  // namespace hylo

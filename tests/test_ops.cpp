@@ -1,0 +1,175 @@
+// Dense kernel correctness: every GEMM variant is validated against a naive
+// reference over a parameterized sweep of shapes, plus the Gram/Hadamard and
+// stacking helpers used by the NGD machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "hylo/tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < b.cols(); ++j) {
+      real_t acc = 0.0;
+      for (index_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  return c;
+}
+
+using Shape = std::tuple<index_t, index_t, index_t>;  // m, k, n
+
+class GemmShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GemmShapes, GemmMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(100 + m + 7 * k + 13 * n);
+  const Matrix a = testutil::random_matrix(rng, m, k);
+  const Matrix b = testutil::random_matrix(rng, k, n);
+  EXPECT_LT(max_abs_diff(matmul(a, b), naive_matmul(a, b)), 1e-10);
+}
+
+TEST_P(GemmShapes, GemmTnMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(200 + m + 7 * k + 13 * n);
+  const Matrix a = testutil::random_matrix(rng, k, m);  // A^T: m x k
+  const Matrix b = testutil::random_matrix(rng, k, n);
+  EXPECT_LT(max_abs_diff(matmul_tn(a, b), naive_matmul(a.transposed(), b)),
+            1e-10);
+}
+
+TEST_P(GemmShapes, GemmNtMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(300 + m + 7 * k + 13 * n);
+  const Matrix a = testutil::random_matrix(rng, m, k);
+  const Matrix b = testutil::random_matrix(rng, n, k);
+  EXPECT_LT(max_abs_diff(matmul_nt(a, b), naive_matmul(a, b.transposed())),
+            1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GemmShapes,
+    ::testing::Values(Shape{1, 1, 1}, Shape{2, 3, 4}, Shape{5, 1, 7},
+                      Shape{16, 16, 16}, Shape{33, 65, 17}, Shape{64, 64, 64},
+                      Shape{70, 130, 3}, Shape{128, 40, 100}));
+
+TEST(Ops, GemmAlphaBeta) {
+  Rng rng(1);
+  const Matrix a = testutil::random_matrix(rng, 8, 5);
+  const Matrix b = testutil::random_matrix(rng, 5, 6);
+  Matrix c = testutil::random_matrix(rng, 8, 6);
+  const Matrix c0 = c;
+  gemm(a, b, c, 2.0, 3.0);
+  Matrix want = naive_matmul(a, b) * 2.0 + c0 * 3.0;
+  EXPECT_LT(max_abs_diff(c, want), 1e-10);
+}
+
+TEST(Ops, GemmInnerDimMismatchThrows) {
+  Matrix a(2, 3), b(4, 2), c;
+  EXPECT_THROW(gemm(a, b, c), Error);
+}
+
+TEST(Ops, GramNtMatchesExplicit) {
+  Rng rng(2);
+  const Matrix a = testutil::random_matrix(rng, 13, 29);
+  EXPECT_LT(max_abs_diff(gram_nt(a), naive_matmul(a, a.transposed())), 1e-10);
+}
+
+TEST(Ops, GramTnMatchesExplicit) {
+  Rng rng(3);
+  const Matrix a = testutil::random_matrix(rng, 29, 13);
+  EXPECT_LT(max_abs_diff(gram_tn(a), naive_matmul(a.transposed(), a)), 1e-10);
+}
+
+TEST(Ops, GramIsSymmetric) {
+  Rng rng(4);
+  const Matrix g = gram_nt(testutil::random_matrix(rng, 11, 6));
+  EXPECT_LT(max_abs_diff(g, g.transposed()), 0.0 + 1e-300);
+}
+
+TEST(Ops, MatvecBothWays) {
+  Rng rng(5);
+  const Matrix a = testutil::random_matrix(rng, 9, 14);
+  std::vector<real_t> x(14), y, yt;
+  for (auto& v : x) v = rng.normal();
+  matvec(a, x, y);
+  Matrix xm(14, 1);
+  for (index_t i = 0; i < 14; ++i) xm[i] = x[static_cast<std::size_t>(i)];
+  const Matrix want = naive_matmul(a, xm);
+  for (index_t i = 0; i < 9; ++i)
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], want[i], 1e-10);
+
+  std::vector<real_t> z(9);
+  for (auto& v : z) v = rng.normal();
+  matvec_t(a, z, yt);
+  Matrix zm(9, 1);
+  for (index_t i = 0; i < 9; ++i) zm[i] = z[static_cast<std::size_t>(i)];
+  const Matrix want_t = naive_matmul(a.transposed(), zm);
+  for (index_t i = 0; i < 14; ++i)
+    EXPECT_NEAR(yt[static_cast<std::size_t>(i)], want_t[i], 1e-10);
+}
+
+TEST(Ops, HadamardAndInplace) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{2, 2}, {0.5, -1}};
+  const Matrix h = hadamard(a, b);
+  EXPECT_EQ(h(0, 1), 4.0);
+  EXPECT_EQ(h(1, 1), -4.0);
+  hadamard_inplace(a, b);
+  EXPECT_EQ(max_abs_diff(a, h), 0.0);
+}
+
+TEST(Ops, AxpyAndDiagonal) {
+  Matrix a{{1, 0}, {0, 1}};
+  Matrix b{{1, 1}, {1, 1}};
+  axpy(a, b, 0.5);
+  EXPECT_EQ(a(0, 0), 1.5);
+  EXPECT_EQ(a(0, 1), 0.5);
+  add_diagonal(a, 2.0);
+  EXPECT_EQ(a(0, 0), 3.5);
+  EXPECT_EQ(a(1, 0), 0.5);
+}
+
+TEST(Ops, NormsAndDot) {
+  Matrix a{{3, 4}};
+  EXPECT_NEAR(frobenius_norm(a), 5.0, 1e-12);
+  EXPECT_NEAR(frobenius_norm_sq(a), 25.0, 1e-12);
+  Matrix b{{1, 2}};
+  EXPECT_NEAR(dot(a, b), 11.0, 1e-12);
+  EXPECT_EQ(max_abs(Matrix{{-7, 2}}), 7.0);
+}
+
+TEST(Ops, RowNorms) {
+  Matrix a{{3, 4}, {0, 0}, {1, 0}};
+  const auto n = row_norms(a);
+  EXPECT_NEAR(n[0], 5.0, 1e-12);
+  EXPECT_EQ(n[1], 0.0);
+  EXPECT_NEAR(n[2], 1.0, 1e-12);
+}
+
+TEST(Ops, VstackConcatenates) {
+  Matrix a{{1, 1}}, b{{2, 2}, {3, 3}};
+  const Matrix v = vstack({a, b});
+  EXPECT_EQ(v.rows(), 3);
+  EXPECT_EQ(v(2, 0), 3.0);
+  EXPECT_THROW(vstack({Matrix(1, 2), Matrix(1, 3)}), Error);
+}
+
+TEST(Ops, BlockDiagAssembles) {
+  Matrix a{{1}}, b{{2, 0}, {0, 2}};
+  const Matrix d = block_diag({a, b});
+  EXPECT_EQ(d.rows(), 3);
+  EXPECT_EQ(d(0, 0), 1.0);
+  EXPECT_EQ(d(2, 2), 2.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+  EXPECT_THROW(block_diag({Matrix(1, 2)}), Error);
+}
+
+}  // namespace
+}  // namespace hylo

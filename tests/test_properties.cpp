@@ -1,0 +1,186 @@
+// Cross-cutting property sweeps (TEST_P) over the invariants the whole
+// method stack rests on: the SMW identity, ID exactness, KIS unbiasedness,
+// kernel PSD-ness, rank monotonicity, loader coverage, cost-model laws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hylo/hylo.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+struct SmwDims {
+  index_t m, din, dout;
+  real_t alpha;
+};
+
+class SmwSweep : public ::testing::TestWithParam<SmwDims> {};
+
+TEST_P(SmwSweep, Eq7HoldsAcrossShapes) {
+  const auto [m, din, dout, alpha] = GetParam();
+  Rng rng(m * 1000 + din * 10 + dout);
+  const Matrix a = testutil::random_matrix(rng, m, din);
+  const Matrix g = testutil::random_matrix(rng, m, dout);
+  const Matrix u = khatri_rao_rowwise(g, a);
+  const Matrix v = testutil::random_matrix(rng, dout, din);
+
+  Matrix f = gram_tn(u);
+  add_diagonal(f, alpha);
+  Matrix vcol(v.size(), 1);
+  for (index_t i = 0; i < v.size(); ++i) vcol[i] = v.data()[i];
+  const Matrix direct = spd_solve(f, vcol);
+
+  Matrix k = kernel_matrix(a, g);
+  add_diagonal(k, alpha);
+  const Matrix y = spd_solve(k, apply_jacobian(a, g, v));
+  Matrix smw = v - apply_jacobian_t(a, g, y);
+  smw *= 1.0 / alpha;
+  for (index_t i = 0; i < v.size(); ++i)
+    EXPECT_NEAR(smw.data()[i], direct[i], 1e-7 * (1.0 + std::abs(direct[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SmwSweep,
+    ::testing::Values(SmwDims{2, 3, 2, 0.5}, SmwDims{6, 4, 4, 0.1},
+                      SmwDims{12, 8, 3, 1.0}, SmwDims{16, 5, 9, 0.05},
+                      SmwDims{24, 12, 12, 2.0}, SmwDims{3, 16, 16, 0.3}));
+
+class KidExactness : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(KidExactness, RecoversExactlyLowRankKernels) {
+  // Per-factor rank k => kernel rank <= k²; KID at r = k² is exact.
+  const index_t k = GetParam();
+  Rng rng(40 + k);
+  const index_t m = 24;
+  const Matrix a = testutil::random_low_rank(rng, m, 10, k);
+  const Matrix g = testutil::random_low_rank(rng, m, 8, k);
+  const Matrix q = kernel_matrix(a, g);
+  const RowId id = row_interpolative_decomposition(q, k * k);
+  EXPECT_LT(frobenius_norm(id_reconstruct(id, q) - q),
+            1e-6 * (1.0 + frobenius_norm(q)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KidExactness, ::testing::Values(1, 2, 3, 4));
+
+TEST(KisProperty, ScaledSamplingApproximatesGramInExpectation) {
+  // Average Âᵀ Â over many independent KIS draws and compare to Aᵀ A. The
+  // estimator is unbiased with replacement; without replacement it carries
+  // a small bias — accept 15% relative error at 400 draws.
+  Rng rng(7);
+  const index_t m = 32, d = 6, rho = 8;
+  const Matrix a = testutil::random_matrix(rng, m, d);
+  const auto norms = row_norms(a);
+  std::vector<real_t> score(static_cast<std::size_t>(m));
+  real_t total = 0.0;
+  for (index_t j = 0; j < m; ++j) {
+    score[static_cast<std::size_t>(j)] =
+        norms[static_cast<std::size_t>(j)] * norms[static_cast<std::size_t>(j)];
+    total += score[static_cast<std::size_t>(j)];
+  }
+  Matrix accum(d, d);
+  const int draws = 400;
+  for (int t = 0; t < draws; ++t) {
+    const auto picked = rng.sample_without_replacement(score, rho);
+    Matrix sub = a.select_rows(picked);
+    for (index_t i = 0; i < rho; ++i) {
+      const real_t p = score[static_cast<std::size_t>(
+                           picked[static_cast<std::size_t>(i)])] /
+                       total;
+      const real_t scale =
+          1.0 / std::sqrt(static_cast<real_t>(rho) * p);
+      real_t* row = sub.row_ptr(i);
+      for (index_t j = 0; j < d; ++j) row[j] *= scale;
+    }
+    accum += gram_tn(sub);
+  }
+  accum *= 1.0 / static_cast<real_t>(draws);
+  const Matrix want = gram_tn(a);
+  EXPECT_LT(frobenius_norm(accum - want), 0.15 * frobenius_norm(want));
+}
+
+class KernelPsd : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(KernelPsd, KernelMatrixAlwaysPsdAndSymmetric) {
+  const index_t m = GetParam();
+  Rng rng(m);
+  const Matrix a = testutil::random_matrix(rng, m, 7);
+  const Matrix g = testutil::random_matrix(rng, m, 5);
+  const Matrix k = kernel_matrix(a, g);
+  EXPECT_LT(max_abs_diff(k, k.transposed()), 1e-12);
+  const auto eigs = eigvalsh(k);
+  for (const auto e : eigs) EXPECT_GT(e, -1e-8 * (1.0 + max_abs(k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KernelPsd, ::testing::Values(2, 5, 9, 17, 33));
+
+TEST(RankProperty, MonotoneInCoverage) {
+  Rng rng(5);
+  const auto eigs = eigvalsh(testutil::random_spd(rng, 20));
+  index_t prev = 0;
+  for (const real_t cov : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const index_t r = numerical_rank(eigs, cov);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+struct LoaderDims {
+  index_t n, batch, world;
+};
+
+class LoaderSweep : public ::testing::TestWithParam<LoaderDims> {};
+
+TEST_P(LoaderSweep, ShardsPartitionUsablePrefix) {
+  const auto [n, batch, world] = GetParam();
+  Dataset ds;
+  ds.images.resize(n, 1, 1, 1);
+  ds.labels.assign(static_cast<std::size_t>(n), 0);
+  for (index_t i = 0; i < n; ++i)
+    ds.images.sample_ptr(i)[0] = static_cast<real_t>(i);
+  std::vector<int> seen;
+  index_t per_rank_batches = -1;
+  for (index_t rank = 0; rank < world; ++rank) {
+    DataLoader loader(ds, batch, 3, rank, world);
+    loader.start_epoch(1);
+    if (rank == 0)
+      per_rank_batches = loader.batches_per_epoch();
+    else
+      EXPECT_EQ(loader.batches_per_epoch(), per_rank_batches);
+    Batch b;
+    while (loader.next(b))
+      for (index_t i = 0; i < b.size(); ++i)
+        seen.push_back(static_cast<int>(b.images.sample_ptr(i)[0]));
+  }
+  // No duplicates across all ranks and batches.
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+  EXPECT_EQ(static_cast<index_t>(seen.size()),
+            per_rank_batches * batch * world);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LoaderSweep,
+                         ::testing::Values(LoaderDims{64, 8, 1},
+                                           LoaderDims{64, 8, 2},
+                                           LoaderDims{100, 7, 3},
+                                           LoaderDims{33, 4, 4},
+                                           LoaderDims{256, 16, 8}));
+
+TEST(CostModelProperty, MonotoneInBytesAndBoundedInWorld) {
+  for (const auto& model : {mist_v100(), aws_p2_k80()}) {
+    double prev = -1.0;
+    for (const index_t bytes : {1 << 10, 1 << 14, 1 << 18, 1 << 22}) {
+      const double t = allreduce_seconds(model, 16, bytes);
+      EXPECT_GT(t, prev);
+      prev = t;
+    }
+    // Allgather grows linearly in world; broadcast logarithmically: for any
+    // fixed payload, allgather must eventually dominate.
+    EXPECT_GT(allgather_seconds(model, 64, 1 << 20),
+              broadcast_seconds(model, 64, 1 << 20));
+  }
+}
+
+}  // namespace
+}  // namespace hylo

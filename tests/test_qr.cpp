@@ -1,0 +1,130 @@
+// Column-pivoted QR: orthogonality, reconstruction, pivot monotonicity,
+// truncation — the machinery the interpolative decomposition sits on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hylo/linalg/qr.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+// Rebuild A from the factorization: columns piv[j] of A equal Q * r[:, j].
+Matrix reconstruct(const PivotedQr& f, index_t m, index_t n) {
+  // Q * R = apply Q to R-padded-to-m-rows: Q = H_0 ... H_{k-1} applied to I.
+  Matrix rfull(m, n);
+  for (index_t i = 0; i < f.r.rows(); ++i)
+    for (index_t j = 0; j < n; ++j) rfull(i, j) = f.r(i, j);
+  // Apply H_{k-1} ... H_0 (i.e. Q, since Q = (H_{k-1}...H_0)ᵀ and each H is
+  // symmetric) to rfull.
+  Matrix x = rfull;
+  for (index_t j = f.rank - 1; j >= 0; --j) {
+    const real_t tau = f.tau[static_cast<std::size_t>(j)];
+    if (tau == 0.0) continue;
+    for (index_t c = 0; c < n; ++c) {
+      real_t dotv = 0.0;
+      for (index_t i = j; i < m; ++i) dotv += f.reflectors(i, j) * x(i, c);
+      dotv *= tau;
+      for (index_t i = j; i < m; ++i) x(i, c) -= dotv * f.reflectors(i, j);
+    }
+  }
+  // Un-pivot columns.
+  Matrix a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      a(i, f.piv[static_cast<std::size_t>(j)]) = x(i, j);
+  return a;
+}
+
+class QrShapes
+    : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(QrShapes, FullRankReconstructs) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 31 + n);
+  const Matrix a = testutil::random_matrix(rng, m, n);
+  const PivotedQr f = pivoted_qr(a);
+  EXPECT_EQ(f.rank, std::min(m, n));
+  EXPECT_LT(max_abs_diff(reconstruct(f, m, n), a), 1e-9);
+}
+
+TEST_P(QrShapes, DiagonalOfRIsNonIncreasing) {
+  const auto [m, n] = GetParam();
+  Rng rng(500 + m * 31 + n);
+  const Matrix a = testutil::random_matrix(rng, m, n);
+  const PivotedQr f = pivoted_qr(a);
+  for (index_t i = 1; i < f.rank; ++i)
+    EXPECT_LE(std::abs(f.r(i, i)), std::abs(f.r(i - 1, i - 1)) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QrShapes,
+                         ::testing::Values(std::pair<index_t, index_t>{1, 1},
+                                           std::pair<index_t, index_t>{5, 5},
+                                           std::pair<index_t, index_t>{10, 4},
+                                           std::pair<index_t, index_t>{4, 10},
+                                           std::pair<index_t, index_t>{40, 40},
+                                           std::pair<index_t, index_t>{64, 20}));
+
+TEST(Qr, PivotsArePermutation) {
+  Rng rng(1);
+  const PivotedQr f = pivoted_qr(testutil::random_matrix(rng, 12, 9));
+  std::vector<bool> seen(9, false);
+  for (const auto p : f.piv) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 9);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(p)]);
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+TEST(Qr, TruncationStopsEarly) {
+  Rng rng(2);
+  const Matrix a = testutil::random_matrix(rng, 20, 15);
+  const PivotedQr f = pivoted_qr(a, 6);
+  EXPECT_EQ(f.rank, 6);
+  EXPECT_EQ(f.r.rows(), 6);
+  EXPECT_EQ(f.r.cols(), 15);
+}
+
+TEST(Qr, ExactRankDeficiencyDetected) {
+  Rng rng(3);
+  const Matrix a = testutil::random_low_rank(rng, 20, 20, 5);
+  const PivotedQr f = pivoted_qr(a);
+  // Numerically the trailing pivots collapse; rank should be close to 5.
+  // (Downdated norms make this approximate: accept 5..8.)
+  int significant = 0;
+  for (index_t i = 0; i < f.rank; ++i)
+    significant += std::abs(f.r(i, i)) > 1e-8 * std::abs(f.r(0, 0));
+  EXPECT_EQ(significant, 5);
+}
+
+TEST(Qr, ApplyQtOrthogonality) {
+  // ‖Qᵀx‖ == ‖x‖ for any x.
+  Rng rng(4);
+  const Matrix a = testutil::random_matrix(rng, 15, 10);
+  const PivotedQr f = pivoted_qr(a);
+  const Matrix x = testutil::random_matrix(rng, 15, 3);
+  const Matrix qtx = apply_qt(f, x);
+  EXPECT_NEAR(frobenius_norm(qtx), frobenius_norm(x), 1e-9);
+}
+
+TEST(Qr, SolveR11) {
+  Rng rng(5);
+  const Matrix a = testutil::random_matrix(rng, 10, 10);
+  const PivotedQr f = pivoted_qr(a, 6);
+  Matrix r11(6, 6);
+  for (index_t i = 0; i < 6; ++i)
+    for (index_t j = 0; j < 6; ++j) r11(i, j) = f.r(i, j);
+  const Matrix b = testutil::random_matrix(rng, 6, 2);
+  const Matrix x = solve_r11(f, b);
+  EXPECT_LT(max_abs_diff(matmul(r11, x), b), 1e-9);
+}
+
+TEST(Qr, ZeroMatrixRankZero) {
+  const PivotedQr f = pivoted_qr(Matrix(5, 5));
+  EXPECT_EQ(f.rank, 0);
+}
+
+}  // namespace
+}  // namespace hylo

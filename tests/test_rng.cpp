@@ -1,0 +1,168 @@
+// Tests for the deterministic RNG: reproducibility, distribution sanity,
+// weighted sampling behaviour (the KIS substrate).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "hylo/common/rng.hpp"
+
+namespace hylo {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto v1 = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), v1);
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Rng a(5);
+  Rng child = a.split();
+  // Child should not replay the parent stream.
+  Rng b(5);
+  b.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (child.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const real_t u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const real_t u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(13);
+  real_t sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(14);
+  real_t sum = 0.0, sumsq = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const real_t x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(15);
+  real_t sum = 0.0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(16);
+  std::set<index_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const index_t v = rng.uniform_int(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformIntRejectsNonPositive) {
+  Rng rng(17);
+  EXPECT_THROW(rng.uniform_int(0), Error);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(18);
+  const auto p = rng.permutation(50);
+  std::set<index_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(*s.begin(), 0);
+  EXPECT_EQ(*s.rbegin(), 49);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  std::vector<real_t> w(20, 1.0);
+  const auto s = rng.sample_without_replacement(w, 10);
+  std::set<index_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  for (const auto i : s) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 20);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFavorsHeavyWeights) {
+  Rng rng(20);
+  // Item 0 has overwhelming weight; it should virtually always be selected.
+  std::vector<real_t> w(50, 1.0);
+  w[0] = 1e6;
+  int hits = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto s = rng.sample_without_replacement(w, 5);
+    hits += std::count(s.begin(), s.end(), index_t{0}) > 0;
+  }
+  EXPECT_GE(hits, 198);
+}
+
+TEST(Rng, SampleWithoutReplacementSkipsZeroWeights) {
+  Rng rng(21);
+  std::vector<real_t> w = {0.0, 1.0, 0.0, 1.0, 1.0};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = rng.sample_without_replacement(w, 3);
+    for (const auto i : s) EXPECT_GT(w[static_cast<std::size_t>(i)], 0.0);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng rng(22);
+  std::vector<real_t> w = {1.0, 2.0, 3.0};
+  const auto s = rng.sample_without_replacement(w, 3);
+  std::set<index_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(Rng, SampleWithoutReplacementValidatesK) {
+  Rng rng(23);
+  std::vector<real_t> w = {1.0, 1.0};
+  EXPECT_THROW(rng.sample_without_replacement(w, 0), Error);
+  EXPECT_THROW(rng.sample_without_replacement(w, 3), Error);
+}
+
+}  // namespace
+}  // namespace hylo

@@ -1,0 +1,147 @@
+// Sec. IV — the SNGD-for-CNNs extension. Validates the spatial-sum capture
+// against the exactly-equivalent fully-connected construction, and the
+// KID/SNGD equivalence on convolutional captures.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hylo/hylo.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+Tensor4 random_batch(Rng& rng, index_t n, Shape s) {
+  Tensor4 x(n, s.c, s.h, s.w);
+  for (index_t i = 0; i < x.size(); ++i) x[i] = rng.normal();
+  return x;
+}
+
+// Train step with capture on a 1-layer conv net; returns the block.
+void captured_pass(Network& net, const Tensor4& x, index_t classes, Rng& rng) {
+  const PassContext ctx{.training = true, .capture = true};
+  net.zero_grad();
+  const Tensor4& out = net.forward(x, ctx);
+  std::vector<int> y(static_cast<std::size_t>(x.n()));
+  for (auto& v : y) v = static_cast<int>(rng.uniform_int(classes));
+  // The conv net ends in a pooling+linear head in these tests, so out is
+  // logits already.
+  const LossResult lr = SoftmaxCrossEntropy().compute(out, y);
+  net.backward(lr.grad, ctx);
+}
+
+TEST(SngdCnn, SpatialSumEqualsLinearWhenOutputIsOnePixel) {
+  // A conv whose receptive field covers the whole input (S = 1) is exactly a
+  // fully-connected layer on the flattened input; the Sec. IV capture must
+  // coincide with the Linear capture, and so must the SNGD preconditioning.
+  const index_t m = 6, c = 2, hw = 3;
+  Rng data_rng(1);
+  const Tensor4 x = random_batch(data_rng, m, {c, hw, hw});
+
+  Rng wrng1(7);
+  Network conv_net;
+  int n1 = conv_net.add_input({c, hw, hw});
+  n1 = conv_net.add(std::make_unique<Conv2d>(4, hw, 1, 0, wrng1), n1);
+  conv_net.add(std::make_unique<Linear>(3, wrng1), n1);
+
+  Rng wrng2(7);  // same stream: identical conv/linear weights
+  Network lin_net;
+  int n2 = lin_net.add_input({c, hw, hw});
+  n2 = lin_net.add(std::make_unique<Linear>(4, wrng2), n2);
+  lin_net.add(std::make_unique<Linear>(3, wrng2), n2);
+
+  // Note: Conv2d(4, 3x3) on 3x3 input has weight layout c_out x (c*3*3+1) ==
+  // the Linear(4) layout on 18 flattened inputs, and He-init consumed in the
+  // same order — weights coincide. But im2col's patch ordering differs from
+  // flat NCHW ordering only by a permutation of (c,ky,kx) vs (c,h,w), which
+  // for full-input kernels is the identity. Verify outputs agree first.
+  const PassContext plain{.training = true, .capture = false};
+  const Tensor4& yc = conv_net.forward(x, plain);
+  const Tensor4& yl = lin_net.forward(x, plain);
+  ASSERT_EQ(yc.size(), yl.size());
+  for (index_t i = 0; i < yc.size(); ++i) EXPECT_NEAR(yc[i], yl[i], 1e-12);
+
+  Rng lrng(3);
+  captured_pass(conv_net, x, 3, lrng);
+  lrng.reseed(3);
+  captured_pass(lin_net, x, 3, lrng);
+
+  ParamBlock* cb = conv_net.param_blocks()[0];
+  ParamBlock* lb = lin_net.param_blocks()[0];
+  ASSERT_EQ(cb->a_samples.cols(), lb->a_samples.cols());
+  EXPECT_LT(max_abs_diff(cb->a_samples, lb->a_samples), 1e-12);
+  EXPECT_LT(max_abs_diff(cb->g_samples, lb->g_samples), 1e-12);
+  EXPECT_LT(max_abs_diff(cb->gw, lb->gw), 1e-12);
+
+  // And the SNGD-preconditioned gradients coincide (Eq. 11 == Eq. 7 here).
+  OptimConfig oc;
+  oc.damping = 0.4;
+  Sngd s1(oc), s2(oc);
+  CaptureSet cap1, cap2;
+  cap1.a = {{cb->a_samples}};
+  cap1.g = {{cb->g_samples}};
+  cap2.a = {{lb->a_samples}};
+  cap2.g = {{lb->g_samples}};
+  s1.update_curvature({cb}, cap1, nullptr);
+  s2.update_curvature({lb}, cap2, nullptr);
+  EXPECT_LT(max_abs_diff(s1.preconditioned(cb->gw, 0),
+                         s2.preconditioned(lb->gw, 0)),
+            1e-10);
+}
+
+TEST(SngdCnn, KidFullRankMatchesSngdOnConvCaptures) {
+  // The Eq. 8 -> Eq. 7 anchor property, on real convolutional captures with
+  // spatial extent (S > 1), where the Sec. IV spatial-sum matrices feed both
+  // methods identically.
+  Rng data_rng(2), lrng(5);
+  Network net = make_c3f1({1, 8, 8}, 4, 4, 11);
+  const Tensor4 x = random_batch(data_rng, 8, {1, 8, 8});
+  captured_pass(net, x, 4, lrng);
+
+  auto blocks = net.param_blocks();
+  CaptureSet cap;
+  cap.a.resize(blocks.size());
+  cap.g.resize(blocks.size());
+  for (std::size_t l = 0; l < blocks.size(); ++l) {
+    cap.a[l] = {blocks[l]->a_samples};
+    cap.g[l] = {blocks[l]->g_samples};
+  }
+
+  OptimConfig oc;
+  oc.damping = 0.5;
+  oc.rank_ratio = 1.0;
+  Sngd sngd(oc);
+  HyloOptimizer hylo(oc);
+  hylo.set_policy(HyloOptimizer::Policy::kAlwaysKid);
+  hylo.begin_epoch(0, false);
+  sngd.update_curvature(blocks, cap, nullptr);
+  hylo.update_curvature(blocks, cap, nullptr);
+
+  for (std::size_t l = 0; l < blocks.size(); ++l) {
+    const Matrix& g = blocks[l]->gw;
+    const Matrix exact = sngd.preconditioned(g, static_cast<index_t>(l));
+    const Matrix approx = hylo.preconditioned(g, static_cast<index_t>(l));
+    EXPECT_LT(max_abs_diff(approx, exact), 1e-6 * (1.0 + max_abs(exact)))
+        << "layer " << l;
+  }
+}
+
+TEST(SngdCnn, ConvCaptureAugmentationCarriesSpatialSize) {
+  Rng data_rng(3), wrng(4), lrng(6);
+  Network net;
+  int n = net.add_input({2, 8, 8});
+  n = net.add(std::make_unique<Conv2d>(3, 3, 1, 1, wrng), n);  // S = 64
+  n = net.add(std::make_unique<GlobalAvgPool>(), n);
+  net.add(std::make_unique<Linear>(2, wrng), n);
+  const Tensor4 x = random_batch(data_rng, 4, {2, 8, 8});
+  captured_pass(net, x, 2, lrng);
+  ParamBlock* conv = net.param_blocks()[0];
+  for (index_t i = 0; i < 4; ++i)
+    EXPECT_EQ(conv->a_samples(i, conv->d_in), 64.0);
+  ParamBlock* fc = net.param_blocks()[1];
+  for (index_t i = 0; i < 4; ++i)
+    EXPECT_EQ(fc->a_samples(i, fc->d_in), 1.0);
+}
+
+}  // namespace
+}  // namespace hylo

@@ -1,0 +1,39 @@
+#pragma once
+// Shared helpers for hylo tests: random matrix generation and tolerances.
+#include "hylo/common/rng.hpp"
+#include "hylo/tensor/matrix.hpp"
+#include "hylo/tensor/ops.hpp"
+
+namespace hylo::testutil {
+
+inline Matrix random_matrix(Rng& rng, index_t rows, index_t cols,
+                            real_t scale = 1.0) {
+  Matrix m(rows, cols);
+  for (index_t i = 0; i < m.size(); ++i) m[i] = scale * rng.normal();
+  return m;
+}
+
+inline Matrix random_spd(Rng& rng, index_t n, real_t shift = 0.5) {
+  const Matrix b = random_matrix(rng, n, n);
+  Matrix s = gram_nt(b);
+  add_diagonal(s, shift * static_cast<real_t>(n));
+  return s;
+}
+
+inline Matrix random_symmetric(Rng& rng, index_t n) {
+  Matrix m = random_matrix(rng, n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < i; ++j) {
+      const real_t v = 0.5 * (m(i, j) + m(j, i));
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  return m;
+}
+
+/// Rank-deficient matrix: product of (rows x r) and (r x cols).
+inline Matrix random_low_rank(Rng& rng, index_t rows, index_t cols, index_t r) {
+  return matmul(random_matrix(rng, rows, r), random_matrix(rng, r, cols));
+}
+
+}  // namespace hylo::testutil
