@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rank.dir/bench_ablation_rank.cpp.o"
+  "CMakeFiles/bench_ablation_rank.dir/bench_ablation_rank.cpp.o.d"
+  "bench_ablation_rank"
+  "bench_ablation_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

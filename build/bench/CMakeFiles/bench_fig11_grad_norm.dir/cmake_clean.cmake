@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_grad_norm.dir/bench_fig11_grad_norm.cpp.o"
+  "CMakeFiles/bench_fig11_grad_norm.dir/bench_fig11_grad_norm.cpp.o.d"
+  "bench_fig11_grad_norm"
+  "bench_fig11_grad_norm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_grad_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_layer_dims.dir/bench_fig2_layer_dims.cpp.o"
+  "CMakeFiles/bench_fig2_layer_dims.dir/bench_fig2_layer_dims.cpp.o.d"
+  "bench_fig2_layer_dims"
+  "bench_fig2_layer_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_layer_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

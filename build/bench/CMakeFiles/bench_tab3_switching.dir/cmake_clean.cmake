@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_switching.dir/bench_tab3_switching.cpp.o"
+  "CMakeFiles/bench_tab3_switching.dir/bench_tab3_switching.cpp.o.d"
+  "bench_tab3_switching"
+  "bench_tab3_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hylo_train.dir/hylo_train.cpp.o"
+  "CMakeFiles/hylo_train.dir/hylo_train.cpp.o.d"
+  "hylo_train"
+  "hylo_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hylo_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmentation_unet.dir/segmentation_unet.cpp.o"
+  "CMakeFiles/segmentation_unet.dir/segmentation_unet.cpp.o.d"
+  "segmentation_unet"
+  "segmentation_unet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmentation_unet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

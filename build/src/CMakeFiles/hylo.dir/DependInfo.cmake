@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/check.cpp" "src/CMakeFiles/hylo.dir/common/check.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/common/check.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/hylo.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/hylo.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/common/rng.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/hylo.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/core/trainer.cpp.o.d"
+  "/root/repo/src/data/datasets.cpp" "src/CMakeFiles/hylo.dir/data/datasets.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/data/datasets.cpp.o.d"
+  "/root/repo/src/dist/comm.cpp" "src/CMakeFiles/hylo.dir/dist/comm.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/dist/comm.cpp.o.d"
+  "/root/repo/src/dist/cost_model.cpp" "src/CMakeFiles/hylo.dir/dist/cost_model.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/dist/cost_model.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/CMakeFiles/hylo.dir/linalg/cholesky.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/eigh.cpp" "src/CMakeFiles/hylo.dir/linalg/eigh.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/linalg/eigh.cpp.o.d"
+  "/root/repo/src/linalg/id.cpp" "src/CMakeFiles/hylo.dir/linalg/id.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/linalg/id.cpp.o.d"
+  "/root/repo/src/linalg/kernels.cpp" "src/CMakeFiles/hylo.dir/linalg/kernels.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/linalg/kernels.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/hylo.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/CMakeFiles/hylo.dir/linalg/qr.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/linalg/qr.cpp.o.d"
+  "/root/repo/src/models/zoo.cpp" "src/CMakeFiles/hylo.dir/models/zoo.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/models/zoo.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/hylo.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/hylo.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/layers_basic.cpp" "src/CMakeFiles/hylo.dir/nn/layers_basic.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/nn/layers_basic.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/hylo.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/hylo.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/CMakeFiles/hylo.dir/nn/network.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/nn/network.cpp.o.d"
+  "/root/repo/src/optim/hylo_optimizer.cpp" "src/CMakeFiles/hylo.dir/optim/hylo_optimizer.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/optim/hylo_optimizer.cpp.o.d"
+  "/root/repo/src/optim/kfac.cpp" "src/CMakeFiles/hylo.dir/optim/kfac.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/optim/kfac.cpp.o.d"
+  "/root/repo/src/optim/optimizer.cpp" "src/CMakeFiles/hylo.dir/optim/optimizer.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/optim/optimizer.cpp.o.d"
+  "/root/repo/src/optim/second_order.cpp" "src/CMakeFiles/hylo.dir/optim/second_order.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/optim/second_order.cpp.o.d"
+  "/root/repo/src/optim/sngd.cpp" "src/CMakeFiles/hylo.dir/optim/sngd.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/optim/sngd.cpp.o.d"
+  "/root/repo/src/tensor/matrix.cpp" "src/CMakeFiles/hylo.dir/tensor/matrix.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/tensor/matrix.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/hylo.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor4.cpp" "src/CMakeFiles/hylo.dir/tensor/tensor4.cpp.o" "gcc" "src/CMakeFiles/hylo.dir/tensor/tensor4.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

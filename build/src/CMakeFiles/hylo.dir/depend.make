@@ -1,0 +1,2 @@
+# Empty dependencies file for hylo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigh.dir/test_eigh.cpp.o"
+  "CMakeFiles/test_eigh.dir/test_eigh.cpp.o.d"
+  "test_eigh"
+  "test_eigh.pdb"
+  "test_eigh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optim_first_order.dir/test_optim_first_order.cpp.o"
+  "CMakeFiles/test_optim_first_order.dir/test_optim_first_order.cpp.o.d"
+  "test_optim_first_order"
+  "test_optim_first_order.pdb"
+  "test_optim_first_order[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optim_first_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optim_hylo.dir/test_optim_hylo.cpp.o"
+  "CMakeFiles/test_optim_hylo.dir/test_optim_hylo.cpp.o.d"
+  "test_optim_hylo"
+  "test_optim_hylo.pdb"
+  "test_optim_hylo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optim_hylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

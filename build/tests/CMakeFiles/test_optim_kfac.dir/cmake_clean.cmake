@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optim_kfac.dir/test_optim_kfac.cpp.o"
+  "CMakeFiles/test_optim_kfac.dir/test_optim_kfac.cpp.o.d"
+  "test_optim_kfac"
+  "test_optim_kfac.pdb"
+  "test_optim_kfac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optim_kfac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

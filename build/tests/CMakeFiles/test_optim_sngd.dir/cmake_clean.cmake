@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optim_sngd.dir/test_optim_sngd.cpp.o"
+  "CMakeFiles/test_optim_sngd.dir/test_optim_sngd.cpp.o.d"
+  "test_optim_sngd"
+  "test_optim_sngd.pdb"
+  "test_optim_sngd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optim_sngd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_optim_sngd.
+# This may be replaced when dependencies are built.

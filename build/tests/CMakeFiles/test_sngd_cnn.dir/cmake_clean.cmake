@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sngd_cnn.dir/test_sngd_cnn.cpp.o"
+  "CMakeFiles/test_sngd_cnn.dir/test_sngd_cnn.cpp.o.d"
+  "test_sngd_cnn"
+  "test_sngd_cnn.pdb"
+  "test_sngd_cnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sngd_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor4[1]_include.cmake")
+include("/root/repo/build/tests/test_cholesky[1]_include.cmake")
+include("/root/repo/build/tests/test_lu[1]_include.cmake")
+include("/root/repo/build/tests/test_eigh[1]_include.cmake")
+include("/root/repo/build/tests/test_qr[1]_include.cmake")
+include("/root/repo/build/tests/test_id[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_loss[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_datasets[1]_include.cmake")
+include("/root/repo/build/tests/test_dist[1]_include.cmake")
+include("/root/repo/build/tests/test_optim_sngd[1]_include.cmake")
+include("/root/repo/build/tests/test_optim_hylo[1]_include.cmake")
+include("/root/repo/build/tests/test_optim_kfac[1]_include.cmake")
+include("/root/repo/build/tests/test_trainer[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_optim_first_order[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_sngd_cnn[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
