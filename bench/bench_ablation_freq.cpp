@@ -28,6 +28,7 @@ int main() {
     tc.interconnect = mist_v100();
     tc.max_iters_per_epoch = large_scale() ? -1 : 10;
     tc.lr_schedule = {{epochs * 2 / 3}, 0.1};
+    apply_env_telemetry(tc, "ablation_freq/f" + std::to_string(freq));
     Trainer trainer(net, opt, w.data, tc);
     const TrainResult res = trainer.run();
     table.add(freq, trainer.profiler().calls("comp/inversion"),

@@ -31,6 +31,7 @@ int main() {
     tc.interconnect = mist_v100();
     tc.max_iters_per_epoch = large_scale() ? -1 : 10;
     tc.lr_schedule = {{epochs * 2 / 3}, 0.1};
+    apply_env_telemetry(tc, "ablation_rank/r" + std::to_string(ratio));
     Trainer trainer(net, opt, w.data, tc);
     const TrainResult res = trainer.run();
     const auto& prof = trainer.profiler();

@@ -22,6 +22,17 @@ inline bool large_scale() {
   return env != nullptr && std::string(env) == "large";
 }
 
+/// Opt-in telemetry for every bench driver: when HYLO_TELEMETRY_DIR is set,
+/// the Trainer writes <dir>/<tag>/run.jsonl and <dir>/<tag>/trace.json for
+/// each training run the bench performs (per-step records off — bench runs
+/// are short but many). No-op otherwise.
+inline void apply_env_telemetry(TrainConfig& tc, const std::string& tag) {
+  const char* dir = std::getenv("HYLO_TELEMETRY_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  tc.telemetry.dir = std::string(dir) + "/" + tag;
+  tc.telemetry.per_step = false;
+}
+
 /// One experiment setup: proxy model + matching synthetic dataset.
 struct Workload {
   std::string paper_name;   // what the paper calls it

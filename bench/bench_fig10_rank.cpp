@@ -28,6 +28,7 @@ std::vector<real_t> layer_ranks(const Workload& w, index_t global_batch) {
     tc.epochs = 1;
     tc.batch_size = 32;
     tc.max_iters_per_epoch = 8;
+    apply_env_telemetry(tc, "fig10/" + w.paper_name + "/warmup");
     Trainer trainer(net, opt, w.data, tc);
     trainer.run();
   }

@@ -29,6 +29,7 @@ int main() {
   tc.interconnect = aws_p2_k80();
   tc.max_iters_per_epoch = large_scale() ? -1 : 10;
   tc.lr_schedule = {{decay_epoch}, 0.1};
+  apply_env_telemetry(tc, "fig11/" + w.paper_name);
   Trainer trainer(net, opt, w.data, tc);
 
   // Record per-layer gradient norms at each epoch boundary via the hook.

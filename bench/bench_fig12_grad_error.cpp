@@ -105,6 +105,8 @@ int main() {
       const ErrorSample e = measure_errors(net, w, 256, 100 + step);
       table.add(step, e.kid, e.kis, e.kis / std::max(e.kid, real_t{1e-12}));
       // Train a little more between checkpoints.
+      apply_env_telemetry(tc, "fig12/" + w.paper_name + "/warmup" +
+                                  std::to_string(step));
       Trainer trainer(net, warmup, w.data, tc);
       trainer.run();
     }

@@ -35,6 +35,7 @@ int main() {
       tc.max_iters_per_epoch = big ? -1 : 24;
       tc.lr_schedule = {{epochs * 2 / 3}, 0.1};
       tc.target_metric = target;
+      apply_env_telemetry(tc, "fig4/" + w.paper_name + "/" + name);
       Trainer trainer(net, *opt, w.data, tc);
       const TrainResult res = trainer.run();
       for (const auto& e : res.epochs)

@@ -43,6 +43,7 @@ int main() {
       tc.lr_schedule = {{setup.epochs * 2 / 3}, 0.1};
       tc.target_metric = w.target_metric;
       tc.max_iters_per_epoch = big ? -1 : 12;
+      apply_env_telemetry(tc, "fig5/" + setup.workload + "/" + name);
       Trainer trainer(net, *opt, w.data, tc);
       const TrainResult res = trainer.run();
       for (const auto& e : res.epochs)

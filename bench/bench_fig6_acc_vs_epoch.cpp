@@ -39,6 +39,7 @@ int main() {
       tc.interconnect = mist_v100();
       tc.lr_schedule = {{epochs * 2 / 3}, 0.1};
       tc.max_iters_per_epoch = big ? -1 : 8;
+      apply_env_telemetry(tc, "fig6/" + setup.workload + "/" + names[i]);
       Trainer trainer(net, *opt, w.data, tc);
       const TrainResult res = trainer.run();
       for (const auto& e : res.epochs) metric[i].push_back(e.test_metric);

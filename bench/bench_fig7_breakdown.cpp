@@ -43,19 +43,22 @@ Breakdown profile_method(const Workload& w, const std::string& method,
   tc.world = world;
   tc.interconnect = mist_v100();
   tc.max_iters_per_epoch = refreshes;
+  apply_env_telemetry(tc, "fig7/" + w.paper_name + "/" + method);
   Trainer trainer(net, *opt, w.data, tc);
   trainer.run();
 
-  const auto& prof = trainer.profiler();
+  // Read the per-phase timings straight from the metrics registry (the
+  // Profiler facade writes into it); same numbers the run log snapshots.
+  const obs::MetricsRegistry& reg = trainer.profiler().registry();
   const double n = static_cast<double>(refreshes);
   const double pw = static_cast<double>(world);
   Breakdown b;
-  b.factor_ms = prof.seconds("comp/factorization") / pw / n * 1e3;
-  b.invert_ms = std::max(prof.seconds("comp/inversion") / pw,
-                         prof.seconds("comp/inversion_critical")) /
+  b.factor_ms = reg.timing_seconds("comp/factorization") / pw / n * 1e3;
+  b.invert_ms = std::max(reg.timing_seconds("comp/inversion") / pw,
+                         reg.timing_seconds("comp/inversion_critical")) /
                 n * 1e3;
-  b.gather_ms = prof.seconds("comm/gather") / n * 1e3;
-  b.bcast_ms = prof.seconds("comm/broadcast") / n * 1e3;
+  b.gather_ms = reg.timing_seconds("comm/gather") / n * 1e3;
+  b.bcast_ms = reg.timing_seconds("comm/broadcast") / n * 1e3;
   return b;
 }
 

@@ -33,6 +33,8 @@ double epoch_seconds(const Workload& w, const std::string& method,
   // (the paper likewise measures 3 epochs and projects the whole training).
   tc.max_iters_per_epoch =
       large_scale() ? -1 : std::max<index_t>(2, 48 / world);
+  apply_env_telemetry(tc, "fig8/" + w.paper_name + "/" + method + "/P" +
+                              std::to_string(world));
   Trainer trainer(net, *opt, w.data, tc);
   const TrainResult res = trainer.run();
   const double per_iter =

@@ -32,6 +32,10 @@ Outcome run(const Workload& w, HyloOptimizer::Policy policy, index_t world,
   tc.interconnect = mist_v100();
   tc.max_iters_per_epoch = large_scale() ? -1 : 8;
   tc.lr_schedule = {{epochs * 2 / 3}, 0.1};
+  apply_env_telemetry(
+      tc, "tab3/" + w.paper_name + "/" +
+              (policy == HyloOptimizer::Policy::kGradientBased ? "gradient"
+                                                               : "random"));
   Trainer trainer(net, opt, w.data, tc);
   const TrainResult res = trainer.run();
   Outcome o;

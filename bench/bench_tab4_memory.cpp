@@ -26,6 +26,8 @@ index_t measure_state_bytes(const Workload& w, const std::string& method,
   tc.world = world;
   tc.interconnect = mist_v100();
   tc.max_iters_per_epoch = 2;
+  apply_env_telemetry(tc, "tab4/" + w.paper_name + "/" + method + "/P" +
+                              std::to_string(world));
   Trainer trainer(net, *opt, w.data, tc);
   trainer.run();
   return opt->state_bytes();

@@ -1,7 +1,10 @@
 // Distributed-training example: run HyLo on 8 simulated workers over the
 // V100-cluster interconnect model, and inspect everything the simulator
 // tracks — the KID/KIS switching schedule, the computation/communication
-// profile, per-collective costs, and the low rank actually used.
+// profile, per-collective wire bytes, and the low rank actually used. With
+// telemetry on, the run also writes hylo_distributed_run/run.jsonl and a
+// Chrome-trace timeline (hylo_distributed_run/trace.json) where the 8 rank
+// tracks interleave with the modeled collectives on the interconnect lane.
 //
 //   $ ./examples/distributed_training
 #include <iomanip>
@@ -33,6 +36,7 @@ int main() {
   tc.world = world;
   tc.interconnect = mist_v100();
   tc.lr_schedule = {{4}, 0.1};
+  tc.telemetry.dir = "hylo_distributed_run";  // run.jsonl + trace.json
   Trainer trainer(net, opt, data, tc);
 
   std::cout << "Training " << net.name() << " on " << world
@@ -62,6 +66,17 @@ int main() {
     std::cout << "  " << std::left << std::setw(28) << name << " "
               << std::setw(12) << entry.seconds << "s  x" << entry.calls
               << "\n";
+
+  std::cout << "\nWire accounting (modeled payload bytes per collective):\n";
+  for (const auto& [name, entry] : trainer.profiler().sections()) {
+    if (name.rfind("comm/", 0) != 0) continue;
+    std::cout << "  " << std::left << std::setw(28) << name << " "
+              << trainer.comm().wire_bytes_charged(name) << " B over "
+              << trainer.comm().messages(name) << " calls\n";
+  }
+  std::cout << "telemetry: " << trainer.run_log().run_log_path() << ", "
+            << trainer.run_log().trace_path()
+            << " (load in https://ui.perfetto.dev)\n";
 
   std::cout << "\nSwitching schedule:";
   for (const auto m : opt.mode_history())

@@ -15,6 +15,9 @@
 //   --wire-bytes X        (4=FP32, 2=FP16, 2.625=21-bit of Ueno et al.)
 //   --interconnect {mist,p2,loopback}
 //   --target X            (early-stop test metric)
+//   --telemetry DIR       (write DIR/run.jsonl + DIR/trace.json; load the
+//                          trace in chrome://tracing or ui.perfetto.dev)
+//   --no-step-log         (with --telemetry: epoch records only)
 //   --profiling           (dump the comp/comm profiler at the end)
 //   --grad-norm           (print HyLo's Δ-norm history)
 //   --rank-analysis       (print the low rank used per refresh)
@@ -50,7 +53,8 @@ struct Args {
 Args parse(int argc, char** argv) {
   Args a;
   const std::map<std::string, bool> known_flags = {
-      {"profiling", true}, {"grad-norm", true}, {"rank-analysis", true}};
+      {"profiling", true}, {"grad-norm", true}, {"rank-analysis", true},
+      {"no-step-log", true}};
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     HYLO_CHECK(arg.rfind("--", 0) == 0, "unexpected argument " << arg);
@@ -120,6 +124,8 @@ int main(int argc, char** argv) {
   tc.wire_scalar_bytes = args.getd("wire-bytes", 4.0);
   tc.lr_schedule = {{tc.epochs * 2 / 3}, 0.1};
   tc.verbose = true;
+  tc.telemetry.dir = args.get("telemetry", "");
+  tc.telemetry.per_step = !args.has("no-step-log");
   const std::string net_name = args.get("interconnect", "mist");
   tc.interconnect = net_name == "mist" ? mist_v100()
                     : net_name == "p2" ? aws_p2_k80()
@@ -139,6 +145,15 @@ int main(int argc, char** argv) {
   if (res.time_to_target)
     std::cout << "reached target in " << *res.time_to_target << "s / "
               << *res.epochs_to_target << " epochs\n";
+  if (trainer.run_log().enabled()) {
+    std::cout << "telemetry: " << trainer.run_log().run_log_path() << " ("
+              << trainer.run_log().records_written() << " records), "
+              << trainer.run_log().trace_path()
+              << " (open in chrome://tracing or https://ui.perfetto.dev)\n"
+              << "wire totals: " << trainer.comm().total_wire_bytes()
+              << " bytes over " << trainer.comm().total_messages()
+              << " collectives\n";
+  }
 
   if (args.has("profiling")) {
     std::cout << "\nprofile:\n";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <sstream>
 
 #include "hylo/optim/hylo_optimizer.hpp"
 #include "hylo/optim/kfac.hpp"
@@ -9,6 +10,15 @@
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
+
+namespace {
+/// The trainer's verbose flag doubles as the run log's echo switch.
+obs::RunLogConfig telemetry_config(const TrainConfig& cfg) {
+  obs::RunLogConfig rc = cfg.telemetry;
+  rc.echo = rc.echo || cfg.verbose;
+  return rc;
+}
+}  // namespace
 
 real_t TrainResult::best_metric() const {
   real_t best = 0.0;
@@ -19,7 +29,7 @@ real_t TrainResult::best_metric() const {
 Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
                  TrainConfig cfg)
     : net_(&net), opt_(&opt), data_(&data), cfg_(cfg),
-      comm_(cfg.world, cfg.interconnect),
+      comm_(cfg.world, cfg.interconnect), runlog_(telemetry_config(cfg)),
       segmentation_(data.train.is_segmentation()) {
   HYLO_CHECK(cfg_.world >= 1 && cfg_.epochs >= 1 && cfg_.batch_size >= 1,
              "bad train config");
@@ -28,6 +38,26 @@ Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
   for (index_t r = 0; r < cfg_.world; ++r)
     loaders_.emplace_back(data.train, cfg_.batch_size, cfg_.data_seed, r,
                           cfg_.world);
+  if (runlog_.enabled()) {
+    runlog_.attach_metrics(&comm_.profiler().registry());
+    comm_.set_trace(&runlog_.trace());
+    for (index_t r = 0; r < cfg_.world; ++r)
+      runlog_.trace().set_track_name(static_cast<int>(r),
+                                     "rank " + std::to_string(r));
+    runlog_.trace().set_track_name(obs::TraceBuffer::kCommTrack,
+                                   "interconnect");
+    obs::Json start = obs::Json::object();
+    start.set("optimizer", opt_->name());
+    start.set("world", cfg_.world);
+    start.set("epochs", cfg_.epochs);
+    start.set("batch_size", cfg_.batch_size);
+    start.set("lr", opt_->lr());
+    start.set("wire_scalar_bytes", cfg_.wire_scalar_bytes);
+    start.set("interconnect", cfg_.interconnect.name);
+    start.set("params", net_->num_params());
+    start.set("segmentation", segmentation_);
+    runlog_.record("run_start", std::move(start));
+  }
 }
 
 std::pair<real_t, real_t> Trainer::evaluate() {
@@ -82,6 +112,8 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
 
   real_t loss_acc = 0.0, metric_acc = 0.0;
   Batch batch;
+  obs::TraceBuffer* trace = runlog_.enabled() ? &runlog_.trace() : nullptr;
+  auto* hy = dynamic_cast<HyloOptimizer*>(opt_);
 
   for (index_t it = 0; it < iters; ++it) {
     const bool capture = opt_->needs_capture(global_iter_);
@@ -94,15 +126,17 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
       cap.g.resize(static_cast<std::size_t>(layer_count));
     }
 
+    real_t iter_loss = 0.0, iter_metric = 0.0;
     WallTimer fb_timer;
     for (index_t rank = 0; rank < cfg_.world; ++rank) {
+      WallTimer rank_timer;
       HYLO_CHECK(loaders_[static_cast<std::size_t>(rank)].next(batch),
                  "loader exhausted mid-epoch");
       const Tensor4& out = net_->forward(batch.images, ctx);
       LossResult lr = segmentation_ ? dice_.compute(out, batch.masks)
                                     : ce_.compute(out, batch.labels);
-      loss_acc += lr.loss;
-      metric_acc += lr.metric;
+      iter_loss += lr.loss;
+      iter_metric += lr.metric;
       net_->backward(lr.grad, ctx);
       if (capture) {
         for (index_t l = 0; l < layer_count; ++l) {
@@ -112,7 +146,13 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
               std::move(blocks[static_cast<std::size_t>(l)]->g_samples));
         }
       }
+      if (trace != nullptr)
+        trace->add_span("fwd_bwd", "comp", static_cast<int>(rank),
+                        rank_timer.seconds(),
+                        obs::Json::object().set("iter", global_iter_));
     }
+    loss_acc += iter_loss;
+    metric_acc += iter_metric;
     // Average gradients over workers (the allreduce's arithmetic effect —
     // each backward already used its local-batch mean).
     const real_t inv_world = 1.0 / static_cast<real_t>(cfg_.world);
@@ -130,7 +170,27 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
     opt_->accumulate_gradient(blocks);
     WallTimer step_timer;
     opt_->step(*net_, global_iter_);
-    comm_.profiler().add("comp/step", step_timer.seconds());
+    const double step_s = step_timer.seconds();
+    comm_.profiler().add("comp/step", step_s);
+    if (trace != nullptr)
+      for (index_t rank = 0; rank < cfg_.world; ++rank)
+        trace->add_span("step", "comp", static_cast<int>(rank), step_s);
+
+    if (runlog_.per_step()) {
+      obs::Json rec = obs::Json::object();
+      rec.set("epoch", epoch);
+      rec.set("iter", it);
+      rec.set("global_iter", global_iter_);
+      rec.set("loss", iter_loss / static_cast<real_t>(cfg_.world));
+      rec.set("metric", iter_metric / static_cast<real_t>(cfg_.world));
+      rec.set("lr", opt_->lr());
+      rec.set("capture", capture);
+      if (hy != nullptr) {
+        rec.set("mode", to_string(hy->mode()));
+        if (capture) rec.set("rank_r", hy->last_rank());
+      }
+      runlog_.record("step", std::move(rec));
+    }
     ++global_iter_;
   }
   result.iterations += iters;
@@ -165,17 +225,79 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
   stats.test_loss = test_loss;
   stats.test_metric = test_metric;
   stats.wall_seconds = wall_seconds_;
-  if (auto* hy = dynamic_cast<HyloOptimizer*>(opt_); hy != nullptr)
-    stats.note = hy->mode() == HyloMode::kKid ? "KID" : "KIS";
-  if (cfg_.verbose) {
-    std::cout << "[" << opt_->name() << "] epoch " << epoch << " loss "
-              << stats.train_loss << " train " << stats.train_metric
-              << " test " << stats.test_metric << " t=" << stats.wall_seconds
-              << "s" << (stats.note.empty() ? "" : " (" + stats.note + ")")
-              << "\n";
+  // Uniform note: HyLo reports its per-epoch KID/KIS mode, every other
+  // optimizer its name — so EpochStats carries the method tag regardless of
+  // which optimizer ran.
+  stats.note = hy != nullptr ? to_string(hy->mode()) : opt_->name();
+  if (cfg_.verbose || runlog_.enabled()) {
+    std::ostringstream line;
+    line << "[" << opt_->name() << "] epoch " << epoch << " loss "
+         << stats.train_loss << " train " << stats.train_metric << " test "
+         << stats.test_metric << " t=" << stats.wall_seconds << "s"
+         << (stats.note == opt_->name() ? "" : " (" + stats.note + ")");
+    runlog_.console(line.str());
   }
+  log_epoch(stats, epoch);
   if (hook_) hook_(stats, *net_);
   result.epochs.push_back(stats);
+}
+
+obs::Json Trainer::collective_deltas() {
+  // Snapshot-and-subtract so each epoch record carries only its own
+  // collective traffic, not the cumulative totals.
+  obs::Json out = obs::Json::object();
+  const auto& reg = comm_.profiler().registry();
+  for (const auto& [name, entry] : comm_.profiler().sections()) {
+    if (name.rfind("comm/", 0) != 0) continue;
+    const std::int64_t bytes = reg.counter_value(name + ".bytes");
+    const std::int64_t msgs = reg.counter_value(name + ".msgs");
+    obs::Json c = obs::Json::object();
+    c.set("calls", msgs - last_comm_counters_[name + ".msgs"]);
+    c.set("bytes", bytes - last_comm_counters_[name + ".bytes"]);
+    c.set("modeled_seconds", entry.seconds - last_comm_seconds_[name]);
+    last_comm_counters_[name + ".msgs"] = msgs;
+    last_comm_counters_[name + ".bytes"] = bytes;
+    last_comm_seconds_[name] = entry.seconds;
+    out.set(name, std::move(c));
+  }
+  return out;
+}
+
+void Trainer::log_epoch(const EpochStats& stats, index_t epoch) {
+  if (!runlog_.enabled()) return;
+  obs::Json rec = obs::Json::object();
+  rec.set("epoch", epoch);
+  rec.set("train_loss", stats.train_loss);
+  rec.set("train_metric", stats.train_metric);
+  rec.set("test_loss", stats.test_loss);
+  rec.set("test_metric", stats.test_metric);
+  rec.set("lr", opt_->lr());
+  rec.set("mode", stats.note);
+  // Simulated-time breakdown: measured compute (under the parallelism
+  // rule), measured replicated compute, and modeled wire seconds.
+  obs::Json time = obs::Json::object();
+  time.set("wall", stats.wall_seconds);
+  time.set("compute_parallel", comp_par_seconds_);
+  time.set("replicated", comp_rep_seconds_);
+  time.set("comm_modeled", comm_seconds_);
+  rec.set("time", std::move(time));
+  rec.set("collectives", collective_deltas());
+  if (auto* hy = dynamic_cast<HyloOptimizer*>(opt_); hy != nullptr) {
+    rec.set("rank_r", hy->last_rank());
+    const SwitchDecision& dec = hy->last_switch();
+    obs::Json sw = obs::Json::object();
+    sw.set("R", dec.ratio);
+    sw.set("threshold", dec.threshold);
+    sw.set("exceeded", dec.ratio >= 0.0 && dec.ratio >= dec.threshold);
+    sw.set("lr_decayed", dec.lr_decayed);
+    sw.set("critical", dec.critical);
+    sw.set("reason", dec.reason);
+    rec.set("switching", std::move(sw));
+    runlog_.trace().add_instant("mode:" + stats.note, "train",
+                                obs::TraceBuffer::kCommTrack,
+                                obs::Json::object().set("epoch", epoch));
+  }
+  runlog_.record("epoch", std::move(rec));
 }
 
 TrainResult Trainer::run() {
@@ -197,6 +319,23 @@ TrainResult Trainer::run() {
   result.compute_seconds = comp_par_seconds_;
   result.replicated_seconds = comp_rep_seconds_;
   result.comm_seconds = comm_seconds_;
+  if (runlog_.enabled()) {
+    obs::Json rec = obs::Json::object();
+    rec.set("epochs_run", static_cast<std::int64_t>(result.epochs.size()));
+    rec.set("iterations", result.iterations);
+    rec.set("best_metric", result.best_metric());
+    rec.set("total_seconds", result.total_seconds);
+    rec.set("compute_seconds", result.compute_seconds);
+    rec.set("replicated_seconds", result.replicated_seconds);
+    rec.set("comm_seconds", result.comm_seconds);
+    rec.set("total_wire_bytes", comm_.total_wire_bytes());
+    rec.set("total_messages", comm_.total_messages());
+    if (result.time_to_target) rec.set("time_to_target", *result.time_to_target);
+    if (result.epochs_to_target)
+      rec.set("epochs_to_target", *result.epochs_to_target);
+    runlog_.record("result", std::move(rec));
+    runlog_.finish();
+  }
   return result;
 }
 

@@ -30,23 +30,57 @@ Matrix CommSim::allgather_rows(const std::vector<const Matrix*>& locals,
   return vstack(parts);
 }
 
+void CommSim::charge(const char* kind, index_t bytes,
+                     const std::string& section, double seconds) {
+  profiler_.add(section, seconds);
+  auto& reg = profiler_.registry();
+  reg.counter(section + ".bytes").inc(bytes);
+  reg.counter(section + ".msgs").inc();
+  if (trace_ != nullptr) {
+    obs::Json args = obs::Json::object();
+    args.set("kind", kind);
+    args.set("bytes", static_cast<std::int64_t>(bytes));
+    args.set("world", static_cast<std::int64_t>(world_));
+    trace_->add_collective(section, seconds, std::move(args));
+  }
+}
+
 void CommSim::charge_broadcast(index_t bytes, const std::string& section) {
-  profiler_.add(section, broadcast_seconds(model_, world_, bytes));
+  charge("broadcast", bytes, section, broadcast_seconds(model_, world_, bytes));
 }
 
 void CommSim::charge_allgather(index_t bytes_per_rank,
                                const std::string& section) {
-  profiler_.add(section, allgather_seconds(model_, world_, bytes_per_rank));
+  charge("allgather", bytes_per_rank, section,
+         allgather_seconds(model_, world_, bytes_per_rank));
 }
 
 void CommSim::charge_allreduce(index_t bytes, const std::string& section) {
-  profiler_.add(section, allreduce_seconds(model_, world_, bytes));
+  charge("allreduce", bytes, section, allreduce_seconds(model_, world_, bytes));
 }
 
 double CommSim::comm_seconds() const {
   double total = 0.0;
   for (const auto& [name, entry] : profiler_.sections())
     if (name.rfind("comm/", 0) == 0) total += entry.seconds;
+  return total;
+}
+
+std::int64_t CommSim::total_wire_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& [name, c] : profiler_.registry().counters())
+    if (name.rfind("comm/", 0) == 0 && name.size() > 6 &&
+        name.compare(name.size() - 6, 6, ".bytes") == 0)
+      total += c.value();
+  return total;
+}
+
+std::int64_t CommSim::total_messages() const {
+  std::int64_t total = 0;
+  for (const auto& [name, c] : profiler_.registry().counters())
+    if (name.rfind("comm/", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".msgs") == 0)
+      total += c.value();
   return total;
 }
 

@@ -1,15 +1,21 @@
 #pragma once
 /// \file timer.hpp
-/// Wall-clock timing and a lightweight named-section profiler. The profiler
-/// backs the computation/communication breakdowns reported by the Fig. 3 and
-/// Fig. 7 benches: compute sections are *measured*, communication sections
-/// are *charged* by the interconnect cost model (see dist/cost_model.hpp).
+/// Wall-clock timing and the named-section profiler. The profiler backs the
+/// computation/communication breakdowns reported by the Fig. 3 and Fig. 7
+/// benches: compute sections are *measured*, communication sections are
+/// *charged* by the interconnect cost model (see dist/cost_model.hpp).
+///
+/// Profiler is a thin compatibility facade over obs::MetricsRegistry — the
+/// same store that holds the telemetry counters/gauges/histograms — so
+/// legacy section readouts and the structured run log observe one source of
+/// truth. Section readout semantics (and bench CSV output) are unchanged.
 
 #include <chrono>
 #include <map>
 #include <string>
 
 #include "hylo/common/types.hpp"
+#include "hylo/obs/metrics.hpp"
 
 namespace hylo {
 
@@ -34,34 +40,36 @@ class WallTimer {
 /// design — the distributed simulator is lockstep-sequential.
 class Profiler {
  public:
+  using Entry = obs::TimingEntry;
+
   /// Add `seconds` of measured (or modeled) time to section `name`.
   void add(const std::string& name, double seconds) {
-    auto& e = sections_[name];
-    e.seconds += seconds;
-    e.calls += 1;
+    registry_.add_timing(name, seconds);
   }
 
   double seconds(const std::string& name) const {
-    const auto it = sections_.find(name);
-    return it == sections_.end() ? 0.0 : it->second.seconds;
+    return registry_.timing_seconds(name);
   }
 
   std::int64_t calls(const std::string& name) const {
-    const auto it = sections_.find(name);
-    return it == sections_.end() ? 0 : it->second.calls;
+    return registry_.timing_calls(name);
   }
 
-  void reset() { sections_.clear(); }
+  /// Clears the timing sections (the registry's other metric families are
+  /// untouched — use registry().reset() for a full wipe).
+  void reset() { registry_.reset_timings(); }
 
-  struct Entry {
-    double seconds = 0.0;
-    std::int64_t calls = 0;
-  };
+  const std::map<std::string, Entry>& sections() const {
+    return registry_.timings();
+  }
 
-  const std::map<std::string, Entry>& sections() const { return sections_; }
+  /// The backing metrics registry (counters, gauges, histograms live here
+  /// alongside the timing sections).
+  obs::MetricsRegistry& registry() { return registry_; }
+  const obs::MetricsRegistry& registry() const { return registry_; }
 
  private:
-  std::map<std::string, Entry> sections_;
+  obs::MetricsRegistry registry_;
 };
 
 /// RAII helper: measures the lifetime of a scope into a profiler section.

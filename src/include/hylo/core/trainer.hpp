@@ -19,6 +19,7 @@
 
 #include "hylo/data/datasets.hpp"
 #include "hylo/nn/loss.hpp"
+#include "hylo/obs/run_log.hpp"
 #include "hylo/optim/optimizer.hpp"
 
 namespace hylo {
@@ -51,6 +52,10 @@ struct TrainConfig {
   /// Early-stop once the test metric reaches this value (<0 disables).
   real_t target_metric = -1.0;
   bool verbose = false;
+  /// Structured telemetry (run.jsonl + trace.json). Set `telemetry.dir` to
+  /// enable; `verbose` additionally echoes the epoch lines to stdout
+  /// regardless of telemetry. See obs/run_log.hpp for the artifact layout.
+  obs::RunLogConfig telemetry;
 };
 
 struct EpochStats {
@@ -92,18 +97,29 @@ class Trainer {
   const Profiler& profiler() const { return comm_.profiler(); }
   CommSim& comm() { return comm_; }
 
+  /// The run's structured telemetry (disabled unless cfg.telemetry.dir is
+  /// set). Finalized — trace.json written, metrics snapshot appended — when
+  /// run() returns.
+  obs::RunLogger& run_log() { return runlog_; }
+  const obs::RunLogger& run_log() const { return runlog_; }
+
   /// Optional per-epoch observer (benches log gradient norms etc.).
   using EpochHook = std::function<void(const EpochStats&, Network&)>;
   void set_epoch_hook(EpochHook hook) { hook_ = std::move(hook); }
 
  private:
   void run_epoch(index_t epoch, TrainResult& result);
+  void log_epoch(const EpochStats& stats, index_t epoch);
+  /// Per-collective {calls, bytes, modeled seconds} accumulated since the
+  /// previous call (per-epoch deltas for the run log).
+  obs::Json collective_deltas();
 
   Network* net_;
   Optimizer* opt_;
   const DataSplit* data_;
   TrainConfig cfg_;
   CommSim comm_;
+  obs::RunLogger runlog_;
   std::vector<DataLoader> loaders_;
   SoftmaxCrossEntropy ce_;
   DiceBceLoss dice_;
@@ -111,6 +127,8 @@ class Trainer {
   index_t global_iter_ = 0;
   double wall_seconds_ = 0.0;
   double comp_par_seconds_ = 0.0, comp_rep_seconds_ = 0.0, comm_seconds_ = 0.0;
+  std::map<std::string, double> last_comm_seconds_;
+  std::map<std::string, std::int64_t> last_comm_counters_;
   EpochHook hook_;
 };
 

@@ -11,6 +11,7 @@
 
 #include "hylo/common/timer.hpp"
 #include "hylo/dist/cost_model.hpp"
+#include "hylo/obs/trace.hpp"
 #include "hylo/tensor/matrix.hpp"
 
 namespace hylo {
@@ -50,6 +51,25 @@ class CommSim {
   Profiler& profiler() { return profiler_; }
   const Profiler& profiler() const { return profiler_; }
 
+  /// Wire-byte / message accounting per section, kept as registry counters
+  /// `<section>.bytes` and `<section>.msgs` (PowerSGD/MKOR-style
+  /// bytes-on-wire bookkeeping — the numbers that substantiate compression
+  /// ratios, independent of the modeled seconds).
+  std::int64_t wire_bytes_charged(const std::string& section) const {
+    return profiler_.registry().counter_value(section + ".bytes");
+  }
+  std::int64_t messages(const std::string& section) const {
+    return profiler_.registry().counter_value(section + ".msgs");
+  }
+  /// Totals across every comm/* section.
+  std::int64_t total_wire_bytes() const;
+  std::int64_t total_messages() const;
+
+  /// Attach a trace buffer: every charged collective is then also recorded
+  /// as a barrier span on the simulated timeline. Not owned; may be null.
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+  obs::TraceBuffer* trace() { return trace_; }
+
   /// Default bytes per scalar on the wire: FP32, as KAISA communicates.
   static constexpr index_t kWireScalarBytes = 4;
 
@@ -69,9 +89,15 @@ class CommSim {
   }
 
  private:
+  /// Shared bookkeeping behind every charge_*: profiler seconds, byte and
+  /// message counters, and (when attached) the trace barrier span.
+  void charge(const char* kind, index_t bytes, const std::string& section,
+              double seconds);
+
   index_t world_;
   InterconnectModel model_;
   Profiler profiler_;
+  obs::TraceBuffer* trace_ = nullptr;
   double wire_scalar_bytes_ = kWireScalarBytes;
 };
 

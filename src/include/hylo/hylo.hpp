@@ -9,6 +9,8 @@
 ///   - hylo/data/datasets.hpp   — synthetic datasets + sharded DataLoader
 ///   - hylo/nn/*                — static-DAG NN framework with A/G capture
 ///   - hylo/dist/*              — simulated collectives + α-β cost model
+///   - hylo/obs/*               — telemetry: metrics registry, trace spans
+///                                (Perfetto export), JSONL run logs
 ///   - hylo/linalg/*            — cholesky/lu/eigh/pivoted-QR/ID/kernels
 ///   - hylo/tensor/*            — Matrix, Tensor4, GEMM kernels
 ///
@@ -31,6 +33,7 @@
 #include "hylo/nn/layers.hpp"
 #include "hylo/nn/loss.hpp"
 #include "hylo/nn/network.hpp"
+#include "hylo/obs/obs.hpp"
 #include "hylo/optim/hylo_optimizer.hpp"
 #include "hylo/optim/kfac.hpp"
 #include "hylo/optim/optimizer.hpp"

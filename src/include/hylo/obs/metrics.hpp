@@ -1,0 +1,152 @@
+#pragma once
+/// \file metrics.hpp
+/// Typed metrics registry for the telemetry layer: monotonic counters
+/// (collective calls, wire bytes), gauges (last-set values like the current
+/// low rank), fixed-bucket histograms with quantile readout (per-layer
+/// inversion time, selected ranks), and the named timing sections that the
+/// legacy `Profiler` facade (common/timer.hpp) exposes. One registry backs
+/// a whole simulated run; the run logger snapshots it into the JSONL log.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hylo/common/check.hpp"
+#include "hylo/common/types.hpp"
+
+namespace hylo::obs {
+
+class Json;
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) {
+    HYLO_CHECK(n >= 0, "counter increment must be non-negative");
+    value_ += n;
+  }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Last-value metric.
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    set_count_ += 1;
+  }
+  double value() const { return value_; }
+  std::int64_t set_count() const { return set_count_; }
+
+ private:
+  double value_ = 0.0;
+  std::int64_t set_count_ = 0;
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations in
+/// (bounds[i-1], bounds[i]]; one implicit overflow bucket catches the rest.
+/// Quantiles are read back by linear interpolation inside the selected
+/// bucket, tightened by the tracked min/max.
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending upper bucket edges.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Geometric bucket edges start, start*factor, ... (`count` edges) — the
+  /// default shape for timing metrics spanning decades.
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                int count);
+  /// Evenly spaced edges over [lo, hi] (`count` edges) — for bounded
+  /// quantities like ranks or layer indices.
+  static std::vector<double> linear_bounds(double lo, double hi, int count);
+
+  void observe(double v);
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// q in [0, 1]. Returns 0 with no observations.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; last is the overflow bucket.
+  const std::vector<std::int64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Accumulated seconds + call count under a section name. This is the exact
+/// entry type the legacy Profiler exposes, so the facade stays byte-
+/// compatible with pre-registry bench output.
+struct TimingEntry {
+  double seconds = 0.0;
+  std::int64_t calls = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create. Each metric type has its own namespace; references stay
+  /// valid for the registry's lifetime (reset() notwithstanding).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is used only on first creation; empty selects the default
+  /// exponential timing buckets (1µs … ~100s).
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  /// Timing sections (Profiler facade backend).
+  void add_timing(const std::string& name, double seconds) {
+    auto& e = timings_[name];
+    e.seconds += seconds;
+    e.calls += 1;
+  }
+  double timing_seconds(const std::string& name) const {
+    const auto it = timings_.find(name);
+    return it == timings_.end() ? 0.0 : it->second.seconds;
+  }
+  std::int64_t timing_calls(const std::string& name) const {
+    const auto it = timings_.find(name);
+    return it == timings_.end() ? 0 : it->second.calls;
+  }
+  const std::map<std::string, TimingEntry>& timings() const {
+    return timings_;
+  }
+
+  std::int64_t counter_value(const std::string& name) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Full dump (counters, gauges, histogram summaries, timing sections)
+  /// as one JSON object — the shape the run log's "metrics" record uses.
+  Json snapshot() const;
+
+  void reset_timings() { timings_.clear(); }
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, TimingEntry> timings_;
+};
+
+}  // namespace hylo::obs

@@ -1,0 +1,15 @@
+#pragma once
+/// \file obs.hpp
+/// Umbrella header for hylo::obs, the structured telemetry layer:
+///   - obs/metrics.hpp — counters, gauges, fixed-bucket histograms with
+///     p50/p95/p99 readout, and the timing sections behind Profiler
+///   - obs/trace.hpp   — simulated-timeline trace spans + Chrome trace
+///     (Perfetto) JSON export
+///   - obs/run_log.hpp — JSONL run log (one record per step/epoch) owning
+///     the trace buffer
+///   - obs/json.hpp    — the minimal JSON writer/parser they share
+
+#include "hylo/obs/json.hpp"
+#include "hylo/obs/metrics.hpp"
+#include "hylo/obs/run_log.hpp"
+#include "hylo/obs/trace.hpp"

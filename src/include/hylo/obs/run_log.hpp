@@ -1,0 +1,82 @@
+#pragma once
+/// \file run_log.hpp
+/// Structured run log: a JSONL sink emitting one machine-readable record per
+/// step / epoch / lifecycle event, the run's TraceBuffer, and an attach
+/// point for the metrics registry whose final snapshot closes the log. The
+/// Trainer owns one (configured through TrainConfig::telemetry); examples
+/// and benches reach it via Trainer::run_log().
+///
+/// Artifact layout under `dir`:
+///   run.jsonl   one JSON object per line: {"type": ..., "seq": N, ...}
+///   trace.json  Chrome trace format (chrome://tracing, Perfetto)
+
+#include <fstream>
+#include <string>
+
+#include "hylo/obs/metrics.hpp"
+#include "hylo/obs/trace.hpp"
+
+namespace hylo::obs {
+
+struct RunLogConfig {
+  /// Output directory (created if missing). Empty disables the file sinks —
+  /// the logger then swallows records and the trace buffer idles unused.
+  std::string dir;
+  std::string run_log_name = "run.jsonl";
+  std::string trace_name = "trace.json";
+  /// Emit per-step records (epoch/lifecycle records are always written).
+  bool per_step = true;
+  std::size_t trace_capacity = 1 << 16;
+  /// Echo console() lines to stdout (the Trainer maps its `verbose` here).
+  bool echo = false;
+};
+
+class RunLogger {
+ public:
+  /// Disabled logger (no directory): record() and finish() are no-ops,
+  /// console() still honors `echo`.
+  RunLogger() : RunLogger(RunLogConfig{}) {}
+  explicit RunLogger(RunLogConfig cfg);
+  ~RunLogger();
+
+  RunLogger(const RunLogger&) = delete;
+  RunLogger& operator=(const RunLogger&) = delete;
+
+  bool enabled() const { return !cfg_.dir.empty(); }
+  bool per_step() const { return enabled() && cfg_.per_step; }
+  const RunLogConfig& config() const { return cfg_; }
+
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+
+  /// Registry snapshotted into the final "metrics" record. Not owned; the
+  /// natural choice is the CommSim profiler's registry so measured compute,
+  /// modeled comm, and wire-byte counters land in one place.
+  void attach_metrics(const MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Append one JSONL record. `fields` must be an object; "type" and a
+  /// monotonically increasing "seq" are prepended. No-op when disabled.
+  void record(const std::string& type, Json fields);
+
+  /// Human-readable progress line (stdout when cfg.echo); also journaled
+  /// as a {"type":"console"} record when the file sink is enabled.
+  void console(const std::string& line);
+
+  /// Flush run.jsonl, write trace.json, and append the closing "metrics"
+  /// snapshot record. Idempotent; also invoked by the destructor.
+  void finish();
+
+  std::string run_log_path() const;
+  std::string trace_path() const;
+  std::int64_t records_written() const { return seq_; }
+
+ private:
+  RunLogConfig cfg_;
+  TraceBuffer trace_;
+  const MetricsRegistry* metrics_ = nullptr;
+  std::ofstream jsonl_;
+  std::int64_t seq_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace hylo::obs

@@ -1,0 +1,115 @@
+#pragma once
+/// \file trace.hpp
+/// Trace spans on the *simulated* timeline. The lockstep runner executes the
+/// P ranks sequentially, but the quantity of interest is the modeled
+/// parallel schedule: each rank owns a track with its own time cursor,
+/// measured compute spans advance only their rank's cursor, and modeled
+/// collectives act as barriers — they start once every known track has
+/// arrived and advance all cursors past their modeled wire time. Events land
+/// in a bounded ring buffer (oldest dropped first) and export as Chrome
+/// trace format JSON, loadable in chrome://tracing or https://ui.perfetto.dev.
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "hylo/common/timer.hpp"
+#include "hylo/common/types.hpp"
+#include "hylo/obs/json.hpp"
+
+namespace hylo::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;      ///< "comp", "comm", "train", ...
+  char ph = 'X';        ///< Chrome phase: 'X' complete span, 'i' instant
+  int tid = 0;          ///< track id: simulated rank, or kCommTrack
+  double ts_us = 0.0;   ///< start, microseconds on the simulated timeline
+  double dur_us = 0.0;  ///< span length ('X' only)
+  Json args = Json::object();
+};
+
+class TraceBuffer {
+ public:
+  /// Track id used for modeled collectives (the "interconnect" lane).
+  static constexpr int kCommTrack = 1 << 20;
+
+  explicit TraceBuffer(std::size_t capacity = 1 << 16);
+
+  /// Simulated-clock position of a track (µs); 0 for unseen tracks.
+  double track_now_us(int tid) const;
+
+  /// Measured compute span on `tid`'s track: placed at that track's cursor,
+  /// advances it by `dur_s`.
+  void add_span(const std::string& name, const std::string& cat, int tid,
+                double dur_s, Json args = Json::object());
+
+  /// Modeled collective (barrier semantics): starts at the max cursor over
+  /// all known tracks, occupies the kCommTrack lane for `dur_s`, then
+  /// advances every known track to its end.
+  void add_collective(const std::string& name, double dur_s,
+                      Json args = Json::object());
+
+  /// Instant event at `tid`'s cursor.
+  void add_instant(const std::string& name, const std::string& cat, int tid,
+                   Json args = Json::object());
+
+  /// Label a track in the exported trace ("rank 0", "interconnect", ...).
+  void set_track_name(int tid, std::string name);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return ring_.size(); }
+  /// Events evicted from the ring so far.
+  std::int64_t dropped() const { return dropped_; }
+  /// Oldest-first access, i in [0, size()).
+  const TraceEvent& event(std::size_t i) const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} with thread_name
+  /// metadata for every named track.
+  void write_chrome_trace(std::ostream& os) const;
+  void write_chrome_trace(const std::string& path) const;
+
+  void clear();
+
+ private:
+  void record(TraceEvent e);
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;  ///< circular once full
+  std::size_t head_ = 0;          ///< next write slot when full
+  std::int64_t dropped_ = 0;
+  std::map<int, double> cursor_us_;
+  std::map<int, std::string> track_names_;
+};
+
+/// RAII measured span: wall-times its own lifetime and records it on the
+/// given track at destruction. Null buffer makes it a no-op, so call sites
+/// can stay unconditional.
+class TraceSpan {
+ public:
+  TraceSpan(TraceBuffer* buf, std::string name, std::string cat, int tid)
+      : buf_(buf), name_(std::move(name)), cat_(std::move(cat)), tid_(tid) {}
+  ~TraceSpan() {
+    if (buf_ != nullptr)
+      buf_->add_span(name_, cat_, tid_, timer_.seconds(), std::move(args_));
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach an argument shown in the trace viewer's detail pane.
+  void arg(const std::string& key, Json v) {
+    if (buf_ != nullptr) args_.set(key, std::move(v));
+  }
+
+ private:
+  TraceBuffer* buf_;
+  std::string name_, cat_;
+  int tid_;
+  Json args_ = Json::object();
+  WallTimer timer_;
+};
+
+}  // namespace hylo::obs

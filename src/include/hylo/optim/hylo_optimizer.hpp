@@ -22,6 +22,24 @@ namespace hylo {
 
 enum class HyloMode { kKid, kKis };
 
+inline const char* to_string(HyloMode m) {
+  return m == HyloMode::kKid ? "KID" : "KIS";
+}
+
+/// One per-epoch KID/KIS decision with the evidence behind it (Alg. 1
+/// lines 2-3): the run log journals these so Table III-style switching
+/// analyses need no reconstruction.
+struct SwitchDecision {
+  index_t epoch = 0;
+  real_t ratio = -1.0;      ///< R = |‖Δ_{e-1}‖−‖Δ_{e-2}‖|/‖Δ_{e-2}‖; <0 n/a
+  real_t threshold = 0.0;   ///< η it was compared against
+  bool lr_decayed = false;  ///< the schedule-trigger input
+  bool critical = false;    ///< the decision: critical epoch → KID
+  HyloMode mode = HyloMode::kKid;
+  std::string reason;       ///< "warmup", "lr_decay", "ratio", "steady",
+                            ///< or the non-gradient policy name
+};
+
 class HyloOptimizer : public CurvatureOptimizer {
  public:
   /// How the per-epoch KID/KIS decision is made. kGradientBased is the
@@ -43,6 +61,15 @@ class HyloOptimizer : public CurvatureOptimizer {
   void set_policy(Policy p) { policy_ = p; }
   HyloMode mode() const { return mode_; }
   const std::vector<HyloMode>& mode_history() const { return mode_history_; }
+  /// Evidence for every per-epoch KID/KIS decision, oldest first (one entry
+  /// per begin_epoch call). The trainer's run log emits the latest entry.
+  const std::vector<SwitchDecision>& switch_history() const {
+    return switch_history_;
+  }
+  const SwitchDecision& last_switch() const {
+    HYLO_CHECK(!switch_history_.empty(), "no epoch started yet");
+    return switch_history_.back();
+  }
   /// ‖Δ_e‖ per completed epoch (the switching signal, Fig. 11 adjacent).
   const std::vector<real_t>& delta_norm_history() const { return delta_norms_; }
 
@@ -70,14 +97,15 @@ class HyloOptimizer : public CurvatureOptimizer {
 
   void update_layer_kid(LayerState& st, const std::vector<Matrix>& a_ranks,
                         const std::vector<Matrix>& g_ranks, index_t r_local,
-                        CommSim* comm);
+                        CommSim* comm, index_t layer, int owner);
   void update_layer_kis(LayerState& st, const std::vector<Matrix>& a_ranks,
                         const std::vector<Matrix>& g_ranks, index_t r_local,
-                        CommSim* comm);
+                        CommSim* comm, index_t layer, int owner);
 
   Policy policy_ = Policy::kGradientBased;
   HyloMode mode_ = HyloMode::kKid;
   std::vector<HyloMode> mode_history_;
+  std::vector<SwitchDecision> switch_history_;
 
   // Switching state: Δ_e accumulators per layer and their completed norms.
   std::vector<Matrix> delta_;

@@ -1,0 +1,144 @@
+#include "hylo/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hylo/obs/json.hpp"
+
+namespace hylo::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  HYLO_CHECK(!bounds_.empty(), "histogram needs at least one bucket edge");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    HYLO_CHECK(bounds_[i] > bounds_[i - 1],
+               "histogram bounds must be strictly ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  int count) {
+  HYLO_CHECK(start > 0.0 && factor > 1.0 && count >= 1,
+             "bad exponential bounds");
+  std::vector<double> b(static_cast<std::size_t>(count));
+  double v = start;
+  for (auto& e : b) {
+    e = v;
+    v *= factor;
+  }
+  return b;
+}
+
+std::vector<double> Histogram::linear_bounds(double lo, double hi, int count) {
+  HYLO_CHECK(hi > lo && count >= 2, "bad linear bounds");
+  std::vector<double> b(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    b[static_cast<std::size_t>(i)] =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(count - 1);
+  return b;
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  count_ += 1;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank target, then linear interpolation inside the bucket that
+  // holds it. Bucket edges are tightened by the observed min/max so a
+  // single-valued histogram reads back that exact value.
+  const double target = q * static_cast<double>(count_);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const std::int64_t prev = cum;
+    cum += counts_[i];
+    if (static_cast<double>(cum) < target) continue;
+    double lo = i == 0 ? min_ : bounds_[i - 1];
+    double hi = i < bounds_.size() ? bounds_[i] : max_;
+    lo = std::max(lo, min_);
+    hi = std::min(hi, max_);
+    if (hi <= lo) return lo;
+    const double frac =
+        counts_[i] == 0
+            ? 0.0
+            : (target - static_cast<double>(prev)) / static_cast<double>(counts_[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  if (bounds.empty())
+    bounds = Histogram::exponential_bounds(1e-6, 2.0, 28);  // 1µs … ~134s
+  return histograms_.emplace(name, Histogram(std::move(bounds))).first->second;
+}
+
+std::int64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+Json MetricsRegistry::snapshot() const {
+  Json out = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) counters.set(name, c.value());
+  out.set("counters", std::move(counters));
+
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, g.value());
+  out.set("gauges", std::move(gauges));
+
+  Json hists = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json j = Json::object();
+    j.set("count", h.count());
+    j.set("sum", h.sum());
+    j.set("min", h.min());
+    j.set("max", h.max());
+    j.set("p50", h.p50());
+    j.set("p95", h.p95());
+    j.set("p99", h.p99());
+    hists.set(name, std::move(j));
+  }
+  out.set("histograms", std::move(hists));
+
+  Json timings = Json::object();
+  for (const auto& [name, e] : timings_) {
+    Json j = Json::object();
+    j.set("seconds", e.seconds);
+    j.set("calls", e.calls);
+    timings.set(name, std::move(j));
+  }
+  out.set("timings", std::move(timings));
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  timings_.clear();
+}
+
+}  // namespace hylo::obs

@@ -1,0 +1,64 @@
+#include "hylo/obs/run_log.hpp"
+
+#include <filesystem>
+#include <iostream>
+
+namespace hylo::obs {
+
+RunLogger::RunLogger(RunLogConfig cfg)
+    : cfg_(std::move(cfg)), trace_(cfg_.trace_capacity) {
+  if (!enabled()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(cfg_.dir, ec);
+  HYLO_CHECK(!ec, "cannot create telemetry dir " << cfg_.dir << ": "
+                                                 << ec.message());
+  jsonl_.open(run_log_path(), std::ios::trunc);
+  HYLO_CHECK(jsonl_.good(), "cannot open " << run_log_path());
+}
+
+RunLogger::~RunLogger() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; a failed flush loses telemetry, not data.
+  }
+}
+
+void RunLogger::record(const std::string& type, Json fields) {
+  if (!enabled() || finished_) return;
+  HYLO_CHECK(fields.is_object(), "run log record must be a JSON object");
+  Json rec = Json::object();
+  rec.set("type", type);
+  rec.set("seq", seq_);
+  for (const auto& [k, v] : fields.members()) rec.set(k, v);
+  rec.dump(jsonl_);
+  jsonl_ << "\n";
+  seq_ += 1;
+}
+
+void RunLogger::console(const std::string& line) {
+  if (cfg_.echo) std::cout << line << "\n";
+  record("console", Json::object().set("line", line));
+}
+
+void RunLogger::finish() {
+  if (!enabled() || finished_) return;
+  if (metrics_ != nullptr) record("metrics", metrics_->snapshot());
+  Json close = Json::object();
+  close.set("trace_events", static_cast<std::int64_t>(trace_.size()));
+  close.set("trace_dropped", trace_.dropped());
+  record("run_end", std::move(close));
+  jsonl_.flush();
+  trace_.write_chrome_trace(trace_path());
+  finished_ = true;
+}
+
+std::string RunLogger::run_log_path() const {
+  return cfg_.dir + "/" + cfg_.run_log_name;
+}
+
+std::string RunLogger::trace_path() const {
+  return cfg_.dir + "/" + cfg_.trace_name;
+}
+
+}  // namespace hylo::obs

@@ -1,0 +1,131 @@
+#include "hylo/obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace hylo::obs {
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  HYLO_CHECK(capacity_ >= 1, "trace capacity must be >= 1");
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+double TraceBuffer::track_now_us(int tid) const {
+  const auto it = cursor_us_.find(tid);
+  return it == cursor_us_.end() ? 0.0 : it->second;
+}
+
+void TraceBuffer::record(TraceEvent e) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    return;
+  }
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+  dropped_ += 1;
+}
+
+const TraceEvent& TraceBuffer::event(std::size_t i) const {
+  HYLO_CHECK(i < ring_.size(), "trace event index out of range");
+  return ring_[(head_ + i) % ring_.size()];
+}
+
+void TraceBuffer::add_span(const std::string& name, const std::string& cat,
+                           int tid, double dur_s, Json args) {
+  double& cursor = cursor_us_[tid];
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.tid = tid;
+  e.ts_us = cursor;
+  e.dur_us = dur_s * 1e6;
+  e.args = std::move(args);
+  cursor += e.dur_us;
+  record(std::move(e));
+}
+
+void TraceBuffer::add_collective(const std::string& name, double dur_s,
+                                 Json args) {
+  // Barrier: the wire transfer starts once the latest track arrives...
+  double start = cursor_us_[kCommTrack];
+  for (const auto& kv : cursor_us_) start = std::max(start, kv.second);
+  TraceEvent e;
+  e.name = name;
+  e.cat = "comm";
+  e.ph = 'X';
+  e.tid = kCommTrack;
+  e.ts_us = start;
+  e.dur_us = dur_s * 1e6;
+  e.args = std::move(args);
+  // ...and every participant resumes only after it completes.
+  const double end = start + e.dur_us;
+  for (auto& kv : cursor_us_) kv.second = end;
+  record(std::move(e));
+}
+
+void TraceBuffer::add_instant(const std::string& name, const std::string& cat,
+                              int tid, Json args) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.tid = tid;
+  e.ts_us = track_now_us(tid);
+  e.args = std::move(args);
+  record(std::move(e));
+}
+
+void TraceBuffer::set_track_name(int tid, std::string name) {
+  track_names_[tid] = std::move(name);
+}
+
+void TraceBuffer::write_chrome_trace(std::ostream& os) const {
+  Json events = Json::array();
+  for (const auto& [tid, name] : track_names_) {
+    Json meta = Json::object();
+    meta.set("name", "thread_name");
+    meta.set("ph", "M");
+    meta.set("pid", 0);
+    meta.set("tid", tid);
+    meta.set("args", Json::object().set("name", name));
+    events.push(std::move(meta));
+  }
+  for (std::size_t i = 0; i < size(); ++i) {
+    const TraceEvent& ev = event(i);
+    Json j = Json::object();
+    j.set("name", ev.name);
+    j.set("cat", ev.cat);
+    j.set("ph", std::string(1, ev.ph));
+    j.set("pid", 0);
+    j.set("tid", ev.tid);
+    j.set("ts", ev.ts_us);
+    if (ev.ph == 'X') j.set("dur", ev.dur_us);
+    if (ev.ph == 'i') j.set("s", "t");  // instant scope: thread
+    if (ev.args.size() > 0) j.set("args", ev.args);
+    events.push(std::move(j));
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  if (dropped_ > 0)
+    doc.set("otherData",
+            Json::object().set("dropped_events", dropped_));
+  doc.dump(os);
+  os << "\n";
+}
+
+void TraceBuffer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  HYLO_CHECK(out.good(), "cannot open " << path);
+  write_chrome_trace(out);
+}
+
+void TraceBuffer::clear() {
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+  cursor_us_.clear();
+}
+
+}  // namespace hylo::obs

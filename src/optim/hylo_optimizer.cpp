@@ -13,6 +13,17 @@ index_t wire_bytes(const CommSim& comm, index_t scalars) {
   return comm.wire_bytes(scalars);
 }
 
+// The inversion of a layer's kernel runs on that layer's assigned owner
+// rank; place its span on the owner's simulated-timeline track, before the
+// broadcast barrier that publishes the result.
+void trace_inversion(CommSim* comm, index_t layer, int owner, double dur_s) {
+  obs::TraceBuffer* trace = comm->trace();
+  if (trace == nullptr) return;
+  obs::Json args = obs::Json::object();
+  args.set("layer", layer);
+  trace->add_span("inversion", "comp", owner, dur_s, std::move(args));
+}
+
 // LU factorization with escalating diagonal damping (the KID middle matrix
 // is non-symmetric, so Cholesky retries do not apply).
 LuFactor damped_lu(Matrix m, real_t damping) {
@@ -30,7 +41,7 @@ LuFactor damped_lu(Matrix m, real_t damping) {
 }
 }  // namespace
 
-void HyloOptimizer::begin_epoch(index_t /*epoch*/, bool lr_decayed) {
+void HyloOptimizer::begin_epoch(index_t epoch, bool lr_decayed) {
   // Close out Δ_{e-1}: ‖Δ‖ = sqrt(Σ_l ‖Δ_l‖²).
   if (delta_dirty_) {
     real_t sq = 0.0;
@@ -42,34 +53,52 @@ void HyloOptimizer::begin_epoch(index_t /*epoch*/, bool lr_decayed) {
     delta_dirty_ = false;
   }
 
+  SwitchDecision dec;
+  dec.epoch = epoch;
+  dec.threshold = cfg_.switch_threshold;
+  dec.lr_decayed = lr_decayed;
   switch (policy_) {
     case Policy::kAlwaysKid:
       mode_ = HyloMode::kKid;
+      dec.reason = "always_kid";
       break;
     case Policy::kAlwaysKis:
       mode_ = HyloMode::kKis;
+      dec.reason = "always_kis";
       break;
     case Policy::kRandom:
       mode_ = rng_.uniform() < 0.5 ? HyloMode::kKid : HyloMode::kKis;
+      dec.reason = "random";
       break;
     case Policy::kGradientBased: {
       // Alg. 1 lines 2-3: R = |‖Δ_{e-1}‖ − ‖Δ_{e-2}‖| / ‖Δ_{e-2}‖; KID on
       // critical epochs (R ≥ η or LR decay), KIS otherwise. With fewer than
       // two completed epochs the run is still in its critical warmup: KID.
       bool critical = lr_decayed;
+      dec.reason = lr_decayed ? "lr_decay" : "steady";
       if (delta_norms_.size() < 2) {
         critical = true;
+        dec.reason = "warmup";
       } else {
         const real_t n1 = delta_norms_[delta_norms_.size() - 1];
         const real_t n2 = delta_norms_[delta_norms_.size() - 2];
-        if (n2 > 0.0 && std::abs(n1 - n2) / n2 >= cfg_.switch_threshold)
-          critical = true;
+        if (n2 > 0.0) {
+          dec.ratio = std::abs(n1 - n2) / n2;
+          if (dec.ratio >= cfg_.switch_threshold) {
+            critical = true;
+            if (!lr_decayed) dec.reason = "ratio";
+          }
+        }
       }
+      dec.critical = critical;
       mode_ = critical ? HyloMode::kKid : HyloMode::kKis;
       break;
     }
   }
+  dec.critical = mode_ == HyloMode::kKid;
+  dec.mode = mode_;
   mode_history_.push_back(mode_);
+  switch_history_.push_back(std::move(dec));
 }
 
 void HyloOptimizer::accumulate_gradient(const std::vector<ParamBlock*>& blocks) {
@@ -104,6 +133,7 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
   index_t r_local = std::max<index_t>(1, r / world);
   last_rank_ = r_local * world;
 
+  const LayerAssignment assignment(layers, world);
   double inv_max = 0.0;
   for (index_t l = 0; l < layers; ++l) {
     LayerState& st = layers_[static_cast<std::size_t>(l)];
@@ -112,23 +142,36 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
     const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
     const double inv_before =
         comm != nullptr ? comm->profiler().seconds("comp/inversion") : 0.0;
+    const int owner = static_cast<int>(assignment.owner(l));
     if (mode_ == HyloMode::kKid)
-      update_layer_kid(st, a_ranks, g_ranks, r_local, comm);
+      update_layer_kid(st, a_ranks, g_ranks, r_local, comm, l, owner);
     else
-      update_layer_kis(st, a_ranks, g_ranks, r_local, comm);
-    if (comm != nullptr)
-      inv_max = std::max(
-          inv_max, comm->profiler().seconds("comp/inversion") - inv_before);
+      update_layer_kis(st, a_ranks, g_ranks, r_local, comm, l, owner);
+    if (comm != nullptr) {
+      const double inv_dt =
+          comm->profiler().seconds("comp/inversion") - inv_before;
+      inv_max = std::max(inv_max, inv_dt);
+      comm->profiler().registry().histogram("optim/hylo/inversion_seconds")
+          .observe(inv_dt);
+    }
     st.ready = true;
   }
-  if (comm != nullptr)
+  if (comm != nullptr) {
     comm->profiler().add("comp/inversion_critical", inv_max);
+    auto& reg = comm->profiler().registry();
+    reg.counter("optim/hylo/refreshes").inc();
+    reg.gauge("optim/hylo/rank").set(static_cast<double>(last_rank_));
+    reg.histogram("optim/hylo/selected_rank",
+                  obs::Histogram::linear_bounds(0.0, 4096.0, 65))
+        .observe(static_cast<double>(last_rank_));
+  }
 }
 
 void HyloOptimizer::update_layer_kid(LayerState& st,
                                      const std::vector<Matrix>& a_ranks,
                                      const std::vector<Matrix>& g_ranks,
-                                     index_t r_local, CommSim* comm) {
+                                     index_t r_local, CommSim* comm,
+                                     index_t layer, int owner) {
   const index_t world = static_cast<index_t>(a_ranks.size());
   std::vector<Matrix> a_parts(static_cast<std::size_t>(world));
   std::vector<Matrix> g_parts(static_cast<std::size_t>(world));
@@ -178,7 +221,9 @@ void HyloOptimizer::update_layer_kid(LayerState& st,
   middle += lu_inverse(y);                        // K̂ + Y⁻¹
   st.kid_middle = damped_lu(std::move(middle), cfg_.damping);
   if (comm != nullptr) {
-    comm->profiler().add("comp/inversion", invert_timer.seconds());
+    const double inv_s = invert_timer.seconds();
+    comm->profiler().add("comp/inversion", inv_s);
+    trace_inversion(comm, layer, owner, inv_s);
     // Line 11: broadcast the r x r inverse.
     comm->charge_broadcast(wire_bytes(*comm, st.a_s.rows() * st.a_s.rows()),
                            "comm/broadcast");
@@ -188,7 +233,8 @@ void HyloOptimizer::update_layer_kid(LayerState& st,
 void HyloOptimizer::update_layer_kis(LayerState& st,
                                      const std::vector<Matrix>& a_ranks,
                                      const std::vector<Matrix>& g_ranks,
-                                     index_t r_local, CommSim* comm) {
+                                     index_t r_local, CommSim* comm,
+                                     index_t layer, int owner) {
   const index_t world = static_cast<index_t>(a_ranks.size());
   std::vector<Matrix> a_parts(static_cast<std::size_t>(world));
   std::vector<Matrix> g_parts(static_cast<std::size_t>(world));
@@ -262,7 +308,9 @@ void HyloOptimizer::update_layer_kis(LayerState& st,
   const Matrix k = kernel_matrix(st.a_s, st.g_s);
   st.kis_chol = damped_cholesky(k, cfg_.damping);
   if (comm != nullptr) {
-    comm->profiler().add("comp/inversion", invert_timer.seconds());
+    const double inv_s = invert_timer.seconds();
+    comm->profiler().add("comp/inversion", inv_s);
+    trace_inversion(comm, layer, owner, inv_s);
     comm->charge_broadcast(wire_bytes(*comm, k.size()), "comm/broadcast");
   }
 }

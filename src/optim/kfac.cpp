@@ -88,6 +88,9 @@ void KFac::update_curvature(const std::vector<ParamBlock*>& blocks,
     const double sec = timer.seconds();
     inv_total += sec;
     inv_max = std::max(inv_max, sec);
+    if (comm != nullptr)
+      comm->profiler().registry().histogram("optim/kfac/inversion_seconds")
+          .observe(sec);
   }
   if (comm != nullptr) {
     comm->profiler().add("comp/inversion", inv_total);
@@ -152,6 +155,9 @@ void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
     const double sec = timer.seconds();
     inv_total += sec;
     inv_max = std::max(inv_max, sec);
+    if (comm != nullptr)
+      comm->profiler().registry().histogram("optim/ekfac/inversion_seconds")
+          .observe(sec);
   }
   if (comm != nullptr) {
     comm->profiler().add("comp/inversion", inv_total);

@@ -42,6 +42,8 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
     inv_total += sec;
     inv_max = std::max(inv_max, sec);
     if (comm != nullptr) {
+      comm->profiler().registry().histogram("optim/sngd/inversion_seconds")
+          .observe(sec);
       // Broadcast of the inverted kernel (step 4): (P·m)² scalars.
       comm->charge_broadcast(comm->wire_bytes(k.size()),
                              "comm/broadcast");

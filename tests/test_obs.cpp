@@ -1,0 +1,456 @@
+// Telemetry layer: Json round-trips, metrics registry (counters, gauges,
+// histogram quantiles, timing sections behind the Profiler facade), the
+// simulated-timeline TraceBuffer + Chrome trace export, the JSONL RunLogger,
+// and an end-to-end Trainer run whose artifacts parse back cleanly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "hylo/hylo.hpp"
+
+namespace hylo {
+namespace {
+
+using obs::Histogram;
+using obs::Json;
+using obs::MetricsRegistry;
+using obs::RunLogConfig;
+using obs::RunLogger;
+using obs::TraceBuffer;
+using obs::TraceSpan;
+
+// ---------------------------------------------------------------- Json ----
+
+TEST(Json, DumpPrimitives) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(3).dump(), "3");
+  EXPECT_EQ(Json(std::int64_t{1234567890123}).dump(), "1234567890123");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, EscapesControlCharacters) {
+  const std::string s = Json("a\"b\\c\n\t\x01").dump();
+  EXPECT_EQ(s, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j.set("zeta", 1).set("alpha", 2).set("mid", Json::array().push(3));
+  EXPECT_EQ(j.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":[3]}");
+  j.set("alpha", 9);  // overwrite keeps position
+  EXPECT_EQ(j.dump(), "{\"zeta\":1,\"alpha\":9,\"mid\":[3]}");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      "{\"a\":[1,2.5,true,null,\"x\\ny\"],\"b\":{\"nested\":-3e2}}";
+  const Json j = Json::parse(text);
+  EXPECT_EQ(j.at("a").items().size(), 5u);
+  EXPECT_DOUBLE_EQ(j.at("a").items()[1].number(), 2.5);
+  EXPECT_TRUE(j.at("a").items()[2].boolean());
+  EXPECT_TRUE(j.at("a").items()[3].is_null());
+  EXPECT_EQ(j.at("a").items()[4].str(), "x\ny");
+  EXPECT_DOUBLE_EQ(j.at("b").at("nested").number(), -300.0);
+  // Dump → parse → dump is a fixed point.
+  EXPECT_EQ(Json::parse(j.dump()).dump(), j.dump());
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  const Json j = Json::parse("\"\\u00e9\\u0041\"");
+  EXPECT_EQ(j.str(), "\xc3\xa9"
+                     "A");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(Json::parse("'single'"), Error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), Error);
+}
+
+TEST(Json, FindAndAt) {
+  Json j = Json::object();
+  j.set("k", 7);
+  EXPECT_NE(j.find("k"), nullptr);
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_THROW(j.at("missing"), Error);
+}
+
+// ------------------------------------------------------------- metrics ----
+
+TEST(Metrics, CounterMonotonic) {
+  MetricsRegistry reg;
+  reg.counter("c").inc();
+  reg.counter("c").inc(41);
+  EXPECT_EQ(reg.counter_value("c"), 42);
+  EXPECT_EQ(reg.counter_value("absent"), 0);
+  EXPECT_THROW(reg.counter("c").inc(-1), Error);
+}
+
+TEST(Metrics, GaugeKeepsLastValue) {
+  MetricsRegistry reg;
+  reg.gauge("g").set(1.5);
+  reg.gauge("g").set(-2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), -2.0);
+  EXPECT_EQ(reg.gauge("g").set_count(), 2);
+}
+
+TEST(Metrics, HistogramBoundsFactories) {
+  const auto lin = Histogram::linear_bounds(0.0, 10.0, 5);
+  EXPECT_EQ(lin, (std::vector<double>{0.0, 2.5, 5.0, 7.5, 10.0}));
+  const auto exp = Histogram::exponential_bounds(1.0, 2.0, 4);
+  EXPECT_EQ(exp, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_THROW(Histogram({3.0, 1.0}), Error);  // not ascending
+}
+
+TEST(Metrics, HistogramQuantiles) {
+  Histogram h(Histogram::linear_bounds(0.0, 100.0, 101));  // width-1 buckets
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.p50(), 50.0, 1.0);
+  EXPECT_NEAR(h.p95(), 95.0, 1.0);
+  EXPECT_NEAR(h.p99(), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Metrics, HistogramSingleObservationAndOverflow) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  h.observe(1.5);
+  // One sample: every quantile collapses to it (min==max clamp).
+  EXPECT_DOUBLE_EQ(h.p50(), 1.5);
+  EXPECT_DOUBLE_EQ(h.p99(), 1.5);
+  h.observe(50.0);  // overflow bucket
+  EXPECT_EQ(h.bucket_counts().back(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);
+}
+
+TEST(Metrics, RegistryGetOrCreate) {
+  MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x");
+  obs::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  // Custom bounds apply on first creation only.
+  obs::Histogram& h = reg.histogram("h", {1.0, 2.0});
+  EXPECT_EQ(&reg.histogram("h", {9.0}), &h);
+  EXPECT_EQ(h.bounds().size(), 2u);
+}
+
+TEST(Metrics, SnapshotShape) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(3);
+  reg.gauge("g").set(1.0);
+  reg.histogram("h").observe(0.5);
+  reg.add_timing("t", 2.0);
+  const Json snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.at("counters").at("c").number(), 3.0);
+  EXPECT_DOUBLE_EQ(snap.at("gauges").at("g").number(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.at("histograms").at("h").at("count").number(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.at("timings").at("t").at("seconds").number(), 2.0);
+  EXPECT_DOUBLE_EQ(snap.at("timings").at("t").at("calls").number(), 1.0);
+  // The snapshot is valid JSON end to end.
+  EXPECT_EQ(Json::parse(snap.dump()).dump(), snap.dump());
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  MetricsRegistry reg;
+  reg.counter("c").inc();
+  reg.add_timing("t", 1.0);
+  reg.reset_timings();
+  EXPECT_EQ(reg.counter_value("c"), 1);  // timings-only reset
+  EXPECT_DOUBLE_EQ(reg.timing_seconds("t"), 0.0);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("c"), 0);
+}
+
+// ---------------------------------------------------- Profiler facade -----
+
+TEST(Profiler, AddSecondsCallsReset) {
+  Profiler p;
+  EXPECT_DOUBLE_EQ(p.seconds("s"), 0.0);
+  EXPECT_EQ(p.calls("s"), 0);
+  p.add("s", 1.5);
+  p.add("s", 0.5);
+  EXPECT_DOUBLE_EQ(p.seconds("s"), 2.0);
+  EXPECT_EQ(p.calls("s"), 2);
+  EXPECT_EQ(p.sections().size(), 1u);
+  // The facade and its registry are one store.
+  EXPECT_DOUBLE_EQ(p.registry().timing_seconds("s"), 2.0);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.seconds("s"), 0.0);
+  EXPECT_TRUE(p.sections().empty());
+}
+
+TEST(Profiler, ScopedTimerMeasuresScope) {
+  Profiler p;
+  {
+    ScopedTimer t(p, "scope");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(p.calls("scope"), 1);
+  EXPECT_GE(p.seconds("scope"), 0.004);
+}
+
+// --------------------------------------------------------------- trace ----
+
+TEST(Trace, SpansAdvanceTheirOwnTrack) {
+  TraceBuffer buf;
+  buf.add_span("a", "comp", 0, 1e-3);
+  buf.add_span("b", "comp", 1, 2e-3);
+  buf.add_span("c", "comp", 0, 1e-3);
+  EXPECT_DOUBLE_EQ(buf.track_now_us(0), 2000.0);
+  EXPECT_DOUBLE_EQ(buf.track_now_us(1), 2000.0);
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_DOUBLE_EQ(buf.event(2).ts_us, 1000.0);  // "c" after "a" on track 0
+}
+
+TEST(Trace, CollectiveIsABarrier) {
+  TraceBuffer buf;
+  buf.add_span("fast", "comp", 0, 1e-3);   // track 0 at 1000 µs
+  buf.add_span("slow", "comp", 1, 3e-3);   // track 1 at 3000 µs
+  buf.add_collective("allreduce", 2e-3);   // starts at max cursor
+  const obs::TraceEvent& coll = buf.event(2);
+  EXPECT_EQ(coll.tid, TraceBuffer::kCommTrack);
+  EXPECT_EQ(coll.cat, "comm");
+  EXPECT_DOUBLE_EQ(coll.ts_us, 3000.0);
+  EXPECT_DOUBLE_EQ(coll.dur_us, 2000.0);
+  // Every rank track resumes after the barrier.
+  EXPECT_DOUBLE_EQ(buf.track_now_us(0), 5000.0);
+  EXPECT_DOUBLE_EQ(buf.track_now_us(1), 5000.0);
+}
+
+TEST(Trace, RingEvictsOldest) {
+  TraceBuffer buf(4);
+  for (int i = 0; i < 6; ++i)
+    buf.add_span("s" + std::to_string(i), "comp", 0, 1e-6);
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.dropped(), 2);
+  EXPECT_EQ(buf.event(0).name, "s2");  // oldest-first
+  EXPECT_EQ(buf.event(3).name, "s5");
+}
+
+TEST(Trace, TraceSpanRaiiAndNullBuffer) {
+  TraceBuffer buf;
+  {
+    TraceSpan span(&buf, "work", "comp", 0);
+    span.arg("layer", 3);
+    EXPECT_EQ(buf.size(), 0u);  // recorded only at destruction
+  }
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.event(0).name, "work");
+  EXPECT_DOUBLE_EQ(buf.event(0).args.at("layer").number(), 3.0);
+  // Null buffer: the span is a silent no-op.
+  TraceSpan noop(nullptr, "x", "comp", 0);
+  noop.arg("k", 1);
+}
+
+TEST(Trace, ChromeTraceExportParsesBack) {
+  TraceBuffer buf;
+  buf.set_track_name(0, "rank 0");
+  buf.set_track_name(TraceBuffer::kCommTrack, "interconnect");
+  buf.add_span("fwd", "comp", 0, 1e-3, Json::object().set("iter", 0));
+  buf.add_collective("broadcast", 5e-4,
+                     Json::object().set("bytes", 1024));
+  buf.add_instant("mode:KID", "train", TraceBuffer::kCommTrack);
+  std::ostringstream os;
+  buf.write_chrome_trace(os);
+
+  const Json doc = Json::parse(os.str());
+  EXPECT_EQ(doc.at("displayTimeUnit").str(), "ms");
+  const auto& events = doc.at("traceEvents").items();
+  // 2 thread_name metadata + 3 events.
+  ASSERT_EQ(events.size(), 5u);
+  int metadata = 0, complete = 0, instant = 0;
+  for (const Json& e : events) {
+    const std::string ph = e.at("ph").str();
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(e.at("name").str(), "thread_name");
+    } else if (ph == "X") {
+      ++complete;
+      EXPECT_GE(e.at("dur").number(), 0.0);
+    } else if (ph == "i") {
+      ++instant;
+    }
+  }
+  EXPECT_EQ(metadata, 2);
+  EXPECT_EQ(complete, 2);
+  EXPECT_EQ(instant, 1);
+}
+
+// ------------------------------------------------------------- run log ----
+
+std::filesystem::path fresh_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("hylo_obs_test_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<Json> read_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<Json> records;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) records.push_back(Json::parse(line));
+  return records;
+}
+
+TEST(RunLog, DisabledLoggerIsNoOp) {
+  RunLogger log;
+  EXPECT_FALSE(log.enabled());
+  EXPECT_FALSE(log.per_step());
+  log.record("step", Json::object().set("i", 1));
+  log.console("quiet");
+  log.finish();
+  EXPECT_EQ(log.records_written(), 0);
+}
+
+TEST(RunLog, WritesSequencedJsonlAndTrace) {
+  const auto dir = fresh_dir("runlog");
+  MetricsRegistry reg;
+  reg.counter("comm/broadcast.bytes").inc(4096);
+  {
+    RunLogConfig cfg;
+    cfg.dir = dir.string();
+    RunLogger log(cfg);
+    log.attach_metrics(&reg);
+    log.trace().add_span("fwd", "comp", 0, 1e-3);
+    log.record("step", Json::object().set("loss", 0.5));
+    log.record("epoch", Json::object().set("epoch", 0));
+    log.console("epoch 0 done");
+    log.finish();
+  }
+  const auto records = read_jsonl((dir / "run.jsonl").string());
+  ASSERT_GE(records.size(), 5u);  // step, epoch, console, metrics, run_end
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(records[i].at("seq").number(), static_cast<double>(i));
+    EXPECT_TRUE(records[i].find("type") != nullptr);
+  }
+  EXPECT_EQ(records[0].at("type").str(), "step");
+  EXPECT_DOUBLE_EQ(records[0].at("loss").number(), 0.5);
+  EXPECT_EQ(records[2].at("type").str(), "console");
+  // The closing metrics snapshot carries the attached registry.
+  const Json* metrics = nullptr;
+  for (const Json& r : records)
+    if (r.at("type").str() == "metrics") metrics = &r;
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(
+      metrics->at("counters").at("comm/broadcast.bytes").number(), 4096.0);
+  // trace.json exists and parses as a Chrome trace.
+  std::ifstream tin((dir / "trace.json").string());
+  ASSERT_TRUE(tin.good());
+  std::stringstream ss;
+  ss << tin.rdbuf();
+  const Json trace = Json::parse(ss.str());
+  EXPECT_GE(trace.at("traceEvents").items().size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------- end-to-end trainer run -------
+
+TEST(Telemetry, TrainerWritesRunLogAndTrace) {
+  const auto dir = fresh_dir("trainer");
+  const DataSplit data = make_spirals(256, 64, 2, 0.08, 11);
+  Network net = make_mlp({2, 1, 1}, {16, 16}, 2, 1);
+  OptimConfig oc;
+  oc.lr = 0.05;
+  oc.damping = 0.3;
+  oc.update_freq = 4;
+  oc.rank_ratio = 0.1;
+  HyloOptimizer opt(oc);
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 16;
+  tc.world = 2;
+  tc.interconnect = mist_v100();
+  tc.max_iters_per_epoch = 6;
+  tc.telemetry.dir = dir.string();
+  Trainer trainer(net, opt, data, tc);
+  trainer.run();
+
+  const auto records = read_jsonl(trainer.run_log().run_log_path());
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.front().at("type").str(), "run_start");
+  EXPECT_EQ(records.front().at("optimizer").str(), "HyLo");
+  EXPECT_DOUBLE_EQ(records.front().at("world").number(), 2.0);
+
+  std::vector<const Json*> epochs;
+  std::vector<const Json*> steps;
+  const Json* result = nullptr;
+  for (const Json& r : records) {
+    const std::string type = r.at("type").str();
+    if (type == "epoch") epochs.push_back(&r);
+    if (type == "step") steps.push_back(&r);
+    if (type == "result") result = &r;
+  }
+  ASSERT_EQ(epochs.size(), 4u);
+  EXPECT_EQ(steps.size(), 4u * 6u);  // per_step defaults on
+  for (const Json* e : epochs) {
+    const std::string mode = e->at("mode").str();
+    EXPECT_TRUE(mode == "KID" || mode == "KIS");
+    EXPECT_GT(e->at("rank_r").number(), 0.0);
+    EXPECT_GE(e->at("switching").at("threshold").number(), 0.0);
+    EXPECT_TRUE(e->at("switching").find("R") != nullptr);
+    // Per-epoch wire accounting: broadcast bytes flowed every epoch (the
+    // curvature refresh broadcasts inverses from the owning rank).
+    const Json& coll = e->at("collectives");
+    bool saw_bytes = false;
+    for (const auto& [name, v] : coll.members())
+      if (v.at("bytes").number() > 0.0) saw_bytes = true;
+    EXPECT_TRUE(saw_bytes) << "epoch record without wire bytes";
+    EXPECT_GT(e->at("time").at("wall").number(), 0.0);
+  }
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->at("total_wire_bytes").number(), 0.0);
+  EXPECT_GT(result->at("total_messages").number(), 0.0);
+  EXPECT_DOUBLE_EQ(result->at("epochs_run").number(), 4.0);
+
+  // The trace renders a real multi-rank timeline: both rank tracks named,
+  // comm lane populated, and the whole file is valid Chrome trace JSON.
+  std::ifstream tin(trainer.run_log().trace_path());
+  ASSERT_TRUE(tin.good());
+  std::stringstream ss;
+  ss << tin.rdbuf();
+  const Json trace = Json::parse(ss.str());
+  int rank_tracks = 0;
+  bool comm_span = false;
+  for (const Json& e : trace.at("traceEvents").items()) {
+    if (e.at("ph").str() == "M" &&
+        e.at("args").at("name").str().rfind("rank ", 0) == 0)
+      ++rank_tracks;
+    if (e.at("ph").str() == "X" && e.at("cat").str() == "comm")
+      comm_span = true;
+  }
+  EXPECT_EQ(rank_tracks, 2);
+  EXPECT_TRUE(comm_span);
+
+  // Wire counters exposed through CommSim match the registry totals.
+  EXPECT_GT(trainer.comm().total_wire_bytes(), 0);
+  EXPECT_GT(trainer.comm().wire_bytes_charged("comm/broadcast"), 0);
+  EXPECT_GT(trainer.comm().messages("comm/broadcast"), 0);
+
+  // The optimizer journaled one switch decision per epoch.
+  EXPECT_EQ(opt.switch_history().size(), 4u);
+  EXPECT_EQ(opt.switch_history().front().reason, "warmup");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hylo
