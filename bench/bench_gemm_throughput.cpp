@@ -1,0 +1,132 @@
+// GEMM throughput across hylo::par thread counts. Times the three kernels
+// the optimizer pipeline leans on — gemm (C = AB), gemm_tn (AᵀB, the
+// factor-contraction shape) and gram_nt (AAᵀ, the kernel-matrix shape) — at
+// 512³ over HYLO thread counts {1, 2, 4, hw}, checks every multithreaded
+// result bitwise against the single-thread reference, and writes
+// BENCH_gemm.json (GFLOP/s per kernel per thread count) for the repo record.
+//
+// Geometry: HYLO_BENCH_SCALE=large doubles the edge to 1024.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace hylo;
+using namespace hylo::bench;
+
+namespace {
+
+// Best-of-reps wall time of a callable (first call warms the cache).
+template <typename F>
+double time_best(F&& f, int reps) {
+  double best = 1e300;
+  for (int rep = 0; rep <= reps; ++rep) {
+    WallTimer t;
+    f();
+    if (rep > 0) best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+bool bitwise_equal(const Matrix& x, const Matrix& y) {
+  return x.rows() == y.rows() && x.cols() == y.cols() &&
+         std::memcmp(x.data(), y.data(),
+                     sizeof(real_t) * static_cast<std::size_t>(x.size())) == 0;
+}
+
+struct KernelResult {
+  std::string name;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  bool bitwise = true;  ///< matches the 1-thread result exactly
+};
+
+}  // namespace
+
+int main() {
+  const index_t n = large_scale() ? 1024 : 512;
+  const int reps = 3;
+  Rng rng(20240806);
+
+  Matrix a(n, n), b(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      a(i, j) = rng.normal();
+      b(i, j) = rng.normal();
+    }
+
+  // Thread counts to sweep: 1, 2, 4 and the hardware default, deduplicated.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<int> counts{1, 2, 4};
+  if (hw > 0 && std::find(counts.begin(), counts.end(), hw) == counts.end())
+    counts.push_back(hw);
+
+  struct Kernel {
+    const char* name;
+    double flops;
+    Matrix (*run)(const Matrix&, const Matrix&);
+  };
+  const double nn = static_cast<double>(n) * static_cast<double>(n);
+  const Kernel kernels[] = {
+      {"gemm", 2.0 * nn * static_cast<double>(n),
+       [](const Matrix& x, const Matrix& y) { return matmul(x, y); }},
+      {"gemm_tn", 2.0 * nn * static_cast<double>(n),
+       [](const Matrix& x, const Matrix& y) { return matmul_tn(x, y); }},
+      // Symmetric output: n(n+1)/2 dot products of length n.
+      {"gram_nt",
+       static_cast<double>(n) * (static_cast<double>(n) + 1.0) *
+           static_cast<double>(n),
+       [](const Matrix& x, const Matrix&) { return gram_nt(x); }},
+  };
+
+  // Single-thread reference results for the bitwise check.
+  par::set_num_threads(1);
+  std::vector<Matrix> reference;
+  for (const auto& k : kernels) reference.push_back(k.run(a, b));
+
+  obs::Json by_threads = obs::Json::array();
+  for (const int t : counts) {
+    par::set_num_threads(t);
+    obs::Json row = obs::Json::object();
+    row.set("threads", t);
+    std::cout << "threads=" << t << "\n";
+    for (std::size_t ki = 0; ki < std::size(kernels); ++ki) {
+      const Kernel& k = kernels[ki];
+      KernelResult r;
+      r.name = k.name;
+      Matrix out;
+      r.seconds = time_best([&] { out = k.run(a, b); }, reps);
+      r.gflops = k.flops / r.seconds * 1e-9;
+      r.bitwise = bitwise_equal(out, reference[ki]);
+      obs::Json jk = obs::Json::object();
+      jk.set("seconds", r.seconds);
+      jk.set("gflops", r.gflops);
+      jk.set("bitwise_identical", r.bitwise);
+      row.set(r.name, std::move(jk));
+      std::cout << "  " << r.name << ": " << r.gflops << " GFLOP/s"
+                << (r.bitwise ? "" : "  [MISMATCH vs 1-thread]") << "\n";
+      if (!r.bitwise) {
+        std::cerr << "bitwise mismatch: " << r.name << " at " << t
+                  << " threads\n";
+        return 1;
+      }
+    }
+    by_threads.push(std::move(row));
+  }
+  par::set_num_threads(0);  // restore the environment default
+
+  obs::Json doc = obs::Json::object();
+  doc.set("bench", "gemm_throughput");
+  doc.set("n", static_cast<std::int64_t>(n));
+  doc.set("reps", reps);
+  doc.set("hardware_concurrency", hw);
+  doc.set("results", std::move(by_threads));
+  std::ofstream out("BENCH_gemm.json");
+  doc.dump(out);
+  out << "\n";
+  std::cout << "wrote BENCH_gemm.json\n";
+  return 0;
+}

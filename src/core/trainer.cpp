@@ -7,6 +7,7 @@
 #include "hylo/optim/hylo_optimizer.hpp"
 #include "hylo/optim/kfac.hpp"
 #include "hylo/optim/sngd.hpp"
+#include "hylo/par/thread_pool.hpp"
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
@@ -320,6 +321,9 @@ TrainResult Trainer::run() {
   result.replicated_seconds = comp_rep_seconds_;
   result.comm_seconds = comm_seconds_;
   if (runlog_.enabled()) {
+    // Fold the thread-pool's cumulative fan-out stats into the registry so
+    // the run log's final metrics snapshot carries them.
+    par::export_metrics(comm_.profiler().registry());
     obs::Json rec = obs::Json::object();
     rec.set("epochs_run", static_cast<std::int64_t>(result.epochs.size()));
     rec.set("iterations", result.iterations);

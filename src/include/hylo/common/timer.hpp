@@ -36,8 +36,10 @@ class WallTimer {
   clock::time_point start_;
 };
 
-/// Accumulates seconds and call counts under string keys. Not thread-safe by
-/// design — the distributed simulator is lockstep-sequential.
+/// Accumulates seconds and call counts under string keys. Backed by the
+/// obs::MetricsRegistry timing sections, which are mutex-guarded, so adds
+/// from concurrent hylo::par workers are safe (the lockstep simulator still
+/// drives rank logic sequentially).
 class Profiler {
  public:
   using Entry = obs::TimingEntry;

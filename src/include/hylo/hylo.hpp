@@ -11,6 +11,8 @@
 ///   - hylo/dist/*              — simulated collectives + α-β cost model
 ///   - hylo/obs/*               — telemetry: metrics registry, trace spans
 ///                                (Perfetto export), JSONL run logs
+///   - hylo/par/*               — deterministic thread-pool parallelism
+///                                (HYLO_NUM_THREADS)
 ///   - hylo/linalg/*            — cholesky/lu/eigh/pivoted-QR/ID/kernels
 ///   - hylo/tensor/*            — Matrix, Tensor4, GEMM kernels
 ///
@@ -38,4 +40,5 @@
 #include "hylo/optim/kfac.hpp"
 #include "hylo/optim/optimizer.hpp"
 #include "hylo/optim/sngd.hpp"
+#include "hylo/par/thread_pool.hpp"
 #include "hylo/tensor/ops.hpp"

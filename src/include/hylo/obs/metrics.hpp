@@ -6,9 +6,19 @@
 /// inversion time, selected ranks), and the named timing sections that the
 /// legacy `Profiler` facade (common/timer.hpp) exposes. One registry backs
 /// a whole simulated run; the run logger snapshots it into the JSONL log.
+///
+/// Thread safety: metric mutation (Counter::inc, Gauge::set,
+/// Histogram::observe, add_timing) and get-or-create lookups are safe from
+/// concurrent hylo::par workers — counters/gauges are atomic, histograms and
+/// the registry maps are mutex-guarded, and returned metric references stay
+/// valid for the registry's lifetime. The bulk read accessors that hand out
+/// references to whole maps (counters(), gauges(), histograms(), timings())
+/// still require external quiescence, as does reset().
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,32 +29,35 @@ namespace hylo::obs {
 
 class Json;
 
-/// Monotonically increasing integer metric.
+/// Monotonically increasing integer metric. Lock-free.
 class Counter {
  public:
   void inc(std::int64_t n = 1) {
     HYLO_CHECK(n >= 0, "counter increment must be non-negative");
-    value_ += n;
+    value_.fetch_add(n, std::memory_order_relaxed);
   }
-  std::int64_t value() const { return value_; }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
-/// Last-value metric.
+/// Last-value metric. Lock-free; value and set-count are individually
+/// atomic (a reader may observe one set ahead of the other).
 class Gauge {
  public:
   void set(double v) {
-    value_ = v;
-    set_count_ += 1;
+    value_.store(v, std::memory_order_relaxed);
+    set_count_.fetch_add(1, std::memory_order_relaxed);
   }
-  double value() const { return value_; }
-  std::int64_t set_count() const { return set_count_; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t set_count() const {
+    return set_count_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0.0;
-  std::int64_t set_count_ = 0;
+  std::atomic<double> value_{0.0};
+  std::atomic<std::int64_t> set_count_{0};
 };
 
 /// Fixed-bucket histogram. Bucket i counts observations in
@@ -56,6 +69,12 @@ class Histogram {
   /// `bounds` must be strictly ascending upper bucket edges.
   explicit Histogram(std::vector<double> bounds);
 
+  /// Moves/copies transfer the data but give the destination a fresh mutex
+  /// (needed so the registry map can emplace; not concurrency-safe against
+  /// writers of the source).
+  Histogram(Histogram&& o) noexcept;
+  Histogram(const Histogram& o);
+
   /// Geometric bucket edges start, start*factor, ... (`count` edges) — the
   /// default shape for timing metrics spanning decades.
   static std::vector<double> exponential_bounds(double start, double factor,
@@ -66,11 +85,20 @@ class Histogram {
 
   void observe(double v);
 
-  std::int64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
+  std::int64_t count() const { return locked().count_; }
+  double sum() const { return locked().sum_; }
+  double mean() const {
+    const State s = locked();
+    return s.count_ == 0 ? 0.0 : s.sum_ / static_cast<double>(s.count_);
+  }
+  double min() const {
+    const State s = locked();
+    return s.count_ == 0 ? 0.0 : s.min_;
+  }
+  double max() const {
+    const State s = locked();
+    return s.count_ == 0 ? 0.0 : s.max_;
+  }
 
   /// q in [0, 1]. Returns 0 with no observations.
   double quantile(double q) const;
@@ -79,15 +107,29 @@ class Histogram {
   double p99() const { return quantile(0.99); }
 
   const std::vector<double>& bounds() const { return bounds_; }
-  /// bounds().size() + 1 entries; last is the overflow bucket.
-  const std::vector<std::int64_t>& bucket_counts() const { return counts_; }
+  /// bounds().size() + 1 entries; last is the overflow bucket. Returns a
+  /// snapshot copy so concurrent observe() cannot invalidate the read.
+  std::vector<std::int64_t> bucket_counts() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return counts_;
+  }
 
  private:
-  std::vector<double> bounds_;
+  struct State {
+    std::int64_t count_;
+    double sum_, min_, max_;
+  };
+  State locked() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return State{count_, sum_, min_, max_};
+  }
+
+  std::vector<double> bounds_;  ///< immutable after construction
   std::vector<std::int64_t> counts_;
   std::int64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0, max_ = 0.0;
+  mutable std::mutex mu_;
 };
 
 /// Accumulated seconds + call count under a section name. This is the exact
@@ -111,15 +153,18 @@ class MetricsRegistry {
 
   /// Timing sections (Profiler facade backend).
   void add_timing(const std::string& name, double seconds) {
+    std::lock_guard<std::mutex> lk(mu_);
     auto& e = timings_[name];
     e.seconds += seconds;
     e.calls += 1;
   }
   double timing_seconds(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
     const auto it = timings_.find(name);
     return it == timings_.end() ? 0.0 : it->second.seconds;
   }
   std::int64_t timing_calls(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
     const auto it = timings_.find(name);
     return it == timings_.end() ? 0 : it->second.calls;
   }
@@ -139,10 +184,14 @@ class MetricsRegistry {
   /// as one JSON object — the shape the run log's "metrics" record uses.
   Json snapshot() const;
 
-  void reset_timings() { timings_.clear(); }
+  void reset_timings() {
+    std::lock_guard<std::mutex> lk(mu_);
+    timings_.clear();
+  }
   void reset();
 
  private:
+  mutable std::mutex mu_;  ///< guards the four maps and timing entries
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

@@ -8,9 +8,14 @@
 /// arrived and advance all cursors past their modeled wire time. Events land
 /// in a bounded ring buffer (oldest dropped first) and export as Chrome
 /// trace format JSON, loadable in chrome://tracing or https://ui.perfetto.dev.
+///
+/// TraceBuffer is internally synchronized: every public method takes the
+/// buffer mutex, so spans recorded from concurrent hylo::par workers are
+/// serialized (their relative order then depends on thread timing).
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -60,10 +65,17 @@ class TraceBuffer {
   void set_track_name(int tid, std::string name);
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return ring_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ring_.size();
+  }
   /// Events evicted from the ring so far.
-  std::int64_t dropped() const { return dropped_; }
-  /// Oldest-first access, i in [0, size()).
+  std::int64_t dropped() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return dropped_;
+  }
+  /// Oldest-first access, i in [0, size()). The reference stays valid only
+  /// while no concurrent writer is recording.
   const TraceEvent& event(std::size_t i) const;
 
   /// {"traceEvents": [...], "displayTimeUnit": "ms"} with thread_name
@@ -74,8 +86,10 @@ class TraceBuffer {
   void clear();
 
  private:
+  /// Callers hold mu_.
   void record(TraceEvent e);
 
+  mutable std::mutex mu_;
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;  ///< circular once full
   std::size_t head_ = 0;          ///< next write slot when full

@@ -95,13 +95,6 @@ class HyloOptimizer : public CurvatureOptimizer {
     bool ready = false;
   };
 
-  void update_layer_kid(LayerState& st, const std::vector<Matrix>& a_ranks,
-                        const std::vector<Matrix>& g_ranks, index_t r_local,
-                        CommSim* comm, index_t layer, int owner);
-  void update_layer_kis(LayerState& st, const std::vector<Matrix>& a_ranks,
-                        const std::vector<Matrix>& g_ranks, index_t r_local,
-                        CommSim* comm, index_t layer, int owner);
-
   Policy policy_ = Policy::kGradientBased;
   HyloMode mode_ = HyloMode::kKid;
   std::vector<HyloMode> mode_history_;

@@ -4,6 +4,9 @@
 /// written cache-friendly for row-major storage; they are the compute
 /// backbone of both the NN framework (conv = im2col + gemm) and the
 /// second-order machinery (Gram/kernel matrices, SMW applications).
+/// The GEMM/Gram family is multi-threaded over output row blocks through
+/// hylo::par (HYLO_NUM_THREADS) with bitwise-deterministic results at any
+/// thread count — see DESIGN.md §8 for the determinism contract.
 
 #include <vector>
 
@@ -22,6 +25,13 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha = 1.0,
 /// C = alpha * A * B^T + beta * C.  A: m x k, B: n x k, C: m x n.
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha = 1.0,
              real_t beta = 0.0);
+
+/// C = alpha * A^T * diag(s) * B + beta * C.  A: k x m, s: k-vector (k x 1
+/// or 1 x k), B: k x n. The row scaling is fused into the rank-1 update
+/// coefficients — no scaled copy of A is formed. With alpha == 1 the result
+/// is bitwise identical to scaling A's rows first and calling gemm_tn.
+void gemm_tn_diag(const Matrix& a, const Matrix& s, const Matrix& b, Matrix& c,
+                  real_t alpha = 1.0, real_t beta = 0.0);
 
 /// Allocating forms.
 Matrix matmul(const Matrix& a, const Matrix& b);

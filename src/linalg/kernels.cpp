@@ -1,5 +1,6 @@
 #include "hylo/linalg/kernels.hpp"
 
+#include "hylo/par/thread_pool.hpp"
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
@@ -15,16 +16,23 @@ Matrix khatri_rao_rowwise(const Matrix& g, const Matrix& a) {
   HYLO_CHECK(a.rows() == g.rows(), "khatri_rao sample mismatch");
   const index_t m = a.rows(), din = a.cols(), dout = g.cols();
   Matrix u(m, dout * din);
-  for (index_t i = 0; i < m; ++i) {
-    const real_t* gi = g.row_ptr(i);
-    const real_t* ai = a.row_ptr(i);
-    real_t* ui = u.row_ptr(i);
-    for (index_t o = 0; o < dout; ++o) {
-      const real_t go = gi[o];
-      real_t* dst = ui + o * din;
-      for (index_t j = 0; j < din; ++j) dst[j] = go * ai[j];
-    }
-  }
+  // Row i of U depends only on row i of A and G — disjoint writes, so the
+  // batch partition is bitwise identical to the serial loop.
+  par::parallel_for(
+      0, m, 4,
+      [&](index_t i0, index_t i1) {
+        for (index_t i = i0; i < i1; ++i) {
+          const real_t* gi = g.row_ptr(i);
+          const real_t* ai = a.row_ptr(i);
+          real_t* ui = u.row_ptr(i);
+          for (index_t o = 0; o < dout; ++o) {
+            const real_t go = gi[o];
+            real_t* dst = ui + o * din;
+            for (index_t j = 0; j < din; ++j) dst[j] = go * ai[j];
+          }
+        }
+      },
+      "linalg/khatri_rao");
   return u;
 }
 
@@ -36,27 +44,29 @@ Matrix apply_jacobian(const Matrix& a, const Matrix& g, const Matrix& v) {
   const Matrix m1 = matmul(g, v);
   const index_t m = a.rows();
   Matrix y(m, 1);
-  for (index_t i = 0; i < m; ++i) {
-    const real_t* mi = m1.row_ptr(i);
-    const real_t* ai = a.row_ptr(i);
-    real_t acc = 0.0;
-    for (index_t j = 0; j < a.cols(); ++j) acc += mi[j] * ai[j];
-    y[i] = acc;
-  }
+  par::parallel_for(
+      0, m, 64,
+      [&](index_t i0, index_t i1) {
+        for (index_t i = i0; i < i1; ++i) {
+          const real_t* mi = m1.row_ptr(i);
+          const real_t* ai = a.row_ptr(i);
+          real_t acc = 0.0;
+          for (index_t j = 0; j < a.cols(); ++j) acc += mi[j] * ai[j];
+          y[i] = acc;
+        }
+      },
+      "linalg/rowdot");
   return y;
 }
 
 Matrix apply_jacobian_t(const Matrix& a, const Matrix& g, const Matrix& y) {
   HYLO_CHECK(a.rows() == g.rows(), "apply_jacobian_t sample mismatch");
   HYLO_CHECK(y.rows() == a.rows() && y.cols() == 1, "y must be m x 1");
-  // Gᵀ diag(y) A: scale rows of G by y, then Gᵀ A.
-  Matrix gs = g;
-  for (index_t i = 0; i < gs.rows(); ++i) {
-    const real_t yi = y[i];
-    real_t* gi = gs.row_ptr(i);
-    for (index_t j = 0; j < gs.cols(); ++j) gi[j] *= yi;
-  }
-  return matmul_tn(gs, a);
+  // Gᵀ diag(y) A with the scaling fused into the rank-1 updates — no m x d
+  // scaled copy of G is materialized.
+  Matrix out;
+  gemm_tn_diag(g, y, a, out);
+  return out;
 }
 
 }  // namespace hylo

@@ -1,6 +1,7 @@
 #include <cmath>
 
 #include "hylo/nn/layers.hpp"
+#include "hylo/par/thread_pool.hpp"
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
@@ -44,40 +45,48 @@ void Conv2d::forward(const std::vector<const Tensor4*>& in, Tensor4& out,
   if (ctx.capture) {
     params_.a_samples.resize(n, patch + 1);
   }
-  Matrix y;  // s x c_out scratch
-  for (index_t i = 0; i < n; ++i) {
-    Matrix& cols = cols_[static_cast<std::size_t>(i)];
-    im2col(x.sample_ptr(i), geom_, cols);
-    // y = cols · W_mainᵀ + bias. W columns [0, patch) are the kernel, column
-    // `patch` is the bias.
-    y.resize(s, out_channels_);
-    for (index_t p = 0; p < s; ++p) {
-      const real_t* cp = cols.row_ptr(p);
-      real_t* yp = y.row_ptr(p);
-      for (index_t o = 0; o < out_channels_; ++o) {
-        const real_t* wo = params_.w.row_ptr(o);
-        real_t acc = wo[patch];  // bias
-        for (index_t j = 0; j < patch; ++j) acc += wo[j] * cp[j];
-        yp[o] = acc;
-      }
-    }
-    // Scatter s x c_out into the NCHW output plane.
-    real_t* dst = out.sample_ptr(i);
-    for (index_t o = 0; o < out_channels_; ++o)
-      for (index_t p = 0; p < s; ++p) dst[o * s + p] = y(p, o);
-    if (ctx.capture) {
-      // Sec. IV spatial-sum: x̂_i = Σ_p cols(p,:); augmentation column = S so
-      // the bias block of ĝ_i â_iᵀ matches Σ_p g_p [x_p; 1]ᵀ exactly in the
-      // bias coordinate.
-      real_t* arow = params_.a_samples.row_ptr(i);
-      for (index_t j = 0; j < patch; ++j) {
-        real_t acc = 0.0;
-        for (index_t p = 0; p < s; ++p) acc += cols(p, j);
-        arow[j] = acc;
-      }
-      arow[patch] = static_cast<real_t>(s);
-    }
-  }
+  // Batch-parallel: every sample writes disjoint state (its cols_ slot, its
+  // output plane, its a_samples row), so any partition is bitwise identical
+  // to the serial loop. The s x c_out scratch is per chunk.
+  par::parallel_for(
+      0, n, 1,
+      [&](index_t n0, index_t n1) {
+        Matrix y;  // s x c_out scratch
+        for (index_t i = n0; i < n1; ++i) {
+          Matrix& cols = cols_[static_cast<std::size_t>(i)];
+          im2col(x.sample_ptr(i), geom_, cols);
+          // y = cols · W_mainᵀ + bias. W columns [0, patch) are the kernel,
+          // column `patch` is the bias.
+          y.resize(s, out_channels_);
+          for (index_t p = 0; p < s; ++p) {
+            const real_t* cp = cols.row_ptr(p);
+            real_t* yp = y.row_ptr(p);
+            for (index_t o = 0; o < out_channels_; ++o) {
+              const real_t* wo = params_.w.row_ptr(o);
+              real_t acc = wo[patch];  // bias
+              for (index_t j = 0; j < patch; ++j) acc += wo[j] * cp[j];
+              yp[o] = acc;
+            }
+          }
+          // Scatter s x c_out into the NCHW output plane.
+          real_t* dst = out.sample_ptr(i);
+          for (index_t o = 0; o < out_channels_; ++o)
+            for (index_t p = 0; p < s; ++p) dst[o * s + p] = y(p, o);
+          if (ctx.capture) {
+            // Sec. IV spatial-sum: x̂_i = Σ_p cols(p,:); augmentation column
+            // = S so the bias block of ĝ_i â_iᵀ matches Σ_p g_p [x_p; 1]ᵀ
+            // exactly in the bias coordinate.
+            real_t* arow = params_.a_samples.row_ptr(i);
+            for (index_t j = 0; j < patch; ++j) {
+              real_t acc = 0.0;
+              for (index_t p = 0; p < s; ++p) acc += cols(p, j);
+              arow[j] = acc;
+            }
+            arow[patch] = static_cast<real_t>(s);
+          }
+        }
+      },
+      "nn/conv2d_fwd");
 }
 
 void Conv2d::backward(const std::vector<const Tensor4*>& in,
@@ -89,44 +98,58 @@ void Conv2d::backward(const std::vector<const Tensor4*>& in,
   Tensor4& gin = *grad_in[0];
   if (ctx.capture) params_.g_samples.resize(n, out_channels_);
 
-  Matrix gy(s, out_channels_);  // per-sample output grad as s x c_out
-  Matrix dcols;
-  for (index_t i = 0; i < n; ++i) {
-    const real_t* src = gout.sample_ptr(i);
-    for (index_t o = 0; o < out_channels_; ++o)
-      for (index_t p = 0; p < s; ++p) gy(p, o) = src[o * s + p];
-    const Matrix& cols = cols_[static_cast<std::size_t>(i)];
+  // Weight/bias gradient, channel-parallel: each gw row belongs to exactly
+  // one output channel, so partitioning over channels gives disjoint writes
+  // while each element still accumulates samples in i-ascending, position-
+  // ascending order — the exact serial order, hence bitwise identical. The
+  // per-channel output-grad plane gout[i][o] is contiguous, so no s x c_out
+  // transpose is materialized.
+  par::parallel_for(
+      0, out_channels_, 1,
+      [&](index_t o0, index_t o1) {
+        for (index_t o = o0; o < o1; ++o) {
+          real_t* go = params_.gw.row_ptr(o);
+          for (index_t i = 0; i < n; ++i) {
+            const real_t* src = gout.sample_ptr(i) + o * s;
+            const Matrix& cols = cols_[static_cast<std::size_t>(i)];
+            real_t bias_acc = 0.0;
+            for (index_t p = 0; p < s; ++p) {
+              const real_t g = src[p];
+              if (g == 0.0) continue;
+              bias_acc += g;
+              const real_t* cp = cols.row_ptr(p);
+              for (index_t j = 0; j < patch; ++j) go[j] += g * cp[j];
+            }
+            go[patch] += bias_acc;
+            if (ctx.capture)
+              params_.g_samples(i, o) = bias_acc * static_cast<real_t>(n);
+          }
+        }
+      },
+      "nn/conv2d_wgrad");
 
-    // dW_main += gyᵀ cols; db += column sums of gy.
-    for (index_t o = 0; o < out_channels_; ++o) {
-      real_t* go = params_.gw.row_ptr(o);
-      real_t bias_acc = 0.0;
-      for (index_t p = 0; p < s; ++p) {
-        const real_t g = gy(p, o);
-        if (g == 0.0) continue;
-        bias_acc += g;
-        const real_t* cp = cols.row_ptr(p);
-        for (index_t j = 0; j < patch; ++j) go[j] += g * cp[j];
-      }
-      go[patch] += bias_acc;
-      if (ctx.capture)
-        params_.g_samples(i, o) = bias_acc * static_cast<real_t>(n);
-    }
-
-    // dcols = gy · W_main, then scatter back with col2im.
-    dcols.resize(s, patch);
-    for (index_t p = 0; p < s; ++p) {
-      const real_t* gp = gy.row_ptr(p);
-      real_t* dp = dcols.row_ptr(p);
-      for (index_t o = 0; o < out_channels_; ++o) {
-        const real_t g = gp[o];
-        if (g == 0.0) continue;
-        const real_t* wo = params_.w.row_ptr(o);
-        for (index_t j = 0; j < patch; ++j) dp[j] += g * wo[j];
-      }
-    }
-    col2im_add(dcols, geom_, gin.sample_ptr(i));
-  }
+  // Input gradient, batch-parallel: dcols = gy · W_main per sample, scattered
+  // back with col2im into that sample's disjoint gin plane.
+  par::parallel_for(
+      0, n, 1,
+      [&](index_t n0, index_t n1) {
+        Matrix dcols;
+        for (index_t i = n0; i < n1; ++i) {
+          const real_t* src = gout.sample_ptr(i);
+          dcols.resize(s, patch);
+          for (index_t p = 0; p < s; ++p) {
+            real_t* dp = dcols.row_ptr(p);
+            for (index_t o = 0; o < out_channels_; ++o) {
+              const real_t g = src[o * s + p];
+              if (g == 0.0) continue;
+              const real_t* wo = params_.w.row_ptr(o);
+              for (index_t j = 0; j < patch; ++j) dp[j] += g * wo[j];
+            }
+          }
+          col2im_add(dcols, geom_, gin.sample_ptr(i));
+        }
+      },
+      "nn/conv2d_dgrad");
   (void)in;
 }
 

@@ -4,6 +4,7 @@
 
 #include "hylo/linalg/id.hpp"
 #include "hylo/linalg/kernels.hpp"
+#include "hylo/par/thread_pool.hpp"
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
@@ -38,6 +39,79 @@ LuFactor damped_lu(Matrix m, real_t damping) {
     }
   }
   return lu_factor(m);  // propagate the final failure
+}
+
+/// Per-layer staging area for the split curvature refresh: the parallel
+/// compute stage fills it, the serial bookkeeping stage drains it into the
+/// profiler / comm model in exact layer order.
+struct LayerScratch {
+  std::vector<Matrix> a_parts, g_parts;  ///< per-rank compressed factors
+  std::vector<Matrix> y_parts;           ///< KID residual projections
+  // KIS sampling is drawn serially up front so the rng stream stays in
+  // (layer, rank) order regardless of thread count.
+  std::vector<std::vector<index_t>> picked;
+  std::vector<std::vector<real_t>> scale;  ///< 1/(ρ p_j)^{1/4} per picked row
+  double factor_s = 0.0;  ///< measured local-factorization wall time
+  double inv_s = 0.0;     ///< measured inversion wall time
+};
+
+// Algorithm 2 lines 1-4 for every simulated rank of one layer. Pure
+// compute with per-layer-disjoint outputs, safe to run layers in parallel.
+void factorize_kid(LayerScratch& sc, const std::vector<Matrix>& a_ranks,
+                   const std::vector<Matrix>& g_ranks, index_t r_local,
+                   real_t damping) {
+  const index_t world = static_cast<index_t>(a_ranks.size());
+  sc.a_parts.resize(static_cast<std::size_t>(world));
+  sc.g_parts.resize(static_cast<std::size_t>(world));
+  sc.y_parts.resize(static_cast<std::size_t>(world));
+  for (index_t rank = 0; rank < world; ++rank) {
+    const Matrix& a = a_ranks[static_cast<std::size_t>(rank)];
+    const Matrix& g = g_ranks[static_cast<std::size_t>(rank)];
+    const index_t rk = std::min(r_local, a.rows());
+
+    // Line 1: local Gram matrix Q = (AAᵀ)∘(GGᵀ).
+    const Matrix q = kernel_matrix(a, g);
+    // Line 2: [P, S] = ID(Q, r).
+    const RowId id = row_interpolative_decomposition(q, rk);
+    // Line 4: KID-factors.
+    sc.a_parts[static_cast<std::size_t>(rank)] = a.select_rows(id.rows);
+    sc.g_parts[static_cast<std::size_t>(rank)] = g.select_rows(id.rows);
+    // Line 3: residue R = Q − P·Q(S,:);  line 4: Y = Pᵀ(R+αI)⁻¹P.
+    Matrix resid = q - id_reconstruct(id, q);
+    add_diagonal(resid, damping);
+    const Matrix x = lu_solve(lu_factor(resid), id.projection);  // m x r
+    sc.y_parts[static_cast<std::size_t>(rank)] = matmul_tn(id.projection, x);
+  }
+}
+
+// Algorithm 3 with the random choices already drawn (sc.picked / sc.scale):
+// what remains is pure row selection + scaling.
+void factorize_kis(LayerScratch& sc, const std::vector<Matrix>& a_ranks,
+                   const std::vector<Matrix>& g_ranks) {
+  const index_t world = static_cast<index_t>(a_ranks.size());
+  sc.a_parts.resize(static_cast<std::size_t>(world));
+  sc.g_parts.resize(static_cast<std::size_t>(world));
+  for (index_t rank = 0; rank < world; ++rank) {
+    const auto& picked = sc.picked[static_cast<std::size_t>(rank)];
+    const auto& scale = sc.scale[static_cast<std::size_t>(rank)];
+    Matrix as = a_ranks[static_cast<std::size_t>(rank)].select_rows(picked);
+    Matrix gs = g_ranks[static_cast<std::size_t>(rank)].select_rows(picked);
+    for (index_t i = 0; i < static_cast<index_t>(picked.size()); ++i) {
+      const real_t s = scale[static_cast<std::size_t>(i)];
+      real_t* ar = as.row_ptr(i);
+      for (index_t j = 0; j < as.cols(); ++j) ar[j] *= s;
+      real_t* gr = gs.row_ptr(i);
+      for (index_t j = 0; j < gs.cols(); ++j) gr[j] *= s;
+    }
+    sc.a_parts[static_cast<std::size_t>(rank)] = std::move(as);
+    sc.g_parts[static_cast<std::size_t>(rank)] = std::move(gs);
+  }
+}
+
+index_t max_part_bytes(const CommSim& comm, const std::vector<Matrix>& parts) {
+  index_t b = 0;
+  for (const auto& m : parts) b = std::max(b, comm.wire_bytes(m.size()));
+  return b;
 }
 }  // namespace
 
@@ -134,25 +208,129 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
   last_rank_ = r_local * world;
 
   const LayerAssignment assignment(layers, world);
+  std::vector<LayerScratch> scratch(static_cast<std::size_t>(layers));
+
+  // --- Stage 1 (serial): draw the KIS sampling decisions -----------------
+  // rng_ is consumed in strict (layer, rank) order here, so the stream —
+  // and therefore every sampled factor — is identical at any thread count.
+  if (mode_ == HyloMode::kKis) {
+    for (index_t l = 0; l < layers; ++l) {
+      LayerScratch& sc = scratch[static_cast<std::size_t>(l)];
+      const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
+      const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
+      sc.picked.resize(a_ranks.size());
+      sc.scale.resize(a_ranks.size());
+      for (index_t rank = 0; rank < world; ++rank) {
+        const Matrix& a = a_ranks[static_cast<std::size_t>(rank)];
+        const Matrix& g = g_ranks[static_cast<std::size_t>(rank)];
+        const index_t m = a.rows();
+        const index_t rho = std::min(r_local, m);
+
+        // Scores via the Khatri-Rao structure: ‖u_j‖² = ‖a_j‖²·‖g_j‖².
+        const auto na = row_norms(a);
+        const auto ng = row_norms(g);
+        std::vector<real_t> score(static_cast<std::size_t>(m));
+        real_t total = 0.0;
+        index_t positive = 0;
+        for (index_t j = 0; j < m; ++j) {
+          const real_t s =
+              na[static_cast<std::size_t>(j)] * ng[static_cast<std::size_t>(j)];
+          score[static_cast<std::size_t>(j)] = s * s;
+          total += s * s;
+          positive += s > 0.0;
+        }
+        if (positive < rho) {
+          // Degenerate batch (fewer than ρ samples carry gradient, e.g. dead
+          // activations): blend in a uniform floor so sampling stays valid —
+          // the zero-score rows contribute nothing to the kernel anyway.
+          const real_t floor =
+              std::max(total, real_t{1.0}) / static_cast<real_t>(m) * 1e-9 +
+              1e-30;
+          for (auto& s : score) s += floor;
+          total += floor * static_cast<real_t>(m);
+        }
+        auto picked = rng_.sample_without_replacement(score, rho);
+
+        // Row scaling 1/√(ρ p_j), split as ^(1/4) on each of a_j and g_j so
+        // the Khatri-Rao product of the scaled rows carries the full factor.
+        std::vector<real_t> scale(picked.size());
+        for (std::size_t i = 0; i < picked.size(); ++i) {
+          const real_t p = score[static_cast<std::size_t>(picked[i])] / total;
+          scale[i] =
+              std::pow(static_cast<real_t>(rho) * std::max(p, real_t{1e-300}),
+                       real_t{-0.25});
+        }
+        sc.picked[static_cast<std::size_t>(rank)] = std::move(picked);
+        sc.scale[static_cast<std::size_t>(rank)] = std::move(scale);
+      }
+    }
+  }
+
+  // --- Stage 2 (parallel across layers): factorize + invert --------------
+  // Pure compute on disjoint per-layer state; the gathered factors are
+  // assembled locally (bitwise equal to the modeled allgather result) and
+  // the comm model is charged afterwards, in stage 3. Kernel-level
+  // parallel_for calls nested inside run inline on this thread.
+  par::parallel_for(
+      0, layers, 1,
+      [&](index_t l0, index_t l1) {
+        for (index_t l = l0; l < l1; ++l) {
+          LayerState& st = layers_[static_cast<std::size_t>(l)];
+          LayerScratch& sc = scratch[static_cast<std::size_t>(l)];
+          st.mode = mode_;
+          const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
+          const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
+
+          WallTimer factor_timer;
+          if (mode_ == HyloMode::kKid)
+            factorize_kid(sc, a_ranks, g_ranks, r_local, cfg_.damping);
+          else
+            factorize_kis(sc, a_ranks, g_ranks);
+          sc.factor_s = factor_timer.seconds();
+
+          // Alg. 1 lines 7/18: the gathered low-rank factors.
+          st.a_s = vstack(sc.a_parts);
+          st.g_s = vstack(sc.g_parts);
+
+          WallTimer invert_timer;
+          if (mode_ == HyloMode::kKid) {
+            // Alg. 1 line 10, Eq. 8: LU of K̂ + Y⁻¹.
+            const Matrix y = block_diag(sc.y_parts);
+            Matrix middle = kernel_matrix(st.a_s, st.g_s);  // K̂
+            middle += lu_inverse(y);
+            st.kid_middle = damped_lu(std::move(middle), cfg_.damping);
+          } else {
+            // Alg. 1 line 21, Eq. 9: Cholesky of K̂ + αI.
+            const Matrix k = kernel_matrix(st.a_s, st.g_s);
+            st.kis_chol = damped_cholesky(k, cfg_.damping);
+          }
+          sc.inv_s = invert_timer.seconds();
+        }
+      },
+      "optim/hylo/layers");
+
+  // --- Stage 3 (serial, layer order): profiler / comm-model bookkeeping --
+  // Replays exactly the charge sequence the serial implementation issued,
+  // so traces, byte counters, and call counts are unchanged by threading.
   double inv_max = 0.0;
   for (index_t l = 0; l < layers; ++l) {
     LayerState& st = layers_[static_cast<std::size_t>(l)];
-    st.mode = mode_;
-    const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
-    const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
-    const double inv_before =
-        comm != nullptr ? comm->profiler().seconds("comp/inversion") : 0.0;
-    const int owner = static_cast<int>(assignment.owner(l));
-    if (mode_ == HyloMode::kKid)
-      update_layer_kid(st, a_ranks, g_ranks, r_local, comm, l, owner);
-    else
-      update_layer_kis(st, a_ranks, g_ranks, r_local, comm, l, owner);
+    LayerScratch& sc = scratch[static_cast<std::size_t>(l)];
     if (comm != nullptr) {
-      const double inv_dt =
-          comm->profiler().seconds("comp/inversion") - inv_before;
-      inv_max = std::max(inv_max, inv_dt);
+      comm->profiler().add("comp/factorization", sc.factor_s);
+      comm->charge_allgather(max_part_bytes(*comm, sc.a_parts), "comm/gather");
+      comm->charge_allgather(max_part_bytes(*comm, sc.g_parts), "comm/gather");
+      if (st.mode == HyloMode::kKid)
+        comm->charge_allgather(wire_bytes(*comm, sc.y_parts[0].size()),
+                               "comm/gather");
+      comm->profiler().add("comp/inversion", sc.inv_s);
+      trace_inversion(comm, l, static_cast<int>(assignment.owner(l)), sc.inv_s);
+      // Line 11/21: broadcast the r x r inverse.
+      comm->charge_broadcast(wire_bytes(*comm, st.a_s.rows() * st.a_s.rows()),
+                             "comm/broadcast");
+      inv_max = std::max(inv_max, sc.inv_s);
       comm->profiler().registry().histogram("optim/hylo/inversion_seconds")
-          .observe(inv_dt);
+          .observe(sc.inv_s);
     }
     st.ready = true;
   }
@@ -164,154 +342,6 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
     reg.histogram("optim/hylo/selected_rank",
                   obs::Histogram::linear_bounds(0.0, 4096.0, 65))
         .observe(static_cast<double>(last_rank_));
-  }
-}
-
-void HyloOptimizer::update_layer_kid(LayerState& st,
-                                     const std::vector<Matrix>& a_ranks,
-                                     const std::vector<Matrix>& g_ranks,
-                                     index_t r_local, CommSim* comm,
-                                     index_t layer, int owner) {
-  const index_t world = static_cast<index_t>(a_ranks.size());
-  std::vector<Matrix> a_parts(static_cast<std::size_t>(world));
-  std::vector<Matrix> g_parts(static_cast<std::size_t>(world));
-  std::vector<Matrix> y_parts(static_cast<std::size_t>(world));
-
-  // --- Per-worker factorization (Algorithm 2) --------------------------
-  WallTimer factor_timer;
-  for (index_t rank = 0; rank < world; ++rank) {
-    const Matrix& a = a_ranks[static_cast<std::size_t>(rank)];
-    const Matrix& g = g_ranks[static_cast<std::size_t>(rank)];
-    const index_t m = a.rows();
-    const index_t rk = std::min(r_local, m);
-
-    // Line 1: local Gram matrix Q = (AAᵀ)∘(GGᵀ).
-    const Matrix q = kernel_matrix(a, g);
-    // Line 2: [P, S] = ID(Q, r).
-    const RowId id = row_interpolative_decomposition(q, rk);
-    // Line 4: KID-factors.
-    a_parts[static_cast<std::size_t>(rank)] = a.select_rows(id.rows);
-    g_parts[static_cast<std::size_t>(rank)] = g.select_rows(id.rows);
-    // Line 3: residue R = Q − P·Q(S,:);  line 4: Y = Pᵀ(R+αI)⁻¹P.
-    Matrix resid = q - id_reconstruct(id, q);
-    add_diagonal(resid, cfg_.damping);
-    const Matrix x = lu_solve(lu_factor(resid), id.projection);  // m x r
-    y_parts[static_cast<std::size_t>(rank)] = matmul_tn(id.projection, x);
-  }
-  if (comm != nullptr) comm->profiler().add("comp/factorization", factor_timer.seconds());
-
-  // --- Gather the KID-factors (Alg. 1 line 7) --------------------------
-  if (comm != nullptr) {
-    std::vector<const Matrix*> ap, gp;
-    for (const auto& m : a_parts) ap.push_back(&m);
-    for (const auto& m : g_parts) gp.push_back(&m);
-    st.a_s = comm->allgather_rows(ap, "comm/gather");
-    st.g_s = comm->allgather_rows(gp, "comm/gather");
-    comm->charge_allgather(
-        wire_bytes(*comm, y_parts[0].size()), "comm/gather");
-  } else {
-    st.a_s = vstack(a_parts);
-    st.g_s = vstack(g_parts);
-  }
-  const Matrix y = block_diag(y_parts);
-
-  // --- Inversion (Alg. 1 line 10, Eq. 8) --------------------------------
-  WallTimer invert_timer;
-  Matrix middle = kernel_matrix(st.a_s, st.g_s);  // K̂
-  middle += lu_inverse(y);                        // K̂ + Y⁻¹
-  st.kid_middle = damped_lu(std::move(middle), cfg_.damping);
-  if (comm != nullptr) {
-    const double inv_s = invert_timer.seconds();
-    comm->profiler().add("comp/inversion", inv_s);
-    trace_inversion(comm, layer, owner, inv_s);
-    // Line 11: broadcast the r x r inverse.
-    comm->charge_broadcast(wire_bytes(*comm, st.a_s.rows() * st.a_s.rows()),
-                           "comm/broadcast");
-  }
-}
-
-void HyloOptimizer::update_layer_kis(LayerState& st,
-                                     const std::vector<Matrix>& a_ranks,
-                                     const std::vector<Matrix>& g_ranks,
-                                     index_t r_local, CommSim* comm,
-                                     index_t layer, int owner) {
-  const index_t world = static_cast<index_t>(a_ranks.size());
-  std::vector<Matrix> a_parts(static_cast<std::size_t>(world));
-  std::vector<Matrix> g_parts(static_cast<std::size_t>(world));
-
-  // --- Per-worker importance sampling (Algorithm 3) ---------------------
-  WallTimer factor_timer;
-  for (index_t rank = 0; rank < world; ++rank) {
-    const Matrix& a = a_ranks[static_cast<std::size_t>(rank)];
-    const Matrix& g = g_ranks[static_cast<std::size_t>(rank)];
-    const index_t m = a.rows();
-    const index_t rho = std::min(r_local, m);
-
-    // Scores via the Khatri-Rao structure: ‖u_j‖² = ‖a_j‖²·‖g_j‖².
-    const auto na = row_norms(a);
-    const auto ng = row_norms(g);
-    std::vector<real_t> score(static_cast<std::size_t>(m));
-    real_t total = 0.0;
-    index_t positive = 0;
-    for (index_t j = 0; j < m; ++j) {
-      const real_t s = na[static_cast<std::size_t>(j)] * ng[static_cast<std::size_t>(j)];
-      score[static_cast<std::size_t>(j)] = s * s;
-      total += s * s;
-      positive += s > 0.0;
-    }
-    std::vector<index_t> picked;
-    if (positive < rho) {
-      // Degenerate batch (fewer than ρ samples carry gradient, e.g. dead
-      // activations): blend in a uniform floor so sampling stays valid —
-      // the zero-score rows contribute nothing to the kernel anyway.
-      const real_t floor =
-          std::max(total, real_t{1.0}) / static_cast<real_t>(m) * 1e-9 + 1e-30;
-      for (auto& s : score) s += floor;
-      total += floor * static_cast<real_t>(m);
-    }
-    picked = rng_.sample_without_replacement(score, rho);
-
-    // Row scaling 1/√(ρ p_j), split as ^(1/4) on each of a_j and g_j so the
-    // Khatri-Rao product of the scaled rows carries the full factor.
-    Matrix as = a.select_rows(picked);
-    Matrix gs = g.select_rows(picked);
-    for (index_t i = 0; i < static_cast<index_t>(picked.size()); ++i) {
-      const real_t p =
-          score[static_cast<std::size_t>(picked[static_cast<std::size_t>(i)])] / total;
-      const real_t scale =
-          std::pow(static_cast<real_t>(rho) * std::max(p, real_t{1e-300}),
-                   real_t{-0.25});
-      real_t* ar = as.row_ptr(i);
-      for (index_t j = 0; j < as.cols(); ++j) ar[j] *= scale;
-      real_t* gr = gs.row_ptr(i);
-      for (index_t j = 0; j < gs.cols(); ++j) gr[j] *= scale;
-    }
-    a_parts[static_cast<std::size_t>(rank)] = std::move(as);
-    g_parts[static_cast<std::size_t>(rank)] = std::move(gs);
-  }
-  if (comm != nullptr) comm->profiler().add("comp/factorization", factor_timer.seconds());
-
-  // --- Gather the KIS-factors (Alg. 1 line 18) --------------------------
-  if (comm != nullptr) {
-    std::vector<const Matrix*> ap, gp;
-    for (const auto& m : a_parts) ap.push_back(&m);
-    for (const auto& m : g_parts) gp.push_back(&m);
-    st.a_s = comm->allgather_rows(ap, "comm/gather");
-    st.g_s = comm->allgather_rows(gp, "comm/gather");
-  } else {
-    st.a_s = vstack(a_parts);
-    st.g_s = vstack(g_parts);
-  }
-
-  // --- Inversion (Alg. 1 line 21, Eq. 9) --------------------------------
-  WallTimer invert_timer;
-  const Matrix k = kernel_matrix(st.a_s, st.g_s);
-  st.kis_chol = damped_cholesky(k, cfg_.damping);
-  if (comm != nullptr) {
-    const double inv_s = invert_timer.seconds();
-    comm->profiler().add("comp/inversion", inv_s);
-    trace_inversion(comm, layer, owner, inv_s);
-    comm->charge_broadcast(wire_bytes(*comm, k.size()), "comm/broadcast");
   }
 }
 

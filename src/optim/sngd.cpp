@@ -1,6 +1,7 @@
 #include "hylo/optim/sngd.hpp"
 
 #include "hylo/linalg/kernels.hpp"
+#include "hylo/par/thread_pool.hpp"
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
@@ -13,46 +14,61 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
   if (static_cast<index_t>(layers_.size()) != layers)
     layers_.resize(static_cast<std::size_t>(layers));
 
+  // Stage 1 (parallel across layers): assemble the global factors — bitwise
+  // equal to the modeled allgather result — and invert each layer's kernel.
+  // Pure compute on disjoint per-layer state; the comm model is charged
+  // afterwards, serially, so its trace is unchanged by threading.
+  std::vector<double> inv_s(static_cast<std::size_t>(layers), 0.0);
+  par::parallel_for(
+      0, layers, 1,
+      [&](index_t l0, index_t l1) {
+        for (index_t l = l0; l < l1; ++l) {
+          LayerState& st = layers_[static_cast<std::size_t>(l)];
+          const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
+          const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
+          std::vector<Matrix> ap(a_ranks.begin(), a_ranks.end());
+          std::vector<Matrix> gp(g_ranks.begin(), g_ranks.end());
+          st.a_glob = vstack(ap);
+          st.g_glob = vstack(gp);
+
+          // Kernel inversion at global-batch dimension (step 3).
+          WallTimer timer;
+          const Matrix k = kernel_matrix(st.a_glob, st.g_glob);
+          st.kernel_chol = damped_cholesky(k, cfg_.damping);
+          st.ready = true;
+          inv_s[static_cast<std::size_t>(l)] = timer.seconds();
+        }
+      },
+      "optim/sngd/layers");
+
+  // Stage 2 (serial, layer order): modeled gathers of the raw per-sample
+  // matrices (step 2 of Fig. 1) and broadcast of each inverted kernel
+  // (step 4) — the exact charge sequence of the serial implementation.
+  if (comm == nullptr) return;
   double inv_total = 0.0, inv_max = 0.0;
   for (index_t l = 0; l < layers; ++l) {
-    LayerState& st = layers_[static_cast<std::size_t>(l)];
+    const LayerState& st = layers_[static_cast<std::size_t>(l)];
     const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
     const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
-
-    // Gather the raw per-sample matrices to every rank (step 2 of Fig. 1).
-    if (comm != nullptr) {
-      std::vector<const Matrix*> ap, gp;
-      for (const auto& m : a_ranks) ap.push_back(&m);
-      for (const auto& m : g_ranks) gp.push_back(&m);
-      st.a_glob = comm->allgather_rows(ap, "comm/gather");
-      st.g_glob = comm->allgather_rows(gp, "comm/gather");
-    } else {
-      std::vector<Matrix> ap(a_ranks.begin(), a_ranks.end());
-      std::vector<Matrix> gp(g_ranks.begin(), g_ranks.end());
-      st.a_glob = vstack(ap);
-      st.g_glob = vstack(gp);
-    }
-
-    // Kernel inversion at global-batch dimension (step 3).
-    WallTimer timer;
-    const Matrix k = kernel_matrix(st.a_glob, st.g_glob);
-    st.kernel_chol = damped_cholesky(k, cfg_.damping);
-    st.ready = true;
-    const double sec = timer.seconds();
+    index_t a_bytes = 0, g_bytes = 0;
+    for (const auto& m : a_ranks)
+      a_bytes = std::max(a_bytes, comm->wire_bytes(m.size()));
+    for (const auto& m : g_ranks)
+      g_bytes = std::max(g_bytes, comm->wire_bytes(m.size()));
+    comm->charge_allgather(a_bytes, "comm/gather");
+    comm->charge_allgather(g_bytes, "comm/gather");
+    const double sec = inv_s[static_cast<std::size_t>(l)];
     inv_total += sec;
     inv_max = std::max(inv_max, sec);
-    if (comm != nullptr) {
-      comm->profiler().registry().histogram("optim/sngd/inversion_seconds")
-          .observe(sec);
-      // Broadcast of the inverted kernel (step 4): (P·m)² scalars.
-      comm->charge_broadcast(comm->wire_bytes(k.size()),
-                             "comm/broadcast");
-    }
+    comm->profiler().registry().histogram("optim/sngd/inversion_seconds")
+        .observe(sec);
+    // Broadcast of the inverted kernel (step 4): (P·m)² scalars.
+    comm->charge_broadcast(
+        comm->wire_bytes(st.a_glob.rows() * st.a_glob.rows()),
+        "comm/broadcast");
   }
-  if (comm != nullptr) {
-    comm->profiler().add("comp/inversion", inv_total);
-    comm->profiler().add("comp/inversion_critical", inv_max);
-  }
+  comm->profiler().add("comp/inversion", inv_total);
+  comm->profiler().add("comp/inversion_critical", inv_max);
 }
 
 Matrix Sngd::preconditioned(const Matrix& grad, index_t layer) const {

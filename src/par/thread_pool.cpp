@@ -1,0 +1,227 @@
+#include "hylo/par/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "hylo/common/check.hpp"
+#include "hylo/obs/metrics.hpp"
+
+namespace hylo::par {
+
+namespace {
+
+// True while this thread is executing a parallel_for chunk; nested calls
+// then run inline (one level of fan-out, no oversubscription).
+thread_local bool tl_in_parallel = false;
+
+int env_default_threads() {
+  const char* env = std::getenv("HYLO_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v >= 1 && v <= 1024)
+      return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // Job slot: one in-flight parallel_for, broadcast to all workers by epoch.
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t epoch = 0;
+  bool stop = false;
+  const RangeFn* fn = nullptr;
+  index_t begin = 0, end = 0, chunk = 0;
+  index_t nchunks = 0;
+  int pending = 0;  ///< worker chunks not yet finished
+  std::exception_ptr error;
+
+  std::vector<std::thread> workers;
+
+  // Telemetry, keyed by call-site label; touched once per parallel_for.
+  mutable std::mutex stats_mu;
+  std::map<std::string, LabelStats> stats;
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() : impl_(new Impl) { set_threads(0); }
+
+ThreadPool::~ThreadPool() {
+  stop_workers();
+  delete impl_;
+}
+
+void ThreadPool::set_threads(int n) {
+  if (n <= 0) n = env_default_threads();
+  if (n == threads_ && static_cast<int>(impl_->workers.size()) == n - 1)
+    return;
+  stop_workers();
+  threads_ = n;
+  start_workers(n - 1);
+}
+
+void ThreadPool::start_workers(int workers) {
+  impl_->stop = false;
+  impl_->workers.reserve(static_cast<std::size_t>(workers));
+  // Workers must start at the *current* epoch: after a set_threads() restart
+  // the job-slot fields still describe the last job, and a worker born with
+  // an older epoch would run that stale (already-freed) closure.
+  const std::uint64_t epoch = impl_->epoch;
+  for (int w = 0; w < workers; ++w)
+    impl_->workers.emplace_back([this, w, epoch] { worker_loop(w, epoch); });
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& t : impl_->workers) t.join();
+  impl_->workers.clear();
+}
+
+void ThreadPool::worker_loop(int worker_index, std::uint64_t seen) {
+  for (;;) {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->cv_work.wait(
+        lk, [&] { return impl_->stop || impl_->epoch != seen; });
+    if (impl_->stop) return;
+    seen = impl_->epoch;
+    // Static assignment: worker w owns chunk w+1 (the caller runs chunk 0).
+    const index_t c = static_cast<index_t>(worker_index) + 1;
+    if (c >= impl_->nchunks) continue;
+    const RangeFn* fn = impl_->fn;
+    const index_t b = impl_->begin + c * impl_->chunk;
+    const index_t e = std::min(impl_->end, b + impl_->chunk);
+    lk.unlock();
+
+    tl_in_parallel = true;
+    std::exception_ptr err;
+    try {
+      (*fn)(b, e);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    tl_in_parallel = false;
+
+    lk.lock();
+    if (err && !impl_->error) impl_->error = err;
+    if (--impl_->pending == 0) impl_->cv_done.notify_one();
+  }
+}
+
+void ThreadPool::note(const char* label, bool fanned, std::int64_t chunks) {
+  std::lock_guard<std::mutex> lk(impl_->stats_mu);
+  LabelStats& s = impl_->stats[label];
+  s.calls += 1;
+  if (fanned) {
+    s.split += 1;
+    s.chunks += chunks;
+  }
+}
+
+void ThreadPool::for_range(index_t begin, index_t end, index_t grain,
+                           const RangeFn& fn, const char* label) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const index_t range = end - begin;
+  if (threads_ <= 1 || tl_in_parallel || range <= grain) {
+    note(label, false, 1);
+    fn(begin, end);
+    return;
+  }
+
+  // Static partition: at most threads() chunks, each a grain multiple.
+  index_t nchunks =
+      std::min<index_t>(threads_, (range + grain - 1) / grain);
+  index_t chunk = (range + nchunks - 1) / nchunks;
+  chunk = ((chunk + grain - 1) / grain) * grain;
+  nchunks = (range + chunk - 1) / chunk;
+  if (nchunks <= 1) {
+    note(label, false, 1);
+    fn(begin, end);
+    return;
+  }
+  note(label, true, nchunks);
+
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->fn = &fn;
+    impl_->begin = begin;
+    impl_->end = end;
+    impl_->chunk = chunk;
+    impl_->nchunks = nchunks;
+    impl_->pending = static_cast<int>(nchunks - 1);
+    impl_->error = nullptr;
+    impl_->epoch += 1;
+  }
+  impl_->cv_work.notify_all();
+
+  // The caller is participant 0 and runs the first chunk itself.
+  tl_in_parallel = true;
+  std::exception_ptr err;
+  try {
+    fn(begin, std::min(end, begin + chunk));
+  } catch (...) {
+    err = std::current_exception();
+  }
+  tl_in_parallel = false;
+
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->cv_done.wait(lk, [&] { return impl_->pending == 0; });
+  impl_->fn = nullptr;
+  if (!impl_->error && err) impl_->error = err;
+  if (impl_->error) {
+    std::exception_ptr rethrow = impl_->error;
+    impl_->error = nullptr;
+    lk.unlock();
+    std::rethrow_exception(rethrow);
+  }
+}
+
+std::map<std::string, ThreadPool::LabelStats> ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lk(impl_->stats_mu);
+  return impl_->stats;
+}
+
+void ThreadPool::reset_stats() {
+  std::lock_guard<std::mutex> lk(impl_->stats_mu);
+  impl_->stats.clear();
+}
+
+void set_num_threads(int n) { ThreadPool::instance().set_threads(n); }
+
+void export_metrics(obs::MetricsRegistry& reg) {
+  ThreadPool& pool = ThreadPool::instance();
+  reg.gauge("par/threads").set(static_cast<double>(pool.threads()));
+  for (const auto& [label, s] : pool.stats()) {
+    const std::string base = "par/for/" + label;
+    auto set = [&reg](const std::string& name, std::int64_t want) {
+      // Counters are monotonic: top up to the pool's cumulative value so
+      // repeated exports into one registry stay consistent.
+      auto& c = reg.counter(name);
+      const std::int64_t have = c.value();
+      if (want > have) c.inc(want - have);
+    };
+    set(base + ".calls", s.calls);
+    set(base + ".split", s.split);
+    set(base + ".chunks", s.chunks);
+  }
+}
+
+}  // namespace hylo::par

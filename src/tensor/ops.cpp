@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "hylo/par/thread_pool.hpp"
+
 namespace hylo {
 
 namespace {
@@ -12,25 +14,32 @@ namespace {
 constexpr index_t kBlockI = 64;
 constexpr index_t kBlockK = 64;
 constexpr index_t kBlockJ = 256;
-}  // namespace
 
-void gemm(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
-          real_t beta) {
-  const index_t m = a.rows(), k = a.cols(), n = b.cols();
-  HYLO_CHECK(b.rows() == k, "gemm inner dim " << b.rows() << " != " << k);
+// Shared prologue of the three GEMM variants: shape the output and fold in
+// beta. C(i,j) += alpha * (A·B)(i,j) afterwards is bitwise equal to the
+// single-pass "alpha*acc + beta*c" epilogue because the addition commutes.
+void prepare_c(Matrix& c, index_t m, index_t n, real_t beta,
+               const char* kernel) {
   if (c.rows() != m || c.cols() != n) {
-    HYLO_CHECK(beta == 0.0, "beta != 0 with mismatched C");
+    HYLO_CHECK(beta == 0.0, "beta != 0 with mismatched C in " << kernel);
     c.resize(m, n);
   }
   if (beta == 0.0)
     c.zero();
   else if (beta != 1.0)
     c *= beta;
+}
 
-  for (index_t ib = 0; ib < m; ib += kBlockI)
+// C rows [i0, i1) of C = alpha * A B + (already-applied beta) * C. Each
+// output row accumulates over k in ascending order whatever the row
+// partition, so the parallel result is bitwise identical to the serial one.
+void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
+               index_t i0, index_t i1) {
+  const index_t k = a.cols(), n = b.cols();
+  for (index_t ib = i0; ib < i1; ib += kBlockI)
     for (index_t kb = 0; kb < k; kb += kBlockK)
       for (index_t jb = 0; jb < n; jb += kBlockJ) {
-        const index_t iend = std::min(ib + kBlockI, m);
+        const index_t iend = std::min(ib + kBlockI, i1);
         const index_t kend = std::min(kb + kBlockK, k);
         const index_t jend = std::min(jb + kBlockJ, n);
         for (index_t i = ib; i < iend; ++i) {
@@ -46,54 +55,89 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
       }
 }
 
+// Core of gemm_tn / gemm_tn_diag: C = alpha * A^T diag(s) B (+ beta * C,
+// already applied), with s == nullptr meaning the identity scaling. The k
+// loop stays outermost inside each thread's private row block of C, so per
+// element the accumulation order is k-ascending — the serial order — at any
+// thread count; the row blocks are disjoint, so the "merge" is free.
+void gemm_tn_core(const Matrix& a, const Matrix& b, const real_t* s,
+                  Matrix& c, real_t alpha) {
+  const index_t k = a.rows(), m = a.cols(), n = b.cols();
+  par::parallel_for(
+      0, m, kBlockI,
+      [&](index_t i0, index_t i1) {
+        for (index_t kk = 0; kk < k; ++kk) {
+          const real_t* ak = a.row_ptr(kk);
+          const real_t* bk = b.row_ptr(kk);
+          const real_t scale = s == nullptr ? alpha : alpha * s[kk];
+          for (index_t i = i0; i < i1; ++i) {
+            const real_t aik = scale * ak[i];
+            if (aik == 0.0) continue;
+            real_t* ci = c.row_ptr(i);
+            for (index_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+          }
+        }
+      },
+      "tensor/gemm_tn");
+}
+}  // namespace
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
+          real_t beta) {
+  const index_t m = a.rows(), k = a.cols(), n = b.cols();
+  HYLO_CHECK(b.rows() == k, "gemm inner dim " << b.rows() << " != " << k);
+  prepare_c(c, m, n, beta, "gemm");
+  par::parallel_for(
+      0, m, kBlockI,
+      [&](index_t i0, index_t i1) { gemm_rows(a, b, c, alpha, i0, i1); },
+      "tensor/gemm");
+}
+
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
              real_t beta) {
-  // C = alpha * A^T B + beta * C, A: k x m, B: k x n.
+  // C = alpha * A^T B + beta * C, A: k x m, B: k x n. Rank-1 updates over
+  // rows of A and B — good locality without transposing A.
   const index_t k = a.rows(), m = a.cols(), n = b.cols();
   HYLO_CHECK(b.rows() == k, "gemm_tn inner dim " << b.rows() << " != " << k);
-  if (c.rows() != m || c.cols() != n) {
-    HYLO_CHECK(beta == 0.0, "beta != 0 with mismatched C");
-    c.resize(m, n);
-  }
-  if (beta == 0.0)
-    c.zero();
-  else if (beta != 1.0)
-    c *= beta;
+  prepare_c(c, m, n, beta, "gemm_tn");
+  gemm_tn_core(a, b, nullptr, c, alpha);
+}
 
-  // Loop over k outermost: rank-1 updates C += alpha * a_k^T b_k, where a_k
-  // and b_k are contiguous rows — good locality without transposing A.
-  for (index_t kk = 0; kk < k; ++kk) {
-    const real_t* ak = a.row_ptr(kk);
-    const real_t* bk = b.row_ptr(kk);
-    for (index_t i = 0; i < m; ++i) {
-      const real_t aik = alpha * ak[i];
-      if (aik == 0.0) continue;
-      real_t* ci = c.row_ptr(i);
-      for (index_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
-    }
-  }
+void gemm_tn_diag(const Matrix& a, const Matrix& s, const Matrix& b, Matrix& c,
+                  real_t alpha, real_t beta) {
+  // C = alpha * A^T diag(s) B + beta * C. The scale folds into the rank-1
+  // update coefficient, so no scaled copy of A is ever materialized.
+  const index_t k = a.rows();
+  HYLO_CHECK(b.rows() == k, "gemm_tn_diag inner dim " << b.rows() << " != " << k);
+  HYLO_CHECK(s.size() == k, "gemm_tn_diag scale length " << s.size()
+                                                         << " != " << k);
+  prepare_c(c, a.cols(), b.cols(), beta, "gemm_tn_diag");
+  gemm_tn_core(a, b, s.data(), c, alpha);
 }
 
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
              real_t beta) {
   // C = alpha * A B^T + beta * C, A: m x k, B: n x k. Inner loop is a dot of
-  // two contiguous rows.
+  // two contiguous rows; beta is folded by the shared prologue instead of a
+  // re-test in the innermost loop.
   const index_t m = a.rows(), k = a.cols(), n = b.rows();
   HYLO_CHECK(b.cols() == k, "gemm_nt inner dim " << b.cols() << " != " << k);
-  if (c.rows() != m || c.cols() != n) {
-    HYLO_CHECK(beta == 0.0, "beta != 0 with mismatched C");
-    c.resize(m, n);
-  }
-  for (index_t i = 0; i < m; ++i) {
-    const real_t* ai = a.row_ptr(i);
-    real_t* ci = c.row_ptr(i);
-    for (index_t j = 0; j < n; ++j) {
-      const real_t* bj = b.row_ptr(j);
-      real_t acc = 0.0;
-      for (index_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
-      ci[j] = alpha * acc + (beta == 0.0 ? 0.0 : beta * ci[j]);
-    }
-  }
+  prepare_c(c, m, n, beta, "gemm_nt");
+  par::parallel_for(
+      0, m, kBlockI,
+      [&](index_t i0, index_t i1) {
+        for (index_t i = i0; i < i1; ++i) {
+          const real_t* ai = a.row_ptr(i);
+          real_t* ci = c.row_ptr(i);
+          for (index_t j = 0; j < n; ++j) {
+            const real_t* bj = b.row_ptr(j);
+            real_t acc = 0.0;
+            for (index_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
+            ci[j] += alpha * acc;
+          }
+        }
+      },
+      "tensor/gemm_nt");
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
@@ -117,32 +161,48 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
 Matrix gram_nt(const Matrix& a) {
   const index_t m = a.rows(), k = a.cols();
   Matrix c(m, m);
-  for (index_t i = 0; i < m; ++i) {
-    const real_t* ai = a.row_ptr(i);
-    for (index_t j = i; j < m; ++j) {
-      const real_t* aj = a.row_ptr(j);
-      real_t acc = 0.0;
-      for (index_t kk = 0; kk < k; ++kk) acc += ai[kk] * aj[kk];
-      c(i, j) = acc;
-      c(j, i) = acc;
-    }
-  }
+  // Each (i, j) pair with i <= j is computed by exactly one thread (the one
+  // owning row i) and written to both mirror slots — disjoint elements, so
+  // the row partition is race-free and bitwise deterministic. Grain 8 keeps
+  // the triangular row costs reasonably balanced across chunks.
+  par::parallel_for(
+      0, m, 8,
+      [&](index_t i0, index_t i1) {
+        for (index_t i = i0; i < i1; ++i) {
+          const real_t* ai = a.row_ptr(i);
+          for (index_t j = i; j < m; ++j) {
+            const real_t* aj = a.row_ptr(j);
+            real_t acc = 0.0;
+            for (index_t kk = 0; kk < k; ++kk) acc += ai[kk] * aj[kk];
+            c(i, j) = acc;
+            c(j, i) = acc;
+          }
+        }
+      },
+      "tensor/gram_nt");
   return c;
 }
 
 Matrix gram_tn(const Matrix& a) {
   const index_t m = a.rows(), k = a.cols();
   Matrix c(k, k);
-  // Accumulate rank-1 updates over rows; fill upper triangle then mirror.
-  for (index_t r = 0; r < m; ++r) {
-    const real_t* ar = a.row_ptr(r);
-    for (index_t i = 0; i < k; ++i) {
-      const real_t v = ar[i];
-      if (v == 0.0) continue;
-      real_t* ci = c.row_ptr(i);
-      for (index_t j = i; j < k; ++j) ci[j] += v * ar[j];
-    }
-  }
+  // Rank-1 accumulation over rows of A; the r loop stays outermost inside
+  // each thread's private block of output rows, so every element sums in
+  // r-ascending (serial) order. Fill upper triangle then mirror.
+  par::parallel_for(
+      0, k, 8,
+      [&](index_t i0, index_t i1) {
+        for (index_t r = 0; r < m; ++r) {
+          const real_t* ar = a.row_ptr(r);
+          for (index_t i = i0; i < i1; ++i) {
+            const real_t v = ar[i];
+            if (v == 0.0) continue;
+            real_t* ci = c.row_ptr(i);
+            for (index_t j = i; j < k; ++j) ci[j] += v * ar[j];
+          }
+        }
+      },
+      "tensor/gram_tn");
   for (index_t i = 0; i < k; ++i)
     for (index_t j = 0; j < i; ++j) c(i, j) = c(j, i);
   return c;
@@ -182,7 +242,12 @@ void hadamard_inplace(Matrix& a, const Matrix& b) {
   HYLO_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "hadamard shape");
   real_t* pa = a.data();
   const real_t* pb = b.data();
-  for (index_t i = 0; i < a.size(); ++i) pa[i] *= pb[i];
+  par::parallel_for(
+      0, a.size(), 1 << 14,
+      [&](index_t i0, index_t i1) {
+        for (index_t i = i0; i < i1; ++i) pa[i] *= pb[i];
+      },
+      "tensor/hadamard");
 }
 
 void axpy(Matrix& a, const Matrix& b, real_t alpha) {
