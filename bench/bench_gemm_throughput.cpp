@@ -4,6 +4,9 @@
 // 512³ over HYLO thread counts {1, 2, 4, hw}, checks every multithreaded
 // result bitwise against the single-thread reference, and writes
 // BENCH_gemm.json (GFLOP/s per kernel per thread count) for the repo record.
+// A final section times gemm with the hylo::audit checked mode toggled off
+// vs on (same geometry, 1 thread — audit serializes anyway) so the cost of
+// HYLO_AUDIT=1 is recorded next to the numbers it guards.
 //
 // Geometry: HYLO_BENCH_SCALE=large doubles the edge to 1024.
 #include <cstring>
@@ -118,12 +121,43 @@ int main() {
   }
   par::set_num_threads(0);  // restore the environment default
 
+  // Audit-mode overhead: gemm with checked execution off vs on. Audit mode
+  // runs chunks serially, so compare at 1 thread for like-for-like numbers.
+  par::set_num_threads(1);
+  const double gemm_flops = kernels[0].flops;
+  const bool audit_was = audit::set_enabled(false);
+  Matrix audit_out;
+  const double sec_off =
+      time_best([&] { audit_out = matmul(a, b); }, reps);
+  audit::set_enabled(true);
+  const double sec_on = time_best([&] { audit_out = matmul(a, b); }, reps);
+  const bool audit_bitwise = bitwise_equal(audit_out, reference[0]);
+  audit::set_enabled(audit_was);
+  par::set_num_threads(0);
+  obs::Json audit_row = obs::Json::object();
+  audit_row.set("kernel", "gemm");
+  audit_row.set("threads", 1);
+  audit_row.set("gflops_audit_off", gemm_flops / sec_off * 1e-9);
+  audit_row.set("gflops_audit_on", gemm_flops / sec_on * 1e-9);
+  audit_row.set("overhead_x", sec_on / sec_off);
+  audit_row.set("bitwise_identical", audit_bitwise);
+  std::cout << "audit overhead (gemm, 1 thread): off="
+            << gemm_flops / sec_off * 1e-9 << " GFLOP/s, on="
+            << gemm_flops / sec_on * 1e-9 << " GFLOP/s ("
+            << sec_on / sec_off << "x)"
+            << (audit_bitwise ? "" : "  [MISMATCH]") << "\n";
+  if (!audit_bitwise) {
+    std::cerr << "bitwise mismatch under audit mode\n";
+    return 1;
+  }
+
   obs::Json doc = obs::Json::object();
   doc.set("bench", "gemm_throughput");
   doc.set("n", static_cast<std::int64_t>(n));
   doc.set("reps", reps);
   doc.set("hardware_concurrency", hw);
   doc.set("results", std::move(by_threads));
+  doc.set("audit_overhead", std::move(audit_row));
   std::ofstream out("BENCH_gemm.json");
   doc.dump(out);
   out << "\n";

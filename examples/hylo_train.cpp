@@ -2,10 +2,11 @@
 // train-*.sh interface. Mix and match model, dataset, optimizer, worker
 // count and the analysis flags the artifact exposes:
 //
-//   ./examples/hylo_train --model resnet32 --optimizer HyLo --world 8 \
-//       --epochs 10 --batch 16 --lr 0.1 --damping 0.3 --freq 10 \
-//       --rank-ratio 0.1 --profiling --rank-analysis --grad-norm \
+//   ./examples/hylo_train --model resnet32 --optimizer HyLo --world 8
+//       --epochs 10 --batch 16 --lr 0.1 --damping 0.3 --freq 10
+//       --rank-ratio 0.1 --profiling --rank-analysis --grad-norm
 //       --checkpoint model.ckpt
+//   (one command line; wrapped here for readability)
 //
 // Flags (all optional; sensible defaults):
 //   --model {mlp,c3f1,resnet32,resnet50,densenet,unet}

@@ -1,9 +1,9 @@
 #include "hylo/core/trainer.hpp"
 
 #include <algorithm>
-#include <iostream>
 #include <sstream>
 
+#include "hylo/audit/audit.hpp"
 #include "hylo/optim/hylo_optimizer.hpp"
 #include "hylo/optim/kfac.hpp"
 #include "hylo/optim/sngd.hpp"
@@ -321,9 +321,11 @@ TrainResult Trainer::run() {
   result.replicated_seconds = comp_rep_seconds_;
   result.comm_seconds = comm_seconds_;
   if (runlog_.enabled()) {
-    // Fold the thread-pool's cumulative fan-out stats into the registry so
-    // the run log's final metrics snapshot carries them.
+    // Fold the thread-pool's cumulative fan-out stats and the write-set
+    // auditor's counters into the registry so the run log's final metrics
+    // snapshot carries them.
     par::export_metrics(comm_.profiler().registry());
+    audit::export_metrics(comm_.profiler().registry());
     obs::Json rec = obs::Json::object();
     rec.set("epochs_run", static_cast<std::int64_t>(result.epochs.size()));
     rec.set("iterations", result.iterations);

@@ -1,0 +1,76 @@
+#pragma once
+/// \file audit.hpp
+/// hylo::audit — checked execution for the hylo::par determinism contract.
+///
+/// Audit mode is off by default and costs one cached-flag branch per
+/// parallel_for when disabled. It is enabled by the environment
+/// (`HYLO_AUDIT=1`), by building with `-DHYLO_AUDIT=ON` (which flips the
+/// compiled-in default), or programmatically via `set_enabled` (tests,
+/// benches). When enabled, every `parallel_for` carrying a checked
+/// `Footprint` executes its chunks *serially* on the calling thread — same
+/// partition math, so results stay bitwise identical — while the auditor:
+///
+///   1. materializes every chunk's declared WriteSet up front and reports
+///      any inter-chunk overlap of declared spans (label, chunk ids, byte
+///      ranges), and
+///   2. snapshots sampled bytes of each registered buffer *outside* the
+///      running chunk's declaration before the chunk and verifies them
+///      untouched after it — catching writes that escape the declaration.
+///
+/// Violations increment the `audit/violations` counter and throw
+/// `hylo::Error` with a HYLO_CHECK-style diagnostic. `replay_check` is the
+/// companion determinism harness: it reruns a region at 1/2/N threads and
+/// fails on any bitwise divergence.
+
+#include <cstdint>
+#include <functional>
+
+#include "hylo/audit/write_set.hpp"
+#include "hylo/common/types.hpp"
+#include "hylo/tensor/matrix.hpp"
+
+namespace hylo::obs {
+class MetricsRegistry;
+}
+
+namespace hylo::audit {
+
+/// True when audit mode is active. First call resolves HYLO_AUDIT (else the
+/// compiled-in default); afterwards a relaxed atomic load.
+bool enabled();
+
+/// Programmatic override (tests/benches). Returns the previous value.
+bool set_enabled(bool on);
+
+/// Total violations reported since process start (or reset_stats).
+std::int64_t violations();
+/// Regions executed under checked audit since process start.
+std::int64_t checked_regions();
+/// replay_check invocations since process start.
+std::int64_t replays();
+void reset_stats();
+
+/// Publish auditor telemetry into a registry: counters `audit/violations`,
+/// `audit/checked_regions`, `audit/replays` (top-up semantics, same as
+/// par::export_metrics, so repeated exports never double count).
+void export_metrics(obs::MetricsRegistry& reg);
+
+/// A chunked region body, chunk-range in, as passed to parallel_for.
+using RegionFn = std::function<void(index_t, index_t)>;
+
+/// Checked serial execution of a partitioned region (called by the pool in
+/// audit mode; not part of the public API). `fn` runs chunk c over
+/// [begin + c*chunk, min(end, begin + (c+1)*chunk)) for c in [0, nchunks).
+/// Throws hylo::Error on any declared-span overlap between chunks or any
+/// sampled out-of-declaration write.
+void run_checked(const char* label, index_t begin, index_t end, index_t chunk,
+                 index_t nchunks, const RegionFn& fn, const Footprint& fp);
+
+/// Determinism harness: runs `make` at 1, 2 and the currently configured
+/// thread counts (deduplicated), HYLO_CHECKs every result bitwise identical
+/// to the 1-thread reference, restores the original pool size, and returns
+/// the reference. Wire hot paths (GEMM/conv/KID/KIS/SNGD) through this in
+/// tests to pin the thread-count-invariance contract cheaply.
+Matrix replay_check(const char* label, const std::function<Matrix()>& make);
+
+}  // namespace hylo::audit

@@ -46,7 +46,7 @@ class CsvWriter {
   }
 
   /// Print an aligned table to the stream (what bench binaries show).
-  void print_table(std::ostream& os = std::cout) const;
+  void print_table(std::ostream& os = std::cout) const;  // hylo-lint: allow(io)
 
   const std::vector<std::string>& header() const { return header_; }
   const std::vector<std::vector<std::string>>& rows() const { return rows_; }

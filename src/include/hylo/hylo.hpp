@@ -13,11 +13,15 @@
 ///                                (Perfetto export), JSONL run logs
 ///   - hylo/par/*               — deterministic thread-pool parallelism
 ///                                (HYLO_NUM_THREADS)
+///   - hylo/audit/*             — checked-mode write-set race auditor and
+///                                replay determinism harness (HYLO_AUDIT)
 ///   - hylo/linalg/*            — cholesky/lu/eigh/pivoted-QR/ID/kernels
 ///   - hylo/tensor/*            — Matrix, Tensor4, GEMM kernels
 ///
 /// See examples/quickstart.cpp for a five-minute end-to-end walkthrough.
 
+#include "hylo/audit/audit.hpp"
+#include "hylo/audit/write_set.hpp"
 #include "hylo/common/csv.hpp"
 #include "hylo/common/rng.hpp"
 #include "hylo/common/timer.hpp"

@@ -16,6 +16,13 @@
 /// and can be changed at runtime with `set_num_threads` (benches/tests).
 /// Nested `parallel_for` from inside a pool worker runs inline — one level
 /// of parallelism, no oversubscription, same bitwise results.
+///
+/// Call sites declare their write footprint (`audit::Footprint`, see
+/// audit/write_set.hpp) or tag themselves `audit::unchecked(reason)`; in
+/// audit mode (HYLO_AUDIT=1) declared regions execute under the checked
+/// serial auditor, which detects inter-chunk write overlap and sampled
+/// out-of-declaration writes. When audit mode is off the declaration costs
+/// one cached-flag branch and is never materialized.
 
 #include <cstdint>
 #include <functional>
@@ -23,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "hylo/audit/write_set.hpp"
 #include "hylo/common/types.hpp"
 
 namespace hylo::obs {
@@ -54,8 +62,11 @@ class ThreadPool {
   /// chunk, one thread, or from inside a worker, fn(begin, end) runs inline.
   /// Blocks until every chunk finished; the first exception thrown by any
   /// chunk is rethrown on the caller. `label` keys the per-kernel telemetry.
+  /// `fp` declares the chunks' write footprint; in audit mode a checked
+  /// footprint routes the call through audit::run_checked (serial, bitwise
+  /// identical, throws hylo::Error on a contract violation).
   void for_range(index_t begin, index_t end, index_t grain, const RangeFn& fn,
-                 const char* label);
+                 const char* label, const audit::Footprint& fp = {});
 
   /// Per-label parallel_for accounting (exported as `par/for/<label>`).
   struct LabelStats {
@@ -87,8 +98,9 @@ void set_num_threads(int n);
 /// Chunked loop over [begin, end); see ThreadPool::for_range.
 inline void parallel_for(index_t begin, index_t end, index_t grain,
                          const ThreadPool::RangeFn& fn,
-                         const char* label = "anon") {
-  ThreadPool::instance().for_range(begin, end, grain, fn, label);
+                         const char* label = "anon",
+                         const audit::Footprint& fp = {}) {
+  ThreadPool::instance().for_range(begin, end, grain, fn, label, fp);
 }
 
 /// Deterministic chunked reduction. The range is cut into fixed chunks of
@@ -114,7 +126,7 @@ T parallel_reduce(index_t begin, index_t end, index_t grain, T init,
               map(b, std::min(end, b + grain));
         }
       },
-      label);
+      label, audit::elem_block(partials.data()));
   T acc = init;
   for (const T& p : partials) acc = combine(acc, p);
   return acc;

@@ -32,7 +32,7 @@ Matrix khatri_rao_rowwise(const Matrix& g, const Matrix& a) {
           }
         }
       },
-      "linalg/khatri_rao");
+      "linalg/khatri_rao", audit::row_block(u));
   return u;
 }
 
@@ -55,7 +55,7 @@ Matrix apply_jacobian(const Matrix& a, const Matrix& g, const Matrix& v) {
           y[i] = acc;
         }
       },
-      "linalg/rowdot");
+      "linalg/rowdot", audit::row_block(y));
   return y;
 }
 

@@ -86,7 +86,12 @@ void Conv2d::forward(const std::vector<const Tensor4*>& in, Tensor4& out,
           }
         }
       },
-      "nn/conv2d_fwd");
+      "nn/conv2d_fwd",
+      audit::Footprint([&](index_t n0, index_t n1, audit::WriteSet& ws) {
+        ws.add_samples(out, n0, n1);
+        ws.add_range(cols_.data(), n0, n1);
+        if (ctx.capture) ws.add_rows(params_.a_samples, n0, n1);
+      }));
 }
 
 void Conv2d::backward(const std::vector<const Tensor4*>& in,
@@ -126,7 +131,11 @@ void Conv2d::backward(const std::vector<const Tensor4*>& in,
           }
         }
       },
-      "nn/conv2d_wgrad");
+      "nn/conv2d_wgrad",
+      audit::Footprint([&](index_t o0, index_t o1, audit::WriteSet& ws) {
+        ws.add_rows(params_.gw, o0, o1);
+        if (ctx.capture) ws.add_cols(params_.g_samples, o0, o1);
+      }));
 
   // Input gradient, batch-parallel: dcols = gy · W_main per sample, scattered
   // back with col2im into that sample's disjoint gin plane.
@@ -149,7 +158,7 @@ void Conv2d::backward(const std::vector<const Tensor4*>& in,
           col2im_add(dcols, geom_, gin.sample_ptr(i));
         }
       },
-      "nn/conv2d_dgrad");
+      "nn/conv2d_dgrad", audit::sample_block(gin));
   (void)in;
 }
 

@@ -307,7 +307,11 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
           sc.inv_s = invert_timer.seconds();
         }
       },
-      "optim/hylo/layers");
+      "optim/hylo/layers",
+      audit::Footprint([&](index_t l0, index_t l1, audit::WriteSet& ws) {
+        ws.add_range(layers_.data(), l0, l1);
+        ws.add_range(scratch.data(), l0, l1);
+      }));
 
   // --- Stage 3 (serial, layer order): profiler / comm-model bookkeeping --
   // Replays exactly the charge sequence the serial implementation issued,

@@ -39,7 +39,11 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
           inv_s[static_cast<std::size_t>(l)] = timer.seconds();
         }
       },
-      "optim/sngd/layers");
+      "optim/sngd/layers",
+      audit::Footprint([&](index_t l0, index_t l1, audit::WriteSet& ws) {
+        ws.add_range(layers_.data(), l0, l1);
+        ws.add_range(inv_s.data(), l0, l1);
+      }));
 
   // Stage 2 (serial, layer order): modeled gathers of the raw per-sample
   // matrices (step 2 of Fig. 1) and broadcast of each inverted kernel

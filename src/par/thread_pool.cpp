@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "hylo/audit/audit.hpp"
 #include "hylo/common/check.hpp"
 #include "hylo/obs/metrics.hpp"
 
@@ -29,6 +30,15 @@ int env_default_threads() {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Static partition: at most `participants` chunks, each a grain multiple
+// (except the final partial one). Returns the chunk length.
+index_t partition_chunk(index_t range, index_t grain, index_t participants) {
+  const index_t nchunks =
+      std::min<index_t>(participants, (range + grain - 1) / grain);
+  const index_t chunk = (range + nchunks - 1) / nchunks;
+  return ((chunk + grain - 1) / grain) * grain;
 }
 
 }  // namespace
@@ -136,22 +146,52 @@ void ThreadPool::note(const char* label, bool fanned, std::int64_t chunks) {
 }
 
 void ThreadPool::for_range(index_t begin, index_t end, index_t grain,
-                           const RangeFn& fn, const char* label) {
+                           const RangeFn& fn, const char* label,
+                           const audit::Footprint& fp) {
   if (end <= begin) return;
   if (grain < 1) grain = 1;
   const index_t range = end - begin;
-  if (threads_ <= 1 || tl_in_parallel || range <= grain) {
+  if (tl_in_parallel) {  // nested: always inline, never re-audited
+    note(label, false, 1);
+    fn(begin, end);
+    return;
+  }
+
+  if (audit::enabled() && fp.checked()) {
+    // Checked execution: partition as if at least 4 participants so overlap
+    // detection is exercised even on single-thread hosts (any partition is
+    // bitwise identical under the determinism contract), then hand the
+    // chunks to the serial auditor. Chunks still count as "in parallel" so
+    // nested calls keep their inline semantics.
+    const index_t chunk =
+        partition_chunk(range, grain, std::max<index_t>(threads_, 4));
+    const index_t nchunks = (range + chunk - 1) / chunk;
+    note(label, nchunks > 1, nchunks);
+    audit::run_checked(
+        label, begin, end, chunk, nchunks,
+        [&fn](index_t b, index_t e) {
+          tl_in_parallel = true;
+          try {
+            fn(b, e);
+          } catch (...) {
+            tl_in_parallel = false;
+            throw;
+          }
+          tl_in_parallel = false;
+        },
+        fp);
+    return;
+  }
+
+  if (threads_ <= 1 || range <= grain) {
     note(label, false, 1);
     fn(begin, end);
     return;
   }
 
   // Static partition: at most threads() chunks, each a grain multiple.
-  index_t nchunks =
-      std::min<index_t>(threads_, (range + grain - 1) / grain);
-  index_t chunk = (range + nchunks - 1) / nchunks;
-  chunk = ((chunk + grain - 1) / grain) * grain;
-  nchunks = (range + chunk - 1) / chunk;
+  const index_t chunk = partition_chunk(range, grain, threads_);
+  const index_t nchunks = (range + chunk - 1) / chunk;
   if (nchunks <= 1) {
     note(label, false, 1);
     fn(begin, end);

@@ -78,7 +78,7 @@ void gemm_tn_core(const Matrix& a, const Matrix& b, const real_t* s,
           }
         }
       },
-      "tensor/gemm_tn");
+      "tensor/gemm_tn", audit::row_block(c));
 }
 }  // namespace
 
@@ -90,7 +90,7 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
   par::parallel_for(
       0, m, kBlockI,
       [&](index_t i0, index_t i1) { gemm_rows(a, b, c, alpha, i0, i1); },
-      "tensor/gemm");
+      "tensor/gemm", audit::row_block(c));
 }
 
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
@@ -137,7 +137,7 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
           }
         }
       },
-      "tensor/gemm_nt");
+      "tensor/gemm_nt", audit::row_block(c));
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
@@ -179,7 +179,11 @@ Matrix gram_nt(const Matrix& a) {
           }
         }
       },
-      "tensor/gram_nt");
+      "tensor/gram_nt",
+      audit::Footprint([&c](index_t i0, index_t i1, audit::WriteSet& ws) {
+        ws.add_row_tail(c, i0, i1);
+        ws.add_col_tail(c, i0, i1);
+      }));
   return c;
 }
 
@@ -202,7 +206,10 @@ Matrix gram_tn(const Matrix& a) {
           }
         }
       },
-      "tensor/gram_tn");
+      "tensor/gram_tn",
+      audit::Footprint([&c](index_t i0, index_t i1, audit::WriteSet& ws) {
+        ws.add_row_tail(c, i0, i1);
+      }));
   for (index_t i = 0; i < k; ++i)
     for (index_t j = 0; j < i; ++j) c(i, j) = c(j, i);
   return c;
@@ -247,7 +254,7 @@ void hadamard_inplace(Matrix& a, const Matrix& b) {
       [&](index_t i0, index_t i1) {
         for (index_t i = i0; i < i1; ++i) pa[i] *= pb[i];
       },
-      "tensor/hadamard");
+      "tensor/hadamard", audit::elem_block(pa));
 }
 
 void axpy(Matrix& a, const Matrix& b, real_t alpha) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "hylo/hylo.hpp"
 #include "test_util.hpp"
@@ -90,6 +91,46 @@ TEST(Checkpoint, RejectsGarbageFile) {
 TEST(Checkpoint, MissingFileThrows) {
   Network net = make_mlp({2, 1, 1}, {8}, 2, 1);
   EXPECT_THROW(net.load_weights("/tmp/does_not_exist_hylo.bin"), Error);
+}
+
+TEST(Checkpoint, RejectsTruncationAtEveryPrefix) {
+  // A valid checkpoint cut off after the magic, mid-header, mid-block-count
+  // or mid-payload must throw — never silently load a partial model.
+  Network a = make_mlp({2, 1, 1}, {8}, 2, 1);
+  a.save_weights(kPath);
+  FILE* f = std::fopen(kPath, "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::vector<char> bytes(static_cast<std::size_t>(full));
+  std::fseek(f, 0, SEEK_SET);
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  std::remove(kPath);
+
+  // Prefix lengths spanning magic (8), header (8..24), first block count
+  // (24..32), mid-payload, and one-byte-short-of-complete.
+  for (const long cut : {4L, 8L, 12L, 24L, 28L, 32L, full / 2, full - 1}) {
+    FILE* g = std::fopen(kPath, "wb");
+    ASSERT_NE(g, nullptr);
+    std::fwrite(bytes.data(), 1, static_cast<std::size_t>(cut), g);
+    std::fclose(g);
+    Network b = make_mlp({2, 1, 1}, {8}, 2, 1);
+    EXPECT_THROW(b.load_weights(kPath), Error) << "cut=" << cut;
+    std::remove(kPath);
+  }
+}
+
+TEST(Checkpoint, RejectsTrailingGarbage) {
+  Network a = make_mlp({2, 1, 1}, {8}, 2, 1);
+  a.save_weights(kPath);
+  FILE* f = std::fopen(kPath, "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("junk", f);
+  std::fclose(f);
+  Network b = make_mlp({2, 1, 1}, {8}, 2, 1);
+  EXPECT_THROW(b.load_weights(kPath), Error);
+  std::remove(kPath);
 }
 
 TEST(WirePrecision, HalvesModeledCommTime) {

@@ -30,6 +30,47 @@ TEST(Check, PassesSilently) {
   EXPECT_NO_THROW(HYLO_CHECK(2 > 1, "never shown"));
 }
 
+TEST(Check, MessagelessFormHasNoContextSuffix) {
+  // HYLO_CHECK(cond) with no message must still throw with the condition
+  // text and location, but no dangling " — " separator for an empty message.
+  try {
+    HYLO_CHECK(0 > 1);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("0 > 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos) << what;
+    EXPECT_EQ(what.find(" — "), std::string::npos) << what;
+    EXPECT_NE(what.back(), ' ') << "'" << what << "'";
+  }
+}
+
+TEST(Check, ThrowCheckFailureAlwaysThrowsError) {
+  // The throw helper behind HYLO_CHECK is callable directly (the audit
+  // subsystem uses it with runtime-built messages); pin its formatting.
+  try {
+    detail::throw_check_failure("my_cond", "somefile.cpp", 123, "the message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("my_cond"), std::string::npos) << what;
+    EXPECT_NE(what.find("somefile.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("123"), std::string::npos) << what;
+    EXPECT_NE(what.find("the message"), std::string::npos) << what;
+  }
+  // Error is a std::runtime_error so generic handlers catch it too.
+  EXPECT_THROW(
+      detail::throw_check_failure("c", "f.cpp", 1, ""), std::runtime_error);
+}
+
+TEST(Check, DcheckMatchesBuildMode) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(HYLO_DCHECK(false, "compiled out in release"));
+#else
+  EXPECT_THROW(HYLO_DCHECK(false, "active in debug"), Error);
+#endif
+}
+
 TEST(Csv, RowArityEnforced) {
   CsvWriter w({"a", "b"});
   EXPECT_THROW(w.add_row({"1"}), Error);

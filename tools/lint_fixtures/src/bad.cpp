@@ -1,0 +1,39 @@
+// Synthetic lint fixture: every rule violated once. The `lint_fixture`
+// ctest case runs lint_hylo.py --root over this tree and REQUIRES a
+// nonzero exit (WILL_FAIL) — if the linter ever stops catching these, CI
+// goes red. This file is never compiled.
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+
+#include "bad_header.hpp"
+
+namespace fixture {
+
+void violate_io() {
+  std::cout << "direct console IO\n";        // rule: io
+  printf("printf too\n");                    // rule: io
+}
+
+int violate_randomness() {
+  srand(static_cast<unsigned>(time(nullptr)));  // rule: randomness (x2)
+  return rand();                                // rule: randomness
+}
+
+void violate_write_set(double* data, long n) {
+  // rule: write_set — no audit::Footprint / audit::unchecked in the span.
+  par::parallel_for(
+      0, n, 1,
+      [&](long b, long e) {
+        for (long i = b; i < e; ++i) data[i] = 0.0;
+      },
+      "fixture/undeclared");
+}
+
+void violate_metric_name(Registry& reg) {
+  reg.counter("BadMetricName");     // rule: metric_name — no subsystem/
+  reg.gauge("optim/Upper/Case");    // rule: metric_name — uppercase
+}
+
+}  // namespace fixture

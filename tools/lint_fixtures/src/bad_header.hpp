@@ -1,0 +1,10 @@
+// Synthetic lint fixture: a header that is missing `#pragma once` as its
+// first directive (rule: pragma_once). Never compiled.
+#ifndef FIXTURE_BAD_HEADER_HPP_
+#define FIXTURE_BAD_HEADER_HPP_
+
+namespace fixture {
+struct Registry;
+}
+
+#endif

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint for the hylo source tree.
+
+Rules (each failure prints `file:line: [rule] message` and the run exits 1):
+
+  io          -- no std::cout / std::cerr / printf / fprintf inside src/
+                 outside the obs/ subsystem. Telemetry goes through
+                 hylo::obs; everything else must stay silent. Suppress a
+                 deliberate use with a `hylo-lint: allow(io)` comment on the
+                 line.
+  randomness  -- no rand() / srand() / std::random_device / time() /
+                 clock() outside common/rng.*. All randomness flows through
+                 hylo::Rng so runs are replayable; wall-clock entropy breaks
+                 the determinism contract. Suppress with
+                 `hylo-lint: allow(randomness)`.
+  pragma_once -- every header under src/ starts with `#pragma once`.
+  write_set   -- every par::parallel_for / par::parallel_reduce call site in
+                 src/ (outside par/ and audit/ themselves) declares its
+                 output footprint: the call's argument span must mention
+                 `audit::` (a WriteSet helper, a Footprint lambda, or an
+                 explicit `audit::unchecked(...)` opt-out).
+  metric_name -- obs metric names passed to counter(" / gauge(" /
+                 histogram(" literals follow `subsystem/name`
+                 (lowercase, at least one '/').
+
+Usage: lint_hylo.py [--root DIR]   (default: <repo>/src next to this script)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+HEADER_EXT = {".hpp", ".h"}
+SOURCE_EXT = {".cpp", ".cc", ".cxx"} | HEADER_EXT
+
+IO_RE = re.compile(r"std::cout|std::cerr|\bprintf\s*\(|\bfprintf\s*\(")
+RAND_RE = re.compile(
+    r"\brand\s*\(|\bsrand\s*\(|std::random_device|\btime\s*\(|\bclock\s*\(")
+PARALLEL_RE = re.compile(r"\bparallel_(?:for|reduce)\s*\(")
+METRIC_RE = re.compile(r"\b(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
+METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(/[a-z0-9_.\-]+)+$")
+ALLOW_RE = re.compile(r"hylo-lint:\s*allow\(([a-z_,\s]+)\)")
+
+
+def allowed(line: str, rule: str) -> bool:
+    m = ALLOW_RE.search(line)
+    return m is not None and rule in {t.strip() for t in m.group(1).split(",")}
+
+
+def strip_comments_keep_lines(text: str) -> str:
+    """Remove // and /* */ comment bodies but preserve line numbering, so
+    commented-out code never trips the content rules. Allow tags are read
+    from the raw line before stripping."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            if c == "\n":
+                out.append(c)
+        elif state == "string":
+            if c == "\\":
+                out.append(c)
+                if nxt:
+                    out.append(nxt)
+                    i += 2
+                    continue
+            elif c == '"':
+                state = "code"
+            out.append(c)
+        else:  # char literal
+            if c == "\\":
+                out.append(c)
+                if nxt:
+                    out.append(nxt)
+                    i += 2
+                    continue
+            elif c == "'":
+                state = "code"
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def call_span(code: str, open_paren: int) -> str:
+    """The argument text of a call, from its '(' to the matching ')'."""
+    depth = 0
+    for j in range(open_paren, len(code)):
+        if code[j] == "(":
+            depth += 1
+        elif code[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return code[open_paren : j + 1]
+    return code[open_paren:]  # unbalanced: fall back to rest of file
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.failures: list[str] = []
+
+    def fail(self, path: pathlib.Path, line: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(self.root.parent) if self.root.parent in path.parents \
+            else path
+        self.failures.append(f"{rel}:{line}: [{rule}] {msg}")
+
+    def lint_file(self, path: pathlib.Path) -> None:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = raw.splitlines()
+        code = strip_comments_keep_lines(raw)
+        code_lines = code.splitlines()
+        rel = path.relative_to(self.root).as_posix()
+
+        in_obs = rel.startswith("obs/") or "/obs/" in f"/{rel}"
+        in_rng = pathlib.Path(rel).name.startswith("rng.")
+        in_par = rel.startswith("par/") or "/par/" in f"/{rel}"
+        in_audit = rel.startswith("audit/") or "/audit/" in f"/{rel}"
+
+        if path.suffix in HEADER_EXT:
+            first = next(
+                (ln for ln in raw_lines if ln.strip()), "")
+            if first.strip() != "#pragma once":
+                self.fail(path, 1, "pragma_once",
+                          "header must start with '#pragma once'")
+
+        for i, ln in enumerate(code_lines, start=1):
+            raw_ln = raw_lines[i - 1] if i <= len(raw_lines) else ""
+            if not in_obs and IO_RE.search(ln) and not allowed(raw_ln, "io"):
+                self.fail(path, i, "io",
+                          "direct console IO outside hylo::obs "
+                          "(use obs, or annotate 'hylo-lint: allow(io)')")
+            if not in_rng and RAND_RE.search(ln) \
+                    and not allowed(raw_ln, "randomness"):
+                self.fail(path, i, "randomness",
+                          "non-hylo::Rng randomness/wall-clock entropy "
+                          "(use hylo::Rng, or annotate "
+                          "'hylo-lint: allow(randomness)')")
+            for m in METRIC_RE.finditer(ln):
+                name = m.group(1)
+                if not METRIC_NAME_RE.match(name):
+                    self.fail(path, i, "metric_name",
+                              f"metric name '{name}' does not follow "
+                              "'subsystem/name' (lowercase, '/'-separated)")
+
+        if not in_par and not in_audit:
+            for m in PARALLEL_RE.finditer(code):
+                line_no = code.count("\n", 0, m.start()) + 1
+                span = call_span(code, m.end() - 1)
+                if "audit::" not in span:
+                    self.fail(path, line_no, "write_set",
+                              f"{m.group(0).rstrip('(').strip()} call site "
+                              "declares no write set: pass an "
+                              "audit::Footprint (e.g. audit::row_block(c)) "
+                              "or an explicit audit::unchecked(\"why\")")
+
+    def run(self) -> int:
+        files = sorted(p for p in self.root.rglob("*")
+                       if p.suffix in SOURCE_EXT and p.is_file())
+        if not files:
+            print(f"lint_hylo: no sources under {self.root}", file=sys.stderr)
+            return 2
+        for f in files:
+            self.lint_file(f)
+        for msg in self.failures:
+            print(msg)
+        print(f"lint_hylo: {len(files)} files, {len(self.failures)} "
+              f"violation(s)")
+        return 1 if self.failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parent.parent
+                    / "src",
+                    help="tree to lint (default: repo src/)")
+    args = ap.parse_args()
+    return Linter(args.root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
