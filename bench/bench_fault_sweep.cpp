@@ -1,0 +1,93 @@
+// Ablation: training under deterministic fault injection. Sweeps the
+// per-collective fault rate (and a rank_down-heavy mix) on the same seeded
+// workload and reports what degradation costs: accuracy under stale
+// curvature, modeled comm overhead from retries/backoff, and the
+// comm/faults/* + stale-refresh counts. The run must *complete* at every
+// rate — unrecoverable curvature collectives degrade to stale factors, they
+// never abort training.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace hylo;
+using namespace hylo::bench;
+
+namespace {
+
+struct SweepPoint {
+  std::string label;
+  std::string spec;  // HYLO_FAULTS-style seed:rate[:mix]; "" = faults off
+};
+
+struct SweepResult {
+  real_t best_metric = 0.0;
+  double comm_s = 0.0;
+  std::int64_t injected = 0, unrecoverable = 0, stale = 0;
+};
+
+SweepResult run_point(const SweepPoint& point, index_t world) {
+  const std::uint64_t seed = 42;
+  DataSplit data = make_spirals(1536, 384, 3, 0.05, seed);
+  Network net = make_mlp({2, 1, 1}, {64, 64}, 3, seed);
+
+  OptimConfig oc = method_config("HyLo");
+  HyloOptimizer opt(oc);
+
+  TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  tc.world = world;
+  tc.interconnect = mist_v100();
+  tc.data_seed = seed;
+  // Pin the schedule explicitly: an empty spec yields a disabled config, so
+  // the baseline row ignores any ambient HYLO_FAULTS.
+  tc.faults = point.spec.empty() ? FaultConfig{} : FaultConfig::parse(point.spec);
+  apply_env_telemetry(tc, "fault_sweep_" + point.label);
+
+  Trainer trainer(net, opt, data, tc);
+  const TrainResult res = trainer.run();
+
+  SweepResult out;
+  out.best_metric = res.best_metric();
+  out.comm_s = res.comm_seconds;
+  auto& reg = trainer.comm().profiler().registry();
+  out.injected = reg.counter_value("comm/faults/injected");
+  out.unrecoverable = reg.counter_value("comm/faults/unrecoverable");
+  for (const auto& [name, c] : reg.counters())
+    if (name.rfind("optim/", 0) == 0 &&
+        name.find("/stale_refreshes") != std::string::npos)
+      out.stale += c.value();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const index_t world = 8;
+  std::cout << "Ablation — fault injection sweep (HyLo, MLP/spirals, P="
+            << world << ", seed 42)\n\n";
+  const std::vector<SweepPoint> points = {
+      {"clean", ""},
+      {"rate05", "7:0.05"},
+      {"rate10", "7:0.10"},
+      {"rate20", "7:0.20"},
+      {"gather_loss", "7:0.15:rank_down=1"},
+  };
+  CsvWriter table({"label", "spec", "best_metric", "comm_s", "injected",
+                   "unrecoverable", "stale_refreshes"});
+  for (const auto& p : points) {
+    const SweepResult r = run_point(p, world);
+    table.add(p.label, p.spec.empty() ? "off" : p.spec, r.best_metric,
+              r.comm_s, static_cast<double>(r.injected),
+              static_cast<double>(r.unrecoverable),
+              static_cast<double>(r.stale));
+  }
+  table.print_table();
+  table.write_file("ablation_faults.csv");
+  std::cout << "\nExpected: accuracy degrades gracefully as the rate grows "
+               "(stale factors still precondition better than plain SGD), "
+               "comm seconds inflate with retry/backoff charges, and the "
+               "rank_down-only mix shows unrecoverable gathers converting "
+               "into stale refreshes rather than aborts.\n";
+  return 0;
+}

@@ -19,6 +19,10 @@
 //   --telemetry DIR       (write DIR/run.jsonl + DIR/trace.json; load the
 //                          trace in chrome://tracing or ui.perfetto.dev)
 //   --no-step-log         (with --telemetry: epoch records only)
+//   --faults SPEC         (deterministic fault injection, SPEC =
+//                          seed:rate[:mix] as for HYLO_FAULTS, e.g.
+//                          --faults 7:0.05:timeout=1,rank_down=2; the flag
+//                          overrides the environment spec)
 //   --profiling           (dump the comp/comm profiler at the end)
 //   --grad-norm           (print HyLo's Δ-norm history)
 //   --rank-analysis       (print the low rank used per refresh)
@@ -131,6 +135,8 @@ int main(int argc, char** argv) {
   tc.interconnect = net_name == "mist" ? mist_v100()
                     : net_name == "p2" ? aws_p2_k80()
                                        : loopback();
+  if (const std::string spec = args.get("faults", ""); !spec.empty())
+    tc.faults = FaultConfig::parse(spec);
 
   std::cout << "hylo_train: " << model << " (" << net.num_params()
             << " params) + " << opt->name() << ", P=" << tc.world
@@ -156,6 +162,14 @@ int main(int argc, char** argv) {
               << " collectives\n";
   }
 
+  if (trainer.comm().faults_active()) {
+    auto& reg = trainer.comm().profiler().registry();
+    std::cout << "faults: " << reg.counter_value("comm/faults/injected")
+              << " injected over " << trainer.comm().fault_plan()->drawn()
+              << " collectives ("
+              << reg.counter_value("comm/faults/unrecoverable")
+              << " unrecoverable)\n";
+  }
   if (args.has("profiling")) {
     std::cout << "\nprofile:\n";
     for (const auto& [name, e] : trainer.profiler().sections())

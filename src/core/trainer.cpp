@@ -35,6 +35,13 @@ Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
   HYLO_CHECK(cfg_.world >= 1 && cfg_.epochs >= 1 && cfg_.batch_size >= 1,
              "bad train config");
   comm_.set_wire_scalar_bytes(cfg_.wire_scalar_bytes);
+  // Explicit config pins the fault schedule; the HYLO_FAULTS environment
+  // spec applies only when the config leaves it open.
+  if (cfg_.faults.has_value()) {
+    comm_.configure_faults(*cfg_.faults);
+  } else if (const auto env = FaultConfig::from_env(); env.has_value()) {
+    comm_.configure_faults(*env);
+  }
   loaders_.reserve(static_cast<std::size_t>(cfg_.world));
   for (index_t r = 0; r < cfg_.world; ++r)
     loaders_.emplace_back(data.train, cfg_.batch_size, cfg_.data_seed, r,
@@ -57,6 +64,17 @@ Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
     start.set("interconnect", cfg_.interconnect.name);
     start.set("params", net_->num_params());
     start.set("segmentation", segmentation_);
+    if (comm_.faults_active()) {
+      const FaultConfig& fc = comm_.fault_plan()->config();
+      obs::Json faults = obs::Json::object();
+      faults.set("seed", static_cast<std::int64_t>(fc.seed));
+      faults.set("rate", fc.rate);
+      faults.set("timeout_weight", fc.timeout_weight);
+      faults.set("straggler_weight", fc.straggler_weight);
+      faults.set("corrupt_weight", fc.corrupt_weight);
+      faults.set("rank_down_weight", fc.rank_down_weight);
+      start.set("faults", std::move(faults));
+    }
     runlog_.record("run_start", std::move(start));
   }
 }
@@ -65,6 +83,9 @@ std::pair<real_t, real_t> Trainer::evaluate() {
   const PassContext ctx{.training = false, .capture = false};
   const Dataset& test = data_->test;
   const index_t n = test.size();
+  HYLO_CHECK(n > 0, "evaluate() needs a non-empty test split — training with "
+                    "no held-out data would divide by zero here; trim epochs "
+                    "or provide a test set");
   const index_t chunk = 256;
   real_t loss_sum = 0.0, metric_sum = 0.0;
   index_t covered = 0;
@@ -163,8 +184,11 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
         for (auto& g : *pp.grad) g *= inv_world;
     }
     comm_.profiler().add("comp/forward_backward", fb_timer.seconds());
+    // The gradient allreduce must complete for the replicas to stay
+    // bit-identical: injected rank_down faults re-form and retry.
     comm_.charge_allreduce(comm_.wire_bytes(grad_scalars),
-                           "comm/grad_allreduce");
+                           "comm/grad_allreduce",
+                           FailMode::kRetryUntilSuccess);
 
     if (capture) opt_->update_curvature(blocks, cap, &comm_);
 
@@ -264,6 +288,25 @@ obs::Json Trainer::collective_deltas() {
   return out;
 }
 
+obs::Json Trainer::fault_deltas(std::int64_t* stale) {
+  obs::Json out = obs::Json::object();
+  *stale = 0;
+  const std::string stale_suffix = "/stale_refreshes";
+  for (const auto& [name, c] : comm_.profiler().registry().counters()) {
+    const bool is_fault = name.rfind("comm/faults/", 0) == 0;
+    const bool is_stale =
+        name.rfind("optim/", 0) == 0 && name.size() > stale_suffix.size() &&
+        name.compare(name.size() - stale_suffix.size(), stale_suffix.size(),
+                     stale_suffix) == 0;
+    if (!is_fault && !is_stale) continue;
+    const std::int64_t delta = c.value() - last_fault_counters_[name];
+    last_fault_counters_[name] = c.value();
+    if (is_fault) out.set(name.substr(12), delta);  // strip "comm/faults/"
+    if (is_stale) *stale += delta;
+  }
+  return out;
+}
+
 void Trainer::log_epoch(const EpochStats& stats, index_t epoch) {
   if (!runlog_.enabled()) return;
   obs::Json rec = obs::Json::object();
@@ -283,6 +326,13 @@ void Trainer::log_epoch(const EpochStats& stats, index_t epoch) {
   time.set("comm_modeled", comm_seconds_);
   rec.set("time", std::move(time));
   rec.set("collectives", collective_deltas());
+  // Degradation accounting, present only when fault injection is active so
+  // fault-free run logs stay byte-identical to a build without it.
+  if (comm_.faults_active()) {
+    std::int64_t stale = 0;
+    rec.set("faults", fault_deltas(&stale));
+    rec.set("stale_refreshes", stale);
+  }
   if (auto* hy = dynamic_cast<HyloOptimizer*>(opt_); hy != nullptr) {
     rec.set("rank_r", hy->last_rank());
     const SwitchDecision& dec = hy->last_switch();
@@ -336,6 +386,19 @@ TrainResult Trainer::run() {
     rec.set("comm_seconds", result.comm_seconds);
     rec.set("total_wire_bytes", comm_.total_wire_bytes());
     rec.set("total_messages", comm_.total_messages());
+    if (comm_.faults_active()) {
+      const auto& reg = comm_.profiler().registry();
+      rec.set("faults_injected", reg.counter_value("comm/faults/injected"));
+      std::int64_t stale = 0;
+      const std::string suffix = "/stale_refreshes";
+      for (const auto& [name, c] : reg.counters())
+        if (name.rfind("optim/", 0) == 0 && name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+                0)
+          stale += c.value();
+      rec.set("stale_refreshes", stale);
+      rec.set("fault_plan_draws", comm_.fault_plan()->drawn());
+    }
     if (result.time_to_target) rec.set("time_to_target", *result.time_to_target);
     if (result.epochs_to_target)
       rec.set("epochs_to_target", *result.epochs_to_target);

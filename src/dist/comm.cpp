@@ -1,5 +1,7 @@
 #include "hylo/dist/comm.hpp"
 
+#include <algorithm>
+
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
@@ -8,11 +10,24 @@ void CommSim::allreduce_mean(std::vector<Matrix*> bufs,
                              const std::string& section) {
   HYLO_CHECK(static_cast<index_t>(bufs.size()) == world_,
              "allreduce needs one buffer per rank");
+  // Rank 0's buffer is both accumulator and source: a null or duplicated
+  // pointer would silently double-count that rank's contribution.
+  for (std::size_t i = 0; i < bufs.size(); ++i)
+    HYLO_CHECK(bufs[i] != nullptr, "allreduce buffer for rank " << i
+                                   << " is null");
+  std::vector<Matrix*> sorted = bufs;
+  std::sort(sorted.begin(), sorted.end());
+  HYLO_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+             "allreduce buffers alias: the same Matrix* appears for two "
+             "ranks, which would sum a buffer into itself");
   Matrix& first = *bufs[0];
   for (index_t r = 1; r < world_; ++r) first += *bufs[static_cast<std::size_t>(r)];
   first *= 1.0 / static_cast<real_t>(world_);
   for (index_t r = 1; r < world_; ++r) *bufs[static_cast<std::size_t>(r)] = first;
-  charge_allreduce(wire_bytes(first.size()), section);
+  // The shared-memory exchange above already completed, so injected faults
+  // can only cost time, never the data: retry-until-success.
+  charge_allreduce(wire_bytes(first.size()), section,
+                   FailMode::kRetryUntilSuccess);
 }
 
 Matrix CommSim::allgather_rows(const std::vector<const Matrix*>& locals,
@@ -26,13 +41,81 @@ Matrix CommSim::allgather_rows(const std::vector<const Matrix*>& locals,
     parts.push_back(*m);
     max_bytes = std::max(max_bytes, wire_bytes(m->size()));
   }
-  charge_allgather(max_bytes, section);
+  charge_allgather(max_bytes, section, FailMode::kRetryUntilSuccess);
   return vstack(parts);
 }
 
+void CommSim::configure_faults(const FaultConfig& cfg) {
+  fault_plan_ = cfg.enabled() ? std::make_unique<FaultPlan>(cfg) : nullptr;
+}
+
+double CommSim::apply_fault(const char* kind, const FaultEvent& ev,
+                            index_t bytes, const std::string& section,
+                            double seconds, FailMode mode) {
+  auto& reg = profiler_.registry();
+  reg.counter("comm/faults/injected").inc();
+  reg.counter(std::string("comm/faults/") + to_string(ev.kind)).inc();
+  if (trace_ != nullptr) {
+    obs::Json args = obs::Json::object();
+    args.set("collective", kind);
+    args.set("section", section);
+    args.set("kind", to_string(ev.kind));
+    args.set("rank", static_cast<std::int64_t>(ev.rank));
+    if (ev.kind == FaultKind::kStraggler) args.set("slowdown", ev.slowdown);
+    if (ev.retries > 0)
+      args.set("retries", static_cast<std::int64_t>(ev.retries));
+    trace_->add_instant(std::string("fault:") + to_string(ev.kind), "comm",
+                        obs::TraceBuffer::kCommTrack, std::move(args));
+  }
+
+  double extra = 0.0;
+  switch (ev.kind) {
+    case FaultKind::kStraggler:
+      extra = seconds * (ev.slowdown - 1.0);
+      break;
+    case FaultKind::kTimeout:
+    case FaultKind::kCorruptPayload:
+      extra = retry_seconds(model_, seconds, ev.retries);
+      reg.counter("comm/faults/retries").inc(ev.retries);
+      reg.counter("comm/faults/retry_bytes").inc(bytes * ev.retries);
+      break;
+    case FaultKind::kRankDown: {
+      const double wasted = retry_seconds(model_, seconds, ev.retries);
+      reg.counter("comm/faults/retries").inc(ev.retries);
+      reg.counter("comm/faults/retry_bytes").inc(bytes * ev.retries);
+      if (mode == FailMode::kMayFail) {
+        // The attempts were made (and their wall time passed) before the
+        // failure was declared: charge them, then let the caller degrade.
+        profiler_.add("comm/faults/wasted", wasted);
+        reg.counter("comm/faults/unrecoverable").inc();
+        throw CommFailure("collective " + std::string(kind) + " under '" +
+                          section + "' lost rank " + std::to_string(ev.rank) +
+                          " and could not complete");
+      }
+      // Must-complete collective: re-form the ring without the dead rank
+      // (one extra full-cost round) and finish.
+      reg.counter("comm/faults/forced_recovery").inc();
+      extra = wasted + retry_seconds(model_, seconds, 1);
+      break;
+    }
+    case FaultKind::kNone:
+      break;
+  }
+  reg.histogram("comm/faults/extra_seconds").observe(extra);
+  return extra;
+}
+
 void CommSim::charge(const char* kind, index_t bytes,
-                     const std::string& section, double seconds) {
-  profiler_.add(section, seconds);
+                     const std::string& section, double seconds,
+                     FailMode mode) {
+  FaultEvent ev;
+  double extra = 0.0;
+  if (faults_active()) {
+    ev = fault_plan_->next(world_);
+    if (ev.kind != FaultKind::kNone)
+      extra = apply_fault(kind, ev, bytes, section, seconds, mode);
+  }
+  profiler_.add(section, seconds + extra);
   auto& reg = profiler_.registry();
   reg.counter(section + ".bytes").inc(bytes);
   reg.counter(section + ".msgs").inc();
@@ -41,22 +124,30 @@ void CommSim::charge(const char* kind, index_t bytes,
     args.set("kind", kind);
     args.set("bytes", static_cast<std::int64_t>(bytes));
     args.set("world", static_cast<std::int64_t>(world_));
-    trace_->add_collective(section, seconds, std::move(args));
+    if (ev.kind != FaultKind::kNone) {
+      args.set("fault", to_string(ev.kind));
+      args.set("fault_extra_s", extra);
+    }
+    trace_->add_collective(section, seconds + extra, std::move(args));
   }
 }
 
-void CommSim::charge_broadcast(index_t bytes, const std::string& section) {
-  charge("broadcast", bytes, section, broadcast_seconds(model_, world_, bytes));
+void CommSim::charge_broadcast(index_t bytes, const std::string& section,
+                               FailMode mode) {
+  charge("broadcast", bytes, section, broadcast_seconds(model_, world_, bytes),
+         mode);
 }
 
 void CommSim::charge_allgather(index_t bytes_per_rank,
-                               const std::string& section) {
+                               const std::string& section, FailMode mode) {
   charge("allgather", bytes_per_rank, section,
-         allgather_seconds(model_, world_, bytes_per_rank));
+         allgather_seconds(model_, world_, bytes_per_rank), mode);
 }
 
-void CommSim::charge_allreduce(index_t bytes, const std::string& section) {
-  charge("allreduce", bytes, section, allreduce_seconds(model_, world_, bytes));
+void CommSim::charge_allreduce(index_t bytes, const std::string& section,
+                               FailMode mode) {
+  charge("allreduce", bytes, section, allreduce_seconds(model_, world_, bytes),
+         mode);
 }
 
 double CommSim::comm_seconds() const {

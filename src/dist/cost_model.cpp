@@ -65,4 +65,16 @@ double reduce_seconds(const InterconnectModel& m, index_t world,
   return broadcast_seconds(m, world, bytes);
 }
 
+double retry_seconds(const InterconnectModel& m, double base_seconds,
+                     int retries) {
+  HYLO_CHECK(base_seconds >= 0.0 && retries >= 0, "bad retry args");
+  double total = 0.0;
+  double backoff = 100.0 * m.latency_s;
+  for (int k = 0; k < retries; ++k) {
+    total += base_seconds + backoff;
+    backoff *= 2.0;
+  }
+  return total;
+}
+
 }  // namespace hylo

@@ -1,0 +1,142 @@
+#include "hylo/dist/fault_plan.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace hylo {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kCorruptPayload: return "corrupt_payload";
+    case FaultKind::kRankDown: return "rank_down";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+double parse_number(const std::string& s, const char* what) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  HYLO_CHECK(used == s.size() && !s.empty(),
+             "fault spec: bad " << what << " '" << s << "'");
+  return v;
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::parse(const std::string& spec) {
+  const auto fields = split(spec, ':');
+  HYLO_CHECK(fields.size() == 2 || fields.size() == 3,
+             "fault spec '" << spec << "' is not seed:rate[:mix]");
+  FaultConfig cfg;
+  const double seed = parse_number(fields[0], "seed");
+  HYLO_CHECK(seed >= 0.0, "fault spec: seed must be non-negative");
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.rate = parse_number(fields[1], "rate");
+  HYLO_CHECK(cfg.rate >= 0.0 && cfg.rate <= 1.0,
+             "fault spec: rate " << cfg.rate << " outside [0, 1]");
+  if (fields.size() == 3 && !fields[2].empty()) {
+    // An explicit mix replaces the all-ones default: unnamed kinds are off.
+    cfg.timeout_weight = cfg.straggler_weight = 0.0;
+    cfg.corrupt_weight = cfg.rank_down_weight = 0.0;
+    for (const std::string& pair : split(fields[2], ',')) {
+      const auto kv = split(pair, '=');
+      HYLO_CHECK(kv.size() == 2,
+                 "fault spec: mix entry '" << pair << "' is not kind=weight");
+      const double w = parse_number(kv[1], "mix weight");
+      HYLO_CHECK(w >= 0.0, "fault spec: negative weight in '" << pair << "'");
+      if (kv[0] == "timeout") {
+        cfg.timeout_weight = w;
+      } else if (kv[0] == "straggler") {
+        cfg.straggler_weight = w;
+      } else if (kv[0] == "corrupt" || kv[0] == "corrupt_payload") {
+        cfg.corrupt_weight = w;
+      } else if (kv[0] == "rank_down") {
+        cfg.rank_down_weight = w;
+      } else {
+        HYLO_CHECK(false, "fault spec: unknown fault kind '" << kv[0]
+                          << "' (want timeout|straggler|corrupt|rank_down)");
+      }
+    }
+  }
+  HYLO_CHECK(!cfg.enabled() || cfg.total_weight() > 0.0,
+             "fault spec: rate > 0 but every kind weight is zero");
+  return cfg;
+}
+
+std::optional<FaultConfig> FaultConfig::from_env() {
+  const char* env = std::getenv("HYLO_FAULTS");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  return parse(env);
+}
+
+FaultPlan::FaultPlan(FaultConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  HYLO_CHECK(cfg_.rate >= 0.0 && cfg_.rate <= 1.0,
+             "fault rate " << cfg_.rate << " outside [0, 1]");
+  HYLO_CHECK(!cfg_.enabled() || cfg_.total_weight() > 0.0,
+             "fault plan enabled with all kind weights zero");
+}
+
+FaultEvent FaultPlan::next(index_t world) {
+  HYLO_CHECK(world >= 1, "fault plan needs world >= 1");
+  ++drawn_;
+  FaultEvent ev;
+  if (!active() || rng_.uniform() >= cfg_.rate) return ev;
+
+  double u = rng_.uniform() * cfg_.total_weight();
+  if ((u -= cfg_.timeout_weight) < 0.0) {
+    ev.kind = FaultKind::kTimeout;
+  } else if ((u -= cfg_.straggler_weight) < 0.0) {
+    ev.kind = FaultKind::kStraggler;
+  } else if ((u -= cfg_.corrupt_weight) < 0.0) {
+    ev.kind = FaultKind::kCorruptPayload;
+  } else {
+    ev.kind = FaultKind::kRankDown;
+  }
+  ev.rank = rng_.uniform_int(world);
+  switch (ev.kind) {
+    case FaultKind::kTimeout:
+      ev.retries = 1 + static_cast<int>(rng_.uniform_int(3));  // 1..3 lost
+      break;
+    case FaultKind::kStraggler:
+      ev.slowdown = 2.0 + 14.0 * rng_.uniform();  // 2x .. 16x
+      break;
+    case FaultKind::kCorruptPayload:
+      ev.retries = 1;  // checksum catch + one retransmission
+      break;
+    case FaultKind::kRankDown:
+      ev.retries = 1;  // the attempt that died
+      ev.recoverable = false;
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+  return ev;
+}
+
+}  // namespace hylo

@@ -56,6 +56,12 @@ struct TrainConfig {
   /// enable; `verbose` additionally echoes the epoch lines to stdout
   /// regardless of telemetry. See obs/run_log.hpp for the artifact layout.
   obs::RunLogConfig telemetry;
+  /// Deterministic fault injection on the simulated fabric (see
+  /// dist/fault_plan.hpp). Set here to pin the schedule programmatically —
+  /// this takes precedence over the HYLO_FAULTS environment spec, which
+  /// applies only when this is unset. With neither, the comm path takes no
+  /// fault branches and runs bitwise-identically to a fault-free build.
+  std::optional<FaultConfig> faults;
 };
 
 struct EpochStats {
@@ -113,6 +119,10 @@ class Trainer {
   /// Per-collective {calls, bytes, modeled seconds} accumulated since the
   /// previous call (per-epoch deltas for the run log).
   obs::Json collective_deltas();
+  /// Per-epoch deltas of the comm/faults/* counters plus the summed
+  /// optim/*/stale_refreshes delta (via `stale`). Only called while fault
+  /// injection is active, so fault-free run logs carry no new fields.
+  obs::Json fault_deltas(std::int64_t* stale);
 
   Network* net_;
   Optimizer* opt_;
@@ -129,6 +139,7 @@ class Trainer {
   double comp_par_seconds_ = 0.0, comp_rep_seconds_ = 0.0, comm_seconds_ = 0.0;
   std::map<std::string, double> last_comm_seconds_;
   std::map<std::string, std::int64_t> last_comm_counters_;
+  std::map<std::string, std::int64_t> last_fault_counters_;
   EpochHook hook_;
 };
 

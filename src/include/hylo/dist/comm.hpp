@@ -6,15 +6,28 @@
 /// profiler section. Compute sections are measured and attributed separately
 /// so benches can report the paper's computation/communication breakdowns.
 
+#include <cmath>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "hylo/common/timer.hpp"
 #include "hylo/dist/cost_model.hpp"
+#include "hylo/dist/fault_plan.hpp"
 #include "hylo/obs/trace.hpp"
 #include "hylo/tensor/matrix.hpp"
 
 namespace hylo {
+
+/// What an unrecoverable injected fault (rank_down) does to a collective.
+enum class FailMode {
+  /// The collective aborts: the wasted attempt is charged and CommFailure is
+  /// thrown for the caller to degrade on (curvature gathers/broadcasts).
+  kMayFail,
+  /// The fabric re-forms around the dead rank and retries until the
+  /// collective completes — charged, never thrown (gradient allreduce).
+  kRetryUntilSuccess,
+};
 
 class CommSim {
  public:
@@ -27,23 +40,40 @@ class CommSim {
   const InterconnectModel& model() const { return model_; }
 
   /// Sum per-rank gradient buffers into their average (ring allreduce
-  /// semantics); charges allreduce time under `section`.
+  /// semantics); charges allreduce time under `section`. Buffers must be
+  /// distinct non-null matrices: rank 0's buffer doubles as the accumulator,
+  /// so an aliased entry would be summed into itself. The data movement has
+  /// already happened in shared memory, so faults retry-until-success.
   void allreduce_mean(std::vector<Matrix*> bufs, const std::string& section);
 
   /// Gather per-rank row blocks into one stacked matrix on every rank
-  /// (allgather); charges per-rank-contribution time under `section`.
+  /// (allgather); charges per-rank-contribution time under `section`
+  /// (retry-until-success — the stacked result is returned by value).
   Matrix allgather_rows(const std::vector<const Matrix*>& locals,
                         const std::string& section);
 
   /// Charge a broadcast of `bytes` from one root under `section` (the data
-  /// is already visible in shared memory).
-  void charge_broadcast(index_t bytes, const std::string& section);
+  /// is already visible in shared memory). With an active fault plan and
+  /// mode kMayFail, throws CommFailure on an unrecoverable injected fault.
+  void charge_broadcast(index_t bytes, const std::string& section,
+                        FailMode mode = FailMode::kMayFail);
 
   /// Charge an allgather where each rank contributes `bytes_per_rank`.
-  void charge_allgather(index_t bytes_per_rank, const std::string& section);
+  void charge_allgather(index_t bytes_per_rank, const std::string& section,
+                        FailMode mode = FailMode::kMayFail);
 
   /// Charge an allreduce of `bytes`.
-  void charge_allreduce(index_t bytes, const std::string& section);
+  void charge_allreduce(index_t bytes, const std::string& section,
+                        FailMode mode = FailMode::kMayFail);
+
+  /// Install the deterministic fault schedule (disabled config removes it).
+  /// Every subsequent collective consults the plan; comm/faults/* counters
+  /// and trace instants record each injected event.
+  void configure_faults(const FaultConfig& cfg);
+  bool faults_active() const {
+    return fault_plan_ != nullptr && fault_plan_->active();
+  }
+  const FaultPlan* fault_plan() const { return fault_plan_.get(); }
 
   /// Modeled communication seconds accumulated so far (all comm sections).
   double comm_seconds() const;
@@ -82,23 +112,34 @@ class CommSim {
   }
   double wire_scalar_bytes() const { return wire_scalar_bytes_; }
 
-  /// Modeled wire size of `scalars` values at the configured precision.
+  /// Modeled wire size of `scalars` values at the configured precision,
+  /// rounded to the nearest byte (truncation undercounted the 2.625-byte
+  /// custom-float mode).
   index_t wire_bytes(index_t scalars) const {
-    return static_cast<index_t>(static_cast<double>(scalars) *
-                                wire_scalar_bytes_);
+    return static_cast<index_t>(
+        std::llround(static_cast<double>(scalars) * wire_scalar_bytes_));
   }
 
  private:
-  /// Shared bookkeeping behind every charge_*: profiler seconds, byte and
-  /// message counters, and (when attached) the trace barrier span.
+  /// Shared bookkeeping behind every charge_*: fault-plan consultation,
+  /// profiler seconds, byte and message counters, and (when attached) the
+  /// trace barrier span.
   void charge(const char* kind, index_t bytes, const std::string& section,
-              double seconds);
+              double seconds, FailMode mode);
+
+  /// Account an injected event (counters + trace instant) and return its
+  /// extra modeled seconds; throws CommFailure for an unrecoverable event
+  /// under kMayFail after charging the wasted attempts.
+  double apply_fault(const char* kind, const FaultEvent& ev, index_t bytes,
+                     const std::string& section, double seconds,
+                     FailMode mode);
 
   index_t world_;
   InterconnectModel model_;
   Profiler profiler_;
   obs::TraceBuffer* trace_ = nullptr;
   double wire_scalar_bytes_ = kWireScalarBytes;
+  std::unique_ptr<FaultPlan> fault_plan_;
 };
 
 /// Round-robin layer-to-rank assignment used by both distributed KFAC

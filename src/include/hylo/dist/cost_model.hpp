@@ -43,7 +43,19 @@ double allgather_seconds(const InterconnectModel& m, index_t world,
 double broadcast_seconds(const InterconnectModel& m, index_t world,
                          index_t bytes);
 
-/// Tree reduce of `bytes` to one root.
+/// Tree reduce of `bytes` to one root. Modeled identically to
+/// broadcast_seconds *by intention*: the binomial reduce tree moves the same
+/// bytes over the same log₂(P) levels in the opposite direction, and the α-β
+/// model is direction-agnostic.
 double reduce_seconds(const InterconnectModel& m, index_t world, index_t bytes);
+
+/// Modeled cost of `retries` failed attempts of a collective whose clean
+/// duration is `base_seconds`, under retry-with-exponential-backoff: each
+/// lost attempt burns the full collective time (failure is detected by a
+/// timeout set at the attempt's modeled duration) plus a backoff delay that
+/// starts at 100·α and doubles per attempt. Zero for retries == 0; strictly
+/// increasing and superlinear in `retries` otherwise.
+double retry_seconds(const InterconnectModel& m, double base_seconds,
+                     int retries);
 
 }  // namespace hylo

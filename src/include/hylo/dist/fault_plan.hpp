@@ -1,0 +1,111 @@
+#pragma once
+/// \file fault_plan.hpp
+/// Deterministic fault injection for the simulated fabric. A FaultPlan is a
+/// seeded hylo::Rng-driven schedule of per-collective fault events that
+/// CommSim consults on every charge: the k-th collective of a run always
+/// draws the k-th event, so the same seed + config produces a byte-identical
+/// fault schedule (and therefore an identical run log) on every replay.
+///
+/// Event taxonomy (DESIGN.md §10):
+///   timeout         -- k lost attempts, each burning the collective's full
+///                      modeled time plus an exponentially growing backoff
+///                      (retry_seconds in cost_model.hpp); always recovers.
+///   straggler(s×)   -- one slow participant stretches the collective by s×;
+///                      always recovers.
+///   corrupt_payload -- a checksum failure forces one retransmission of the
+///                      payload; always recovers (data in shared memory stays
+///                      exact — the cost is modeled, like all wire time).
+///   rank_down(r)    -- participant r dies mid-collective. Degradable
+///                      collectives (curvature gathers/broadcasts) fail with
+///                      CommFailure after charging the wasted attempt; the
+///                      optimizer keeps serving stale factors. Must-complete
+///                      collectives (gradient allreduce) re-form the ring and
+///                      retry, charged but never failing.
+///
+/// Configured programmatically (TrainConfig::faults) or via the environment:
+///   HYLO_FAULTS=seed:rate[:mix]
+/// where `mix` is a comma list of kind=weight pairs, e.g.
+///   HYLO_FAULTS=42:0.1:timeout=1,rank_down=2
+/// Unset/empty HYLO_FAULTS (and no config) means the plan is absent and the
+/// comm path takes zero new branches — bitwise-identical to a fault-free
+/// build.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "hylo/common/check.hpp"
+#include "hylo/common/rng.hpp"
+#include "hylo/common/types.hpp"
+
+namespace hylo {
+
+/// Thrown by CommSim when an injected fault makes a degradable collective
+/// unrecoverable. CurvatureOptimizer subclasses catch it and fall back to
+/// the previous refresh's factors (or the plain SGD direction).
+class CommFailure : public Error {
+ public:
+  explicit CommFailure(const std::string& what) : Error(what) {}
+};
+
+enum class FaultKind { kNone, kTimeout, kStraggler, kCorruptPayload, kRankDown };
+
+const char* to_string(FaultKind k);
+
+/// One drawn per-collective fault event.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNone;
+  index_t rank = 0;       ///< affected participant (straggler/rank_down)
+  double slowdown = 1.0;  ///< straggler stretch factor
+  int retries = 0;        ///< failed attempts before resolution
+  bool recoverable = true;///< false: collective cannot complete (rank_down)
+};
+
+/// Schedule parameters. `rate` is the per-collective fault probability; the
+/// weights set the relative frequency of each kind among injected events.
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  double rate = 0.0;
+  double timeout_weight = 1.0;
+  double straggler_weight = 1.0;
+  double corrupt_weight = 1.0;
+  double rank_down_weight = 1.0;
+
+  bool enabled() const { return rate > 0.0; }
+  double total_weight() const {
+    return timeout_weight + straggler_weight + corrupt_weight +
+           rank_down_weight;
+  }
+
+  /// Parse "seed:rate[:mix]" (see file comment). Throws hylo::Error on a
+  /// malformed spec, out-of-range rate, or unknown mix kind.
+  static FaultConfig parse(const std::string& spec);
+
+  /// The HYLO_FAULTS environment spec, or nullopt when unset/empty.
+  static std::optional<FaultConfig> from_env();
+};
+
+/// The deterministic schedule itself: one event per next() call, drawn from
+/// a private Rng seeded with the config seed. Collectives are issued in a
+/// deterministic order by the lockstep simulator, so the schedule is a pure
+/// function of (seed, config, collective sequence).
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultConfig cfg);
+
+  bool active() const { return cfg_.enabled(); }
+  const FaultConfig& config() const { return cfg_; }
+
+  /// Draw the fault event for the next collective over `world` ranks.
+  FaultEvent next(index_t world);
+
+  /// Collectives consulted so far (drawn events, faulting or not).
+  std::int64_t drawn() const { return drawn_; }
+
+ private:
+  FaultConfig cfg_;
+  Rng rng_;
+  std::int64_t drawn_ = 0;
+};
+
+}  // namespace hylo

@@ -79,6 +79,12 @@ class HyloOptimizer : public CurvatureOptimizer {
   /// The global low rank r used at the last curvature refresh.
   index_t last_rank() const { return last_rank_; }
 
+  index_t layer_staleness(index_t layer) const override {
+    HYLO_CHECK(layer >= 0 && layer < static_cast<index_t>(layers_.size()),
+               "HyLo layer " << layer << " unknown");
+    return layers_[static_cast<std::size_t>(layer)].staleness;
+  }
+
  protected:
   void precondition_block(ParamBlock& pb, index_t layer) override;
   bool layer_ready(index_t layer) const override {
@@ -93,6 +99,7 @@ class HyloOptimizer : public CurvatureOptimizer {
     LuFactor kid_middle;  ///< LU of (K̂ + Y⁻¹)      [KID]
     Matrix kis_chol;      ///< Cholesky of (K̂ + αI)  [KIS]
     bool ready = false;
+    index_t staleness = 0;  ///< refreshes since these factors last landed
   };
 
   Policy policy_ = Policy::kGradientBased;

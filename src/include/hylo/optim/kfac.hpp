@@ -24,6 +24,12 @@ class KFac : public CurvatureOptimizer {
                         const CaptureSet& capture, CommSim* comm) override;
   index_t state_bytes() const override;
 
+  index_t layer_staleness(index_t layer) const override {
+    HYLO_CHECK(layer >= 0 && layer < static_cast<index_t>(layers_.size()),
+               "KFAC layer " << layer << " unknown");
+    return layers_[static_cast<std::size_t>(layer)].staleness;
+  }
+
  protected:
   void precondition_block(ParamBlock& pb, index_t layer) override;
   bool layer_ready(index_t layer) const override {
@@ -35,13 +41,17 @@ class KFac : public CurvatureOptimizer {
     Matrix a_factor, g_factor;  ///< running E[aaᵀ], E[ggᵀ]
     Matrix a_inv, g_inv;        ///< damped inverses
     bool ready = false;
+    index_t staleness = 0;      ///< refreshes since this layer last landed
   };
   std::vector<LayerState> layers_;
 
   /// Accumulate running factors from a capture (shared with EKFac): updates
-  /// a_factor/g_factor in layers_ and charges the factor allreduce.
-  void refresh_factors(const std::vector<ParamBlock*>& blocks,
-                       const CaptureSet& capture, CommSim* comm);
+  /// a_factor/g_factor in layers_ and charges the factor allreduce. A layer
+  /// whose allreduce is lost to an injected fault keeps its previous running
+  /// factors; the returned flags mark those layers (one entry per layer) so
+  /// the caller folds the loss into its own staleness accounting.
+  std::vector<char> refresh_factors(const std::vector<ParamBlock*>& blocks,
+                                    const CaptureSet& capture, CommSim* comm);
 };
 
 class EKFac : public KFac {
@@ -52,6 +62,12 @@ class EKFac : public KFac {
   void update_curvature(const std::vector<ParamBlock*>& blocks,
                         const CaptureSet& capture, CommSim* comm) override;
   index_t state_bytes() const override;
+
+  index_t layer_staleness(index_t layer) const override {
+    HYLO_CHECK(layer >= 0 && layer < static_cast<index_t>(eig_.size()),
+               "EKFAC layer " << layer << " unknown");
+    return eig_[static_cast<std::size_t>(layer)].staleness;
+  }
 
  protected:
   void precondition_block(ParamBlock& pb, index_t layer) override;
@@ -65,6 +81,7 @@ class EKFac : public KFac {
     Matrix v_a, v_g;   ///< Kronecker eigenbases
     Matrix scaling;    ///< running E[(V_gᵀ g a V_a)²], d_out x (d_in+1)
     bool ready = false;
+    index_t staleness = 0;  ///< refreshes since this layer last landed
   };
   std::vector<EigState> eig_;
 };
@@ -77,6 +94,12 @@ class KBfgs : public CurvatureOptimizer {
   void update_curvature(const std::vector<ParamBlock*>& blocks,
                         const CaptureSet& capture, CommSim* comm) override;
   index_t state_bytes() const override;
+
+  index_t layer_staleness(index_t layer) const override {
+    HYLO_CHECK(layer >= 0 && layer < static_cast<index_t>(layers_.size()),
+               "KBFGS layer " << layer << " unknown");
+    return layers_[static_cast<std::size_t>(layer)].staleness;
+  }
 
  protected:
   void precondition_block(ParamBlock& pb, index_t layer) override;
@@ -94,6 +117,7 @@ class KBfgs : public CurvatureOptimizer {
     std::deque<std::pair<std::vector<real_t>, std::vector<real_t>>> sy_pairs;
     real_t h0_scale = 1.0;  ///< initial inverse-Hessian scaling
     bool ready = false;
+    index_t staleness = 0;  ///< refreshes since this layer last landed
   };
 
   /// Two-loop L-BFGS application of the inverse G-side Hessian to each

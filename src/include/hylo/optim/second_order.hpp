@@ -22,6 +22,13 @@ class CurvatureOptimizer : public Optimizer {
 
   void step(Network& net, index_t iteration) override;
 
+  /// Refresh age of the curvature served for `layer`: 0 when the last
+  /// refresh landed, k when the last k refreshes lost their collectives and
+  /// the layer still serves factors from k refreshes ago (or, while
+  /// layer_ready() is false, has none and passes gradients through as plain
+  /// SGD directions).
+  virtual index_t layer_staleness(index_t /*layer*/) const { return 0; }
+
  protected:
   /// Replace pb.gw by the preconditioned gradient for layer index `layer`.
   /// Called only after at least one update_curvature() succeeded for that
@@ -30,6 +37,12 @@ class CurvatureOptimizer : public Optimizer {
 
   /// True once layer `layer` has curvature state.
   virtual bool layer_ready(index_t layer) const = 0;
+
+  /// Bookkeeping for a curvature refresh whose collective was lost to an
+  /// injected fault (CommFailure): counts optim/<method>/stale_refreshes and
+  /// drops a trace instant naming the fallback the layer degrades to.
+  void note_stale_refresh(CommSim& comm, const char* method,
+                          index_t layer, bool has_previous) const;
 };
 
 /// SPD inverse of (c + damping·I) with escalating damping retries (10× per

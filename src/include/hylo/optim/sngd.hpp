@@ -25,6 +25,12 @@ class Sngd : public CurvatureOptimizer {
   /// Fig. 12 gradient-error bench).
   Matrix preconditioned(const Matrix& grad, index_t layer) const;
 
+  index_t layer_staleness(index_t layer) const override {
+    HYLO_CHECK(layer >= 0 && layer < static_cast<index_t>(layers_.size()),
+               "SNGD layer " << layer << " unknown");
+    return layers_[static_cast<std::size_t>(layer)].staleness;
+  }
+
  protected:
   void precondition_block(ParamBlock& pb, index_t layer) override;
   bool layer_ready(index_t layer) const override {
@@ -37,6 +43,7 @@ class Sngd : public CurvatureOptimizer {
     Matrix a_glob, g_glob;  ///< gathered global-batch factors (P·m rows)
     Matrix kernel_chol;     ///< Cholesky of (K + αI), dimension P·m
     bool ready = false;
+    index_t staleness = 0;  ///< refreshes since these factors last landed
   };
   std::vector<LayerState> layers_;
 };

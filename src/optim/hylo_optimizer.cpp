@@ -26,24 +26,34 @@ void trace_inversion(CommSim* comm, index_t layer, int owner, double dur_s) {
 }
 
 // LU factorization with escalating diagonal damping (the KID middle matrix
-// is non-symmetric, so Cholesky retries do not apply).
-LuFactor damped_lu(Matrix m, real_t damping) {
+// is non-symmetric, so Cholesky retries do not apply). Bounded at `attempts`
+// factorizations total; each escalation bumps *escalations, and the last
+// failure is rethrown with the escalation context attached.
+LuFactor damped_lu(Matrix m, real_t damping, int* escalations,
+                   int attempts = 4) {
   real_t added = 0.0;
-  for (int attempt = 0; attempt < 4; ++attempt) {
+  for (int attempt = 0;; ++attempt) {
     try {
       return lu_factor(m);
-    } catch (const Error&) {
+    } catch (const Error& e) {
+      if (attempt + 1 >= attempts)
+        throw Error("KID middle matrix (n=" + std::to_string(m.rows()) +
+                    ") stayed singular after " + std::to_string(attempt) +
+                    " damping escalations (final added damping " +
+                    std::to_string(added) + "): " + e.what());
       const real_t next = added == 0.0 ? damping : added * 10.0;
       add_diagonal(m, next - added);
       added = next;
+      if (escalations != nullptr) ++*escalations;
     }
   }
-  return lu_factor(m);  // propagate the final failure
 }
 
 /// Per-layer staging area for the split curvature refresh: the parallel
 /// compute stage fills it, the serial bookkeeping stage drains it into the
-/// profiler / comm model in exact layer order.
+/// profiler / comm model in exact layer order — and commits the candidate
+/// factors to LayerState only once the layer's collectives all landed, so a
+/// lost gather/broadcast leaves the previous refresh's factors serving.
 struct LayerScratch {
   std::vector<Matrix> a_parts, g_parts;  ///< per-rank compressed factors
   std::vector<Matrix> y_parts;           ///< KID residual projections
@@ -51,6 +61,10 @@ struct LayerScratch {
   // (layer, rank) order regardless of thread count.
   std::vector<std::vector<index_t>> picked;
   std::vector<std::vector<real_t>> scale;  ///< 1/(ρ p_j)^{1/4} per picked row
+  Matrix a_s, g_s;        ///< candidate gathered factors
+  LuFactor kid_middle;    ///< candidate LU of (K̂ + Y⁻¹)      [KID]
+  Matrix kis_chol;        ///< candidate Cholesky of (K̂ + αI)  [KIS]
+  int escalations = 0;    ///< damping escalations spent in damped_lu
   double factor_s = 0.0;  ///< measured local-factorization wall time
   double inv_s = 0.0;     ///< measured inversion wall time
 };
@@ -267,7 +281,7 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
   }
 
   // --- Stage 2 (parallel across layers): factorize + invert --------------
-  // Pure compute on disjoint per-layer state; the gathered factors are
+  // Pure compute on disjoint per-layer scratch; the gathered factors are
   // assembled locally (bitwise equal to the modeled allgather result) and
   // the comm model is charged afterwards, in stage 3. Kernel-level
   // parallel_for calls nested inside run inline on this thread.
@@ -275,9 +289,7 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
       0, layers, 1,
       [&](index_t l0, index_t l1) {
         for (index_t l = l0; l < l1; ++l) {
-          LayerState& st = layers_[static_cast<std::size_t>(l)];
           LayerScratch& sc = scratch[static_cast<std::size_t>(l)];
-          st.mode = mode_;
           const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
           const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
 
@@ -289,59 +301,81 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
           sc.factor_s = factor_timer.seconds();
 
           // Alg. 1 lines 7/18: the gathered low-rank factors.
-          st.a_s = vstack(sc.a_parts);
-          st.g_s = vstack(sc.g_parts);
+          sc.a_s = vstack(sc.a_parts);
+          sc.g_s = vstack(sc.g_parts);
 
           WallTimer invert_timer;
           if (mode_ == HyloMode::kKid) {
             // Alg. 1 line 10, Eq. 8: LU of K̂ + Y⁻¹.
             const Matrix y = block_diag(sc.y_parts);
-            Matrix middle = kernel_matrix(st.a_s, st.g_s);  // K̂
+            Matrix middle = kernel_matrix(sc.a_s, sc.g_s);  // K̂
             middle += lu_inverse(y);
-            st.kid_middle = damped_lu(std::move(middle), cfg_.damping);
+            sc.kid_middle =
+                damped_lu(std::move(middle), cfg_.damping, &sc.escalations);
           } else {
             // Alg. 1 line 21, Eq. 9: Cholesky of K̂ + αI.
-            const Matrix k = kernel_matrix(st.a_s, st.g_s);
-            st.kis_chol = damped_cholesky(k, cfg_.damping);
+            const Matrix k = kernel_matrix(sc.a_s, sc.g_s);
+            sc.kis_chol = damped_cholesky(k, cfg_.damping);
           }
           sc.inv_s = invert_timer.seconds();
         }
       },
       "optim/hylo/layers",
       audit::Footprint([&](index_t l0, index_t l1, audit::WriteSet& ws) {
-        ws.add_range(layers_.data(), l0, l1);
         ws.add_range(scratch.data(), l0, l1);
       }));
 
   // --- Stage 3 (serial, layer order): profiler / comm-model bookkeeping --
   // Replays exactly the charge sequence the serial implementation issued,
   // so traces, byte counters, and call counts are unchanged by threading.
+  // Each layer's candidate factors commit only after its gathers and
+  // broadcast all landed: a CommFailure (injected rank_down) leaves the
+  // previous refresh serving, one refresh staler.
   double inv_max = 0.0;
+  int escalations = 0;
   for (index_t l = 0; l < layers; ++l) {
     LayerState& st = layers_[static_cast<std::size_t>(l)];
     LayerScratch& sc = scratch[static_cast<std::size_t>(l)];
+    escalations += sc.escalations;
     if (comm != nullptr) {
       comm->profiler().add("comp/factorization", sc.factor_s);
-      comm->charge_allgather(max_part_bytes(*comm, sc.a_parts), "comm/gather");
-      comm->charge_allgather(max_part_bytes(*comm, sc.g_parts), "comm/gather");
-      if (st.mode == HyloMode::kKid)
-        comm->charge_allgather(wire_bytes(*comm, sc.y_parts[0].size()),
+      try {
+        comm->charge_allgather(max_part_bytes(*comm, sc.a_parts),
                                "comm/gather");
-      comm->profiler().add("comp/inversion", sc.inv_s);
-      trace_inversion(comm, l, static_cast<int>(assignment.owner(l)), sc.inv_s);
-      // Line 11/21: broadcast the r x r inverse.
-      comm->charge_broadcast(wire_bytes(*comm, st.a_s.rows() * st.a_s.rows()),
-                             "comm/broadcast");
+        comm->charge_allgather(max_part_bytes(*comm, sc.g_parts),
+                               "comm/gather");
+        if (mode_ == HyloMode::kKid)
+          comm->charge_allgather(wire_bytes(*comm, sc.y_parts[0].size()),
+                                 "comm/gather");
+        comm->profiler().add("comp/inversion", sc.inv_s);
+        trace_inversion(comm, l, static_cast<int>(assignment.owner(l)),
+                        sc.inv_s);
+        // Line 11/21: broadcast the r x r inverse.
+        comm->charge_broadcast(wire_bytes(*comm, sc.a_s.rows() * sc.a_s.rows()),
+                               "comm/broadcast");
+      } catch (const CommFailure&) {
+        note_stale_refresh(*comm, "hylo", l, st.ready);
+        ++st.staleness;
+        continue;
+      }
       inv_max = std::max(inv_max, sc.inv_s);
       comm->profiler().registry().histogram("optim/hylo/inversion_seconds")
           .observe(sc.inv_s);
     }
+    st.mode = mode_;
+    st.a_s = std::move(sc.a_s);
+    st.g_s = std::move(sc.g_s);
+    st.kid_middle = std::move(sc.kid_middle);
+    st.kis_chol = std::move(sc.kis_chol);
     st.ready = true;
+    st.staleness = 0;
   }
   if (comm != nullptr) {
     comm->profiler().add("comp/inversion_critical", inv_max);
     auto& reg = comm->profiler().registry();
     reg.counter("optim/hylo/refreshes").inc();
+    if (escalations > 0)
+      reg.counter("optim/hylo/damping_escalations").inc(escalations);
     reg.gauge("optim/hylo/rank").set(static_cast<double>(last_rank_));
     reg.histogram("optim/hylo/selected_rank",
                   obs::Histogram::linear_bounds(0.0, 4096.0, 65))

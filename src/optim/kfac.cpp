@@ -22,14 +22,20 @@ index_t wire_bytes(const CommSim& comm, index_t scalars) {
 }
 }  // namespace
 
-void KFac::refresh_factors(const std::vector<ParamBlock*>& blocks,
-                           const CaptureSet& capture, CommSim* comm) {
+std::vector<char> KFac::refresh_factors(const std::vector<ParamBlock*>& blocks,
+                                        const CaptureSet& capture,
+                                        CommSim* comm) {
   const index_t layers = capture.layers();
   HYLO_CHECK(layers == static_cast<index_t>(blocks.size()),
              "capture/block count mismatch");
   if (static_cast<index_t>(layers_.size()) != layers) layers_.resize(static_cast<std::size_t>(layers));
+  std::vector<char> degraded(static_cast<std::size_t>(layers), 0);
 
+  // Compute the merged running factors into candidates first; each layer's
+  // candidate replaces the running state only once its factor allreduce
+  // landed, so a lost collective keeps the previous statistics.
   WallTimer timer;
+  std::vector<std::pair<Matrix, Matrix>> cand(static_cast<std::size_t>(layers));
   for (index_t l = 0; l < layers; ++l) {
     const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
     const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
@@ -49,42 +55,56 @@ void KFac::refresh_factors(const std::vector<ParamBlock*>& blocks,
     a_new *= 1.0 / static_cast<real_t>(m_total);
     g_new *= 1.0 / static_cast<real_t>(m_total);
 
-    LayerState& st = layers_[static_cast<std::size_t>(l)];
-    if (st.a_factor.empty()) {
-      st.a_factor = std::move(a_new);
-      st.g_factor = std::move(g_new);
-    } else {
-      st.a_factor *= cfg_.stat_decay;
-      axpy(st.a_factor, a_new, 1.0 - cfg_.stat_decay);
-      st.g_factor *= cfg_.stat_decay;
-      axpy(st.g_factor, g_new, 1.0 - cfg_.stat_decay);
+    const LayerState& st = layers_[static_cast<std::size_t>(l)];
+    if (!st.a_factor.empty()) {
+      Matrix a_run = st.a_factor;
+      a_run *= cfg_.stat_decay;
+      axpy(a_run, a_new, 1.0 - cfg_.stat_decay);
+      a_new = std::move(a_run);
+      Matrix g_run = st.g_factor;
+      g_run *= cfg_.stat_decay;
+      axpy(g_run, g_new, 1.0 - cfg_.stat_decay);
+      g_new = std::move(g_run);
     }
+    cand[static_cast<std::size_t>(l)] = {std::move(a_new), std::move(g_new)};
   }
   if (comm != nullptr) {
     comm->profiler().add("comp/factorization", timer.seconds());
     for (index_t l = 0; l < layers; ++l) {
-      const LayerState& st = layers_[static_cast<std::size_t>(l)];
-      comm->charge_allreduce(
-          wire_bytes(*comm, st.a_factor.size() + st.g_factor.size()),
-          "comm/gather");
+      auto& [a_new, g_new] = cand[static_cast<std::size_t>(l)];
+      try {
+        comm->charge_allreduce(wire_bytes(*comm, a_new.size() + g_new.size()),
+                               "comm/gather");
+      } catch (const CommFailure&) {
+        degraded[static_cast<std::size_t>(l)] = 1;
+      }
     }
   }
+  for (index_t l = 0; l < layers; ++l) {
+    if (degraded[static_cast<std::size_t>(l)]) continue;
+    LayerState& st = layers_[static_cast<std::size_t>(l)];
+    st.a_factor = std::move(cand[static_cast<std::size_t>(l)].first);
+    st.g_factor = std::move(cand[static_cast<std::size_t>(l)].second);
+  }
+  return degraded;
 }
 
 void KFac::update_curvature(const std::vector<ParamBlock*>& blocks,
                             const CaptureSet& capture, CommSim* comm) {
-  refresh_factors(blocks, capture, comm);
+  std::vector<char> degraded = refresh_factors(blocks, capture, comm);
   // Per-layer timing: the total is the cluster-wide inversion work (layers
   // are distributed over owners), the max single layer is the critical path
-  // when P exceeds the layer count.
+  // when P exceeds the layer count. Inverses are staged per layer and
+  // committed only after the layer's broadcast landed.
   double inv_total = 0.0, inv_max = 0.0;
-  for (auto& st : layers_) {
+  std::vector<std::pair<Matrix, Matrix>> inv(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const LayerState& st = layers_[l];
     WallTimer timer;
     const real_t pi = pi_correction(st.a_factor, st.g_factor);
     const real_t root = std::sqrt(cfg_.damping);
-    st.a_inv = damped_spd_inverse(st.a_factor, pi * root);
-    st.g_inv = damped_spd_inverse(st.g_factor, root / pi);
-    st.ready = true;
+    inv[l].first = damped_spd_inverse(st.a_factor, pi * root);
+    inv[l].second = damped_spd_inverse(st.g_factor, root / pi);
     const double sec = timer.seconds();
     inv_total += sec;
     inv_max = std::max(inv_max, sec);
@@ -95,9 +115,28 @@ void KFac::update_curvature(const std::vector<ParamBlock*>& blocks,
   if (comm != nullptr) {
     comm->profiler().add("comp/inversion", inv_total);
     comm->profiler().add("comp/inversion_critical", inv_max);
-    for (const auto& st : layers_)
-      comm->charge_broadcast(wire_bytes(*comm, st.a_inv.size() + st.g_inv.size()),
-                             "comm/broadcast");
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      try {
+        comm->charge_broadcast(
+            wire_bytes(*comm, inv[l].first.size() + inv[l].second.size()),
+            "comm/broadcast");
+      } catch (const CommFailure&) {
+        degraded[l] = 1;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    LayerState& st = layers_[l];
+    if (degraded[l]) {
+      if (comm != nullptr)
+        note_stale_refresh(*comm, "kfac", static_cast<index_t>(l), st.ready);
+      ++st.staleness;
+      continue;
+    }
+    st.a_inv = std::move(inv[l].first);
+    st.g_inv = std::move(inv[l].second);
+    st.ready = true;
+    st.staleness = 0;
   }
 }
 
@@ -118,15 +157,18 @@ index_t KFac::state_bytes() const {
 
 void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
                              const CaptureSet& capture, CommSim* comm) {
-  refresh_factors(blocks, capture, comm);
+  std::vector<char> degraded = refresh_factors(blocks, capture, comm);
   const index_t layers = capture.layers();
   if (static_cast<index_t>(eig_.size()) != layers) eig_.resize(static_cast<std::size_t>(layers));
 
+  // Candidate eigenbases + merged scalings, committed per layer only after
+  // that layer's broadcast landed.
   double inv_total = 0.0, inv_max = 0.0;
+  std::vector<EigState> cand(static_cast<std::size_t>(layers));
   for (index_t l = 0; l < layers; ++l) {
     WallTimer timer;
     const LayerState& kst = layers_[static_cast<std::size_t>(l)];
-    EigState& est = eig_[static_cast<std::size_t>(l)];
+    EigState& est = cand[static_cast<std::size_t>(l)];
     est.v_a = eigh(kst.a_factor).eigenvectors;
     est.v_g = eigh(kst.g_factor).eigenvectors;
 
@@ -145,9 +187,11 @@ void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
       m_total += a_ranks[r].rows();
     }
     s_new *= 1.0 / static_cast<real_t>(m_total);
-    if (est.scaling.empty()) {
+    const EigState& prev = eig_[static_cast<std::size_t>(l)];
+    if (prev.scaling.empty()) {
       est.scaling = std::move(s_new);
     } else {
+      est.scaling = prev.scaling;
       est.scaling *= cfg_.stat_decay;
       axpy(est.scaling, s_new, 1.0 - cfg_.stat_decay);
     }
@@ -162,10 +206,27 @@ void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
   if (comm != nullptr) {
     comm->profiler().add("comp/inversion", inv_total);
     comm->profiler().add("comp/inversion_critical", inv_max);
-    for (const auto& est : eig_)
-      comm->charge_broadcast(
-          wire_bytes(*comm, est.v_a.size() + est.v_g.size() + est.scaling.size()),
-          "comm/broadcast");
+    for (index_t l = 0; l < layers; ++l) {
+      const EigState& est = cand[static_cast<std::size_t>(l)];
+      try {
+        comm->charge_broadcast(
+            wire_bytes(*comm, est.v_a.size() + est.v_g.size() + est.scaling.size()),
+            "comm/broadcast");
+      } catch (const CommFailure&) {
+        degraded[static_cast<std::size_t>(l)] = 1;
+      }
+    }
+  }
+  for (index_t l = 0; l < layers; ++l) {
+    EigState& est = eig_[static_cast<std::size_t>(l)];
+    if (degraded[static_cast<std::size_t>(l)]) {
+      if (comm != nullptr)
+        note_stale_refresh(*comm, "ekfac", l, est.ready);
+      ++est.staleness;
+      continue;
+    }
+    est = std::move(cand[static_cast<std::size_t>(l)]);
+    est.staleness = 0;
   }
 }
 
@@ -197,11 +258,17 @@ void KBfgs::update_curvature(const std::vector<ParamBlock*>& blocks,
              "capture/block count mismatch");
   if (static_cast<index_t>(layers_.size()) != layers) layers_.resize(static_cast<std::size_t>(layers));
 
+  // Each layer's whole refresh (running factors, inverse, BFGS pair) is
+  // built on a candidate copy and swapped in only after the layer's
+  // collectives landed, so a lost allreduce/broadcast keeps the previous
+  // curvature intact — including the (s, y) history.
   WallTimer factor_timer;
+  std::vector<LayerState> cand(static_cast<std::size_t>(layers));
   for (index_t l = 0; l < layers; ++l) {
     const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
     const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
-    LayerState& st = layers_[static_cast<std::size_t>(l)];
+    LayerState& st = cand[static_cast<std::size_t>(l)];
+    st = layers_[static_cast<std::size_t>(l)];
     index_t m_total = 0;
     Matrix a_new, g_new;
     Matrix g_mean(g_ranks[0].cols(), 1);
@@ -259,13 +326,30 @@ void KBfgs::update_curvature(const std::vector<ParamBlock*>& blocks,
     st.g_mean_prev = g_mean;
     st.ready = true;
   }
+  std::vector<char> degraded(static_cast<std::size_t>(layers), 0);
   if (comm != nullptr) {
     comm->profiler().add("comp/factorization", factor_timer.seconds());
-    for (const auto& st : layers_) {
-      comm->charge_allreduce(
-          wire_bytes(*comm, st.a_factor.size() + st.g_factor.size()), "comm/gather");
-      comm->charge_broadcast(wire_bytes(*comm, st.a_inv.size()), "comm/broadcast");
+    for (index_t l = 0; l < layers; ++l) {
+      const LayerState& st = cand[static_cast<std::size_t>(l)];
+      try {
+        comm->charge_allreduce(
+            wire_bytes(*comm, st.a_factor.size() + st.g_factor.size()), "comm/gather");
+        comm->charge_broadcast(wire_bytes(*comm, st.a_inv.size()), "comm/broadcast");
+      } catch (const CommFailure&) {
+        degraded[static_cast<std::size_t>(l)] = 1;
+      }
     }
+  }
+  for (index_t l = 0; l < layers; ++l) {
+    LayerState& st = layers_[static_cast<std::size_t>(l)];
+    if (degraded[static_cast<std::size_t>(l)]) {
+      if (comm != nullptr)
+        note_stale_refresh(*comm, "kbfgs", l, st.ready);
+      ++st.staleness;
+      continue;
+    }
+    st = std::move(cand[static_cast<std::size_t>(l)]);
+    st.staleness = 0;
   }
 }
 

@@ -27,6 +27,23 @@ void CurvatureOptimizer::step(Network& net, index_t /*iteration*/) {
   apply_sgd_update(net, nu);
 }
 
+void CurvatureOptimizer::note_stale_refresh(CommSim& comm, const char* method,
+                                            index_t layer,
+                                            bool has_previous) const {
+  comm.profiler()
+      .registry()
+      .counter(std::string("optim/") + method + "/stale_refreshes")
+      .inc();
+  if (obs::TraceBuffer* trace = comm.trace()) {
+    obs::Json args = obs::Json::object();
+    args.set("optimizer", method);
+    args.set("layer", static_cast<std::int64_t>(layer));
+    args.set("fallback", has_previous ? "stale_factors" : "sgd_direction");
+    trace->add_instant("stale_refresh", "optim", obs::TraceBuffer::kCommTrack,
+                       std::move(args));
+  }
+}
+
 Matrix damped_cholesky(const Matrix& c, real_t damping, int attempts) {
   Matrix work = c;
   // Escalation floor scaled to the matrix magnitude, so retries make real

@@ -16,14 +16,16 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
 
   // Stage 1 (parallel across layers): assemble the global factors — bitwise
   // equal to the modeled allgather result — and invert each layer's kernel.
-  // Pure compute on disjoint per-layer state; the comm model is charged
-  // afterwards, serially, so its trace is unchanged by threading.
+  // Pure compute on disjoint per-layer *candidate* state; the comm model is
+  // charged afterwards, serially, so its trace is unchanged by threading,
+  // and candidates commit only once their collectives landed.
+  std::vector<LayerState> cand(static_cast<std::size_t>(layers));
   std::vector<double> inv_s(static_cast<std::size_t>(layers), 0.0);
   par::parallel_for(
       0, layers, 1,
       [&](index_t l0, index_t l1) {
         for (index_t l = l0; l < l1; ++l) {
-          LayerState& st = layers_[static_cast<std::size_t>(l)];
+          LayerState& st = cand[static_cast<std::size_t>(l)];
           const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
           const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
           std::vector<Matrix> ap(a_ranks.begin(), a_ranks.end());
@@ -41,17 +43,27 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
       },
       "optim/sngd/layers",
       audit::Footprint([&](index_t l0, index_t l1, audit::WriteSet& ws) {
-        ws.add_range(layers_.data(), l0, l1);
+        ws.add_range(cand.data(), l0, l1);
         ws.add_range(inv_s.data(), l0, l1);
       }));
 
+  auto commit = [&](index_t l) {
+    LayerState& st = layers_[static_cast<std::size_t>(l)];
+    st = std::move(cand[static_cast<std::size_t>(l)]);
+    st.staleness = 0;
+  };
+
   // Stage 2 (serial, layer order): modeled gathers of the raw per-sample
   // matrices (step 2 of Fig. 1) and broadcast of each inverted kernel
-  // (step 4) — the exact charge sequence of the serial implementation.
-  if (comm == nullptr) return;
+  // (step 4) — the exact charge sequence of the serial implementation. A
+  // layer whose gather or broadcast is lost keeps its previous factors.
+  if (comm == nullptr) {
+    for (index_t l = 0; l < layers; ++l) commit(l);
+    return;
+  }
   double inv_total = 0.0, inv_max = 0.0;
   for (index_t l = 0; l < layers; ++l) {
-    const LayerState& st = layers_[static_cast<std::size_t>(l)];
+    const LayerState& st = cand[static_cast<std::size_t>(l)];
     const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
     const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
     index_t a_bytes = 0, g_bytes = 0;
@@ -59,17 +71,25 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
       a_bytes = std::max(a_bytes, comm->wire_bytes(m.size()));
     for (const auto& m : g_ranks)
       g_bytes = std::max(g_bytes, comm->wire_bytes(m.size()));
-    comm->charge_allgather(a_bytes, "comm/gather");
-    comm->charge_allgather(g_bytes, "comm/gather");
     const double sec = inv_s[static_cast<std::size_t>(l)];
     inv_total += sec;
-    inv_max = std::max(inv_max, sec);
-    comm->profiler().registry().histogram("optim/sngd/inversion_seconds")
-        .observe(sec);
-    // Broadcast of the inverted kernel (step 4): (P·m)² scalars.
-    comm->charge_broadcast(
-        comm->wire_bytes(st.a_glob.rows() * st.a_glob.rows()),
-        "comm/broadcast");
+    try {
+      comm->charge_allgather(a_bytes, "comm/gather");
+      comm->charge_allgather(g_bytes, "comm/gather");
+      inv_max = std::max(inv_max, sec);
+      comm->profiler().registry().histogram("optim/sngd/inversion_seconds")
+          .observe(sec);
+      // Broadcast of the inverted kernel (step 4): (P·m)² scalars.
+      comm->charge_broadcast(
+          comm->wire_bytes(st.a_glob.rows() * st.a_glob.rows()),
+          "comm/broadcast");
+    } catch (const CommFailure&) {
+      LayerState& old = layers_[static_cast<std::size_t>(l)];
+      note_stale_refresh(*comm, "sngd", l, old.ready);
+      ++old.staleness;
+      continue;
+    }
+    commit(l);
   }
   comm->profiler().add("comp/inversion", inv_total);
   comm->profiler().add("comp/inversion_critical", inv_max);

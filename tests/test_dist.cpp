@@ -51,6 +51,65 @@ TEST(CostModel, PresetsAreOrdered) {
   EXPECT_LT(mist_v100().latency_s, aws_p2_k80().latency_s);
 }
 
+TEST(CostModel, MonotoneInWorldAndBytes) {
+  const auto m = mist_v100();
+  for (index_t world = 2; world <= 64; world *= 2) {
+    for (index_t bytes = 64; bytes <= (1 << 22); bytes *= 64) {
+      // Strictly increasing in world at fixed bytes...
+      EXPECT_GT(allreduce_seconds(m, world * 2, bytes),
+                allreduce_seconds(m, world, bytes));
+      EXPECT_GT(allgather_seconds(m, world * 2, bytes),
+                allgather_seconds(m, world, bytes));
+      EXPECT_GT(broadcast_seconds(m, world * 2, bytes),
+                broadcast_seconds(m, world, bytes));
+      // ...and in bytes at fixed world.
+      EXPECT_GT(allreduce_seconds(m, world, bytes * 2),
+                allreduce_seconds(m, world, bytes));
+      EXPECT_GT(allgather_seconds(m, world, bytes * 2),
+                allgather_seconds(m, world, bytes));
+      EXPECT_GT(broadcast_seconds(m, world, bytes * 2),
+                broadcast_seconds(m, world, bytes));
+    }
+  }
+}
+
+TEST(CostModel, LoopbackIsEffectivelyFree) {
+  // Near-zero latency, huge bandwidth: even a 1 GiB collective at high P
+  // models out to well under a microsecond.
+  const auto m = loopback();
+  EXPECT_LT(allreduce_seconds(m, 64, 1 << 30), 1e-6);
+  EXPECT_LT(allgather_seconds(m, 64, 1 << 30), 1e-6);
+  EXPECT_LT(broadcast_seconds(m, 64, 1 << 30), 1e-6);
+}
+
+TEST(CostModel, ReduceEqualsBroadcastByIntention) {
+  // The binomial reduce tree moves the same bytes over the same log2(P)
+  // levels in the opposite direction, and the α-β model is
+  // direction-agnostic — documented equality, locked in here.
+  for (const auto& m : {mist_v100(), aws_p2_k80()})
+    for (index_t world : {2, 5, 16, 64})
+      for (index_t bytes : {0, 1 << 10, 1 << 24})
+        EXPECT_EQ(reduce_seconds(m, world, bytes),
+                  broadcast_seconds(m, world, bytes));
+}
+
+TEST(CostModel, RetrySecondsShape) {
+  const auto m = mist_v100();
+  const double base = allgather_seconds(m, 8, 1 << 16);
+  EXPECT_EQ(retry_seconds(m, base, 0), 0.0);
+  // Each lost attempt burns at least the full collective plus backoff, and
+  // the doubling backoff makes the total superlinear.
+  double prev = 0.0;
+  for (int k = 1; k <= 6; ++k) {
+    const double t = retry_seconds(m, base, k);
+    EXPECT_GT(t, prev + base);
+    prev = t;
+  }
+  EXPECT_GT(retry_seconds(m, base, 4), 2.0 * retry_seconds(m, base, 2));
+  EXPECT_THROW(retry_seconds(m, -1.0, 1), Error);
+  EXPECT_THROW(retry_seconds(m, base, -1), Error);
+}
+
 TEST(CommSim, AllreduceMeanAveragesAndSyncs) {
   CommSim comm(3, mist_v100());
   Matrix a{{3.0}}, b{{6.0}}, c{{0.0}};
@@ -82,6 +141,41 @@ TEST(CommSim, WorldValidation) {
   CommSim comm(2, loopback());
   Matrix a(1, 1);
   EXPECT_THROW(comm.allreduce_mean({&a}, "comm/x"), Error);
+}
+
+TEST(CommSim, AllreduceRejectsAliasedAndNullBuffers) {
+  // Rank 0's buffer doubles as the accumulator, so a duplicated pointer
+  // would silently sum a buffer into itself; a null would crash later.
+  CommSim comm(3, loopback());
+  Matrix a{{1.0}}, b{{2.0}};
+  EXPECT_THROW(comm.allreduce_mean({&a, &b, &a}, "comm/x"), Error);
+  EXPECT_THROW(comm.allreduce_mean({&a, &b, nullptr}, "comm/x"), Error);
+  // The aliased call must not have corrupted the data.
+  EXPECT_EQ(a(0, 0), 1.0);
+  EXPECT_EQ(b(0, 0), 2.0);
+}
+
+TEST(CommSim, WireBytesRoundsToNearest) {
+  CommSim comm(2, loopback());
+  // FP32 default: exact.
+  EXPECT_EQ(comm.wire_bytes(10), 40);
+  // The 21-bit custom float of Ueno et al.: 2.625 B/scalar. Truncation
+  // undercounted (3 scalars = 7.875 B -> 7); round-to-nearest gives 8.
+  comm.set_wire_scalar_bytes(2.625);
+  EXPECT_EQ(comm.wire_bytes(3), 8);
+  EXPECT_EQ(comm.wire_bytes(2), 5);   // 5.25 -> 5
+  EXPECT_EQ(comm.wire_bytes(1000), 2625);
+}
+
+TEST(LayerAssignment, OwnedCountsPartitionLayers) {
+  // Ragged cases: Σ_r owned_count(r) must equal the layer count exactly.
+  for (index_t layers : {0, 1, 3, 7, 10, 13, 64})
+    for (index_t world : {1, 2, 3, 4, 5, 8, 16}) {
+      LayerAssignment asg(layers, world);
+      index_t total = 0;
+      for (index_t r = 0; r < world; ++r) total += asg.owned_count(r);
+      EXPECT_EQ(total, layers) << "layers=" << layers << " world=" << world;
+    }
 }
 
 TEST(LayerAssignment, RoundRobin) {

@@ -1,0 +1,415 @@
+// Deterministic fault injection: spec parsing, schedule determinism, the
+// comm-path accounting split (kRetryUntilSuccess vs kMayFail), optimizer
+// stale-curvature degradation, and trainer-level resilience. Every test
+// pins cfg.faults (or configure_faults) explicitly so an ambient
+// HYLO_FAULTS environment — e.g. the faults_env ctest variant — cannot
+// perturb the assertions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "hylo/hylo.hpp"
+#include "test_util.hpp"
+
+namespace hylo {
+namespace {
+
+FaultConfig only_rank_down(std::uint64_t seed, double rate) {
+  FaultConfig cfg;
+  cfg.seed = seed;
+  cfg.rate = rate;
+  cfg.timeout_weight = cfg.straggler_weight = cfg.corrupt_weight = 0.0;
+  cfg.rank_down_weight = 1.0;
+  return cfg;
+}
+
+CaptureSet make_capture(Rng& rng, index_t world, index_t m, index_t din,
+                        index_t dout) {
+  CaptureSet cap;
+  cap.a.resize(1);
+  cap.g.resize(1);
+  for (index_t r = 0; r < world; ++r) {
+    cap.a[0].push_back(testutil::random_matrix(rng, m, din));
+    cap.g[0].push_back(testutil::random_matrix(rng, m, dout));
+  }
+  return cap;
+}
+
+TEST(FaultConfig, ParsesSeedRateAndMix) {
+  const FaultConfig plain = FaultConfig::parse("7:0.1");
+  EXPECT_EQ(plain.seed, 7u);
+  EXPECT_EQ(plain.rate, 0.1);
+  EXPECT_EQ(plain.timeout_weight, 1.0);
+  EXPECT_EQ(plain.rank_down_weight, 1.0);
+  EXPECT_TRUE(plain.enabled());
+
+  // An explicit mix replaces the all-ones default: unnamed kinds are off.
+  const FaultConfig mix = FaultConfig::parse("42:0.25:timeout=1,rank_down=2");
+  EXPECT_EQ(mix.seed, 42u);
+  EXPECT_EQ(mix.timeout_weight, 1.0);
+  EXPECT_EQ(mix.straggler_weight, 0.0);
+  EXPECT_EQ(mix.corrupt_weight, 0.0);
+  EXPECT_EQ(mix.rank_down_weight, 2.0);
+
+  // "corrupt" and "corrupt_payload" are aliases.
+  EXPECT_EQ(FaultConfig::parse("1:0.5:corrupt=3").corrupt_weight, 3.0);
+  EXPECT_EQ(FaultConfig::parse("1:0.5:corrupt_payload=3").corrupt_weight, 3.0);
+
+  // rate 0 is a valid, disabled config (the bench baseline uses this).
+  EXPECT_FALSE(FaultConfig::parse("7:0").enabled());
+}
+
+TEST(FaultConfig, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultConfig::parse(""), Error);
+  EXPECT_THROW(FaultConfig::parse("7"), Error);
+  EXPECT_THROW(FaultConfig::parse("x:0.1"), Error);
+  EXPECT_THROW(FaultConfig::parse("-1:0.1"), Error);
+  EXPECT_THROW(FaultConfig::parse("7:1.5"), Error);
+  EXPECT_THROW(FaultConfig::parse("7:-0.1"), Error);
+  EXPECT_THROW(FaultConfig::parse("7:0.1:bogus=1"), Error);
+  EXPECT_THROW(FaultConfig::parse("7:0.1:timeout"), Error);
+  EXPECT_THROW(FaultConfig::parse("7:0.1:timeout=-1"), Error);
+  // rate > 0 with every kind weighted zero can never draw an event.
+  EXPECT_THROW(FaultConfig::parse("7:0.1:timeout=0"), Error);
+}
+
+TEST(FaultConfig, ReadsEnvironmentSpec) {
+  ::setenv("HYLO_FAULTS", "5:0.2:straggler=2", 1);
+  const auto cfg = FaultConfig::from_env();
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->seed, 5u);
+  EXPECT_EQ(cfg->rate, 0.2);
+  EXPECT_EQ(cfg->straggler_weight, 2.0);
+  EXPECT_EQ(cfg->timeout_weight, 0.0);
+  ::unsetenv("HYLO_FAULTS");
+  EXPECT_FALSE(FaultConfig::from_env().has_value());
+}
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  const FaultConfig cfg = FaultConfig::parse("13:0.3");
+  FaultPlan a(cfg), b(cfg);
+  int injected = 0;
+  for (int i = 0; i < 500; ++i) {
+    const FaultEvent ea = a.next(8), eb = b.next(8);
+    EXPECT_EQ(ea.kind, eb.kind);
+    EXPECT_EQ(ea.rank, eb.rank);
+    EXPECT_EQ(ea.slowdown, eb.slowdown);
+    EXPECT_EQ(ea.retries, eb.retries);
+    EXPECT_EQ(ea.recoverable, eb.recoverable);
+    if (ea.kind != FaultKind::kNone) ++injected;
+  }
+  EXPECT_EQ(a.drawn(), 500);
+  EXPECT_EQ(b.drawn(), 500);
+  // A 30% rate over 500 draws lands well inside [100, 200] for any seed.
+  EXPECT_GT(injected, 100);
+  EXPECT_LT(injected, 200);
+
+  // A different seed diverges somewhere in the schedule.
+  FaultConfig other = cfg;
+  other.seed = 14;
+  FaultPlan c(other);
+  bool diverged = false;
+  FaultPlan a2(cfg);
+  for (int i = 0; i < 500 && !diverged; ++i)
+    diverged = a2.next(8).kind != c.next(8).kind;
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultPlan, RateBoundsAndKindSelection) {
+  // rate 0: every draw is kNone (and the plan reports inactive).
+  FaultPlan quiet(FaultConfig::parse("7:0"));
+  EXPECT_FALSE(quiet.active());
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(quiet.next(4).kind, FaultKind::kNone);
+
+  // rate 1 with a rank_down-only mix: every draw is an unrecoverable
+  // rank_down with a sane affected-rank index.
+  FaultPlan storm(only_rank_down(3, 1.0));
+  for (int i = 0; i < 100; ++i) {
+    const FaultEvent ev = storm.next(4);
+    EXPECT_EQ(ev.kind, FaultKind::kRankDown);
+    EXPECT_FALSE(ev.recoverable);
+    EXPECT_GE(ev.rank, 0);
+    EXPECT_LT(ev.rank, 4);
+  }
+
+  // Straggler slowdowns stay inside the documented 2x..16x band.
+  FaultPlan slow(FaultConfig::parse("11:1:straggler=1"));
+  for (int i = 0; i < 100; ++i) {
+    const FaultEvent ev = slow.next(4);
+    EXPECT_EQ(ev.kind, FaultKind::kStraggler);
+    EXPECT_GE(ev.slowdown, 2.0);
+    EXPECT_LE(ev.slowdown, 16.0);
+  }
+}
+
+TEST(CommSimFaults, RetryUntilSuccessNeverThrows) {
+  // Even a 100% rank_down storm cannot fail a must-complete collective:
+  // the fabric re-forms and the extra attempts are charged as time.
+  CommSim comm(4, mist_v100());
+  comm.configure_faults(only_rank_down(3, 1.0));
+  for (int i = 0; i < 20; ++i)
+    comm.charge_allreduce(1 << 16, "comm/grad_allreduce",
+                          FailMode::kRetryUntilSuccess);
+  auto& reg = comm.profiler().registry();
+  EXPECT_EQ(reg.counter_value("comm/faults/injected"), 20);
+  EXPECT_EQ(reg.counter_value("comm/faults/forced_recovery"), 20);
+  EXPECT_EQ(reg.counter_value("comm/faults/unrecoverable"), 0);
+  // Each recovery costs strictly more than the clean collective.
+  const double clean = 20.0 * allreduce_seconds(comm.model(), 4, 1 << 16);
+  EXPECT_GT(comm.comm_seconds(), clean);
+}
+
+TEST(CommSimFaults, MayFailThrowsChargedCommFailure) {
+  CommSim comm(4, mist_v100());
+  comm.configure_faults(only_rank_down(3, 1.0));
+  EXPECT_THROW(comm.charge_broadcast(1 << 16, "comm/factor_bcast"), CommFailure);
+  auto& reg = comm.profiler().registry();
+  EXPECT_EQ(reg.counter_value("comm/faults/injected"), 1);
+  EXPECT_EQ(reg.counter_value("comm/faults/rank_down"), 1);
+  EXPECT_EQ(reg.counter_value("comm/faults/unrecoverable"), 1);
+  // The wasted attempt is charged even though the collective failed...
+  EXPECT_GT(comm.profiler().seconds("comm/faults/wasted"), 0.0);
+  // ...but the section itself never completed: no seconds, bytes, or msgs.
+  EXPECT_EQ(comm.profiler().seconds("comm/factor_bcast"), 0.0);
+  EXPECT_EQ(comm.wire_bytes_charged("comm/factor_bcast"), 0);
+  EXPECT_EQ(comm.messages("comm/factor_bcast"), 0);
+}
+
+TEST(CommSimFaults, FaultsInflateTimeNotWireBytes) {
+  // The fault plan perturbs modeled seconds only: the logical payload
+  // accounting (bytes/messages per section) is identical to a clean run.
+  auto charge_all = [](CommSim& comm) {
+    for (int i = 0; i < 40; ++i) {
+      comm.charge_allreduce(1 << 14, "comm/grad_allreduce",
+                            FailMode::kRetryUntilSuccess);
+      comm.charge_allgather(1 << 12, "comm/gather",
+                            FailMode::kRetryUntilSuccess);
+    }
+  };
+  CommSim clean(8, mist_v100()), faulty(8, mist_v100());
+  FaultConfig cfg = FaultConfig::parse("17:0.5");
+  faulty.configure_faults(cfg);
+  charge_all(clean);
+  charge_all(faulty);
+  EXPECT_GT(faulty.comm_seconds(), clean.comm_seconds());
+  EXPECT_EQ(faulty.total_wire_bytes(), clean.total_wire_bytes());
+  EXPECT_EQ(faulty.total_messages(), clean.total_messages());
+  EXPECT_GT(faulty.profiler().registry().counter_value("comm/faults/injected"),
+            0);
+}
+
+TEST(OptimizerDegradation, HyloKeepsStaleFactorsOnUnrecoverableGather) {
+  Rng rng(5);
+  const index_t world = 2, m = 8, din = 6, dout = 5;
+  const CaptureSet cap1 = make_capture(rng, world, m, din, dout);
+  const CaptureSet cap2 = make_capture(rng, world, m, din, dout);
+
+  OptimConfig cfg;
+  cfg.damping = 0.3;
+  cfg.rank_ratio = 1.0;
+  HyloOptimizer opt(cfg);
+  opt.set_policy(HyloOptimizer::Policy::kAlwaysKid);
+  opt.begin_epoch(0, false);
+
+  ParamBlock pb;
+  CommSim comm(world, mist_v100());
+  opt.update_curvature({&pb}, cap1, &comm);
+  EXPECT_EQ(opt.layer_staleness(0), 0);
+  const Matrix grad = testutil::random_matrix(rng, dout, din);
+  const Matrix fresh = opt.preconditioned(grad, 0);
+
+  // Every collective now dies: the refresh must not throw, and the layer
+  // keeps serving the factors from the refresh that landed.
+  comm.configure_faults(only_rank_down(3, 1.0));
+  EXPECT_NO_THROW(opt.update_curvature({&pb}, cap2, &comm));
+  EXPECT_EQ(opt.layer_staleness(0), 1);
+  EXPECT_EQ(max_abs_diff(opt.preconditioned(grad, 0), fresh), 0.0);
+  auto& reg = comm.profiler().registry();
+  EXPECT_EQ(reg.counter_value("optim/hylo/stale_refreshes"), 1);
+
+  // Staleness keeps aging across further lost refreshes...
+  opt.update_curvature({&pb}, cap1, &comm);
+  EXPECT_EQ(opt.layer_staleness(0), 2);
+
+  // ...and one successful refresh resets it.
+  comm.configure_faults(FaultConfig{});
+  opt.update_curvature({&pb}, cap2, &comm);
+  EXPECT_EQ(opt.layer_staleness(0), 0);
+}
+
+TEST(OptimizerDegradation, NeverBuiltLayerHasNoFactorsButCounts) {
+  Rng rng(6);
+  const index_t world = 2;
+  const CaptureSet cap = make_capture(rng, world, 8, 6, 5);
+  OptimConfig cfg;
+  cfg.damping = 0.3;
+  HyloOptimizer opt(cfg);
+  opt.set_policy(HyloOptimizer::Policy::kAlwaysKid);
+  opt.begin_epoch(0, false);
+
+  ParamBlock pb;
+  CommSim comm(world, mist_v100());
+  comm.configure_faults(only_rank_down(3, 1.0));
+  EXPECT_NO_THROW(opt.update_curvature({&pb}, cap, &comm));
+  // The very first refresh was lost: no factors exist (step() falls back to
+  // the plain SGD direction via layer_ready()), but the staleness age and
+  // the stale-refresh counter still record the loss.
+  EXPECT_EQ(opt.layer_staleness(0), 1);
+  EXPECT_THROW(opt.preconditioned(
+                   testutil::random_matrix(rng, 5, 6), 0),
+               Error);
+  EXPECT_EQ(comm.profiler().registry().counter_value(
+                "optim/hylo/stale_refreshes"),
+            1);
+}
+
+TEST(OptimizerDegradation, SngdKeepsStaleFactors) {
+  Rng rng(7);
+  const index_t world = 2, m = 8, din = 6, dout = 5;
+  const CaptureSet cap1 = make_capture(rng, world, m, din, dout);
+  const CaptureSet cap2 = make_capture(rng, world, m, din, dout);
+  OptimConfig cfg;
+  cfg.damping = 0.3;
+  Sngd opt(cfg);
+  ParamBlock pb;
+  CommSim comm(world, mist_v100());
+  opt.update_curvature({&pb}, cap1, &comm);
+  const Matrix grad = testutil::random_matrix(rng, dout, din);
+  const Matrix fresh = opt.preconditioned(grad, 0);
+
+  comm.configure_faults(only_rank_down(9, 1.0));
+  EXPECT_NO_THROW(opt.update_curvature({&pb}, cap2, &comm));
+  EXPECT_EQ(opt.layer_staleness(0), 1);
+  EXPECT_EQ(max_abs_diff(opt.preconditioned(grad, 0), fresh), 0.0);
+  EXPECT_EQ(comm.profiler().registry().counter_value(
+                "optim/sngd/stale_refreshes"),
+            1);
+}
+
+TEST(TrainerFaults, CompletesUnderHeavyGatherFailure) {
+  // A rank_down-only storm at 25% per collective: curvature refreshes keep
+  // losing their gathers/broadcasts, yet training must run to completion
+  // with the degradation visible in the counters.
+  const DataSplit data = make_spirals(512, 128, 2, 0.08, 11);
+  Network net = make_mlp({2, 1, 1}, {16, 16}, 2, 7);
+  OptimConfig oc;
+  oc.lr = 0.05;
+  oc.damping = 0.3;
+  oc.update_freq = 2;
+  oc.rank_ratio = 0.25;
+  HyloOptimizer opt(oc);
+  TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 32;
+  tc.world = 4;
+  tc.interconnect = mist_v100();
+  tc.faults = FaultConfig::parse("9:0.25:rank_down=1");
+  Trainer trainer(net, opt, data, tc);
+  const TrainResult res = trainer.run();
+
+  EXPECT_EQ(res.epochs.size(), 3u);
+  EXPECT_TRUE(std::isfinite(res.best_metric()));
+  EXPECT_GT(res.best_metric(), 0.0);
+  auto& reg = trainer.comm().profiler().registry();
+  EXPECT_GT(reg.counter_value("comm/faults/injected"), 0);
+  EXPECT_GT(reg.counter_value("comm/faults/unrecoverable"), 0);
+  // Gradient allreduces survived every hit as forced recoveries.
+  EXPECT_GT(reg.counter_value("comm/faults/forced_recovery"), 0);
+  EXPECT_GT(reg.counter_value("optim/hylo/stale_refreshes"), 0);
+  ASSERT_NE(trainer.comm().fault_plan(), nullptr);
+  EXPECT_GT(trainer.comm().fault_plan()->drawn(), 0);
+}
+
+TEST(TrainerFaults, SameSeedRunsAreIdentical) {
+  const DataSplit data = make_spirals(512, 128, 2, 0.08, 11);
+  struct Snapshot {
+    TrainResult res;
+    std::int64_t wire_bytes = 0, injected = 0, drawn = 0;
+  };
+  auto run_once = [&] {
+    Network net = make_mlp({2, 1, 1}, {16}, 2, 3);
+    OptimConfig oc;
+    oc.lr = 0.05;
+    oc.damping = 0.3;
+    oc.update_freq = 2;
+    HyloOptimizer opt(oc);
+    TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 32;
+    tc.world = 4;
+    tc.interconnect = mist_v100();
+    tc.faults = FaultConfig::parse("21:0.2");
+    Trainer trainer(net, opt, data, tc);
+    Snapshot s;
+    s.res = trainer.run();
+    s.wire_bytes = trainer.comm().total_wire_bytes();
+    s.injected = trainer.comm().profiler().registry().counter_value(
+        "comm/faults/injected");
+    s.drawn = trainer.comm().fault_plan()->drawn();
+    return s;
+  };
+  const Snapshot a = run_once(), b = run_once();
+  ASSERT_EQ(a.res.epochs.size(), b.res.epochs.size());
+  // wall_seconds mixes in *measured* compute time and is never run-to-run
+  // identical; the determinism contract covers the modeled quantities.
+  for (std::size_t e = 0; e < a.res.epochs.size(); ++e) {
+    EXPECT_EQ(a.res.epochs[e].train_loss, b.res.epochs[e].train_loss);
+    EXPECT_EQ(a.res.epochs[e].test_metric, b.res.epochs[e].test_metric);
+  }
+  EXPECT_EQ(a.res.comm_seconds, b.res.comm_seconds);
+  EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.drawn, b.drawn);
+  EXPECT_GT(a.injected, 0);
+}
+
+TEST(TrainerFaults, DisabledFaultsAreBitwiseInvisible) {
+  // With HYLO_FAULTS unset, a run with no fault config and a run with an
+  // explicitly disabled config must be bitwise identical: the comm path
+  // takes zero new branches when the plan is absent.
+  ::unsetenv("HYLO_FAULTS");
+  const DataSplit data = make_spirals(512, 128, 2, 0.08, 11);
+  struct Snapshot {
+    TrainResult res;
+    std::int64_t wire_bytes = 0, messages = 0;
+  };
+  auto run_once = [&](bool with_disabled_config) {
+    Network net = make_mlp({2, 1, 1}, {16}, 2, 3);
+    OptimConfig oc;
+    oc.lr = 0.05;
+    oc.damping = 0.3;
+    oc.update_freq = 2;
+    HyloOptimizer opt(oc);
+    TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 32;
+    tc.world = 4;
+    tc.interconnect = mist_v100();
+    if (with_disabled_config) tc.faults = FaultConfig{};
+    Trainer trainer(net, opt, data, tc);
+    Snapshot s;
+    s.res = trainer.run();
+    s.wire_bytes = trainer.comm().total_wire_bytes();
+    s.messages = trainer.comm().total_messages();
+    EXPECT_FALSE(trainer.comm().faults_active());
+    EXPECT_EQ(trainer.comm().profiler().registry().counter_value(
+                  "comm/faults/injected"),
+              0);
+    return s;
+  };
+  const Snapshot base = run_once(false), off = run_once(true);
+  ASSERT_EQ(base.res.epochs.size(), off.res.epochs.size());
+  for (std::size_t e = 0; e < base.res.epochs.size(); ++e) {
+    EXPECT_EQ(base.res.epochs[e].train_loss, off.res.epochs[e].train_loss);
+    EXPECT_EQ(base.res.epochs[e].test_loss, off.res.epochs[e].test_loss);
+    EXPECT_EQ(base.res.epochs[e].test_metric, off.res.epochs[e].test_metric);
+  }
+  EXPECT_EQ(base.res.comm_seconds, off.res.comm_seconds);
+  EXPECT_EQ(base.wire_bytes, off.wire_bytes);
+  EXPECT_EQ(base.messages, off.messages);
+}
+
+}  // namespace
+}  // namespace hylo

@@ -194,6 +194,18 @@ TEST(Trainer, CurvatureRefreshRespectsFrequency) {
   EXPECT_EQ(trainer.profiler().calls("comp/inversion"), 3);
 }
 
+TEST(Trainer, EvaluateRejectsEmptyTestSplit) {
+  // Regression: evaluate() used to divide by a zero sample count when the
+  // test split was empty; it must fail loudly instead.
+  const DataSplit data = make_spirals(256, 0, 2, 0.08, 11);
+  Network net = make_mlp({2, 1, 1}, {16}, 2, 3);
+  OptimConfig oc;
+  Sgd opt(oc);
+  Trainer trainer(net, opt, data, quick_config(1));
+  EXPECT_THROW(trainer.evaluate(), Error);
+  EXPECT_THROW(trainer.run(), Error);
+}
+
 TEST(MakeOptimizer, FactoryNames) {
   OptimConfig oc;
   for (const std::string name :

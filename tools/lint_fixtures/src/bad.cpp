@@ -21,6 +21,12 @@ int violate_randomness() {
   return rand();                                // rule: randomness
 }
 
+double violate_std_random() {
+  std::mt19937 gen(42);                              // rule: randomness
+  std::uniform_real_distribution<double> dist(0, 1); // rule: randomness
+  return dist(gen);
+}
+
 void violate_write_set(double* data, long n) {
   // rule: write_set — no audit::Footprint / audit::unchecked in the span.
   par::parallel_for(

@@ -9,8 +9,11 @@ Rules (each failure prints `file:line: [rule] message` and the run exits 1):
                  deliberate use with a `hylo-lint: allow(io)` comment on the
                  line.
   randomness  -- no rand() / srand() / std::random_device / time() /
-                 clock() outside common/rng.*. All randomness flows through
-                 hylo::Rng so runs are replayable; wall-clock entropy breaks
+                 clock() / <random> engines or distributions
+                 (std::mt19937, std::uniform_*_distribution, ...) outside
+                 common/rng.*. All randomness — including fault-injection
+                 schedules — flows through hylo::Rng so runs are
+                 replayable; wall-clock entropy and unseeded engines break
                  the determinism contract. Suppress with
                  `hylo-lint: allow(randomness)`.
   pragma_once -- every header under src/ starts with `#pragma once`.
@@ -38,7 +41,9 @@ SOURCE_EXT = {".cpp", ".cc", ".cxx"} | HEADER_EXT
 
 IO_RE = re.compile(r"std::cout|std::cerr|\bprintf\s*\(|\bfprintf\s*\(")
 RAND_RE = re.compile(
-    r"\brand\s*\(|\bsrand\s*\(|std::random_device|\btime\s*\(|\bclock\s*\(")
+    r"\brand\s*\(|\bsrand\s*\(|std::random_device|\btime\s*\(|\bclock\s*\(|"
+    r"std::mt19937|std::minstd_rand|std::default_random_engine|"
+    r"std::uniform_(?:int|real)_distribution|std::bernoulli_distribution")
 PARALLEL_RE = re.compile(r"\bparallel_(?:for|reduce)\s*\(")
 METRIC_RE = re.compile(r"\b(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
 METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(/[a-z0-9_.\-]+)+$")
