@@ -1,0 +1,185 @@
+// Checkpoint overhead: RunSnapshot size and write/restore cost vs cadence
+// for the ResNet-32 proxy under the HyLo optimizer. For every cadence in
+// {off, 8, 2, 1} the same schedule runs with snapshots at that cadence;
+// each run's wall time, snapshot count and bytes-on-disk are recorded, and
+// its final weights are checked bitwise against the snapshot-free baseline
+// (checkpointing must be a pure observer of training). A final section
+// resumes from the last snapshot of the every=1 run, times the restore,
+// and checks the resumed weights match the baseline bitwise. Writes
+// BENCH_ckpt.json for the repo record.
+//
+// Geometry: HYLO_BENCH_SCALE=large quadruples the iterations per epoch.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace hylo;
+using namespace hylo::bench;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RunOut {
+  double wall_seconds = 0.0;
+  std::vector<real_t> weights;
+  TrainResult result;
+};
+
+std::vector<real_t> flat_weights(Network& net) {
+  std::vector<real_t> out;
+  for (auto* pb : net.param_blocks())
+    out.insert(out.end(), pb->w.data(), pb->w.data() + pb->w.size());
+  for (auto pp : net.plain_params())
+    out.insert(out.end(), pp.value->begin(), pp.value->end());
+  return out;
+}
+
+bool bitwise_equal(const std::vector<real_t>& x, const std::vector<real_t>& y) {
+  if (x.size() != y.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (x[i] != y[i]) return false;
+  return true;
+}
+
+std::uintmax_t dir_bytes(const fs::path& dir, index_t* files) {
+  std::uintmax_t total = 0;
+  *files = 0;
+  if (fs::exists(dir))
+    for (const auto& e : fs::directory_iterator(dir))
+      if (e.is_regular_file()) {
+        total += e.file_size();
+        ++*files;
+      }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const Workload w = make_workload("resnet32");
+  const index_t iters = large_scale() ? 48 : 12;
+  const fs::path root = fs::temp_directory_path() / "hylo_bench_ckpt";
+  fs::remove_all(root);
+
+  auto config_for = [&](index_t every, const fs::path& dir) {
+    TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 8;
+    tc.world = 4;
+    tc.interconnect = mist_v100();
+    tc.max_iters_per_epoch = iters;
+    tc.faults = FaultConfig{};  // pin ambient HYLO_FAULTS off: runs compare bitwise
+    tc.checkpoint.dir = dir.string();  // non-empty dir pins ambient HYLO_CKPT_* off
+    tc.checkpoint.every = every;
+    tc.checkpoint.keep = 1 << 20;  // retain everything: we count bytes per cadence
+    return tc;
+  };
+
+  auto run_at = [&](index_t every, const fs::path& dir) {
+    Network net = w.make_model();
+    OptimConfig oc = method_config("HyLo");
+    auto opt = make_optimizer("HyLo", oc);
+    TrainConfig tc = config_for(every, dir);
+    Trainer trainer(net, *opt, w.data, tc);
+    RunOut out;
+    WallTimer timer;
+    out.result = trainer.run();
+    out.wall_seconds = timer.seconds();
+    out.weights = flat_weights(net);
+    return out;
+  };
+
+  std::cout << "Checkpoint overhead — " << w.paper_name << " proxy ("
+            << w.proxy_desc << "), HyLo, P=4, 2 epochs x " << iters
+            << " iters\n\n";
+
+  const fs::path off_dir = root / "off";
+  const RunOut base = run_at(0, off_dir);
+  std::cout << "  cadence off: " << base.wall_seconds << " s (baseline)\n";
+
+  CsvWriter table({"every", "snapshots", "bytes_per_snapshot", "wall_seconds",
+                   "overhead_vs_off", "write_cost_per_snapshot_s",
+                   "bitwise_vs_off"});
+  obs::Json rows = obs::Json::array();
+  fs::path last_snapshot;
+  bool all_bitwise = true;
+  for (const index_t every : {index_t{8}, index_t{2}, index_t{1}}) {
+    const fs::path dir = root / ("every" + std::to_string(every));
+    const RunOut out = run_at(every, dir);
+    index_t files = 0;
+    const std::uintmax_t bytes = dir_bytes(dir, &files);
+    const bool bitwise = bitwise_equal(out.weights, base.weights);
+    all_bitwise = all_bitwise && bitwise;
+    const double overhead = out.wall_seconds / base.wall_seconds;
+    const double per_snap =
+        files > 0 ? (out.wall_seconds - base.wall_seconds) / files : 0.0;
+    table.add(every, files, files > 0 ? bytes / files : 0, out.wall_seconds,
+              overhead, per_snap, bitwise ? "yes" : "NO");
+    obs::Json row = obs::Json::object();
+    row.set("every", every);
+    row.set("snapshots", files);
+    row.set("bytes_per_snapshot",
+            static_cast<std::int64_t>(files > 0 ? bytes / files : 0));
+    row.set("total_bytes", static_cast<std::int64_t>(bytes));
+    row.set("wall_seconds", out.wall_seconds);
+    row.set("overhead_vs_off_x", overhead);
+    row.set("write_cost_per_snapshot_seconds", per_snap);
+    row.set("bitwise_final_weights", bitwise);
+    rows.push(std::move(row));
+    if (every == 1) {
+      const auto snaps = ckpt::list_snapshots(dir.string());
+      HYLO_CHECK(!snaps.empty(), "every=1 run wrote no snapshots");
+      last_snapshot = snaps.back();
+    }
+  }
+  table.print_table();
+
+  // Restore cost: resume from the very last snapshot of the every=1 run.
+  // That snapshot sits on the final iteration boundary, so the resumed run
+  // only replays the epoch tail — the wall time is dominated by restore.
+  Network net = w.make_model();
+  OptimConfig oc = method_config("HyLo");
+  auto opt = make_optimizer("HyLo", oc);
+  TrainConfig tc = config_for(0, root / "resume");
+  Trainer trainer(net, *opt, w.data, tc);
+  WallTimer timer;
+  trainer.resume(last_snapshot.string());
+  const double restore_wall = timer.seconds();
+  const bool resume_bitwise = bitwise_equal(flat_weights(net), base.weights);
+  all_bitwise = all_bitwise && resume_bitwise;
+  std::cout << "\n  restore+tail from " << last_snapshot.filename().string()
+            << ": " << restore_wall << " s, weights bitwise vs baseline: "
+            << (resume_bitwise ? "yes" : "NO") << "\n";
+
+  obs::Json restore = obs::Json::object();
+  restore.set("snapshot", last_snapshot.filename().string());
+  restore.set("restore_wall_seconds", restore_wall);
+  restore.set("bitwise_final_weights", resume_bitwise);
+
+  obs::Json doc = obs::Json::object();
+  doc.set("bench", "ckpt_overhead");
+  doc.set("workload", w.paper_name);
+  doc.set("proxy", w.proxy_desc);
+  doc.set("world", 4);
+  doc.set("epochs", 2);
+  doc.set("iters_per_epoch", iters);
+  doc.set("baseline_wall_seconds", base.wall_seconds);
+  doc.set("cadences", std::move(rows));
+  doc.set("restore", std::move(restore));
+  std::ofstream out("BENCH_ckpt.json");
+  doc.dump(out);
+  out << "\n";
+  std::cout << "wrote BENCH_ckpt.json\n";
+
+  fs::remove_all(root);
+  if (!all_bitwise) {
+    std::cerr << "bitwise mismatch: checkpointing perturbed training\n";
+    return 1;
+  }
+  return 0;
+}

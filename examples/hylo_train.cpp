@@ -27,6 +27,13 @@
 //   --grad-norm           (print HyLo's Δ-norm history)
 //   --rank-analysis       (print the low rank used per refresh)
 //   --checkpoint PATH     (save final weights)
+//   --checkpoint-dir DIR  (write crash-safe run snapshots under DIR; pairs
+//                          with --checkpoint-every; overrides HYLO_CKPT_*)
+//   --checkpoint-every N  (snapshot cadence in iterations; 0 disables)
+//   --checkpoint-keep N   (retain the newest N snapshots; default 3)
+//   --resume PATH         (restore a run snapshot and continue training
+//                          bitwise-identically; appends to the interrupted
+//                          run's telemetry when --telemetry points at it)
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -137,13 +144,21 @@ int main(int argc, char** argv) {
                                        : loopback();
   if (const std::string spec = args.get("faults", ""); !spec.empty())
     tc.faults = FaultConfig::parse(spec);
+  tc.checkpoint.dir = args.get("checkpoint-dir", "");
+  tc.checkpoint.every = args.geti("checkpoint-every", 0);
+  tc.checkpoint.keep = args.geti("checkpoint-keep", 3);
+  const std::string resume_path = args.get("resume", "");
+  if (!resume_path.empty()) tc.telemetry.append = true;
 
   std::cout << "hylo_train: " << model << " (" << net.num_params()
             << " params) + " << opt->name() << ", P=" << tc.world
             << ", batch=" << tc.batch_size << "/worker, wire="
             << tc.wire_scalar_bytes << "B/scalar\n";
   Trainer trainer(net, *opt, data, tc);
-  const TrainResult res = trainer.run();
+  if (!resume_path.empty())
+    std::cout << "resuming from " << resume_path << "\n";
+  const TrainResult res =
+      resume_path.empty() ? trainer.run() : trainer.resume(resume_path);
 
   std::cout << "\nbest metric " << res.best_metric() << ", simulated time "
             << res.total_seconds << "s (" << res.compute_seconds
@@ -169,7 +184,18 @@ int main(int argc, char** argv) {
               << " collectives ("
               << reg.counter_value("comm/faults/unrecoverable")
               << " unrecoverable)\n";
+    if (reg.counter_value("dist/elastic/world_shrinks") > 0)
+      std::cout << "elastic: "
+                << reg.counter_value("dist/elastic/world_shrinks")
+                << " rank(s) lost permanently, "
+                << reg.counter_value("dist/elastic/layer_migrations")
+                << " layer migrations, final world " << trainer.world()
+                << "\n";
   }
+  if (trainer.checkpoint_config().enabled())
+    std::cout << "snapshots: every " << trainer.checkpoint_config().every
+              << " iterations under " << trainer.checkpoint_config().dir
+              << " (keep " << trainer.checkpoint_config().keep << ")\n";
   if (args.has("profiling")) {
     std::cout << "\nprofile:\n";
     for (const auto& [name, e] : trainer.profiler().sections())

@@ -1,6 +1,8 @@
 #include "hylo/core/trainer.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <sstream>
 
 #include "hylo/audit/audit.hpp"
@@ -31,7 +33,7 @@ Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
                  TrainConfig cfg)
     : net_(&net), opt_(&opt), data_(&data), cfg_(cfg),
       comm_(cfg.world, cfg.interconnect), runlog_(telemetry_config(cfg)),
-      segmentation_(data.train.is_segmentation()) {
+      segmentation_(data.train.is_segmentation()), world_(cfg.world) {
   HYLO_CHECK(cfg_.world >= 1 && cfg_.epochs >= 1 && cfg_.batch_size >= 1,
              "bad train config");
   comm_.set_wire_scalar_bytes(cfg_.wire_scalar_bytes);
@@ -41,6 +43,14 @@ Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
     comm_.configure_faults(*cfg_.faults);
   } else if (const auto env = FaultConfig::from_env(); env.has_value()) {
     comm_.configure_faults(*env);
+  }
+  // Same precedence for snapshots: a non-empty checkpoint dir in the config
+  // pins the cadence (every == 0 then pins checkpointing off); HYLO_CKPT_*
+  // applies only when the config leaves the dir empty.
+  if (!cfg_.checkpoint.dir.empty()) {
+    ckpt_ = cfg_.checkpoint;
+  } else if (const auto env = ckpt::CkptConfig::from_env(); env.has_value()) {
+    ckpt_ = *env;
   }
   loaders_.reserve(static_cast<std::size_t>(cfg_.world));
   for (index_t r = 0; r < cfg_.world; ++r)
@@ -73,9 +83,12 @@ Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
       faults.set("straggler_weight", fc.straggler_weight);
       faults.set("corrupt_weight", fc.corrupt_weight);
       faults.set("rank_down_weight", fc.rank_down_weight);
+      faults.set("rank_lost_weight", fc.rank_lost_weight);
       start.set("faults", std::move(faults));
     }
-    runlog_.record("run_start", std::move(start));
+    // A resumed run appends to the interrupted run's log: the original
+    // run_start already opens it, resume() records the continuation point.
+    if (!cfg_.telemetry.append) runlog_.record("run_start", std::move(start));
   }
 }
 
@@ -118,12 +131,30 @@ std::pair<real_t, real_t> Trainer::evaluate() {
 }
 
 void Trainer::run_epoch(index_t epoch, TrainResult& result) {
+  // A resumed epoch picks up mid-stream: the snapshot's in-progress
+  // accumulators seed the epoch sums and the loaders fast-forward past the
+  // already-consumed batches (the permutation is a pure function of
+  // seed + epoch, so skip() lands exactly on the interrupted cursor).
+  index_t start_iter = 0;
+  real_t loss_acc = 0.0, metric_acc = 0.0;
+  index_t rank_batches = 0;
+  if (resumed_ && epoch == start_epoch_) {
+    start_iter = start_iter_;
+    loss_acc = resume_loss_acc_;
+    metric_acc = resume_metric_acc_;
+    rank_batches = resume_rank_batches_;
+  }
   for (auto& loader : loaders_) loader.start_epoch(epoch);
   index_t iters = loaders_.front().batches_per_epoch();
   if (cfg_.max_iters_per_epoch >= 0)
     iters = std::min(iters, cfg_.max_iters_per_epoch);
   HYLO_CHECK(iters > 0, "epoch with zero iterations — dataset too small for "
                         "world*batch");
+  HYLO_CHECK(start_iter <= iters,
+             "snapshot resumes at iteration " << start_iter
+                                              << " of an epoch with " << iters);
+  if (start_iter > 0)
+    for (auto& loader : loaders_) loader.skip(start_iter);
 
   auto blocks = net_->param_blocks();
   const index_t layer_count = static_cast<index_t>(blocks.size());
@@ -132,12 +163,16 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
   for (auto pp : net_->plain_params())
     grad_scalars += static_cast<index_t>(pp.grad->size());
 
-  real_t loss_acc = 0.0, metric_acc = 0.0;
   Batch batch;
   obs::TraceBuffer* trace = runlog_.enabled() ? &runlog_.trace() : nullptr;
   auto* hy = dynamic_cast<HyloOptimizer*>(opt_);
+  // Hoisted flags: with no fault plan and no checkpoint cadence these stay
+  // false for the whole run and the loop takes no snapshot/elastic work —
+  // such runs stay byte-identical to a build without either subsystem.
+  const bool elastic = comm_.faults_active();
+  const bool snapshots = ckpt_.enabled();
 
-  for (index_t it = 0; it < iters; ++it) {
+  for (index_t it = start_iter; it < iters; ++it) {
     const bool capture = opt_->needs_capture(global_iter_);
     const PassContext ctx{.training = true, .capture = capture};
     net_->zero_grad();
@@ -150,7 +185,7 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
 
     real_t iter_loss = 0.0, iter_metric = 0.0;
     WallTimer fb_timer;
-    for (index_t rank = 0; rank < cfg_.world; ++rank) {
+    for (index_t rank = 0; rank < world_; ++rank) {
       WallTimer rank_timer;
       HYLO_CHECK(loaders_[static_cast<std::size_t>(rank)].next(batch),
                  "loader exhausted mid-epoch");
@@ -175,10 +210,12 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
     }
     loss_acc += iter_loss;
     metric_acc += iter_metric;
+    rank_batches += world_;
     // Average gradients over workers (the allreduce's arithmetic effect —
-    // each backward already used its local-batch mean).
-    const real_t inv_world = 1.0 / static_cast<real_t>(cfg_.world);
-    if (cfg_.world > 1) {
+    // each backward already used its local-batch mean). Weighted over the
+    // *surviving* ranks: after a world shrink the mean reweights itself.
+    const real_t inv_world = 1.0 / static_cast<real_t>(world_);
+    if (world_ > 1) {
       for (auto* pb : blocks) pb->gw *= inv_world;
       for (auto pp : net_->plain_params())
         for (auto& g : *pp.grad) g *= inv_world;
@@ -198,7 +235,7 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
     const double step_s = step_timer.seconds();
     comm_.profiler().add("comp/step", step_s);
     if (trace != nullptr)
-      for (index_t rank = 0; rank < cfg_.world; ++rank)
+      for (index_t rank = 0; rank < world_; ++rank)
         trace->add_span("step", "comp", static_cast<int>(rank), step_s);
 
     if (runlog_.per_step()) {
@@ -206,8 +243,8 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
       rec.set("epoch", epoch);
       rec.set("iter", it);
       rec.set("global_iter", global_iter_);
-      rec.set("loss", iter_loss / static_cast<real_t>(cfg_.world));
-      rec.set("metric", iter_metric / static_cast<real_t>(cfg_.world));
+      rec.set("loss", iter_loss / static_cast<real_t>(world_));
+      rec.set("metric", iter_metric / static_cast<real_t>(world_));
       rec.set("lr", opt_->lr());
       rec.set("capture", capture);
       if (hy != nullptr) {
@@ -217,8 +254,13 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
       runlog_.record("step", std::move(rec));
     }
     ++global_iter_;
+    // Iteration boundary: permanent rank deaths recorded mid-iteration are
+    // committed here, so every collective of one iteration saw one world.
+    if (elastic && comm_.has_pending_shrinks()) apply_world_shrink(epoch, it + 1);
+    if (snapshots && global_iter_ % ckpt_.every == 0)
+      write_snapshot(epoch, it + 1, loss_acc, metric_acc, rank_batches);
   }
-  result.iterations += iters;
+  result.iterations += iters - start_iter;
 
   // Simulated wall-time bookkeeping: convert profiler totals accumulated so
   // far into the three contributions (delta since last epoch is implicit in
@@ -226,7 +268,7 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
   const auto& prof = comm_.profiler();
   // Inversion is distributed layer-wise: its wall time is total/P until the
   // largest single layer (the summed per-refresh critical path) dominates.
-  const double world = static_cast<double>(cfg_.world);
+  const double world = static_cast<double>(world_);
   const double inv_wall =
       std::max(prof.seconds("comp/inversion") / world,
                prof.seconds("comp/inversion_critical"));
@@ -244,7 +286,10 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
   const auto [test_loss, test_metric] = evaluate();
   EpochStats stats;
   stats.epoch = epoch;
-  const real_t denom = static_cast<real_t>(iters * cfg_.world);
+  // rank_batches counts the local batches actually consumed — iters * world
+  // while the world is static, and the exact mixed-world sum after an
+  // elastic shrink mid-epoch.
+  const real_t denom = static_cast<real_t>(rank_batches);
   stats.train_loss = loss_acc / denom;
   stats.train_metric = metric_acc / denom;
   stats.test_loss = test_loss;
@@ -332,6 +377,7 @@ void Trainer::log_epoch(const EpochStats& stats, index_t epoch) {
     std::int64_t stale = 0;
     rec.set("faults", fault_deltas(&stale));
     rec.set("stale_refreshes", stale);
+    rec.set("world", world_);
   }
   if (auto* hy = dynamic_cast<HyloOptimizer*>(opt_); hy != nullptr) {
     rec.set("rank_r", hy->last_rank());
@@ -351,12 +397,29 @@ void Trainer::log_epoch(const EpochStats& stats, index_t epoch) {
   runlog_.record("epoch", std::move(rec));
 }
 
-TrainResult Trainer::run() {
+TrainResult Trainer::run() { return run_from(); }
+
+TrainResult Trainer::resume(const std::string& path) {
+  HYLO_CHECK(!resumed_, "Trainer::resume may be called once per Trainer");
+  restore_snapshot(path);
+  return run_from();
+}
+
+TrainResult Trainer::run_from() {
   TrainResult result;
-  for (index_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
-    const bool decayed = epoch > 0 && cfg_.lr_schedule.decays_at(epoch);
-    if (decayed) opt_->set_lr(opt_->lr() * cfg_.lr_schedule.gamma);
-    opt_->begin_epoch(epoch, decayed);
+  // A resumed run's result carries the cumulative iteration count so its
+  // final record matches the uninterrupted run's.
+  if (resumed_) result.iterations = global_iter_;
+  for (index_t epoch = resumed_ ? start_epoch_ : 0; epoch < cfg_.epochs;
+       ++epoch) {
+    // The resume epoch's lr decay and begin_epoch already ran before the
+    // snapshot was cut (snapshots land after >= 1 iteration of the epoch);
+    // the optimizer state section carries their effects.
+    if (!(resumed_ && epoch == start_epoch_)) {
+      const bool decayed = epoch > 0 && cfg_.lr_schedule.decays_at(epoch);
+      if (decayed) opt_->set_lr(opt_->lr() * cfg_.lr_schedule.gamma);
+      opt_->begin_epoch(epoch, decayed);
+    }
     run_epoch(epoch, result);
     const EpochStats& last = result.epochs.back();
     if (cfg_.target_metric > 0.0 && !result.time_to_target &&
@@ -398,6 +461,9 @@ TrainResult Trainer::run() {
           stale += c.value();
       rec.set("stale_refreshes", stale);
       rec.set("fault_plan_draws", comm_.fault_plan()->drawn());
+      rec.set("world_shrinks",
+              reg.counter_value("dist/elastic/world_shrinks"));
+      rec.set("final_world", world_);
     }
     if (result.time_to_target) rec.set("time_to_target", *result.time_to_target);
     if (result.epochs_to_target)
@@ -406,6 +472,316 @@ TrainResult Trainer::run() {
     runlog_.finish();
   }
   return result;
+}
+
+void Trainer::write_snapshot(index_t epoch, index_t next_iter, real_t loss_acc,
+                             real_t metric_acc, index_t rank_batches) {
+  WallTimer timer;
+  ckpt::SnapshotWriter snap;
+
+  // meta: enough to refuse a resume under a structurally different setup.
+  ckpt::ByteWriter& meta = snap.section("meta");
+  meta.str(opt_->name());
+  meta.i64(cfg_.world);
+  meta.i64(cfg_.batch_size);
+  meta.i64(cfg_.epochs);  // informational: resume may extend the horizon
+  meta.u64(cfg_.data_seed);
+  meta.b(segmentation_);
+
+  net_->serialize_state(snap.section("network"));
+  opt_->save_state(*net_, snap.section("optimizer"));
+
+  // progress: the loop position plus the epoch-in-progress accumulators a
+  // resume needs to finish the interrupted epoch, and the run-log cursor.
+  ckpt::ByteWriter& prog = snap.section("progress");
+  prog.i64(global_iter_);
+  prog.i64(epoch);
+  prog.i64(next_iter);
+  prog.real(loss_acc);
+  prog.real(metric_acc);
+  prog.i64(rank_batches);
+  prog.i64(runlog_.records_written());
+
+  // clock: every profiler timing section (measured comp/* as-of-snapshot,
+  // modeled comm/* exactly), all counters and gauges, and the trainer's
+  // per-epoch delta baselines. Histograms are summaries only and are not
+  // restored (DESIGN.md §11).
+  ckpt::ByteWriter& clock = snap.section("clock");
+  const auto& reg = comm_.profiler().registry();
+  const auto& timings = reg.timings();
+  clock.u64(timings.size());
+  for (const auto& [name, e] : timings) {
+    clock.str(name);
+    clock.f64(e.seconds);
+    clock.i64(e.calls);
+  }
+  const auto& counters = reg.counters();
+  clock.u64(counters.size());
+  for (const auto& [name, c] : counters) {
+    clock.str(name);
+    clock.i64(c.value());
+  }
+  const auto& gauges = reg.gauges();
+  clock.u64(gauges.size());
+  for (const auto& [name, g] : gauges) {
+    clock.str(name);
+    clock.f64(g.value());
+  }
+  clock.u64(last_comm_seconds_.size());
+  for (const auto& [name, s] : last_comm_seconds_) {
+    clock.str(name);
+    clock.f64(s);
+  }
+  clock.u64(last_comm_counters_.size());
+  for (const auto& [name, v] : last_comm_counters_) {
+    clock.str(name);
+    clock.i64(v);
+  }
+  clock.u64(last_fault_counters_.size());
+  for (const auto& [name, v] : last_fault_counters_) {
+    clock.str(name);
+    clock.i64(v);
+  }
+
+  // faults: the plan's draw cursor and the elastic world, present only when
+  // fault injection is active (presence is itself checked on restore).
+  if (comm_.faults_active()) {
+    ckpt::ByteWriter& faults = snap.section("faults");
+    const FaultPlan& plan = *comm_.fault_plan();
+    faults.u64(plan.config().seed);
+    faults.f64(plan.config().rate);
+    ckpt::write_rng_state(faults, plan.rng_state());
+    faults.i64(plan.drawn());
+    faults.i64(world_);
+    faults.index_vec(comm_.lost_ranks());
+  }
+
+  namespace fs = std::filesystem;
+  fs::create_directories(ckpt_.dir);
+  char name[40];
+  std::snprintf(name, sizeof(name), "snapshot-%08lld.hysnp",
+                static_cast<long long>(global_iter_));
+  const std::string path = (fs::path(ckpt_.dir) / name).string();
+  snap.write(path);
+  ckpt::retain_last(ckpt_.dir, ckpt_.keep);
+  // Neither comp/* nor comm/*: snapshot cost never enters the simulated
+  // wall-time recompute.
+  comm_.profiler().add("ckpt/write", timer.seconds());
+  comm_.profiler().registry().counter("ckpt/snapshots").inc();
+  if (runlog_.enabled()) {
+    obs::Json rec = obs::Json::object();
+    rec.set("path", path);
+    rec.set("epoch", epoch);
+    rec.set("iter", next_iter);
+    rec.set("global_iter", global_iter_);
+    runlog_.record("snapshot", std::move(rec));
+  }
+}
+
+void Trainer::restore_snapshot(const std::string& path) {
+  WallTimer timer;
+  ckpt::SnapshotReader snap(path);
+
+  ckpt::ByteReader meta = snap.open("meta");
+  const std::string opt_name = meta.str();
+  HYLO_CHECK(opt_name == opt_->name(),
+             "snapshot was written by optimizer " << opt_name
+                 << ", trainer runs " << opt_->name());
+  const index_t world = static_cast<index_t>(meta.i64());
+  HYLO_CHECK(world == cfg_.world, "snapshot world " << world
+                                      << " != configured world "
+                                      << cfg_.world);
+  const index_t batch = static_cast<index_t>(meta.i64());
+  HYLO_CHECK(batch == cfg_.batch_size, "snapshot batch_size "
+                                           << batch << " != configured "
+                                           << cfg_.batch_size);
+  meta.i64();  // epochs as of the snapshot; the horizon may move
+  const std::uint64_t data_seed = meta.u64();
+  HYLO_CHECK(data_seed == cfg_.data_seed,
+             "snapshot data_seed " << data_seed << " != configured "
+                                   << cfg_.data_seed);
+  const bool seg = meta.b();
+  HYLO_CHECK(seg == segmentation_, "snapshot task kind (segmentation="
+                                       << seg << ") does not match dataset");
+  meta.expect_done();
+
+  // Network before optimizer: load_state walks the (restored) graph in the
+  // same block order save_state did.
+  ckpt::ByteReader net = snap.open("network");
+  net_->deserialize_state(net);
+  net.expect_done();
+  ckpt::ByteReader optr = snap.open("optimizer");
+  opt_->load_state(*net_, optr);
+  optr.expect_done();
+
+  ckpt::ByteReader prog = snap.open("progress");
+  global_iter_ = static_cast<index_t>(prog.i64());
+  start_epoch_ = static_cast<index_t>(prog.i64());
+  start_iter_ = static_cast<index_t>(prog.i64());
+  resume_loss_acc_ = prog.real();
+  resume_metric_acc_ = prog.real();
+  resume_rank_batches_ = static_cast<index_t>(prog.i64());
+  const std::int64_t seq = prog.i64();
+  prog.expect_done();
+  HYLO_CHECK(global_iter_ >= 1 && start_iter_ >= 1 && start_epoch_ >= 0,
+             "snapshot progress cursor is corrupt (global_iter "
+                 << global_iter_ << ", epoch " << start_epoch_ << ", iter "
+                 << start_iter_ << ")");
+  HYLO_CHECK(start_epoch_ < cfg_.epochs,
+             "snapshot is at epoch " << start_epoch_
+                                     << " but the run ends at epoch "
+                                     << cfg_.epochs << " — nothing to resume");
+
+  ckpt::ByteReader clock = snap.open("clock");
+  auto& reg = comm_.profiler().registry();
+  for (std::uint64_t i = 0, n = clock.u64(); i < n; ++i) {
+    const std::string name = clock.str();
+    const double seconds = clock.f64();
+    const std::int64_t calls = clock.i64();
+    reg.set_timing(name, seconds, calls);
+  }
+  for (std::uint64_t i = 0, n = clock.u64(); i < n; ++i) {
+    const std::string name = clock.str();
+    const std::int64_t value = clock.i64();
+    auto& c = reg.counter(name);
+    HYLO_CHECK(value >= c.value(), "snapshot counter " << name
+                                       << " is behind this trainer's — "
+                                          "resume into a fresh Trainer");
+    c.inc(value - c.value());
+  }
+  for (std::uint64_t i = 0, n = clock.u64(); i < n; ++i) {
+    const std::string name = clock.str();
+    reg.gauge(name).set(clock.f64());
+  }
+  last_comm_seconds_.clear();
+  for (std::uint64_t i = 0, n = clock.u64(); i < n; ++i) {
+    const std::string name = clock.str();
+    last_comm_seconds_[name] = clock.f64();
+  }
+  last_comm_counters_.clear();
+  for (std::uint64_t i = 0, n = clock.u64(); i < n; ++i) {
+    const std::string name = clock.str();
+    last_comm_counters_[name] = clock.i64();
+  }
+  last_fault_counters_.clear();
+  for (std::uint64_t i = 0, n = clock.u64(); i < n; ++i) {
+    const std::string name = clock.str();
+    last_fault_counters_[name] = clock.i64();
+  }
+  clock.expect_done();
+
+  // The fault section must be present exactly when this trainer has an
+  // active plan: replaying a faulted run fault-free (or vice versa) would
+  // silently diverge from the interrupted schedule.
+  if (comm_.faults_active()) {
+    HYLO_CHECK(snap.has("faults"),
+               "snapshot " << path << " has no fault state but this trainer "
+                              "has an active fault plan");
+    ckpt::ByteReader f = snap.open("faults");
+    FaultPlan& plan = *comm_.fault_plan();
+    const std::uint64_t seed = f.u64();
+    const double rate = f.f64();
+    HYLO_CHECK(seed == plan.config().seed && rate == plan.config().rate,
+               "snapshot fault plan (seed " << seed << ", rate " << rate
+                   << ") does not match the configured plan (seed "
+                   << plan.config().seed << ", rate " << plan.config().rate
+                   << ")");
+    const Rng::State rng = ckpt::read_rng_state(f);
+    const std::int64_t drawn = f.i64();
+    const index_t live_world = static_cast<index_t>(f.i64());
+    std::vector<index_t> lost = f.index_vec();
+    f.expect_done();
+    HYLO_CHECK(live_world >= 1 &&
+                   live_world + static_cast<index_t>(lost.size()) ==
+                       cfg_.world,
+               "snapshot elastic world " << live_world << " + "
+                                         << lost.size()
+                                         << " lost ranks != configured world "
+                                         << cfg_.world);
+    plan.restore(rng, drawn);
+    comm_.restore_world(live_world, std::move(lost));
+    world_ = live_world;
+  } else {
+    HYLO_CHECK(!snap.has("faults"),
+               "snapshot " << path << " carries fault state but this trainer "
+                              "has no fault plan — configure the same "
+                              "HYLO_FAULTS/TrainConfig::faults spec");
+  }
+
+  // Re-shard data for the restored world (no-op unless ranks were lost).
+  if (world_ != cfg_.world) {
+    loaders_.clear();
+    loaders_.reserve(static_cast<std::size_t>(world_));
+    for (index_t r = 0; r < world_; ++r)
+      loaders_.emplace_back(data_->train, cfg_.batch_size, cfg_.data_seed, r,
+                            world_);
+  }
+
+  resumed_ = true;
+  comm_.profiler().add("ckpt/restore", timer.seconds());
+  if (runlog_.enabled()) {
+    runlog_.set_next_seq(seq);
+    obs::Json rec = obs::Json::object();
+    rec.set("path", snap.path());
+    rec.set("epoch", start_epoch_);
+    rec.set("iter", start_iter_);
+    rec.set("global_iter", global_iter_);
+    rec.set("world", world_);
+    runlog_.record("resume", std::move(rec));
+  }
+}
+
+void Trainer::apply_world_shrink(index_t epoch, index_t next_iter) {
+  const index_t old_world = world_;
+  const std::vector<index_t> dead = comm_.commit_shrinks();
+  if (dead.empty()) return;
+  world_ = comm_.world();
+  HYLO_CHECK(world_ >= 1 &&
+                 world_ + static_cast<index_t>(dead.size()) == old_world,
+             "elastic shrink bookkeeping diverged");
+
+  // Layer ownership moves with the round-robin assignment; count the layers
+  // whose owner changed — the state a real elastic runtime would migrate.
+  const index_t layer_count =
+      static_cast<index_t>(net_->param_blocks().size());
+  index_t migrations = 0;
+  if (layer_count > 0) {
+    const LayerAssignment before(layer_count, old_world);
+    const LayerAssignment after(layer_count, world_);
+    for (index_t l = 0; l < layer_count; ++l)
+      if (before.owner(l) != after.owner(l)) ++migrations;
+  }
+  comm_.profiler().registry().counter("dist/elastic/layer_migrations")
+      .inc(migrations);
+
+  // Re-shard the epoch among the survivors: each re-draws the deterministic
+  // epoch permutation at the new world and fast-forwards to the boundary.
+  loaders_.clear();
+  loaders_.reserve(static_cast<std::size_t>(world_));
+  for (index_t r = 0; r < world_; ++r)
+    loaders_.emplace_back(data_->train, cfg_.batch_size, cfg_.data_seed, r,
+                          world_);
+  for (auto& loader : loaders_) {
+    loader.start_epoch(epoch);
+    loader.skip(next_iter);
+  }
+
+  if (runlog_.enabled()) {
+    obs::Json lost = obs::Json::array();
+    for (const auto r : dead) lost.push(r);
+    obs::Json rec = obs::Json::object();
+    rec.set("epoch", epoch);
+    rec.set("iter", next_iter);
+    rec.set("global_iter", global_iter_);
+    rec.set("lost_ranks", std::move(lost));
+    rec.set("world", world_);
+    rec.set("layer_migrations", migrations);
+    runlog_.record("world_shrink", std::move(rec));
+  }
+  runlog_.console("[elastic] world " + std::to_string(old_world) + " -> " +
+                  std::to_string(world_) + " (" + std::to_string(dead.size()) +
+                  " rank(s) lost, " + std::to_string(migrations) +
+                  " layer migrations)");
 }
 
 std::unique_ptr<Optimizer> make_optimizer(const std::string& name,

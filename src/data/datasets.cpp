@@ -236,6 +236,13 @@ bool DataLoader::next(Batch& batch) {
   return true;
 }
 
+void DataLoader::skip(index_t batches) {
+  HYLO_CHECK(batches >= 0 && batches <= batches_per_epoch(),
+             "cannot skip " << batches << " batches in an epoch of "
+                            << batches_per_epoch());
+  cursor_ += batches * batch_size_;
+}
+
 index_t DataLoader::batches_per_epoch() const {
   return static_cast<index_t>(order_.size()) / batch_size_;
 }

@@ -98,11 +98,59 @@ double CommSim::apply_fault(const char* kind, const FaultEvent& ev,
       extra = wasted + retry_seconds(model_, seconds, 1);
       break;
     }
+    case FaultKind::kRankLost: {
+      // Permanent death. The data already lives in shared memory, so the
+      // collective always completes: charge the attempt the dead rank took
+      // down plus one re-form round among the survivors, and queue the rank
+      // for the trainer to commit at the next iteration boundary. A world of
+      // one (or one that would shrink to zero) cannot lose a rank — the
+      // event degrades to a forced recovery with no shrink.
+      const double wasted = retry_seconds(model_, seconds, ev.retries);
+      reg.counter("comm/faults/retries").inc(ev.retries);
+      reg.counter("comm/faults/retry_bytes").inc(bytes * ev.retries);
+      reg.counter("comm/faults/forced_recovery").inc();
+      extra = wasted + retry_seconds(model_, seconds, 1);
+      const bool already_dying =
+          std::find(pending_lost_.begin(), pending_lost_.end(), ev.rank) !=
+          pending_lost_.end();
+      if (!already_dying &&
+          world_ - static_cast<index_t>(pending_lost_.size()) > 1)
+        pending_lost_.push_back(ev.rank);
+      break;
+    }
     case FaultKind::kNone:
       break;
   }
   reg.histogram("comm/faults/extra_seconds").observe(extra);
   return extra;
+}
+
+std::vector<index_t> CommSim::commit_shrinks() {
+  std::vector<index_t> committed;
+  committed.swap(pending_lost_);
+  auto& reg = profiler_.registry();
+  for (const index_t rank : committed) {
+    HYLO_CHECK(world_ > 1, "cannot shrink a world of one");
+    --world_;
+    lost_ranks_.push_back(rank);
+    reg.counter("dist/elastic/world_shrinks").inc();
+    reg.gauge("dist/elastic/world").set(static_cast<double>(world_));
+    if (trace_ != nullptr) {
+      obs::Json args = obs::Json::object();
+      args.set("lost_rank", static_cast<std::int64_t>(rank));
+      args.set("world", static_cast<std::int64_t>(world_));
+      trace_->add_instant("world_shrink", "comm", obs::TraceBuffer::kCommTrack,
+                          std::move(args));
+    }
+  }
+  return committed;
+}
+
+void CommSim::restore_world(index_t world, std::vector<index_t> lost) {
+  HYLO_CHECK(world >= 1, "restored world must be >= 1");
+  world_ = world;
+  lost_ranks_ = std::move(lost);
+  pending_lost_.clear();
 }
 
 void CommSim::charge(const char* kind, index_t bytes,

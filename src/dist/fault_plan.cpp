@@ -13,6 +13,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::kStraggler: return "straggler";
     case FaultKind::kCorruptPayload: return "corrupt_payload";
     case FaultKind::kRankDown: return "rank_down";
+    case FaultKind::kRankLost: return "rank_lost";
   }
   return "unknown";
 }
@@ -63,7 +64,7 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
   if (fields.size() == 3 && !fields[2].empty()) {
     // An explicit mix replaces the all-ones default: unnamed kinds are off.
     cfg.timeout_weight = cfg.straggler_weight = 0.0;
-    cfg.corrupt_weight = cfg.rank_down_weight = 0.0;
+    cfg.corrupt_weight = cfg.rank_down_weight = cfg.rank_lost_weight = 0.0;
     for (const std::string& pair : split(fields[2], ',')) {
       const auto kv = split(pair, '=');
       HYLO_CHECK(kv.size() == 2,
@@ -78,9 +79,14 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
         cfg.corrupt_weight = w;
       } else if (kv[0] == "rank_down") {
         cfg.rank_down_weight = w;
+      } else if (kv[0] == "rank_lost") {
+        cfg.rank_lost_weight = w;
       } else {
-        HYLO_CHECK(false, "fault spec: unknown fault kind '" << kv[0]
-                          << "' (want timeout|straggler|corrupt|rank_down)");
+        HYLO_CHECK(false,
+                   "fault spec: unknown fault kind '"
+                       << kv[0]
+                       << "' (want timeout|straggler|corrupt|rank_down|"
+                          "rank_lost)");
       }
     }
   }
@@ -115,8 +121,14 @@ FaultEvent FaultPlan::next(index_t world) {
     ev.kind = FaultKind::kStraggler;
   } else if ((u -= cfg_.corrupt_weight) < 0.0) {
     ev.kind = FaultKind::kCorruptPayload;
-  } else {
+  } else if ((u -= cfg_.rank_down_weight) < 0.0 ||
+             cfg_.rank_lost_weight <= 0.0) {
+    // The trailing clause keeps rank_down the terminal bucket when rank_lost
+    // is off, so pre-rank_lost schedules replay byte-identically even if
+    // floating-point residue leaves u marginally non-negative.
     ev.kind = FaultKind::kRankDown;
+  } else {
+    ev.kind = FaultKind::kRankLost;
   }
   ev.rank = rng_.uniform_int(world);
   switch (ev.kind) {
@@ -131,6 +143,10 @@ FaultEvent FaultPlan::next(index_t world) {
       break;
     case FaultKind::kRankDown:
       ev.retries = 1;  // the attempt that died
+      ev.recoverable = false;
+      break;
+    case FaultKind::kRankLost:
+      ev.retries = 1;  // the attempt the dead rank took down with it
       ev.recoverable = false;
       break;
     case FaultKind::kNone:

@@ -39,7 +39,9 @@ class CsvWriter {
 
   /// Write `header\nrow...` to the given path.
   void write_file(const std::string& path) const {
-    std::ofstream out(path);
+    // Bench CSVs are regenerable plot fodder, not recovery-critical
+    // artifacts, so a torn write is harmless.
+    std::ofstream out(path);  // hylo-lint: allow(ckpt_io)
     HYLO_CHECK(out.good(), "cannot open " << path);
     out << join(header_) << "\n";
     for (const auto& r : rows_) out << join(r) << "\n";

@@ -51,6 +51,29 @@ class Rng {
   /// Fisher-Yates shuffle of indices 0..n-1.
   std::vector<index_t> permutation(index_t n);
 
+  /// Full generator state: the xoshiro256** words plus the Box-Muller cache.
+  /// Snapshotting both is what makes a resumed run replay the exact normal()
+  /// sequence of the uninterrupted one (hylo::ckpt serializes this).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool have_cached_normal = false;
+    real_t cached_normal = 0.0;
+  };
+
+  State state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.have_cached_normal = have_cached_normal_;
+    st.cached_normal = cached_normal_;
+    return st;
+  }
+
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    have_cached_normal_ = st.have_cached_normal;
+    cached_normal_ = st.cached_normal;
+  }
+
  private:
   std::uint64_t s_[4];
   bool have_cached_normal_ = false;

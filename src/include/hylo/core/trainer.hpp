@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "hylo/ckpt/snapshot.hpp"
 #include "hylo/data/datasets.hpp"
 #include "hylo/nn/loss.hpp"
 #include "hylo/obs/run_log.hpp"
@@ -62,6 +63,14 @@ struct TrainConfig {
   /// applies only when this is unset. With neither, the comm path takes no
   /// fault branches and runs bitwise-identically to a fault-free build.
   std::optional<FaultConfig> faults;
+  /// Crash-safe run snapshots (hylo::ckpt, DESIGN.md §11). Set
+  /// `checkpoint.dir` + `checkpoint.every` to write a RunSnapshot every N
+  /// iterations; Trainer::resume(path) continues one bitwise-identically.
+  /// Precedence mirrors `faults`: a non-empty dir here pins the cadence
+  /// (every == 0 pins checkpointing off); the HYLO_CKPT_DIR /
+  /// HYLO_CKPT_EVERY / HYLO_CKPT_KEEP environment applies only when the
+  /// dir is left empty.
+  ckpt::CkptConfig checkpoint;
 };
 
 struct EpochStats {
@@ -96,6 +105,21 @@ class Trainer {
 
   TrainResult run();
 
+  /// Restore a run snapshot written by this configuration and continue
+  /// training to cfg.epochs. The network, optimizer, and config must
+  /// structurally match the snapshotting run; the continuation is then
+  /// bitwise-identical to the uninterrupted run in every modeled quantity
+  /// (weights, losses, metrics, modeled comm seconds, fault schedule).
+  /// Measured comp/* timings restart from their as-of-snapshot totals.
+  TrainResult resume(const std::string& path);
+
+  /// Live world size: starts at cfg.world and shrinks as rank_lost faults
+  /// are committed at iteration boundaries.
+  index_t world() const { return world_; }
+
+  /// The resolved snapshot cadence (explicit config or HYLO_CKPT_* env).
+  const ckpt::CkptConfig& checkpoint_config() const { return ckpt_; }
+
   /// Evaluate on the test split (no gradient, eval-mode BN).
   std::pair<real_t, real_t> evaluate();
 
@@ -114,7 +138,20 @@ class Trainer {
   void set_epoch_hook(EpochHook hook) { hook_ = std::move(hook); }
 
  private:
+  /// The training loop shared by run() and resume(): epochs from the start
+  /// position (0, or the restored snapshot's) to cfg.epochs.
+  TrainResult run_from();
   void run_epoch(index_t epoch, TrainResult& result);
+  /// Write a RunSnapshot after the iteration that left the run at
+  /// (epoch, next_iter); `loss_acc`/`metric_acc`/`rank_batches` are the
+  /// epoch-in-progress accumulators a resume needs to finish the epoch.
+  void write_snapshot(index_t epoch, index_t next_iter, real_t loss_acc,
+                      real_t metric_acc, index_t rank_batches);
+  /// Parse + verify a snapshot and load every section into live state.
+  void restore_snapshot(const std::string& path);
+  /// Commit pending rank_lost deaths at an iteration boundary: shrink the
+  /// world, re-partition data shards and layer ownership, log the event.
+  void apply_world_shrink(index_t epoch, index_t next_iter);
   void log_epoch(const EpochStats& stats, index_t epoch);
   /// Per-collective {calls, bytes, modeled seconds} accumulated since the
   /// previous call (per-epoch deltas for the run log).
@@ -135,6 +172,12 @@ class Trainer {
   DiceBceLoss dice_;
   bool segmentation_;
   index_t global_iter_ = 0;
+  index_t world_;            ///< live world (== cfg_.world until rank loss)
+  ckpt::CkptConfig ckpt_;    ///< resolved snapshot cadence (config or env)
+  bool resumed_ = false;
+  index_t start_epoch_ = 0, start_iter_ = 0;  ///< restored resume position
+  real_t resume_loss_acc_ = 0.0, resume_metric_acc_ = 0.0;
+  index_t resume_rank_batches_ = 0;
   double wall_seconds_ = 0.0;
   double comp_par_seconds_ = 0.0, comp_rep_seconds_ = 0.0, comm_seconds_ = 0.0;
   std::map<std::string, double> last_comm_seconds_;

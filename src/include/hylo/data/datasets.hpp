@@ -75,6 +75,12 @@ class DataLoader {
   /// Fetch the next local minibatch; returns false at epoch end.
   bool next(Batch& batch);
 
+  /// Advance past `batches` already-consumed local minibatches (mid-epoch
+  /// resume from a run snapshot). The epoch permutation is a pure function
+  /// of (seed, epoch), so start_epoch + skip lands exactly where the
+  /// interrupted run's cursor was.
+  void skip(index_t batches);
+
   /// Number of local (per-rank) batches per epoch.
   index_t batches_per_epoch() const;
 

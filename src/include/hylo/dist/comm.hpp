@@ -74,6 +74,27 @@ class CommSim {
     return fault_plan_ != nullptr && fault_plan_->active();
   }
   const FaultPlan* fault_plan() const { return fault_plan_.get(); }
+  FaultPlan* fault_plan() { return fault_plan_.get(); }
+
+  /// Elastic world-shrink (rank_lost events). A permanently dead rank is
+  /// recorded here when the fault fires, but the world does not shrink
+  /// mid-iteration — collectives already in flight were sized for the old
+  /// world. The trainer calls commit_shrinks() at the next iteration
+  /// boundary, re-partitions layer ownership, and carries on with the
+  /// survivors (DESIGN.md §11).
+  bool has_pending_shrinks() const { return !pending_lost_.empty(); }
+
+  /// Shrink the world by the pending dead ranks and return them (original
+  /// rank numbers, in death order). Bumps `dist/elastic/world_shrinks` and
+  /// the `dist/elastic/world` gauge per committed loss.
+  std::vector<index_t> commit_shrinks();
+
+  /// Ranks lost over the whole run so far (committed), in death order.
+  const std::vector<index_t>& lost_ranks() const { return lost_ranks_; }
+
+  /// Restore elastic state on resume: the surviving world size and the
+  /// already-committed loss history of the interrupted run.
+  void restore_world(index_t world, std::vector<index_t> lost);
 
   /// Modeled communication seconds accumulated so far (all comm sections).
   double comm_seconds() const;
@@ -140,6 +161,8 @@ class CommSim {
   obs::TraceBuffer* trace_ = nullptr;
   double wire_scalar_bytes_ = kWireScalarBytes;
   std::unique_ptr<FaultPlan> fault_plan_;
+  std::vector<index_t> pending_lost_;  ///< deaths awaiting commit_shrinks()
+  std::vector<index_t> lost_ranks_;    ///< committed deaths, run lifetime
 };
 
 /// Round-robin layer-to-rank assignment used by both distributed KFAC

@@ -21,6 +21,15 @@
 ///                      optimizer keeps serving stale factors. Must-complete
 ///                      collectives (gradient allreduce) re-form the ring and
 ///                      retry, charged but never failing.
+///   rank_lost(r)    -- participant r dies *permanently*. The collective
+///                      re-forms among the survivors and completes (the data
+///                      already lives in shared memory), and the world
+///                      shrinks by one at the next iteration boundary: the
+///                      trainer re-partitions layer ownership and data
+///                      shards and training continues (DESIGN.md §11). Off
+///                      by default — opt in with a rank_lost mix weight —
+///                      so existing transient-fault schedules replay
+///                      byte-identically.
 ///
 /// Configured programmatically (TrainConfig::faults) or via the environment:
 ///   HYLO_FAULTS=seed:rate[:mix]
@@ -48,7 +57,14 @@ class CommFailure : public Error {
   explicit CommFailure(const std::string& what) : Error(what) {}
 };
 
-enum class FaultKind { kNone, kTimeout, kStraggler, kCorruptPayload, kRankDown };
+enum class FaultKind {
+  kNone,
+  kTimeout,
+  kStraggler,
+  kCorruptPayload,
+  kRankDown,
+  kRankLost,  ///< permanent: the world shrinks around the dead rank
+};
 
 const char* to_string(FaultKind k);
 
@@ -70,11 +86,14 @@ struct FaultConfig {
   double straggler_weight = 1.0;
   double corrupt_weight = 1.0;
   double rank_down_weight = 1.0;
+  /// Permanent rank loss is opt-in (default 0): mixing it in changes the
+  /// shape of the run — the world shrinks — so a spec must ask for it.
+  double rank_lost_weight = 0.0;
 
   bool enabled() const { return rate > 0.0; }
   double total_weight() const {
     return timeout_weight + straggler_weight + corrupt_weight +
-           rank_down_weight;
+           rank_down_weight + rank_lost_weight;
   }
 
   /// Parse "seed:rate[:mix]" (see file comment). Throws hylo::Error on a
@@ -101,6 +120,16 @@ class FaultPlan {
 
   /// Collectives consulted so far (drawn events, faulting or not).
   std::int64_t drawn() const { return drawn_; }
+
+  /// Draw-cursor snapshot/restore for hylo::ckpt: the plan is a pure
+  /// function of (config, rng state, drawn count), so restoring these two
+  /// replays the exact remaining schedule of the interrupted run.
+  Rng::State rng_state() const { return rng_.state(); }
+  void restore(const Rng::State& rng, std::int64_t drawn) {
+    HYLO_CHECK(drawn >= 0, "fault plan draw cursor must be non-negative");
+    rng_.set_state(rng);
+    drawn_ = drawn;
+  }
 
  private:
   FaultConfig cfg_;

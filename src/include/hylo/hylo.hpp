@@ -15,6 +15,8 @@
 ///                                (HYLO_NUM_THREADS)
 ///   - hylo/audit/*             — checked-mode write-set race auditor and
 ///                                replay determinism harness (HYLO_AUDIT)
+///   - hylo/ckpt/*              — crash-safe run snapshots with bitwise
+///                                resume (HYLO_CKPT_DIR/HYLO_CKPT_EVERY)
 ///   - hylo/linalg/*            — cholesky/lu/eigh/pivoted-QR/ID/kernels
 ///   - hylo/tensor/*            — Matrix, Tensor4, GEMM kernels
 ///
@@ -22,6 +24,7 @@
 
 #include "hylo/audit/audit.hpp"
 #include "hylo/audit/write_set.hpp"
+#include "hylo/ckpt/snapshot.hpp"
 #include "hylo/common/csv.hpp"
 #include "hylo/common/rng.hpp"
 #include "hylo/common/timer.hpp"

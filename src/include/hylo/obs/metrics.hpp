@@ -158,6 +158,16 @@ class MetricsRegistry {
     e.seconds += seconds;
     e.calls += 1;
   }
+  /// Overwrite a section with exact accumulated totals. add_timing bumps the
+  /// call count, so snapshot restore (hylo::ckpt) needs this to reproduce an
+  /// interrupted run's seconds *and* calls without off-by-one drift.
+  void set_timing(const std::string& name, double seconds,
+                  std::int64_t calls) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& e = timings_[name];
+    e.seconds = seconds;
+    e.calls = calls;
+  }
   double timing_seconds(const std::string& name) const {
     std::lock_guard<std::mutex> lk(mu_);
     const auto it = timings_.find(name);

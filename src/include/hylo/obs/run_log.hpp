@@ -29,6 +29,10 @@ struct RunLogConfig {
   std::size_t trace_capacity = 1 << 16;
   /// Echo console() lines to stdout (the Trainer maps its `verbose` here).
   bool echo = false;
+  /// Append to an existing run.jsonl instead of truncating it — a resumed
+  /// run (Trainer::resume) continues the interrupted run's log in place,
+  /// opening with a {"type":"resume"} record.
+  bool append = false;
 };
 
 class RunLogger {
@@ -69,6 +73,14 @@ class RunLogger {
   std::string run_log_path() const;
   std::string trace_path() const;
   std::int64_t records_written() const { return seq_; }
+
+  /// Continue an interrupted run's sequence numbers (append mode): the next
+  /// record gets `seq`, keeping the combined log monotonic. Never rewinds.
+  void set_next_seq(std::int64_t seq) {
+    HYLO_CHECK(seq >= seq_, "run log seq cannot rewind (have "
+                                << seq_ << ", asked for " << seq << ")");
+    seq_ = seq;
+  }
 
  private:
   RunLogConfig cfg_;

@@ -57,6 +57,8 @@ class HyloOptimizer : public CurvatureOptimizer {
   void begin_epoch(index_t epoch, bool lr_decayed) override;
   void accumulate_gradient(const std::vector<ParamBlock*>& blocks) override;
   index_t state_bytes() const override;
+  void save_state(Network& net, ckpt::ByteWriter& w) const override;
+  void load_state(Network& net, ckpt::ByteReader& r) override;
 
   void set_policy(Policy p) { policy_ = p; }
   HyloMode mode() const { return mode_; }

@@ -23,6 +23,8 @@ class KFac : public CurvatureOptimizer {
   void update_curvature(const std::vector<ParamBlock*>& blocks,
                         const CaptureSet& capture, CommSim* comm) override;
   index_t state_bytes() const override;
+  void save_state(Network& net, ckpt::ByteWriter& w) const override;
+  void load_state(Network& net, ckpt::ByteReader& r) override;
 
   index_t layer_staleness(index_t layer) const override {
     HYLO_CHECK(layer >= 0 && layer < static_cast<index_t>(layers_.size()),
@@ -62,6 +64,8 @@ class EKFac : public KFac {
   void update_curvature(const std::vector<ParamBlock*>& blocks,
                         const CaptureSet& capture, CommSim* comm) override;
   index_t state_bytes() const override;
+  void save_state(Network& net, ckpt::ByteWriter& w) const override;
+  void load_state(Network& net, ckpt::ByteReader& r) override;
 
   index_t layer_staleness(index_t layer) const override {
     HYLO_CHECK(layer >= 0 && layer < static_cast<index_t>(eig_.size()),
@@ -94,6 +98,8 @@ class KBfgs : public CurvatureOptimizer {
   void update_curvature(const std::vector<ParamBlock*>& blocks,
                         const CaptureSet& capture, CommSim* comm) override;
   index_t state_bytes() const override;
+  void save_state(Network& net, ckpt::ByteWriter& w) const override;
+  void load_state(Network& net, ckpt::ByteReader& r) override;
 
   index_t layer_staleness(index_t layer) const override {
     HYLO_CHECK(layer >= 0 && layer < static_cast<index_t>(layers_.size()),

@@ -20,6 +20,8 @@ class Sngd : public CurvatureOptimizer {
   void update_curvature(const std::vector<ParamBlock*>& blocks,
                         const CaptureSet& capture, CommSim* comm) override;
   index_t state_bytes() const override;
+  void save_state(Network& net, ckpt::ByteWriter& w) const override;
+  void load_state(Network& net, ckpt::ByteReader& r) override;
 
   /// Preconditioned copy of a gradient without mutating it (shared with the
   /// Fig. 12 gradient-error bench).

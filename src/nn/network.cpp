@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <fstream>
 
+#include "hylo/ckpt/snapshot.hpp"
+
 namespace hylo {
 
 int Network::add_input(Shape shape) {
@@ -135,7 +137,7 @@ namespace {
 // silently zero-filling the tail of the model.
 constexpr std::uint64_t kCheckpointMagic = 0x48794C6F43505432ULL;  // "HyLoCPT2"
 
-void write_raw(std::ofstream& out, const void* data, std::size_t bytes,
+void write_raw(std::ostream& out, const void* data, std::size_t bytes,
                const std::string& path) {
   out.write(reinterpret_cast<const char*>(data),
             static_cast<std::streamsize>(bytes));
@@ -154,7 +156,7 @@ void read_raw(std::ifstream& in, void* data, std::size_t bytes,
                  << in.gcount());
 }
 
-void write_block(std::ofstream& out, const real_t* data, index_t count,
+void write_block(std::ostream& out, const real_t* data, index_t count,
                  const std::string& path) {
   const std::uint64_t n = static_cast<std::uint64_t>(count);
   write_raw(out, &n, sizeof(n), path);
@@ -190,8 +192,10 @@ void Network::save_weights(const std::string& path) {
         scalars += static_cast<std::uint64_t>(state->size());
       }
 
-  std::ofstream out(path, std::ios::binary);
-  HYLO_CHECK(out.good(), "cannot open " << path << " for writing");
+  // Crash safety: stream into <path>.tmp and rename on success, so an
+  // interrupted save never clobbers the previous checkpoint.
+  ckpt::AtomicFile file(path);
+  std::ostream& out = file.stream();
   write_raw(out, &kCheckpointMagic, sizeof(kCheckpointMagic), path);
   write_raw(out, &blocks, sizeof(blocks), path);
   write_raw(out, &scalars, sizeof(scalars), path);
@@ -205,8 +209,7 @@ void Network::save_weights(const std::string& path) {
       for (auto* state : n.layer->mutable_state())
         write_block(out, state->data(), static_cast<index_t>(state->size()),
                     path);
-  out.flush();
-  HYLO_CHECK(out.good(), "checkpoint write failure on " << path);
+  file.commit();
 }
 
 void Network::load_weights(const std::string& path) {
@@ -226,6 +229,9 @@ void Network::load_weights(const std::string& path) {
         want_scalars += static_cast<std::uint64_t>(state->size());
       }
 
+  HYLO_CHECK(path.size() < 4 || path.compare(path.size() - 4, 4, ".tmp") != 0,
+             "refusing to load '" << path << "': a '.tmp' checkpoint is a "
+                                  << "torn in-progress write left by a crash");
   std::ifstream in(path, std::ios::binary);
   HYLO_CHECK(in.good(), "cannot open " << path);
   std::uint64_t magic = 0;
@@ -253,6 +259,29 @@ void Network::load_weights(const std::string& path) {
                    "layer state");
   HYLO_CHECK(in.peek() == std::ifstream::traits_type::eof(),
              "trailing bytes after checkpoint payload in " << path);
+}
+
+void Network::serialize_state(ckpt::ByteWriter& w) {
+  for (auto* pb : param_blocks()) w.reals(pb->w.data(), pb->w.size());
+  for (auto pp : plain_params())
+    w.reals(pp.value->data(), static_cast<index_t>(pp.value->size()));
+  for (auto& n : nodes_)
+    if (n.layer != nullptr)
+      for (auto* state : n.layer->mutable_state())
+        w.reals(state->data(), static_cast<index_t>(state->size()));
+}
+
+void Network::deserialize_state(ckpt::ByteReader& r) {
+  for (auto* pb : param_blocks())
+    r.reals_into(pb->w.data(), pb->w.size(), "weights");
+  for (auto pp : plain_params())
+    r.reals_into(pp.value->data(), static_cast<index_t>(pp.value->size()),
+                 "plain params");
+  for (auto& n : nodes_)
+    if (n.layer != nullptr)
+      for (auto* state : n.layer->mutable_state())
+        r.reals_into(state->data(), static_cast<index_t>(state->size()),
+                     "layer state");
 }
 
 }  // namespace hylo

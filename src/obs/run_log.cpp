@@ -12,7 +12,7 @@ RunLogger::RunLogger(RunLogConfig cfg)
   std::filesystem::create_directories(cfg_.dir, ec);
   HYLO_CHECK(!ec, "cannot create telemetry dir " << cfg_.dir << ": "
                                                  << ec.message());
-  jsonl_.open(run_log_path(), std::ios::trunc);
+  jsonl_.open(run_log_path(), cfg_.append ? std::ios::app : std::ios::trunc);
   HYLO_CHECK(jsonl_.good(), "cannot open " << run_log_path());
 }
 

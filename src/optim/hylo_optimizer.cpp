@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "hylo/ckpt/snapshot.hpp"
 #include "hylo/linalg/id.hpp"
 #include "hylo/linalg/kernels.hpp"
 #include "hylo/par/thread_pool.hpp"
@@ -409,6 +410,87 @@ index_t HyloOptimizer::state_bytes() const {
   }
   for (const auto& d : delta_) scalars += d.size();
   return scalars * static_cast<index_t>(sizeof(real_t)) + momentum_bytes();
+}
+
+namespace {
+std::uint8_t mode_tag(HyloMode m) { return m == HyloMode::kKid ? 0 : 1; }
+HyloMode mode_from_tag(std::uint8_t t) {
+  HYLO_CHECK(t <= 1, "snapshot HyLo mode tag " << int(t) << " unknown");
+  return t == 0 ? HyloMode::kKid : HyloMode::kKis;
+}
+}  // namespace
+
+void HyloOptimizer::save_state(Network& net, ckpt::ByteWriter& w) const {
+  Optimizer::save_state(net, w);
+  w.u8(static_cast<std::uint8_t>(policy_));
+  w.u8(mode_tag(mode_));
+  w.u64(mode_history_.size());
+  for (const HyloMode m : mode_history_) w.u8(mode_tag(m));
+  w.u64(switch_history_.size());
+  for (const auto& d : switch_history_) {
+    w.i64(d.epoch);
+    w.real(d.ratio);
+    w.real(d.threshold);
+    w.b(d.lr_decayed);
+    w.b(d.critical);
+    w.u8(mode_tag(d.mode));
+    w.str(d.reason);
+  }
+  w.u64(delta_.size());
+  for (const auto& m : delta_) w.matrix(m);
+  w.b(delta_dirty_);
+  w.real_vec(delta_norms_);
+  w.u64(layers_.size());
+  for (const auto& st : layers_) {
+    w.u8(mode_tag(st.mode));
+    w.matrix(st.a_s);
+    w.matrix(st.g_s);
+    w.matrix(st.kid_middle.lu);
+    w.index_vec(st.kid_middle.piv);
+    w.matrix(st.kis_chol);
+    w.b(st.ready);
+    w.i64(st.staleness);
+  }
+  w.i64(last_rank_);
+  ckpt::write_rng_state(w, rng_.state());
+}
+
+void HyloOptimizer::load_state(Network& net, ckpt::ByteReader& r) {
+  Optimizer::load_state(net, r);
+  const std::uint8_t policy = r.u8();
+  HYLO_CHECK(policy <= static_cast<std::uint8_t>(Policy::kAlwaysKis),
+             "snapshot HyLo policy tag " << int(policy) << " unknown");
+  policy_ = static_cast<Policy>(policy);
+  mode_ = mode_from_tag(r.u8());
+  mode_history_.assign(r.u64(), HyloMode::kKid);
+  for (auto& m : mode_history_) m = mode_from_tag(r.u8());
+  switch_history_.assign(r.u64(), SwitchDecision{});
+  for (auto& d : switch_history_) {
+    d.epoch = r.i64();
+    d.ratio = r.real();
+    d.threshold = r.real();
+    d.lr_decayed = r.b();
+    d.critical = r.b();
+    d.mode = mode_from_tag(r.u8());
+    d.reason = r.str();
+  }
+  delta_.assign(r.u64(), Matrix{});
+  for (auto& m : delta_) m = r.matrix();
+  delta_dirty_ = r.b();
+  delta_norms_ = r.real_vec();
+  layers_.assign(r.u64(), LayerState{});
+  for (auto& st : layers_) {
+    st.mode = mode_from_tag(r.u8());
+    st.a_s = r.matrix();
+    st.g_s = r.matrix();
+    st.kid_middle.lu = r.matrix();
+    st.kid_middle.piv = r.index_vec();
+    st.kis_chol = r.matrix();
+    st.ready = r.b();
+    st.staleness = r.i64();
+  }
+  last_rank_ = r.i64();
+  rng_.set_state(ckpt::read_rng_state(r));
 }
 
 }  // namespace hylo

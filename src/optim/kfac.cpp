@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "hylo/ckpt/snapshot.hpp"
 #include "hylo/linalg/eigh.hpp"
 #include "hylo/tensor/ops.hpp"
 
@@ -411,6 +412,95 @@ index_t KBfgs::state_bytes() const {
       scalars += static_cast<index_t>(s.size() + y.size());
   }
   return scalars * static_cast<index_t>(sizeof(real_t)) + momentum_bytes();
+}
+
+void KFac::save_state(Network& net, ckpt::ByteWriter& w) const {
+  Optimizer::save_state(net, w);
+  w.u64(layers_.size());
+  for (const auto& st : layers_) {
+    w.matrix(st.a_factor);
+    w.matrix(st.g_factor);
+    w.matrix(st.a_inv);
+    w.matrix(st.g_inv);
+    w.b(st.ready);
+    w.i64(st.staleness);
+  }
+}
+
+void KFac::load_state(Network& net, ckpt::ByteReader& r) {
+  Optimizer::load_state(net, r);
+  layers_.assign(r.u64(), LayerState{});
+  for (auto& st : layers_) {
+    st.a_factor = r.matrix();
+    st.g_factor = r.matrix();
+    st.a_inv = r.matrix();
+    st.g_inv = r.matrix();
+    st.ready = r.b();
+    st.staleness = r.i64();
+  }
+}
+
+void EKFac::save_state(Network& net, ckpt::ByteWriter& w) const {
+  KFac::save_state(net, w);
+  w.u64(eig_.size());
+  for (const auto& st : eig_) {
+    w.matrix(st.v_a);
+    w.matrix(st.v_g);
+    w.matrix(st.scaling);
+    w.b(st.ready);
+    w.i64(st.staleness);
+  }
+}
+
+void EKFac::load_state(Network& net, ckpt::ByteReader& r) {
+  KFac::load_state(net, r);
+  eig_.assign(r.u64(), EigState{});
+  for (auto& st : eig_) {
+    st.v_a = r.matrix();
+    st.v_g = r.matrix();
+    st.scaling = r.matrix();
+    st.ready = r.b();
+    st.staleness = r.i64();
+  }
+}
+
+void KBfgs::save_state(Network& net, ckpt::ByteWriter& w) const {
+  Optimizer::save_state(net, w);
+  w.u64(layers_.size());
+  for (const auto& st : layers_) {
+    w.matrix(st.a_factor);
+    w.matrix(st.a_inv);
+    w.matrix(st.g_factor);
+    w.matrix(st.g_mean_prev);
+    w.u64(st.sy_pairs.size());
+    for (const auto& [s, y] : st.sy_pairs) {
+      w.real_vec(s);
+      w.real_vec(y);
+    }
+    w.real(st.h0_scale);
+    w.b(st.ready);
+    w.i64(st.staleness);
+  }
+}
+
+void KBfgs::load_state(Network& net, ckpt::ByteReader& r) {
+  Optimizer::load_state(net, r);
+  layers_.assign(r.u64(), LayerState{});
+  for (auto& st : layers_) {
+    st.a_factor = r.matrix();
+    st.a_inv = r.matrix();
+    st.g_factor = r.matrix();
+    st.g_mean_prev = r.matrix();
+    const std::uint64_t pairs = r.u64();
+    for (std::uint64_t k = 0; k < pairs; ++k) {
+      std::vector<real_t> s = r.real_vec();
+      std::vector<real_t> y = r.real_vec();
+      st.sy_pairs.emplace_back(std::move(s), std::move(y));
+    }
+    st.h0_scale = r.real();
+    st.ready = r.b();
+    st.staleness = r.i64();
+  }
 }
 
 }  // namespace hylo

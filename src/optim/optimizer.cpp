@@ -2,9 +2,57 @@
 
 #include <cmath>
 
+#include "hylo/ckpt/snapshot.hpp"
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
+
+namespace {
+
+// Momentum-style buffers are lazily created on first step, so a snapshot
+// taken before a parameter ever stepped has no entry for it: each block gets
+// a presence flag. Shapes are verified against the parameter on load — a
+// snapshot from a structurally different model fails loudly, not subtly.
+void save_block_map(const std::unordered_map<const void*, Matrix>& bufs,
+                    const void* key, ckpt::ByteWriter& w) {
+  const auto it = bufs.find(key);
+  w.b(it != bufs.end());
+  if (it != bufs.end()) w.matrix(it->second);
+}
+
+void load_block_map(std::unordered_map<const void*, Matrix>& bufs,
+                    const void* key, const Matrix& like, const char* what,
+                    ckpt::ByteReader& r) {
+  if (!r.b()) return;
+  Matrix m = r.matrix();
+  HYLO_CHECK(m.rows() == like.rows() && m.cols() == like.cols(),
+             "snapshot " << what << " buffer is " << m.rows() << "x"
+                         << m.cols() << ", parameter is " << like.rows()
+                         << "x" << like.cols());
+  bufs[key] = std::move(m);
+}
+
+void save_plain_map(
+    const std::unordered_map<const void*, std::vector<real_t>>& bufs,
+    const void* key, ckpt::ByteWriter& w) {
+  const auto it = bufs.find(key);
+  w.b(it != bufs.end());
+  if (it != bufs.end()) w.real_vec(it->second);
+}
+
+void load_plain_map(
+    std::unordered_map<const void*, std::vector<real_t>>& bufs,
+    const void* key, std::size_t like_size, const char* what,
+    ckpt::ByteReader& r) {
+  if (!r.b()) return;
+  std::vector<real_t> v = r.real_vec();
+  HYLO_CHECK(v.size() == like_size,
+             "snapshot " << what << " buffer has " << v.size()
+                         << " scalars, parameter has " << like_size);
+  bufs[key] = std::move(v);
+}
+
+}  // namespace
 
 void Optimizer::apply_sgd_update(Network& net, real_t scale) {
   for (auto* pb : net.param_blocks()) {
@@ -40,6 +88,28 @@ index_t Optimizer::momentum_bytes() const {
 }
 
 index_t Optimizer::state_bytes() const { return momentum_bytes(); }
+
+void Optimizer::save_state(Network& net, ckpt::ByteWriter& w) const {
+  w.str(name());
+  w.real(cfg_.lr);
+  for (auto* pb : net.param_blocks()) save_block_map(momentum_w_, pb, w);
+  for (auto pp : net.plain_params())
+    save_plain_map(momentum_plain_, pp.value, w);
+}
+
+void Optimizer::load_state(Network& net, ckpt::ByteReader& r) {
+  const std::string saved = r.str();
+  HYLO_CHECK(saved == name(), "snapshot optimizer state is for "
+                                  << saved << ", this run uses " << name());
+  cfg_.lr = r.real();
+  momentum_w_.clear();
+  momentum_plain_.clear();
+  for (auto* pb : net.param_blocks())
+    load_block_map(momentum_w_, pb, pb->w, "momentum", r);
+  for (auto pp : net.plain_params())
+    load_plain_map(momentum_plain_, pp.value, pp.value->size(),
+                   "plain momentum", r);
+}
 
 void Sgd::step(Network& net, index_t /*iteration*/) { apply_sgd_update(net); }
 
@@ -87,6 +157,51 @@ index_t Adam::state_bytes() const {
     total += static_cast<index_t>(st.m_plain.size() + st.v_plain.size());
   }
   return total * static_cast<index_t>(sizeof(real_t)) + momentum_bytes();
+}
+
+void Adam::save_state(Network& net, ckpt::ByteWriter& w) const {
+  Optimizer::save_state(net, w);
+  w.i64(t_);
+  for (auto* pb : net.param_blocks()) {
+    const auto it = state_.find(pb);
+    w.b(it != state_.end());
+    if (it != state_.end()) {
+      w.matrix(it->second.m);
+      w.matrix(it->second.v);
+    }
+  }
+  for (auto pp : net.plain_params()) {
+    const auto it = state_.find(pp.value);
+    w.b(it != state_.end());
+    if (it != state_.end()) {
+      w.real_vec(it->second.m_plain);
+      w.real_vec(it->second.v_plain);
+    }
+  }
+}
+
+void Adam::load_state(Network& net, ckpt::ByteReader& r) {
+  Optimizer::load_state(net, r);
+  t_ = r.i64();
+  state_.clear();
+  for (auto* pb : net.param_blocks()) {
+    if (!r.b()) continue;
+    State& st = state_[pb];
+    st.m = r.matrix();
+    st.v = r.matrix();
+    HYLO_CHECK(st.m.rows() == pb->w.rows() && st.m.cols() == pb->w.cols() &&
+                   st.v.rows() == pb->w.rows() && st.v.cols() == pb->w.cols(),
+               "snapshot Adam moments do not match parameter shape");
+  }
+  for (auto pp : net.plain_params()) {
+    if (!r.b()) continue;
+    State& st = state_[pp.value];
+    st.m_plain = r.real_vec();
+    st.v_plain = r.real_vec();
+    HYLO_CHECK(st.m_plain.size() == pp.value->size() &&
+                   st.v_plain.size() == pp.value->size(),
+               "snapshot Adam plain moments do not match parameter size");
+  }
 }
 
 }  // namespace hylo

@@ -1,5 +1,6 @@
 #include "hylo/optim/sngd.hpp"
 
+#include "hylo/ckpt/snapshot.hpp"
 #include "hylo/linalg/kernels.hpp"
 #include "hylo/par/thread_pool.hpp"
 #include "hylo/tensor/ops.hpp"
@@ -116,6 +117,30 @@ index_t Sngd::state_bytes() const {
   for (const auto& st : layers_)
     scalars += st.a_glob.size() + st.g_glob.size() + st.kernel_chol.size();
   return scalars * static_cast<index_t>(sizeof(real_t)) + momentum_bytes();
+}
+
+void Sngd::save_state(Network& net, ckpt::ByteWriter& w) const {
+  Optimizer::save_state(net, w);
+  w.u64(layers_.size());
+  for (const auto& st : layers_) {
+    w.matrix(st.a_glob);
+    w.matrix(st.g_glob);
+    w.matrix(st.kernel_chol);
+    w.b(st.ready);
+    w.i64(st.staleness);
+  }
+}
+
+void Sngd::load_state(Network& net, ckpt::ByteReader& r) {
+  Optimizer::load_state(net, r);
+  layers_.assign(r.u64(), LayerState{});
+  for (auto& st : layers_) {
+    st.a_glob = r.matrix();
+    st.g_glob = r.matrix();
+    st.kernel_chol = r.matrix();
+    st.ready = r.b();
+    st.staleness = r.i64();
+  }
 }
 
 }  // namespace hylo

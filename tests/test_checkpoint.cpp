@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "hylo/hylo.hpp"
@@ -91,6 +93,35 @@ TEST(Checkpoint, RejectsGarbageFile) {
 TEST(Checkpoint, MissingFileThrows) {
   Network net = make_mlp({2, 1, 1}, {8}, 2, 1);
   EXPECT_THROW(net.load_weights("/tmp/does_not_exist_hylo.bin"), Error);
+}
+
+TEST(Checkpoint, SaveIsAtomicAndLeavesNoTmp) {
+  // save_weights streams into a `.tmp` sibling and renames on success, so a
+  // crash mid-save can never clobber the previous checkpoint; the committed
+  // write must leave no temporary behind.
+  Network a = make_mlp({2, 1, 1}, {8}, 2, 1);
+  a.save_weights(kPath);
+  EXPECT_TRUE(std::ifstream(kPath).good());
+  EXPECT_FALSE(std::ifstream(std::string(kPath) + ".tmp").good());
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, RejectsTmpPathOnLoad) {
+  // A `.tmp` file is an uncommitted (possibly torn) write; loading one —
+  // even if its bytes happen to be complete — must fail loudly.
+  Network a = make_mlp({2, 1, 1}, {8}, 2, 1);
+  const std::string tmp = std::string(kPath) + ".tmp";
+  a.save_weights(kPath);
+  {
+    std::ifstream src(kPath, std::ios::binary);
+    std::ofstream dst(tmp, std::ios::binary);
+    dst << src.rdbuf();
+  }
+  Network b = make_mlp({2, 1, 1}, {8}, 2, 1);
+  EXPECT_THROW(b.load_weights(tmp), Error);
+  b.load_weights(kPath);  // the committed sibling stays loadable
+  std::remove(kPath);
+  std::remove(tmp.c_str());
 }
 
 TEST(Checkpoint, RejectsTruncationAtEveryPrefix) {

@@ -1,0 +1,658 @@
+// hylo::ckpt — crash-safe run snapshots. Container-level corruption
+// rejection, bitwise interrupt/resume across models × optimizers × fault
+// specs, and the elastic world-shrink path on permanent rank loss.
+//
+// Env-proofing: every Trainer here pins its fault schedule (an explicit
+// FaultConfig, possibly disabled) and its checkpoint cadence (a non-empty
+// dir with every=0 pins snapshots off), so an ambient HYLO_FAULTS /
+// HYLO_CKPT_* environment — as the CI fault matrix sets — cannot change any
+// outcome.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hylo/hylo.hpp"
+
+namespace hylo {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Container-level tests
+
+std::string tmp_dir(const std::string& name) {
+  const std::string dir = "/tmp/hylo_test_ckpt_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string write_sample_snapshot(const std::string& dir) {
+  ckpt::SnapshotWriter snap;
+  ckpt::ByteWriter& a = snap.section("alpha");
+  a.u64(42);
+  a.str("hello");
+  a.real(1.5);
+  Matrix m(2, 3);
+  for (index_t i = 0; i < m.size(); ++i) m.data()[i] = 0.25 * (i + 1);
+  ckpt::ByteWriter& b = snap.section("beta");
+  b.matrix(m);
+  b.b(true);
+  const std::string path = dir + "/snapshot-00000001.hysnp";
+  snap.write(path);
+  return path;
+}
+
+TEST(SnapshotContainer, RoundTrip) {
+  const std::string dir = tmp_dir("roundtrip");
+  const std::string path = write_sample_snapshot(dir);
+
+  ckpt::SnapshotReader snap(path);
+  EXPECT_EQ(snap.version(), ckpt::kSnapshotVersion);
+  ASSERT_EQ(snap.names(), (std::vector<std::string>{"alpha", "beta"}));
+
+  ckpt::ByteReader a = snap.open("alpha");
+  EXPECT_EQ(a.u64(), 42u);
+  EXPECT_EQ(a.str(), "hello");
+  EXPECT_EQ(a.real(), 1.5);
+  a.expect_done();
+
+  ckpt::ByteReader b = snap.open("beta");
+  const Matrix m = b.matrix();
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  for (index_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.25 * (i + 1));
+  EXPECT_TRUE(b.b());
+  b.expect_done();
+
+  EXPECT_FALSE(snap.has("gamma"));
+  EXPECT_THROW(snap.open("gamma"), Error);
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotContainer, RejectsTmpPath) {
+  // A `.tmp` sibling is an uncommitted write; readers must refuse it even
+  // if its bytes happen to be complete.
+  const std::string dir = tmp_dir("tmppath");
+  const std::string path = write_sample_snapshot(dir);
+  const std::string tmp = path + ".tmp";
+  fs::copy_file(path, tmp);
+  EXPECT_THROW(ckpt::SnapshotReader{tmp}, Error);
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotContainer, RejectsBadMagicAndWrongVersion) {
+  const std::string dir = tmp_dir("magic");
+  const std::string path = write_sample_snapshot(dir);
+  const std::vector<char> good = slurp(path);
+
+  std::vector<char> bad_magic = good;
+  bad_magic[0] ^= 0x5a;
+  spit(path, bad_magic);
+  EXPECT_THROW(ckpt::SnapshotReader{path}, Error);
+
+  std::vector<char> bad_version = good;
+  bad_version[8] ^= 0x01;  // u32 version follows the u64 magic
+  spit(path, bad_version);
+  try {
+    ckpt::SnapshotReader snap(path);
+    FAIL() << "wrong version accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotContainer, RejectsTruncationAtEveryByte) {
+  // Cut the container at every possible length, covering every section
+  // prefix (name length, name, payload length, CRC, payload) — each
+  // truncation must throw, never yield a partial snapshot.
+  const std::string dir = tmp_dir("truncate");
+  const std::string path = write_sample_snapshot(dir);
+  const std::vector<char> good = slurp(path);
+  ASSERT_GT(good.size(), 0u);
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    spit(path, std::vector<char>(good.begin(),
+                                 good.begin() + static_cast<long>(cut)));
+    EXPECT_THROW(ckpt::SnapshotReader{path}, Error) << "cut=" << cut;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotContainer, FlippedPayloadByteFailsNamingTheSection) {
+  const std::string dir = tmp_dir("crc");
+  const std::string path = write_sample_snapshot(dir);
+  const std::vector<char> good = slurp(path);
+  // Flip the last payload byte — it belongs to the "beta" section.
+  std::vector<char> bad = good;
+  bad.back() ^= 0x40;
+  spit(path, bad);
+  try {
+    ckpt::SnapshotReader snap(path);
+    FAIL() << "corrupt payload accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("beta"), std::string::npos)
+        << e.what();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotContainer, RejectsTrailingGarbage) {
+  const std::string dir = tmp_dir("trailing");
+  const std::string path = write_sample_snapshot(dir);
+  std::vector<char> bytes = slurp(path);
+  bytes.push_back('x');
+  spit(path, bytes);
+  EXPECT_THROW(ckpt::SnapshotReader{path}, Error);
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotContainer, AtomicWriteLeavesNoTmp) {
+  const std::string dir = tmp_dir("atomic");
+  const std::string path = write_sample_snapshot(dir);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotContainer, ListAndRetain) {
+  const std::string dir = tmp_dir("retain");
+  std::vector<std::string> written;
+  for (const int it : {3, 1, 7, 5}) {
+    ckpt::SnapshotWriter snap;
+    snap.section("meta").i64(it);
+    char name[40];
+    std::snprintf(name, sizeof(name), "snapshot-%08d.hysnp", it);
+    written.push_back(dir + "/" + name);
+    snap.write(written.back());
+  }
+  // An unrelated file must be ignored by both list and retain.
+  spit(dir + "/notes.txt", {'h', 'i'});
+
+  const std::vector<std::string> all = ckpt::list_snapshots(dir);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_TRUE(all.front().find("00000001") != std::string::npos);
+  EXPECT_TRUE(all.back().find("00000007") != std::string::npos);
+
+  ckpt::retain_last(dir, 2);
+  const std::vector<std::string> kept = ckpt::list_snapshots(dir);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_TRUE(kept[0].find("00000005") != std::string::npos);
+  EXPECT_TRUE(kept[1].find("00000007") != std::string::npos);
+  EXPECT_TRUE(fs::exists(dir + "/notes.txt"));
+
+  ckpt::retain_last(dir, 0);  // 0 keeps everything
+  EXPECT_EQ(ckpt::list_snapshots(dir).size(), 2u);
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotContainer, EnvConfigResolution) {
+  unsetenv("HYLO_CKPT_DIR");
+  unsetenv("HYLO_CKPT_EVERY");
+  unsetenv("HYLO_CKPT_KEEP");
+  EXPECT_FALSE(ckpt::CkptConfig::from_env().has_value());
+
+  setenv("HYLO_CKPT_DIR", "/tmp/hylo_env_snaps", 1);
+  setenv("HYLO_CKPT_EVERY", "25", 1);
+  const auto cfg = ckpt::CkptConfig::from_env();
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->dir, "/tmp/hylo_env_snaps");
+  EXPECT_EQ(cfg->every, 25);
+  EXPECT_EQ(cfg->keep, 3);  // default retention
+  setenv("HYLO_CKPT_KEEP", "7", 1);
+  EXPECT_EQ(ckpt::CkptConfig::from_env()->keep, 7);
+
+  unsetenv("HYLO_CKPT_DIR");
+  unsetenv("HYLO_CKPT_EVERY");
+  unsetenv("HYLO_CKPT_KEEP");
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise interrupt/resume
+
+struct Rig {
+  DataSplit data;
+  Network net;
+  std::unique_ptr<Optimizer> opt;
+};
+
+Rig make_rig(const std::string& model, const std::string& optimizer) {
+  Rig s;
+  if (model == "mlp") {
+    s.data = make_spirals(256, 64, 3, 0.05, 7);
+    s.net = make_mlp({2, 1, 1}, {16, 16}, 3, 7);
+  } else {  // conv net
+    s.data = make_gaussian_images(128, 32, 4, 1, 8, 8, 0.8, 7);
+    s.net = make_c3f1({1, 8, 8}, 4, 4, 7);
+  }
+  OptimConfig oc;
+  oc.lr = optimizer == "ADAM" ? 0.002 : 0.05;
+  oc.momentum = 0.9;
+  oc.update_freq = 3;
+  oc.rank_ratio = 0.25;
+  s.opt = make_optimizer(optimizer, oc);
+  return s;
+}
+
+TrainConfig base_config(index_t world) {
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 8;
+  tc.world = world;
+  tc.max_iters_per_epoch = 4;
+  tc.interconnect = mist_v100();
+  tc.faults = FaultConfig{};          // pinned fault-free (env-proof)
+  tc.checkpoint.dir = "/tmp/unused";  // non-empty dir + every=0 pins
+  tc.checkpoint.every = 0;            // snapshots *off* (env-proof)
+  return tc;
+}
+
+FaultConfig transient_faults() {
+  FaultConfig fc;  // default mix: transient kinds only, rank_lost off
+  fc.seed = 13;
+  fc.rate = 0.15;
+  return fc;
+}
+
+std::vector<real_t> flat_weights(Network& net) {
+  std::vector<real_t> out;
+  for (auto* pb : net.param_blocks())
+    out.insert(out.end(), pb->w.data(), pb->w.data() + pb->w.size());
+  for (auto pp : net.plain_params())
+    out.insert(out.end(), pp.value->begin(), pp.value->end());
+  return out;
+}
+
+struct RunOut {
+  std::vector<real_t> weights;
+  TrainResult result;
+  index_t world = 0;
+};
+
+RunOut run_reference(const std::string& model, const std::string& optname,
+                     const std::optional<FaultConfig>& faults, index_t world) {
+  Rig s = make_rig(model, optname);
+  TrainConfig tc = base_config(world);
+  if (faults) tc.faults = *faults;
+  Trainer t(s.net, *s.opt, s.data, tc);
+  RunOut out;
+  out.result = t.run();
+  out.weights = flat_weights(s.net);
+  out.world = t.world();
+  return out;
+}
+
+std::vector<std::string> run_with_snapshots(
+    const std::string& model, const std::string& optname,
+    const std::optional<FaultConfig>& faults, index_t world,
+    const std::string& dir, index_t every, RunOut* out) {
+  Rig s = make_rig(model, optname);
+  TrainConfig tc = base_config(world);
+  if (faults) tc.faults = *faults;
+  tc.checkpoint.dir = dir;
+  tc.checkpoint.every = every;
+  tc.checkpoint.keep = 0;  // keep every boundary for the resume sweep
+  Trainer t(s.net, *s.opt, s.data, tc);
+  out->result = t.run();
+  out->weights = flat_weights(s.net);
+  out->world = t.world();
+  return ckpt::list_snapshots(dir);
+}
+
+RunOut resume_from(const std::string& model, const std::string& optname,
+                   const std::optional<FaultConfig>& faults, index_t world,
+                   const std::string& snapshot) {
+  Rig s = make_rig(model, optname);
+  TrainConfig tc = base_config(world);
+  if (faults) tc.faults = *faults;
+  Trainer t(s.net, *s.opt, s.data, tc);
+  RunOut out;
+  out.result = t.resume(snapshot);
+  out.weights = flat_weights(s.net);
+  out.world = t.world();
+  return out;
+}
+
+void expect_bitwise(const RunOut& ref, const RunOut& got,
+                    const std::string& label) {
+  ASSERT_EQ(ref.weights.size(), got.weights.size()) << label;
+  for (std::size_t i = 0; i < ref.weights.size(); ++i)
+    ASSERT_EQ(ref.weights[i], got.weights[i]) << label << " weight " << i;
+  // Modeled quantities are part of the bitwise contract (measured comp/*
+  // wall timings are not).
+  EXPECT_EQ(ref.result.comm_seconds, got.result.comm_seconds) << label;
+  EXPECT_EQ(ref.world, got.world) << label;
+  // The resumed result covers the tail of the reference's epochs.
+  ASSERT_LE(got.result.epochs.size(), ref.result.epochs.size()) << label;
+  const std::size_t off = ref.result.epochs.size() - got.result.epochs.size();
+  for (std::size_t i = 0; i < got.result.epochs.size(); ++i) {
+    const EpochStats& a = ref.result.epochs[off + i];
+    const EpochStats& b = got.result.epochs[i];
+    EXPECT_EQ(a.epoch, b.epoch) << label;
+    EXPECT_EQ(a.train_loss, b.train_loss) << label << " epoch " << a.epoch;
+    EXPECT_EQ(a.train_metric, b.train_metric) << label << " epoch " << a.epoch;
+    EXPECT_EQ(a.test_loss, b.test_loss) << label << " epoch " << a.epoch;
+    EXPECT_EQ(a.test_metric, b.test_metric) << label << " epoch " << a.epoch;
+  }
+  EXPECT_EQ(ref.result.iterations, got.result.iterations) << label;
+}
+
+TEST(Resume, BitwiseAtEveryBoundaryMlp) {
+  // Snapshot after every iteration and resume from each — a simulated crash
+  // at every boundary, including the epoch boundary — must land bitwise on
+  // the uninterrupted run. Also locks that snapshotting itself does not
+  // perturb training.
+  const std::string dir = tmp_dir("every_mlp");
+  const RunOut ref = run_reference("mlp", "HyLo", std::nullopt, 4);
+  RunOut with_snaps;
+  const auto snaps = run_with_snapshots("mlp", "HyLo", std::nullopt, 4, dir, 1,
+                                        &with_snaps);
+  expect_bitwise(ref, with_snaps, "snapshotting run");
+  ASSERT_EQ(snaps.size(), 8u);  // 2 epochs x 4 iters, every=1, keep=0
+  for (const auto& snap : snaps)
+    expect_bitwise(ref, resume_from("mlp", "HyLo", std::nullopt, 4, snap),
+                   "resume from " + snap);
+  fs::remove_all(dir);
+}
+
+TEST(Resume, BitwiseMlpUnderTransientFaults) {
+  const std::string dir = tmp_dir("faults_mlp");
+  const auto fc = transient_faults();
+  const RunOut ref = run_reference("mlp", "HyLo", fc, 4);
+  RunOut with_snaps;
+  const auto snaps =
+      run_with_snapshots("mlp", "HyLo", fc, 4, dir, 3, &with_snaps);
+  expect_bitwise(ref, with_snaps, "snapshotting run");
+  ASSERT_GE(snaps.size(), 2u);
+  expect_bitwise(ref, resume_from("mlp", "HyLo", fc, 4, snaps[0]),
+                 "early resume");
+  expect_bitwise(ref, resume_from("mlp", "HyLo", fc, 4, snaps[1]),
+                 "late resume");
+  fs::remove_all(dir);
+}
+
+TEST(Resume, BitwiseConvNet) {
+  const std::string dir = tmp_dir("conv");
+  const RunOut ref = run_reference("conv", "KFAC", std::nullopt, 2);
+  RunOut with_snaps;
+  const auto snaps = run_with_snapshots("conv", "KFAC", std::nullopt, 2, dir,
+                                        3, &with_snaps);
+  expect_bitwise(ref, with_snaps, "snapshotting run");
+  ASSERT_GE(snaps.size(), 2u);
+  for (const auto& snap : snaps)
+    expect_bitwise(ref, resume_from("conv", "KFAC", std::nullopt, 2, snap),
+                   "resume from " + snap);
+  fs::remove_all(dir);
+}
+
+TEST(Resume, BitwiseConvNetUnderTransientFaults) {
+  const std::string dir = tmp_dir("conv_faults");
+  const auto fc = transient_faults();
+  const RunOut ref = run_reference("conv", "KFAC", fc, 2);
+  RunOut with_snaps;
+  const auto snaps =
+      run_with_snapshots("conv", "KFAC", fc, 2, dir, 3, &with_snaps);
+  expect_bitwise(ref, with_snaps, "snapshotting run");
+  ASSERT_GE(snaps.size(), 1u);
+  expect_bitwise(ref, resume_from("conv", "KFAC", fc, 2, snaps.front()),
+                 "resume");
+  fs::remove_all(dir);
+}
+
+TEST(Resume, EveryOptimizerRoundTrips) {
+  // The save_state/load_state chain covers momentum, Adam moments, KFAC /
+  // EKFAC / KBFGS factor state, SNGD kernels, and HyLo's full switching
+  // state (KFAC and HyLo are exercised by the tests above).
+  for (const std::string optname :
+       {"SGD", "ADAM", "EKFAC", "KBFGS-L", "SNGD"}) {
+    const std::string dir = tmp_dir("opt_" + optname);
+    const RunOut ref = run_reference("mlp", optname, std::nullopt, 2);
+    RunOut with_snaps;
+    const auto snaps = run_with_snapshots("mlp", optname, std::nullopt, 2,
+                                          dir, 3, &with_snaps);
+    expect_bitwise(ref, with_snaps, optname + " snapshotting run");
+    ASSERT_GE(snaps.size(), 2u) << optname;
+    expect_bitwise(ref, resume_from("mlp", optname, std::nullopt, 2, snaps[1]),
+                   optname + " resume");
+    fs::remove_all(dir);
+  }
+}
+
+TEST(Resume, RejectsMismatchedConfiguration) {
+  const std::string dir = tmp_dir("mismatch");
+  RunOut with_snaps;
+  const auto snaps = run_with_snapshots("mlp", "SGD", std::nullopt, 2, dir, 3,
+                                        &with_snaps);
+  ASSERT_GE(snaps.size(), 1u);
+  const std::string snap = snaps.front();
+
+  {  // different optimizer
+    Rig s = make_rig("mlp", "ADAM");
+    Trainer t(s.net, *s.opt, s.data, base_config(2));
+    EXPECT_THROW(t.resume(snap), Error);
+  }
+  {  // different world
+    Rig s = make_rig("mlp", "SGD");
+    Trainer t(s.net, *s.opt, s.data, base_config(4));
+    EXPECT_THROW(t.resume(snap), Error);
+  }
+  {  // different batch size
+    Rig s = make_rig("mlp", "SGD");
+    TrainConfig tc = base_config(2);
+    tc.batch_size = 16;
+    Trainer t(s.net, *s.opt, s.data, tc);
+    EXPECT_THROW(t.resume(snap), Error);
+  }
+  {  // fault plan active on resume but absent at snapshot time
+    Rig s = make_rig("mlp", "SGD");
+    TrainConfig tc = base_config(2);
+    tc.faults = transient_faults();
+    Trainer t(s.net, *s.opt, s.data, tc);
+    EXPECT_THROW(t.resume(snap), Error);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Resume, RunLogAppendsWithResumeRecord) {
+  const std::string dir = tmp_dir("runlog");
+  const std::string tele = dir + "/telemetry";
+
+  RunOut interrupted;
+  const auto snaps = [&] {
+    Rig s = make_rig("mlp", "SGD");
+    TrainConfig tc = base_config(2);
+    tc.telemetry.dir = tele;
+    tc.checkpoint.dir = dir + "/snaps";
+    tc.checkpoint.every = 3;
+    tc.checkpoint.keep = 0;
+    Trainer t(s.net, *s.opt, s.data, tc);
+    interrupted.result = t.run();
+    return ckpt::list_snapshots(tc.checkpoint.dir);
+  }();
+  ASSERT_GE(snaps.size(), 1u);
+
+  {
+    Rig s = make_rig("mlp", "SGD");
+    TrainConfig tc = base_config(2);
+    tc.telemetry.dir = tele;
+    tc.telemetry.append = true;  // continue the interrupted run's log
+    Trainer t(s.net, *s.opt, s.data, tc);
+    t.resume(snaps.front());
+  }
+
+  std::ifstream in(tele + "/run.jsonl");
+  ASSERT_TRUE(in.good());
+  int run_starts = 0, resumes = 0;
+  std::int64_t resume_seq = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const obs::Json rec = obs::Json::parse(line);
+    const std::string type = rec.at("type").str();
+    if (type == "run_start") ++run_starts;
+    if (type == "resume") {
+      ++resumes;
+      resume_seq = static_cast<std::int64_t>(rec.at("seq").number());
+      EXPECT_EQ(rec.at("path").str(), snaps.front());
+      EXPECT_GE(rec.at("global_iter").number(), 1.0);
+    }
+  }
+  EXPECT_EQ(run_starts, 1);  // append mode suppresses the second run_start
+  EXPECT_EQ(resumes, 1);
+  EXPECT_GE(resume_seq, 1);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Elastic world-shrink on permanent rank loss
+
+FaultConfig rank_lost_only(std::uint64_t seed, double rate) {
+  FaultConfig fc;
+  fc.seed = seed;
+  fc.rate = rate;
+  fc.timeout_weight = 0.0;
+  fc.straggler_weight = 0.0;
+  fc.corrupt_weight = 0.0;
+  fc.rank_down_weight = 0.0;
+  fc.rank_lost_weight = 1.0;
+  return fc;
+}
+
+TEST(ElasticWorld, CommSimCommitsPendingDeaths) {
+  CommSim comm(4, loopback());
+  comm.configure_faults(rank_lost_only(5, 1.0));  // every collective kills
+  EXPECT_FALSE(comm.has_pending_shrinks());
+  comm.charge_allreduce(1 << 20, "comm/grad_allreduce",
+                        FailMode::kRetryUntilSuccess);
+  ASSERT_TRUE(comm.has_pending_shrinks());
+  EXPECT_EQ(comm.world(), 4);  // no shrink before the boundary commit
+  const auto dead = comm.commit_shrinks();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(comm.world(), 3);
+  EXPECT_EQ(comm.lost_ranks(), dead);
+  EXPECT_FALSE(comm.has_pending_shrinks());
+  EXPECT_EQ(
+      comm.profiler().registry().counter_value("dist/elastic/world_shrinks"),
+      1);
+}
+
+TEST(ElasticWorld, NeverShrinksBelowOneRank) {
+  CommSim comm(2, loopback());
+  comm.configure_faults(rank_lost_only(5, 1.0));
+  for (int i = 0; i < 10; ++i) {
+    comm.charge_allreduce(4096, "comm/grad_allreduce",
+                          FailMode::kRetryUntilSuccess);
+    comm.commit_shrinks();
+  }
+  EXPECT_EQ(comm.world(), 1);  // the last survivor is never killed
+  EXPECT_EQ(comm.lost_ranks().size(), 1u);
+}
+
+TEST(ElasticWorld, StormShrinksWorldAndTrainingCompletes) {
+  // A rank_lost storm: at least 25% of an 8-rank world dies permanently,
+  // the world shrinks at iteration boundaries, gradient averaging reweights
+  // to the survivors, and training still completes every epoch. The shrink
+  // history is visible in the run log and the final fault summary.
+  const std::string dir = tmp_dir("storm");
+  Rig s = make_rig("mlp", "SGD");
+  TrainConfig tc = base_config(8);
+  tc.epochs = 2;
+  tc.max_iters_per_epoch = 6;
+  tc.faults = rank_lost_only(21, 0.45);
+  tc.telemetry.dir = dir + "/telemetry";
+  Trainer t(s.net, *s.opt, s.data, tc);
+  const TrainResult res = t.run();
+
+  ASSERT_EQ(res.epochs.size(), 2u);
+  for (const auto& e : res.epochs) {
+    EXPECT_TRUE(std::isfinite(e.train_loss));
+    EXPECT_TRUE(std::isfinite(e.test_metric));
+  }
+  const index_t lost = 8 - t.world();
+  EXPECT_GE(lost, 2) << "storm must kill >= 25% of the 8 ranks";
+  const auto& reg = t.comm().profiler().registry();
+  EXPECT_EQ(reg.counter_value("dist/elastic/world_shrinks"), lost);
+  EXPECT_EQ(static_cast<index_t>(t.comm().lost_ranks().size()), lost);
+  EXPECT_GT(reg.counter_value("dist/elastic/layer_migrations"), 0);
+
+  // Run-log visibility: world_shrink records carry the dead ranks and the
+  // surviving world; the final result record totals the shrinks.
+  std::ifstream in(tc.telemetry.dir + "/run.jsonl");
+  ASSERT_TRUE(in.good());
+  index_t shrink_records = 0;
+  bool saw_result = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const obs::Json rec = obs::Json::parse(line);
+    const std::string type = rec.at("type").str();
+    if (type == "world_shrink") {
+      ++shrink_records;
+      EXPECT_GE(rec.at("lost_ranks").size(), 1u);
+      EXPECT_LT(rec.at("world").number(), 8.0);
+    }
+    if (type == "result") {
+      saw_result = true;
+      EXPECT_EQ(static_cast<index_t>(rec.at("world_shrinks").number()), lost);
+      EXPECT_EQ(static_cast<index_t>(rec.at("final_world").number()),
+                t.world());
+    }
+  }
+  EXPECT_GE(shrink_records, 1);
+  EXPECT_TRUE(saw_result);
+  fs::remove_all(dir);
+}
+
+TEST(ElasticWorld, ResumeRestoresShrunkenWorld) {
+  // Snapshot mid-storm and resume: the fault plan's draw cursor, the
+  // shrunken world, and the loss history must restore so the continuation
+  // is bitwise-identical to the uninterrupted elastic run.
+  const std::string dir = tmp_dir("elastic_resume");
+  const auto fc = rank_lost_only(21, 0.35);
+  const RunOut ref = run_reference("mlp", "SGD", fc, 8);
+  EXPECT_LT(ref.world, 8);  // the storm must actually shrink the world
+  RunOut with_snaps;
+  const auto snaps =
+      run_with_snapshots("mlp", "SGD", fc, 8, dir, 2, &with_snaps);
+  expect_bitwise(ref, with_snaps, "snapshotting elastic run");
+  ASSERT_GE(snaps.size(), 2u);
+  for (const auto& snap : snaps)
+    expect_bitwise(ref, resume_from("mlp", "SGD", fc, 8, snap),
+                   "elastic resume from " + snap);
+  fs::remove_all(dir);
+}
+
+TEST(ElasticWorld, DisabledRankLostReplaysByteIdentically) {
+  // A transient-only mix (rank_lost_weight == 0) must draw the exact same
+  // schedule as before the rank_lost kind existed: runs with the default
+  // mix never shrink and stay deterministic.
+  const auto fc = transient_faults();
+  const RunOut a = run_reference("mlp", "SGD", fc, 4);
+  const RunOut b = run_reference("mlp", "SGD", fc, 4);
+  expect_bitwise(a, b, "transient replay");
+  EXPECT_EQ(a.world, 4);
+}
+
+}  // namespace
+}  // namespace hylo

@@ -37,6 +37,11 @@ void violate_write_set(double* data, long n) {
       "fixture/undeclared");
 }
 
+void violate_ckpt_io() {
+  std::ofstream ckpt("model.ckpt");  // rule: ckpt_io — not an AtomicFile
+  ckpt << "torn on crash";
+}
+
 void violate_metric_name(Registry& reg) {
   reg.counter("BadMetricName");     // rule: metric_name — no subsystem/
   reg.gauge("optim/Upper/Case");    // rule: metric_name — uppercase

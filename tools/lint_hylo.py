@@ -25,6 +25,12 @@ Rules (each failure prints `file:line: [rule] message` and the run exits 1):
   metric_name -- obs metric names passed to counter(" / gauge(" /
                  histogram(" literals follow `subsystem/name`
                  (lowercase, at least one '/').
+  ckpt_io     -- no raw std::ofstream outside the ckpt/ and obs/
+                 subsystems. Durable artifacts (weights, run snapshots)
+                 must be written through ckpt::AtomicFile (tmp + rename +
+                 CRC) so a crash mid-write can never clobber the previous
+                 file with a torn one. Suppress a deliberately non-atomic
+                 write with `hylo-lint: allow(ckpt_io)`.
 
 Usage: lint_hylo.py [--root DIR]   (default: <repo>/src next to this script)
 """
@@ -45,6 +51,7 @@ RAND_RE = re.compile(
     r"std::mt19937|std::minstd_rand|std::default_random_engine|"
     r"std::uniform_(?:int|real)_distribution|std::bernoulli_distribution")
 PARALLEL_RE = re.compile(r"\bparallel_(?:for|reduce)\s*\(")
+OFSTREAM_RE = re.compile(r"std::ofstream")
 METRIC_RE = re.compile(r"\b(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
 METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(/[a-z0-9_.\-]+)+$")
 ALLOW_RE = re.compile(r"hylo-lint:\s*allow\(([a-z_,\s]+)\)")
@@ -148,6 +155,7 @@ class Linter:
         in_rng = pathlib.Path(rel).name.startswith("rng.")
         in_par = rel.startswith("par/") or "/par/" in f"/{rel}"
         in_audit = rel.startswith("audit/") or "/audit/" in f"/{rel}"
+        in_ckpt = rel.startswith("ckpt/") or "/ckpt/" in f"/{rel}"
 
         if path.suffix in HEADER_EXT:
             first = next(
@@ -168,6 +176,12 @@ class Linter:
                           "non-hylo::Rng randomness/wall-clock entropy "
                           "(use hylo::Rng, or annotate "
                           "'hylo-lint: allow(randomness)')")
+            if not in_ckpt and not in_obs and OFSTREAM_RE.search(ln) \
+                    and not allowed(raw_ln, "ckpt_io"):
+                self.fail(path, i, "ckpt_io",
+                          "raw std::ofstream outside hylo::ckpt/hylo::obs "
+                          "(write through ckpt::AtomicFile for crash "
+                          "safety, or annotate 'hylo-lint: allow(ckpt_io)')")
             for m in METRIC_RE.finditer(ln):
                 name = m.group(1)
                 if not METRIC_NAME_RE.match(name):
