@@ -1,0 +1,127 @@
+// Health-probe overhead: wall-time cost of the per-layer curvature probes
+// (DESIGN.md §12) vs probing cadence for the ResNet-32 proxy under the
+// HyLo optimizer. The same schedule runs with probes off, then at cadence
+// {4, 1}; each run's wall time and probe count are recorded and the final
+// weights are checked bitwise against the probe-free baseline — the probes
+// are pure observers and must not perturb training at ANY cadence, not just
+// when disabled. Writes BENCH_health.json for the repo record.
+//
+// Geometry: HYLO_BENCH_SCALE=large quadruples the iterations per epoch.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace hylo;
+using namespace hylo::bench;
+
+namespace {
+
+struct RunOut {
+  double wall_seconds = 0.0;
+  std::vector<real_t> weights;
+  index_t probes = 0;
+  index_t alerts = 0;
+  TrainResult result;
+};
+
+std::vector<real_t> flat_weights(Network& net) {
+  std::vector<real_t> out;
+  for (auto* pb : net.param_blocks())
+    out.insert(out.end(), pb->w.data(), pb->w.data() + pb->w.size());
+  for (auto pp : net.plain_params())
+    out.insert(out.end(), pp.value->begin(), pp.value->end());
+  return out;
+}
+
+bool bitwise_equal(const std::vector<real_t>& x, const std::vector<real_t>& y) {
+  if (x.size() != y.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (x[i] != y[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const Workload w = make_workload("resnet32");
+  const index_t iters = large_scale() ? 48 : 12;
+
+  // cadence < 0 encodes "probes disabled" (the baseline).
+  auto run_at = [&](index_t cadence) {
+    Network net = w.make_model();
+    OptimConfig oc = method_config("HyLo");
+    auto opt = make_optimizer("HyLo", oc);
+    TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 8;
+    tc.world = 4;
+    tc.interconnect = mist_v100();
+    tc.max_iters_per_epoch = iters;
+    tc.faults = FaultConfig{};  // pin ambient HYLO_FAULTS off: runs compare bitwise
+    obs::HealthConfig hc;       // pin ambient HYLO_HEALTH off likewise
+    hc.enabled = cadence >= 0;
+    hc.cadence = cadence >= 0 ? cadence : 1;
+    tc.health = hc;
+    Trainer trainer(net, *opt, w.data, tc);
+    RunOut out;
+    WallTimer timer;
+    out.result = trainer.run();
+    out.wall_seconds = timer.seconds();
+    out.weights = flat_weights(net);
+    out.probes = trainer.health().probes();
+    out.alerts = out.result.alerts_fired;
+    return out;
+  };
+
+  std::cout << "Health-probe overhead — " << w.paper_name << " proxy ("
+            << w.proxy_desc << "), HyLo, P=4, 2 epochs x " << iters
+            << " iters\n\n";
+
+  const RunOut base = run_at(-1);
+  std::cout << "  probes off: " << base.wall_seconds << " s (baseline)\n";
+
+  CsvWriter table({"cadence", "probes", "wall_seconds", "overhead_vs_off",
+                   "alerts", "bitwise_vs_off"});
+  obs::Json rows = obs::Json::array();
+  bool all_bitwise = true;
+  for (const index_t cadence : {index_t{4}, index_t{1}}) {
+    const RunOut out = run_at(cadence);
+    const bool bitwise = bitwise_equal(out.weights, base.weights);
+    all_bitwise = all_bitwise && bitwise;
+    const double overhead = out.wall_seconds / base.wall_seconds;
+    table.add(cadence, out.probes, out.wall_seconds, overhead, out.alerts,
+              bitwise ? "yes" : "NO");
+    obs::Json row = obs::Json::object();
+    row.set("cadence", cadence);
+    row.set("probes", out.probes);
+    row.set("wall_seconds", out.wall_seconds);
+    row.set("overhead_vs_off_x", overhead);
+    row.set("alerts_fired", out.alerts);
+    row.set("bitwise_final_weights", bitwise);
+    rows.push(std::move(row));
+  }
+  table.print_table();
+
+  obs::Json doc = obs::Json::object();
+  doc.set("bench", "health_overhead");
+  doc.set("workload", w.paper_name);
+  doc.set("proxy", w.proxy_desc);
+  doc.set("world", 4);
+  doc.set("epochs", 2);
+  doc.set("iters_per_epoch", iters);
+  doc.set("baseline_wall_seconds", base.wall_seconds);
+  doc.set("cadences", std::move(rows));
+  std::ofstream out("BENCH_health.json");
+  doc.dump(out);
+  out << "\n";
+  std::cout << "wrote BENCH_health.json\n";
+
+  if (!all_bitwise) {
+    std::cerr << "bitwise mismatch: health probes perturbed training\n";
+    return 1;
+  }
+  return 0;
+}

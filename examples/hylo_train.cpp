@@ -23,6 +23,12 @@
 //                          seed:rate[:mix] as for HYLO_FAULTS, e.g.
 //                          --faults 7:0.05:timeout=1,rank_down=2; the flag
 //                          overrides the environment spec)
+//   --health              (enable training-health probes + alert engine;
+//                          see DESIGN.md §12)
+//   --health-cadence N    (probe every Nth refresh opportunity; implies
+//                          --health; default 1)
+//   --strict-health       (implies --health; exit 3 if any critical alert
+//                          fired — CI gates on this)
 //   --profiling           (dump the comp/comm profiler at the end)
 //   --grad-norm           (print HyLo's Δ-norm history)
 //   --rank-analysis       (print the low rank used per refresh)
@@ -65,8 +71,8 @@ struct Args {
 Args parse(int argc, char** argv) {
   Args a;
   const std::map<std::string, bool> known_flags = {
-      {"profiling", true}, {"grad-norm", true}, {"rank-analysis", true},
-      {"no-step-log", true}};
+      {"profiling", true},  {"grad-norm", true},     {"rank-analysis", true},
+      {"no-step-log", true}, {"health", true},       {"strict-health", true}};
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     HYLO_CHECK(arg.rfind("--", 0) == 0, "unexpected argument " << arg);
@@ -147,6 +153,14 @@ int main(int argc, char** argv) {
   tc.checkpoint.dir = args.get("checkpoint-dir", "");
   tc.checkpoint.every = args.geti("checkpoint-every", 0);
   tc.checkpoint.keep = args.geti("checkpoint-keep", 3);
+  const bool strict_health = args.has("strict-health");
+  if (args.has("health") || strict_health ||
+      args.kv.count("health-cadence") > 0) {
+    obs::HealthConfig hc;
+    hc.enabled = true;
+    hc.cadence = args.geti("health-cadence", 1);
+    tc.health = hc;
+  }
   const std::string resume_path = args.get("resume", "");
   if (!resume_path.empty()) tc.telemetry.append = true;
 
@@ -217,6 +231,17 @@ int main(int argc, char** argv) {
   if (const std::string ckpt = args.get("checkpoint", ""); !ckpt.empty()) {
     net.save_weights(ckpt);
     std::cout << "weights saved to " << ckpt << "\n";
+  }
+  if (trainer.health().enabled()) {
+    std::cout << trainer.alerts().summary() << "\n"
+              << "health: " << trainer.health().probes() << " probe(s), "
+              << trainer.health().total_nonfinite()
+              << " non-finite value(s) observed\n";
+    if (strict_health && res.critical_alerts > 0) {
+      std::cout << "strict-health: " << res.critical_alerts
+                << " critical alert(s) — failing the run\n";
+      return 3;
+    }
   }
   return 0;
 }

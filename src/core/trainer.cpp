@@ -1,6 +1,8 @@
 #include "hylo/core/trainer.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
@@ -51,6 +53,29 @@ Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
     ckpt_ = cfg_.checkpoint;
   } else if (const auto env = ckpt::CkptConfig::from_env(); env.has_value()) {
     ckpt_ = *env;
+  }
+  // And for health probes: an explicit config pins them (enabled == false
+  // pins off); the HYLO_HEALTH cadence applies only when unset.
+  {
+    obs::HealthConfig hc;
+    if (cfg_.health.has_value()) {
+      hc = *cfg_.health;
+    } else if (const auto env = obs::HealthConfig::from_env();
+               env.has_value()) {
+      hc = *env;
+    }
+    health_ = obs::HealthMonitor(hc);
+    alerts_ = obs::AlertEngine(hc.alerts);
+    uses_capture_ = dynamic_cast<CurvatureOptimizer*>(opt_) != nullptr;
+    if (hc.enabled) {
+      std::string method = opt_->name();
+      for (char& c : method)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      health_.set_method(std::move(method));
+      health_.attach(&comm_.profiler().registry(), &runlog_);
+      alerts_.attach(&comm_.profiler().registry(), &runlog_);
+      opt_->set_health(&health_);
+    }
   }
   loaders_.reserve(static_cast<std::size_t>(cfg_.world));
   for (index_t r = 0; r < cfg_.world; ++r)
@@ -166,14 +191,20 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
   Batch batch;
   obs::TraceBuffer* trace = runlog_.enabled() ? &runlog_.trace() : nullptr;
   auto* hy = dynamic_cast<HyloOptimizer*>(opt_);
-  // Hoisted flags: with no fault plan and no checkpoint cadence these stay
-  // false for the whole run and the loop takes no snapshot/elastic work —
-  // such runs stay byte-identical to a build without either subsystem.
+  // Hoisted flags: with no fault plan, no checkpoint cadence, and no health
+  // probes these stay false for the whole run and the loop takes no
+  // snapshot/elastic/probe work — such runs stay byte-identical to a build
+  // without any of the three subsystems.
   const bool elastic = comm_.faults_active();
   const bool snapshots = ckpt_.enabled();
+  const bool health_on = health_.enabled();
 
   for (index_t it = start_iter; it < iters; ++it) {
     const bool capture = opt_->needs_capture(global_iter_);
+    // A probe opportunity is a curvature refresh — or, for first-order
+    // methods (which never capture), every iteration; the monitor's cadence
+    // then thins these to actual probes.
+    if (health_on && (capture || !uses_capture_)) health_.begin_refresh();
     const PassContext ctx{.training = true, .capture = capture};
     net_->zero_grad();
 
@@ -253,6 +284,24 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
       }
       runlog_.record("step", std::move(rec));
     }
+    if (health_on && health_.due()) {
+      // Trainer-side non-finite scan: live weights and the gradients the
+      // step just consumed (probes are observers — nothing is modified).
+      index_t nan_w = 0, nan_g = 0;
+      for (auto* pb : blocks) {
+        nan_w += obs::count_nonfinite(pb->w);
+        nan_g += obs::count_nonfinite(pb->gw);
+      }
+      for (auto pp : net_->plain_params()) {
+        nan_w += obs::count_nonfinite(*pp.value);
+        nan_g += obs::count_nonfinite(*pp.grad);
+      }
+      health_.report_nonfinite(nan_w, nan_g);
+      health_.flush(epoch, it, global_iter_);
+      alerts_.on_probe(epoch, global_iter_, health_.last_nonfinite(),
+                       health_.last_max_cond(),
+                       health_.last_max_staleness());
+    }
     ++global_iter_;
     // Iteration boundary: permanent rank deaths recorded mid-iteration are
     // committed here, so every collective of one iteration saw one world.
@@ -308,6 +357,13 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
     runlog_.console(line.str());
   }
   log_epoch(stats, epoch);
+  if (health_.enabled()) {
+    const std::int64_t faults =
+        comm_.profiler().registry().counter_value("comm/faults/injected");
+    alerts_.on_epoch(epoch, global_iter_, stats.train_loss, stats.note,
+                     faults - last_alert_faults_);
+    last_alert_faults_ = faults;
+  }
   if (hook_) hook_(stats, *net_);
   result.epochs.push_back(stats);
 }
@@ -433,6 +489,30 @@ TrainResult Trainer::run_from() {
   result.compute_seconds = comp_par_seconds_;
   result.replicated_seconds = comp_rep_seconds_;
   result.comm_seconds = comm_seconds_;
+  result.alerts_fired = static_cast<index_t>(alerts_.fired().size());
+  result.critical_alerts = alerts_.critical_count();
+  if (health_.enabled()) {
+    // Post-run rollup: one "health_summary" record plus a console line, so
+    // a run's verdict is readable without replaying every probe record.
+    if (runlog_.enabled()) {
+      obs::Json rec = obs::Json::object();
+      rec.set("probes", health_.probes());
+      rec.set("worst_cond", health_.worst_cond());
+      rec.set("total_nonfinite", health_.total_nonfinite());
+      rec.set("alerts_fired", result.alerts_fired);
+      rec.set("critical_alerts", result.critical_alerts);
+      obs::Json rules = obs::Json::object();
+      for (const char* rule : obs::kAlertCatalogue) {
+        index_t n = 0;
+        for (const auto& a : alerts_.fired())
+          if (a.rule == rule) ++n;
+        if (n > 0) rules.set(rule, n);
+      }
+      rec.set("by_rule", std::move(rules));
+      runlog_.record("health_summary", std::move(rec));
+    }
+    runlog_.console(alerts_.summary());
+  }
   if (runlog_.enabled()) {
     // Fold the thread-pool's cumulative fan-out stats and the write-set
     // auditor's counters into the registry so the run log's final metrics

@@ -20,6 +20,7 @@
 #include "hylo/ckpt/snapshot.hpp"
 #include "hylo/data/datasets.hpp"
 #include "hylo/nn/loss.hpp"
+#include "hylo/obs/health.hpp"
 #include "hylo/obs/run_log.hpp"
 #include "hylo/optim/optimizer.hpp"
 
@@ -71,6 +72,12 @@ struct TrainConfig {
   /// HYLO_CKPT_EVERY / HYLO_CKPT_KEEP environment applies only when the
   /// dir is left empty.
   ckpt::CkptConfig checkpoint;
+  /// Training-health probes + alert engine (obs/health.hpp, DESIGN.md §12).
+  /// Precedence mirrors `faults`: set here to pin probes programmatically
+  /// (enabled == false pins them off); the HYLO_HEALTH environment cadence
+  /// applies only when this is unset. With neither, the hot path takes no
+  /// probe branches and training is bitwise identical to a probe-free build.
+  std::optional<obs::HealthConfig> health;
 };
 
 struct EpochStats {
@@ -91,6 +98,9 @@ struct TrainResult {
   /// First simulated time at which test_metric >= target (if reached).
   std::optional<double> time_to_target;
   std::optional<index_t> epochs_to_target;
+  /// Alert-engine rollup (0/0 when health probes are disabled).
+  index_t alerts_fired = 0;
+  index_t critical_alerts = 0;
 
   real_t best_metric() const;
 };
@@ -133,6 +143,11 @@ class Trainer {
   obs::RunLogger& run_log() { return runlog_; }
   const obs::RunLogger& run_log() const { return runlog_; }
 
+  /// Health-probe monitor and alert engine (both inert unless health is
+  /// enabled via TrainConfig::health or HYLO_HEALTH).
+  const obs::HealthMonitor& health() const { return health_; }
+  const obs::AlertEngine& alerts() const { return alerts_; }
+
   /// Optional per-epoch observer (benches log gradient norms etc.).
   using EpochHook = std::function<void(const EpochStats&, Network&)>;
   void set_epoch_hook(EpochHook hook) { hook_ = std::move(hook); }
@@ -167,6 +182,10 @@ class Trainer {
   TrainConfig cfg_;
   CommSim comm_;
   obs::RunLogger runlog_;
+  obs::HealthMonitor health_;
+  obs::AlertEngine alerts_;
+  bool uses_capture_ = false;  ///< optimizer has curvature refreshes
+  std::int64_t last_alert_faults_ = 0;  ///< fault-budget epoch delta base
   std::vector<DataLoader> loaders_;
   SoftmaxCrossEntropy ce_;
   DiceBceLoss dice_;

@@ -1,0 +1,107 @@
+#pragma once
+/// \file alerts.hpp
+/// Declarative training-health alert rules (DESIGN.md §12) evaluated on the
+/// simulated timeline. The engine consumes two feeds — per-probe aggregates
+/// from the HealthMonitor and per-epoch stats from the Trainer — checks them
+/// against fixed threshold/trend rules, and emits `alert` run-log records
+/// with severity and firing context plus `obs/alerts/*` counters. It never
+/// mutates training state; `--strict-health` in hylo_train turns critical
+/// alerts into a non-zero exit after the run completes.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "hylo/common/types.hpp"
+
+namespace hylo::obs {
+
+class MetricsRegistry;
+class RunLogger;
+
+/// Alert rule catalogue: the closed set of rule names that may appear in
+/// `alert` records and `obs/alerts/*` metric labels. Parsed by the
+/// `health_catalogue` lint rule alongside the probe catalogue.
+/// hylo-alert-catalogue-begin
+inline constexpr const char* kAlertCatalogue[] = {
+    "non_finite",         ///< NaN/Inf in loss, weights, grads, or factors
+    "loss_divergence",    ///< train loss above factor x trailing-window mean
+    "switch_oscillation", ///< KID/KIS mode flapping across recent epochs
+    "staleness_budget",   ///< a layer served factors older than the budget
+    "fault_budget",       ///< injected comm faults per epoch above budget
+    "cond_blowup",        ///< factor condition estimate above threshold
+};
+/// hylo-alert-catalogue-end
+
+enum class AlertSeverity { kWarning, kCritical };
+
+const char* to_string(AlertSeverity s);
+
+/// Rule thresholds. Defaults are deliberately loose: alerts should mark
+/// runs that are actually sick, not tune-this-week noise.
+struct AlertConfig {
+  double loss_divergence_factor = 2.0;  ///< fire when loss > factor * mean
+  index_t loss_window = 3;              ///< trailing epochs in that mean
+  index_t oscillation_window = 6;       ///< epochs inspected for mode flips
+  index_t oscillation_flips = 4;        ///< distinct flips that count as flapping
+  index_t staleness_budget = 3;         ///< max refresh age before warning
+  std::int64_t fault_budget = 64;       ///< injected faults per epoch
+  double cond_warning = 1e8;            ///< condition estimate -> warning
+  double cond_critical = 1e12;          ///< condition estimate -> critical
+};
+
+/// One fired alert (also serialized as an `alert` run-log record).
+struct Alert {
+  std::string rule;
+  AlertSeverity severity = AlertSeverity::kWarning;
+  index_t epoch = -1;
+  index_t global_iter = -1;
+  double value = 0.0;      ///< observed quantity that tripped the rule
+  double threshold = 0.0;  ///< configured limit it was checked against
+  std::string detail;      ///< human-readable firing context
+};
+
+/// Threshold/trend rule evaluator. Rules dedupe per (rule, epoch) so a
+/// sick epoch produces one record per rule, not one per iteration.
+class AlertEngine {
+ public:
+  AlertEngine() = default;
+  explicit AlertEngine(AlertConfig cfg) : cfg_(cfg) {}
+
+  void attach(MetricsRegistry* reg, RunLogger* log) {
+    reg_ = reg;
+    log_ = log;
+  }
+  const AlertConfig& config() const { return cfg_; }
+
+  /// Probe-cadence feed: aggregates of the most recent HealthMonitor flush.
+  void on_probe(index_t epoch, index_t global_iter, std::int64_t nonfinite,
+                double max_cond, index_t max_staleness);
+
+  /// Epoch feed: called once per epoch after stats are final. `mode` is the
+  /// serving mode recorded in the epoch note ("kid"/"kis"/first-order tag);
+  /// `faults_injected` is the epoch's delta of comm/faults/injected.
+  void on_epoch(index_t epoch, index_t global_iter, double train_loss,
+                const std::string& mode, std::int64_t faults_injected);
+
+  const std::vector<Alert>& fired() const { return fired_; }
+  index_t critical_count() const { return critical_; }
+
+  /// One-line-per-rule rollup for the post-run console summary.
+  std::string summary() const;
+
+ private:
+  bool already_fired(const std::string& rule, index_t epoch) const;
+  void fire(Alert a);
+
+  AlertConfig cfg_;
+  MetricsRegistry* reg_ = nullptr;
+  RunLogger* log_ = nullptr;
+  std::vector<Alert> fired_;
+  index_t critical_ = 0;
+  std::deque<double> loss_window_;
+  std::deque<std::string> mode_window_;
+};
+
+}  // namespace hylo::obs

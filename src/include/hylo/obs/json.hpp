@@ -76,6 +76,10 @@ class Json {
     HYLO_CHECK(type_ == Type::kNumber, "not a number");
     return num_;
   }
+  /// Numeric read that also accepts the non-finite sentinels the dumper
+  /// emits ("NaN" / "Infinity" / "-Infinity" strings, and null → NaN), so
+  /// health-probe values round-trip through JSONL. Throws on anything else.
+  double to_double() const;
   const std::string& str() const {
     HYLO_CHECK(type_ == Type::kString, "not a string");
     return str_;

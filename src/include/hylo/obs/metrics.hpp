@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
@@ -87,20 +88,27 @@ class Histogram {
 
   std::int64_t count() const { return locked().count_; }
   double sum() const { return locked().sum_; }
+  /// Empty-histogram contract: mean/min/max/quantile return NaN when no
+  /// observation has landed (sum stays 0). NaN survives JSON emission as
+  /// the "NaN" sentinel, so an empty summary is distinguishable from a
+  /// histogram whose observations really were zero — per-layer health
+  /// histograms on one-layer nets hit this constantly. A single-sample
+  /// histogram reads that sample back exactly from every quantile.
   double mean() const {
     const State s = locked();
-    return s.count_ == 0 ? 0.0 : s.sum_ / static_cast<double>(s.count_);
+    return s.count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                         : s.sum_ / static_cast<double>(s.count_);
   }
   double min() const {
     const State s = locked();
-    return s.count_ == 0 ? 0.0 : s.min_;
+    return s.count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : s.min_;
   }
   double max() const {
     const State s = locked();
-    return s.count_ == 0 ? 0.0 : s.max_;
+    return s.count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : s.max_;
   }
 
-  /// q in [0, 1]. Returns 0 with no observations.
+  /// q in [0, 1]. Returns NaN with no observations.
   double quantile(double q) const;
   double p50() const { return quantile(0.50); }
   double p95() const { return quantile(0.95); }

@@ -8,7 +8,11 @@
 ///   - obs/run_log.hpp — JSONL run log (one record per step/epoch) owning
 ///     the trace buffer
 ///   - obs/json.hpp    — the minimal JSON writer/parser they share
+///   - obs/health.hpp  — cadence-gated per-layer training-health probes
+///   - obs/alerts.hpp  — threshold/trend alert rules over the probe feed
 
+#include "hylo/obs/alerts.hpp"
+#include "hylo/obs/health.hpp"
 #include "hylo/obs/json.hpp"
 #include "hylo/obs/metrics.hpp"
 #include "hylo/obs/run_log.hpp"

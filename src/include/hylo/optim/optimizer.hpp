@@ -19,6 +19,10 @@
 #include "hylo/dist/comm.hpp"
 #include "hylo/nn/network.hpp"
 
+namespace hylo::obs {
+class HealthMonitor;
+}  // namespace hylo::obs
+
 namespace hylo {
 
 /// Hyper-parameters for all methods (each uses its relevant subset).
@@ -105,7 +109,14 @@ class Optimizer {
   void set_lr(real_t lr) { cfg_.lr = lr; }
   const OptimConfig& config() const { return cfg_; }
 
+  /// Non-owning health-probe sink (obs/health.hpp); the Trainer wires its
+  /// monitor in when probes are enabled. Null (the default) or a monitor
+  /// whose due() is false means probe blocks are skipped entirely — probes
+  /// are pure observers reading committed state, never inputs to the math.
+  void set_health(obs::HealthMonitor* health) { health_ = health; }
+
  protected:
+  obs::HealthMonitor* health_ = nullptr;
   /// Shared momentum + weight-decay update over all parameters (used by SGD
   /// and, post-preconditioning, by the whole NGD family).
   /// `scale` multiplies the gradient (KL-clip factor).

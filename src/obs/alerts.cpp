@@ -1,0 +1,192 @@
+#include "hylo/obs/alerts.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "hylo/obs/json.hpp"
+#include "hylo/obs/metrics.hpp"
+#include "hylo/obs/run_log.hpp"
+
+namespace hylo::obs {
+
+const char* to_string(AlertSeverity s) {
+  return s == AlertSeverity::kCritical ? "critical" : "warning";
+}
+
+bool AlertEngine::already_fired(const std::string& rule,
+                                index_t epoch) const {
+  for (const Alert& a : fired_)
+    if (a.epoch == epoch && a.rule == rule) return true;
+  return false;
+}
+
+void AlertEngine::fire(Alert a) {
+  if (already_fired(a.rule, a.epoch)) return;
+  if (a.severity == AlertSeverity::kCritical) ++critical_;
+  if (reg_ != nullptr) {
+    reg_->counter("obs/alerts/fired").inc();
+    if (a.severity == AlertSeverity::kCritical)
+      reg_->counter("obs/alerts/critical").inc();
+  }
+  if (log_ != nullptr && log_->enabled()) {
+    Json rec = Json::object();
+    rec.set("rule", a.rule);
+    rec.set("severity", to_string(a.severity));
+    rec.set("epoch", a.epoch);
+    rec.set("global_iter", a.global_iter);
+    rec.set("value", a.value);
+    rec.set("threshold", a.threshold);
+    rec.set("detail", a.detail);
+    log_->record("alert", std::move(rec));
+  }
+  fired_.push_back(std::move(a));
+}
+
+void AlertEngine::on_probe(index_t epoch, index_t global_iter,
+                           std::int64_t nonfinite, double max_cond,
+                           index_t max_staleness) {
+  if (nonfinite > 0) {
+    Alert a;
+    a.rule = "non_finite";
+    a.severity = AlertSeverity::kCritical;
+    a.epoch = epoch;
+    a.global_iter = global_iter;
+    a.value = static_cast<double>(nonfinite);
+    a.threshold = 0.0;
+    std::ostringstream oss;
+    oss << nonfinite << " non-finite entries in weights/grads/factors";
+    a.detail = oss.str();
+    fire(std::move(a));
+  }
+  if (std::isfinite(max_cond) ? max_cond >= cfg_.cond_warning
+                              : std::isinf(max_cond)) {
+    const bool critical = !std::isfinite(max_cond) ||
+                          max_cond >= cfg_.cond_critical;
+    Alert a;
+    a.rule = "cond_blowup";
+    a.severity =
+        critical ? AlertSeverity::kCritical : AlertSeverity::kWarning;
+    a.epoch = epoch;
+    a.global_iter = global_iter;
+    a.value = max_cond;
+    a.threshold = critical ? cfg_.cond_critical : cfg_.cond_warning;
+    std::ostringstream oss;
+    oss << "factor condition estimate " << max_cond << " above "
+        << a.threshold;
+    a.detail = oss.str();
+    fire(std::move(a));
+  }
+  if (max_staleness > cfg_.staleness_budget) {
+    Alert a;
+    a.rule = "staleness_budget";
+    a.severity = AlertSeverity::kWarning;
+    a.epoch = epoch;
+    a.global_iter = global_iter;
+    a.value = static_cast<double>(max_staleness);
+    a.threshold = static_cast<double>(cfg_.staleness_budget);
+    std::ostringstream oss;
+    oss << "a layer is serving factors " << max_staleness
+        << " refreshes old (budget " << cfg_.staleness_budget << ")";
+    a.detail = oss.str();
+    fire(std::move(a));
+  }
+}
+
+void AlertEngine::on_epoch(index_t epoch, index_t global_iter,
+                           double train_loss, const std::string& mode,
+                           std::int64_t faults_injected) {
+  if (!std::isfinite(train_loss)) {
+    Alert a;
+    a.rule = "non_finite";
+    a.severity = AlertSeverity::kCritical;
+    a.epoch = epoch;
+    a.global_iter = global_iter;
+    a.value = train_loss;
+    a.threshold = 0.0;
+    a.detail = "train loss is non-finite";
+    fire(std::move(a));
+  } else if (static_cast<index_t>(loss_window_.size()) >= cfg_.loss_window) {
+    double mean = 0.0;
+    for (const double l : loss_window_) mean += l;
+    mean /= static_cast<double>(loss_window_.size());
+    const double limit = cfg_.loss_divergence_factor * mean;
+    if (mean > 0.0 && train_loss > limit) {
+      Alert a;
+      a.rule = "loss_divergence";
+      a.severity = AlertSeverity::kCritical;
+      a.epoch = epoch;
+      a.global_iter = global_iter;
+      a.value = train_loss;
+      a.threshold = limit;
+      std::ostringstream oss;
+      oss << "train loss " << train_loss << " > "
+          << cfg_.loss_divergence_factor << "x trailing-" << cfg_.loss_window
+          << "-epoch mean " << mean;
+      a.detail = oss.str();
+      fire(std::move(a));
+    }
+  }
+  if (std::isfinite(train_loss)) {
+    loss_window_.push_back(train_loss);
+    while (static_cast<index_t>(loss_window_.size()) > cfg_.loss_window)
+      loss_window_.pop_front();
+  }
+
+  mode_window_.push_back(mode);
+  while (static_cast<index_t>(mode_window_.size()) > cfg_.oscillation_window)
+    mode_window_.pop_front();
+  index_t flips = 0;
+  for (std::size_t i = 1; i < mode_window_.size(); ++i)
+    if (mode_window_[i] != mode_window_[i - 1]) ++flips;
+  if (flips >= cfg_.oscillation_flips) {
+    Alert a;
+    a.rule = "switch_oscillation";
+    a.severity = AlertSeverity::kWarning;
+    a.epoch = epoch;
+    a.global_iter = global_iter;
+    a.value = static_cast<double>(flips);
+    a.threshold = static_cast<double>(cfg_.oscillation_flips);
+    std::ostringstream oss;
+    oss << flips << " mode flips in the last " << mode_window_.size()
+        << " epochs (ending in '" << mode << "')";
+    a.detail = oss.str();
+    fire(std::move(a));
+  }
+
+  if (faults_injected > cfg_.fault_budget) {
+    Alert a;
+    a.rule = "fault_budget";
+    a.severity = AlertSeverity::kWarning;
+    a.epoch = epoch;
+    a.global_iter = global_iter;
+    a.value = static_cast<double>(faults_injected);
+    a.threshold = static_cast<double>(cfg_.fault_budget);
+    std::ostringstream oss;
+    oss << faults_injected << " comm faults injected this epoch (budget "
+        << cfg_.fault_budget << ")";
+    a.detail = oss.str();
+    fire(std::move(a));
+  }
+}
+
+std::string AlertEngine::summary() const {
+  if (fired_.empty()) return "health: no alerts fired";
+  std::ostringstream oss;
+  oss << "health: " << fired_.size() << " alert(s), " << critical_
+      << " critical";
+  for (const char* rule : kAlertCatalogue) {
+    index_t n = 0;
+    index_t first = -1;
+    for (const Alert& a : fired_) {
+      if (a.rule != rule) continue;
+      ++n;
+      if (first < 0) first = a.epoch;
+    }
+    if (n > 0)
+      oss << "\n  " << rule << ": x" << n << " (first at epoch " << first
+          << ")";
+  }
+  return oss.str();
+}
+
+}  // namespace hylo::obs

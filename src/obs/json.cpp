@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 namespace hylo::obs {
@@ -31,9 +32,11 @@ std::string format_number(double v) {
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
     return buf;
   }
-  // JSON has no Infinity/NaN; clamp to null-like zero is worse than being
-  // explicit, so emit 0 with a guard — telemetry values should be finite.
-  if (!std::isfinite(v)) return "0";
+  // JSON has no Infinity/NaN literals; health probes produce non-finite
+  // values by design (NaN = "probe not applicable", Inf = singular factor),
+  // so emit the sentinel strings that Json::to_double maps back.
+  if (std::isnan(v)) return "\"NaN\"";
+  if (std::isinf(v)) return v > 0 ? "\"Infinity\"" : "\"-Infinity\"";
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   // Trim to the shortest representation that still round-trips.
@@ -252,6 +255,17 @@ void Json::dump(std::ostream& os) const {
       break;
     }
   }
+}
+
+double Json::to_double() const {
+  if (type_ == Type::kNumber) return num_;
+  if (type_ == Type::kNull) return std::numeric_limits<double>::quiet_NaN();
+  HYLO_CHECK(type_ == Type::kString,
+             "to_double on non-numeric JSON value");
+  if (str_ == "NaN") return std::numeric_limits<double>::quiet_NaN();
+  if (str_ == "Infinity") return std::numeric_limits<double>::infinity();
+  if (str_ == "-Infinity") return -std::numeric_limits<double>::infinity();
+  HYLO_CHECK(false, "string '" << str_ << "' is not a numeric sentinel");
 }
 
 std::string Json::dump() const {

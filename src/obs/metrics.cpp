@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "hylo/obs/json.hpp"
 
@@ -61,7 +62,7 @@ void Histogram::observe(double v) {
 
 double Histogram::quantile(double q) const {
   std::lock_guard<std::mutex> lk(mu_);
-  if (count_ == 0) return 0.0;
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   // Nearest-rank target, then linear interpolation inside the bucket that
   // holds it. Bucket edges are tightened by the observed min/max so a

@@ -5,6 +5,7 @@
 #include "hylo/ckpt/snapshot.hpp"
 #include "hylo/linalg/id.hpp"
 #include "hylo/linalg/kernels.hpp"
+#include "hylo/obs/health.hpp"
 #include "hylo/par/thread_pool.hpp"
 #include "hylo/tensor/ops.hpp"
 
@@ -381,6 +382,57 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
     reg.histogram("optim/hylo/selected_rank",
                   obs::Histogram::linear_bounds(0.0, 4096.0, 65))
         .observe(static_cast<double>(last_rank_));
+  }
+
+  // --- Health probes (observers only; reads the *committed* state, so a
+  // layer whose collectives failed this refresh reports its served stale
+  // factors, not the dropped candidate). Gated on the probe cadence.
+  if (health_ != nullptr && health_->due()) {
+    for (index_t l = 0; l < layers; ++l) {
+      const LayerState& st = layers_[static_cast<std::size_t>(l)];
+      obs::LayerHealth h;
+      h.layer = l;
+      h.staleness = st.staleness;
+      if (st.ready) {
+        h.cond = st.mode == HyloMode::kKid
+                     ? obs::cond_from_lu(st.kid_middle.lu)
+                     : obs::cond_from_cholesky(st.kis_chol);
+        h.nonfinite = obs::count_nonfinite(st.a_s) +
+                      obs::count_nonfinite(st.g_s) +
+                      (st.mode == HyloMode::kKid
+                           ? obs::count_nonfinite(st.kid_middle.lu)
+                           : obs::count_nonfinite(st.kis_chol));
+        // Captured-energy fraction: tr(K̂) of the served low-rank factors
+        // over tr(K) of the full capture, both via the Khatri-Rao diagonal
+        // K_jj = ‖a_j‖²‖g_j‖². KIS row scaling makes tr(K̂) an unbiased
+        // estimator of tr(K), so ≈1 there is correct, not vacuous; for KID
+        // this is the energy the chosen rank actually keeps.
+        double kept = 0.0;
+        {
+          const auto na = row_norms(st.a_s);
+          const auto ng = row_norms(st.g_s);
+          for (std::size_t j = 0; j < na.size(); ++j) {
+            const double s = na[j] * ng[j];
+            kept += s * s;
+          }
+        }
+        double total = 0.0;
+        for (index_t rank = 0; rank < world; ++rank) {
+          const auto na =
+              row_norms(capture.a[static_cast<std::size_t>(l)]
+                                 [static_cast<std::size_t>(rank)]);
+          const auto ng =
+              row_norms(capture.g[static_cast<std::size_t>(l)]
+                                 [static_cast<std::size_t>(rank)]);
+          for (std::size_t j = 0; j < na.size(); ++j) {
+            const double s = na[j] * ng[j];
+            total += s * s;
+          }
+        }
+        if (total > 0.0) h.energy_fraction = kept / total;
+      }
+      health_->report_layer(h);
+    }
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include "hylo/ckpt/snapshot.hpp"
 #include "hylo/linalg/eigh.hpp"
+#include "hylo/obs/health.hpp"
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
@@ -139,6 +140,25 @@ void KFac::update_curvature(const std::vector<ParamBlock*>& blocks,
     st.ready = true;
     st.staleness = 0;
   }
+
+  // Health probes over the served Kronecker factor pairs: κ∞ estimates come
+  // free from the factor/inverse pairs already held. No rank truncation,
+  // so energy_fraction stays NaN.
+  if (health_ != nullptr && health_->due()) {
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      const LayerState& st = layers_[l];
+      obs::LayerHealth h;
+      h.layer = static_cast<index_t>(l);
+      h.staleness = st.staleness;
+      if (st.ready) {
+        h.cond_a = obs::cond_from_pair(st.a_factor, st.a_inv);
+        h.cond_g = obs::cond_from_pair(st.g_factor, st.g_inv);
+        h.nonfinite = obs::count_nonfinite(st.a_inv) +
+                      obs::count_nonfinite(st.g_inv);
+      }
+      health_->report_layer(h);
+    }
+  }
 }
 
 void KFac::precondition_block(ParamBlock& pb, index_t layer) {
@@ -228,6 +248,30 @@ void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
     }
     est = std::move(cand[static_cast<std::size_t>(l)]);
     est.staleness = 0;
+  }
+
+  // Health probes: the damped eigenbasis scalings are exactly the spectrum
+  // the preconditioner divides by, so their spread is the served condition
+  // number — no extra factorization work.
+  if (health_ != nullptr && health_->due()) {
+    for (index_t l = 0; l < layers; ++l) {
+      const EigState& est = eig_[static_cast<std::size_t>(l)];
+      obs::LayerHealth h;
+      h.layer = l;
+      h.staleness = est.staleness;
+      if (est.ready && !est.scaling.empty()) {
+        real_t lo = est.scaling[0], hi = est.scaling[0];
+        for (index_t i = 0; i < est.scaling.size(); ++i) {
+          lo = std::min(lo, est.scaling[i]);
+          hi = std::max(hi, est.scaling[i]);
+        }
+        h.cond = (hi + cfg_.damping) / (lo + cfg_.damping);
+        h.nonfinite = obs::count_nonfinite(est.v_a) +
+                      obs::count_nonfinite(est.v_g) +
+                      obs::count_nonfinite(est.scaling);
+      }
+      health_->report_layer(h);
+    }
   }
 }
 
@@ -351,6 +395,23 @@ void KBfgs::update_curvature(const std::vector<ParamBlock*>& blocks,
     }
     st = std::move(cand[static_cast<std::size_t>(l)]);
     st.staleness = 0;
+  }
+
+  // Health probes: κ∞ of the input-side factor via the held inverse pair
+  // (the G side is applied through the BFGS recursion, no inverse to read).
+  if (health_ != nullptr && health_->due()) {
+    for (index_t l = 0; l < layers; ++l) {
+      const LayerState& st = layers_[static_cast<std::size_t>(l)];
+      obs::LayerHealth h;
+      h.layer = l;
+      h.staleness = st.staleness;
+      if (st.ready) {
+        h.cond_a = obs::cond_from_pair(st.a_factor, st.a_inv);
+        h.nonfinite = obs::count_nonfinite(st.a_inv) +
+                      obs::count_nonfinite(st.g_factor);
+      }
+      health_->report_layer(h);
+    }
   }
 }
 

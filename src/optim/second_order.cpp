@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "hylo/linalg/cholesky.hpp"
+#include "hylo/obs/health.hpp"
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
@@ -16,6 +17,14 @@ void CurvatureOptimizer::step(Network& net, index_t /*iteration*/) {
   for (std::size_t l = 0; l < blocks.size(); ++l)
     if (layer_ready(static_cast<index_t>(l)))
       precondition_block(*blocks[l], static_cast<index_t>(l));
+
+  if (health_ != nullptr && health_->due()) {
+    // gw now holds the preconditioned direction, raw the incoming gradient —
+    // exactly the pair the update_ratio probe wants, with no extra GEMMs.
+    for (std::size_t l = 0; l < blocks.size(); ++l)
+      health_->report_norms(static_cast<index_t>(l), frobenius_norm(raw[l]),
+                            frobenius_norm(blocks[l]->gw));
+  }
 
   // KL clip (trust region on the quadratic model).
   real_t vg = 0.0;

@@ -2,6 +2,7 @@
 
 #include "hylo/ckpt/snapshot.hpp"
 #include "hylo/linalg/kernels.hpp"
+#include "hylo/obs/health.hpp"
 #include "hylo/par/thread_pool.hpp"
 #include "hylo/tensor/ops.hpp"
 
@@ -54,12 +55,32 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
     st.staleness = 0;
   };
 
+  // Health probes over the committed (served) state. The exact SNGD kernel
+  // has no rank truncation, so energy_fraction stays NaN (not applicable).
+  auto probe_all = [&] {
+    if (health_ == nullptr || !health_->due()) return;
+    for (index_t l = 0; l < layers; ++l) {
+      const LayerState& st = layers_[static_cast<std::size_t>(l)];
+      obs::LayerHealth h;
+      h.layer = l;
+      h.staleness = st.staleness;
+      if (st.ready) {
+        h.cond = obs::cond_from_cholesky(st.kernel_chol);
+        h.nonfinite = obs::count_nonfinite(st.a_glob) +
+                      obs::count_nonfinite(st.g_glob) +
+                      obs::count_nonfinite(st.kernel_chol);
+      }
+      health_->report_layer(h);
+    }
+  };
+
   // Stage 2 (serial, layer order): modeled gathers of the raw per-sample
   // matrices (step 2 of Fig. 1) and broadcast of each inverted kernel
   // (step 4) — the exact charge sequence of the serial implementation. A
   // layer whose gather or broadcast is lost keeps its previous factors.
   if (comm == nullptr) {
     for (index_t l = 0; l < layers; ++l) commit(l);
+    probe_all();
     return;
   }
   double inv_total = 0.0, inv_max = 0.0;
@@ -94,6 +115,7 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
   }
   comm->profiler().add("comp/inversion", inv_total);
   comm->profiler().add("comp/inversion_critical", inv_max);
+  probe_all();
 }
 
 Matrix Sngd::preconditioned(const Matrix& grad, index_t layer) const {

@@ -4,9 +4,11 @@
 // and an end-to-end Trainer run whose artifacts parse back cleanly.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -86,6 +88,35 @@ TEST(Json, FindAndAt) {
   EXPECT_THROW(j.at("missing"), Error);
 }
 
+TEST(Json, NonFiniteNumbersRoundTripAsSentinels) {
+  // JSON has no NaN/Infinity literals; the dumper emits sentinel strings
+  // (health probes produce non-finite values by design) and to_double maps
+  // them back, so a run log survives a dump → parse → read cycle.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Json(nan).dump(), "\"NaN\"");
+  EXPECT_EQ(Json(inf).dump(), "\"Infinity\"");
+  EXPECT_EQ(Json(-inf).dump(), "\"-Infinity\"");
+
+  Json rec = Json::object();
+  rec.set("cond", inf).set("energy", nan).set("ok", 0.5);
+  const Json back = Json::parse(rec.dump());
+  EXPECT_TRUE(std::isinf(back.at("cond").to_double()));
+  EXPECT_GT(back.at("cond").to_double(), 0.0);
+  EXPECT_TRUE(std::isnan(back.at("energy").to_double()));
+  EXPECT_DOUBLE_EQ(back.at("ok").to_double(), 0.5);
+  EXPECT_TRUE(std::isinf(Json::parse("\"-Infinity\"").to_double()));
+  EXPECT_LT(Json::parse("\"-Infinity\"").to_double(), 0.0);
+}
+
+TEST(Json, ToDoubleAcceptsNullRejectsText) {
+  // null reads as NaN (an absent measurement), arbitrary text does not.
+  EXPECT_TRUE(std::isnan(Json().to_double()));
+  EXPECT_DOUBLE_EQ(Json(2.5).to_double(), 2.5);
+  EXPECT_THROW(Json("not a number").to_double(), Error);
+  EXPECT_THROW(Json(true).to_double(), Error);
+}
+
 // ------------------------------------------------------------- metrics ----
 
 TEST(Metrics, CounterMonotonic) {
@@ -127,13 +158,32 @@ TEST(Metrics, HistogramQuantiles) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
 }
 
+TEST(Metrics, EmptyHistogramSummariesAreNaN) {
+  // Empty-histogram contract: no samples means no summary — every summary
+  // statistic is NaN (which the JSON layer serializes as the "NaN"
+  // sentinel), never a fabricated 0.
+  const Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_TRUE(std::isnan(h.mean()));
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.p99()));
+}
+
 TEST(Metrics, HistogramSingleObservationAndOverflow) {
   Histogram h({1.0, 2.0});
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));  // empty
   h.observe(1.5);
-  // One sample: every quantile collapses to it (min==max clamp).
+  // One sample: every quantile reads that sample back exactly (min==max
+  // clamp), including the extremes.
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.5);
   EXPECT_DOUBLE_EQ(h.p50(), 1.5);
   EXPECT_DOUBLE_EQ(h.p99(), 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.5);
   h.observe(50.0);  // overflow bucket
   EXPECT_EQ(h.bucket_counts().back(), 1);
   EXPECT_DOUBLE_EQ(h.max(), 50.0);
@@ -293,6 +343,29 @@ TEST(Trace, ChromeTraceExportParsesBack) {
   EXPECT_EQ(instant, 1);
 }
 
+TEST(Trace, HostileLabelsSurviveChromeExport) {
+  // Label hygiene: names with quotes, backslashes and newlines (think
+  // user-supplied section tags or file paths in args) must survive the
+  // Chrome trace export byte-for-byte, not break the JSON.
+  const std::string hostile = "span \"q\" back\\slash\nnewline\ttab";
+  TraceBuffer buf;
+  buf.set_track_name(0, "rank \"0\"\n(primary)");
+  buf.add_span(hostile, "comp\\cat", 0, 1e-3,
+               Json::object().set("path", "C:\\tmp\n\"x\""));
+  buf.add_instant("mode:\nKID", "train", 0);
+  std::ostringstream os;
+  buf.write_chrome_trace(os);
+
+  const Json doc = Json::parse(os.str());
+  const auto& events = doc.at("traceEvents").items();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at("args").at("name").str(), "rank \"0\"\n(primary)");
+  EXPECT_EQ(events[1].at("name").str(), hostile);
+  EXPECT_EQ(events[1].at("cat").str(), "comp\\cat");
+  EXPECT_EQ(events[1].at("args").at("path").str(), "C:\\tmp\n\"x\"");
+  EXPECT_EQ(events[2].at("name").str(), "mode:\nKID");
+}
+
 // ------------------------------------------------------------- run log ----
 
 std::filesystem::path fresh_dir(const std::string& tag) {
@@ -360,6 +433,33 @@ TEST(RunLog, WritesSequencedJsonlAndTrace) {
   ss << tin.rdbuf();
   const Json trace = Json::parse(ss.str());
   EXPECT_GE(trace.at("traceEvents").items().size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RunLog, HostileLabelsAndNonFiniteValuesSurviveJsonl) {
+  // One line per record is the JSONL contract: embedded newlines in labels
+  // must be escaped (never split a record across lines), and non-finite
+  // metric values must land as parseable sentinels.
+  const auto dir = fresh_dir("hostile");
+  const std::string label = "layer \"conv\\1\"\nsecond line";
+  {
+    RunLogConfig cfg;
+    cfg.dir = dir.string();
+    RunLogger log(cfg);
+    log.record("probe", Json::object()
+                            .set("label", label)
+                            .set("cond", std::numeric_limits<double>::infinity())
+                            .set("energy",
+                                 std::numeric_limits<double>::quiet_NaN()));
+    log.console("two\nlines");
+    log.finish();
+  }
+  const auto records = read_jsonl((dir / "run.jsonl").string());
+  ASSERT_GE(records.size(), 3u);  // probe, console, run_end
+  EXPECT_EQ(records[0].at("label").str(), label);
+  EXPECT_TRUE(std::isinf(records[0].at("cond").to_double()));
+  EXPECT_TRUE(std::isnan(records[0].at("energy").to_double()));
+  EXPECT_EQ(records[1].at("line").str(), "two\nlines");
   std::filesystem::remove_all(dir);
 }
 

@@ -47,4 +47,12 @@ void violate_metric_name(Registry& reg) {
   reg.gauge("optim/Upper/Case");    // rule: metric_name — uppercase
 }
 
+void violate_health_catalogue(Registry& reg) {
+  // rule: health_catalogue — probe not in the health.hpp catalogue (this
+  // fixture tree has no catalogue header at all, so the set is empty).
+  reg.counter("optim/hylo/health/bogus_probe");
+  // rule: health_catalogue — not an alert rule or engine counter.
+  reg.counter("obs/alerts/not_a_rule");
+}
+
 }  // namespace fixture

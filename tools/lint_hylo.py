@@ -31,6 +31,13 @@ Rules (each failure prints `file:line: [rule] message` and the run exits 1):
                  CRC) so a crash mid-write can never clobber the previous
                  file with a torn one. Suppress a deliberately non-atomic
                  write with `hylo-lint: allow(ckpt_io)`.
+  health_catalogue -- every literal metric name containing `/health/` names
+                 a probe registered in the catalogue block of
+                 include/hylo/obs/health.hpp, and every `obs/alerts/` metric
+                 names an alert rule from include/hylo/obs/alerts.hpp (or
+                 the engine's own fired/critical counters). The catalogues
+                 are the contract hylo_report and DESIGN.md §12 document;
+                 an unregistered name is a typo or an undocumented probe.
 
 Usage: lint_hylo.py [--root DIR]   (default: <repo>/src next to this script)
 """
@@ -55,6 +62,22 @@ OFSTREAM_RE = re.compile(r"std::ofstream")
 METRIC_RE = re.compile(r"\b(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
 METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(/[a-z0-9_.\-]+)+$")
 ALLOW_RE = re.compile(r"hylo-lint:\s*allow\(([a-z_,\s]+)\)")
+
+
+def load_catalogue(path: pathlib.Path, marker: str) -> frozenset[str]:
+    """String literals between `hylo-<marker>-catalogue-begin/-end` comment
+    markers in a header. Missing file or markers -> empty set, so every
+    /health/ or obs/alerts/ metric in such a tree fails the rule (the
+    catalogue is part of the contract, not optional)."""
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return frozenset()
+    begin = text.find(f"hylo-{marker}-catalogue-begin")
+    end = text.find(f"hylo-{marker}-catalogue-end")
+    if begin < 0 or end < begin:
+        return frozenset()
+    return frozenset(re.findall(r'"([a-z0-9_]+)"', text[begin:end]))
 
 
 def allowed(line: str, rule: str) -> bool:
@@ -138,6 +161,11 @@ class Linter:
     def __init__(self, root: pathlib.Path):
         self.root = root
         self.failures: list[str] = []
+        obs_inc = root / "include" / "hylo" / "obs"
+        self.probe_catalogue = load_catalogue(obs_inc / "health.hpp", "probe")
+        # The alert engine's own bookkeeping counters ride on the rule set.
+        self.alert_catalogue = load_catalogue(
+            obs_inc / "alerts.hpp", "alert") | {"fired", "critical"}
 
     def fail(self, path: pathlib.Path, line: int, rule: str, msg: str) -> None:
         rel = path.relative_to(self.root.parent) if self.root.parent in path.parents \
@@ -188,6 +216,18 @@ class Linter:
                     self.fail(path, i, "metric_name",
                               f"metric name '{name}' does not follow "
                               "'subsystem/name' (lowercase, '/'-separated)")
+                leaf = name.rsplit("/", 1)[-1]
+                if "/health/" in name and leaf not in self.probe_catalogue:
+                    self.fail(path, i, "health_catalogue",
+                              f"health probe '{leaf}' is not registered in "
+                              "the probe catalogue "
+                              "(include/hylo/obs/health.hpp)")
+                if name.startswith("obs/alerts/") \
+                        and leaf not in self.alert_catalogue:
+                    self.fail(path, i, "health_catalogue",
+                              f"alert metric '{leaf}' is not registered in "
+                              "the alert-rule catalogue "
+                              "(include/hylo/obs/alerts.hpp)")
 
         if not in_par and not in_audit:
             for m in PARALLEL_RE.finditer(code):
