@@ -52,7 +52,10 @@ class Conv2d : public Layer {
   Rng* rng_;
   ParamBlock params_;
   ConvGeometry geom_;
-  std::vector<Matrix> cols_;  // per-sample im2col cache from forward
+  // Per-sample im2col cache from forward — scalar kernel tier only. The
+  // SIMD tiers fuse im2col into the packed conv GEMM (gemm_packed.hpp) and
+  // keep this empty; backward regenerates patches from the layer input.
+  std::vector<Matrix> cols_;
 };
 
 /// Per-channel batch normalization (NCHW). Scale/shift are first-order

@@ -5,8 +5,11 @@
 /// backbone of both the NN framework (conv = im2col + gemm) and the
 /// second-order machinery (Gram/kernel matrices, SMW applications).
 /// The GEMM/Gram family is multi-threaded over output row blocks through
-/// hylo::par (HYLO_NUM_THREADS) with bitwise-deterministic results at any
-/// thread count — see DESIGN.md §8 for the determinism contract.
+/// hylo::par (HYLO_NUM_THREADS) and dispatches between the scalar loop
+/// nests below and the packed SIMD microkernels (gemm_packed.hpp) via
+/// hylo::kern::active() (HYLO_KERNEL). Results are bitwise deterministic at
+/// any thread count *within a kernel tier*; the scalar tier preserves the
+/// original serial accumulation order exactly — see DESIGN.md §8 and §13.
 
 #include <vector>
 

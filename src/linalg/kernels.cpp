@@ -1,6 +1,7 @@
 #include "hylo/linalg/kernels.hpp"
 
 #include "hylo/par/thread_pool.hpp"
+#include "hylo/tensor/gemm_packed.hpp"
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
@@ -25,11 +26,8 @@ Matrix khatri_rao_rowwise(const Matrix& g, const Matrix& a) {
           const real_t* gi = g.row_ptr(i);
           const real_t* ai = a.row_ptr(i);
           real_t* ui = u.row_ptr(i);
-          for (index_t o = 0; o < dout; ++o) {
-            const real_t go = gi[o];
-            real_t* dst = ui + o * din;
-            for (index_t j = 0; j < din; ++j) dst[j] = go * ai[j];
-          }
+          for (index_t o = 0; o < dout; ++o)
+            kern::vscale(ui + o * din, ai, gi[o], din);
         }
       },
       "linalg/khatri_rao", audit::row_block(u));
@@ -47,13 +45,8 @@ Matrix apply_jacobian(const Matrix& a, const Matrix& g, const Matrix& v) {
   par::parallel_for(
       0, m, 64,
       [&](index_t i0, index_t i1) {
-        for (index_t i = i0; i < i1; ++i) {
-          const real_t* mi = m1.row_ptr(i);
-          const real_t* ai = a.row_ptr(i);
-          real_t acc = 0.0;
-          for (index_t j = 0; j < a.cols(); ++j) acc += mi[j] * ai[j];
-          y[i] = acc;
-        }
+        for (index_t i = i0; i < i1; ++i)
+          y[i] = kern::vdot(m1.row_ptr(i), a.row_ptr(i), a.cols());
       },
       "linalg/rowdot", audit::row_block(y));
   return y;

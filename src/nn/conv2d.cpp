@@ -2,6 +2,8 @@
 
 #include "hylo/nn/layers.hpp"
 #include "hylo/par/thread_pool.hpp"
+#include "hylo/tensor/gemm_packed.hpp"
+#include "hylo/tensor/kernel_dispatch.hpp"
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
@@ -41,10 +43,37 @@ void Conv2d::forward(const std::vector<const Tensor4*>& in, Tensor4& out,
   const index_t n = x.n(), oh = geom_.out_h(), ow = geom_.out_w();
   const index_t s = oh * ow, patch = geom_.patch_size();
   out.resize(n, out_channels_, oh, ow);
-  cols_.resize(static_cast<std::size_t>(n));
   if (ctx.capture) {
     params_.a_samples.resize(n, patch + 1);
   }
+
+  if (kern::active() != kern::Tier::kScalar) {
+    // Fused-im2col path (DESIGN.md §13): the conv GEMM consumes patches
+    // straight from the NCHW sample, so no per-sample patch matrix is ever
+    // materialized — backward re-fuses from in[0] instead of a cols_ cache.
+    cols_.clear();
+    cols_.shrink_to_fit();
+    const kern::PackedW pw = kern::pack_conv_forward_w(params_.w);
+    par::parallel_for(
+        0, n, 1,
+        [&](index_t n0, index_t n1) {
+          for (index_t i = n0; i < n1; ++i) {
+            real_t* capture =
+                ctx.capture ? params_.a_samples.row_ptr(i) : nullptr;
+            kern::packed_conv_forward(pw, x.sample_ptr(i), geom_,
+                                      out.sample_ptr(i), capture);
+            if (capture != nullptr) capture[patch] = static_cast<real_t>(s);
+          }
+        },
+        "nn/conv2d_fwd",
+        audit::Footprint([&](index_t n0, index_t n1, audit::WriteSet& ws) {
+          ws.add_samples(out, n0, n1);
+          if (ctx.capture) ws.add_rows(params_.a_samples, n0, n1);
+        }));
+    return;
+  }
+
+  cols_.resize(static_cast<std::size_t>(n));
   // Batch-parallel: every sample writes disjoint state (its cols_ slot, its
   // output plane, its a_samples row), so any partition is bitwise identical
   // to the serial loop. The s x c_out scratch is per chunk.
@@ -102,6 +131,54 @@ void Conv2d::backward(const std::vector<const Tensor4*>& in,
   const index_t s = oh * ow, patch = geom_.patch_size();
   Tensor4& gin = *grad_in[0];
   if (ctx.capture) params_.g_samples.resize(n, out_channels_);
+
+  if (kern::active() != kern::Tier::kScalar) {
+    const Tensor4& x = *in[0];
+    // Fused weight gradient: gw rows [o0, o1) accumulate
+    // gout[i][o0:o1, :] · [cols(x_i) | 1] per sample through the packed
+    // microkernel, patches regenerated on the fly. Grain 8 keeps chunk
+    // boundaries aligned with the MR=8 row panels. Per gw element the
+    // accumulation is sample-ascending then position-ascending regardless
+    // of the channel partition — bitwise identical at any thread count
+    // within the tier.
+    par::parallel_for(
+        0, out_channels_, 8,
+        [&](index_t o0, index_t o1) {
+          for (index_t i = 0; i < n; ++i)
+            kern::packed_conv_wgrad(gout.sample_ptr(i), x.sample_ptr(i),
+                                    geom_, params_.gw, o0, o1);
+          if (ctx.capture) {
+            for (index_t o = o0; o < o1; ++o)
+              for (index_t i = 0; i < n; ++i) {
+                const real_t* src = gout.sample_ptr(i) + o * s;
+                real_t bias_acc = 0.0;
+                for (index_t p = 0; p < s; ++p) bias_acc += src[p];
+                params_.g_samples(i, o) = bias_acc * static_cast<real_t>(n);
+              }
+          }
+        },
+        "nn/conv2d_wgrad",
+        audit::Footprint([&](index_t o0, index_t o1, audit::WriteSet& ws) {
+          ws.add_rows(params_.gw, o0, o1);
+          if (ctx.capture) ws.add_cols(params_.g_samples, o0, o1);
+        }));
+
+    // Fused input gradient: dcols = gout_planeᵀ · W_main against a weight
+    // operand packed once per call, then col2im back into the sample plane.
+    const kern::PackedW pwd = kern::pack_conv_dgrad_w(params_.w);
+    par::parallel_for(
+        0, n, 1,
+        [&](index_t n0, index_t n1) {
+          Matrix dcols;
+          for (index_t i = n0; i < n1; ++i) {
+            dcols.resize(s, patch);  // resize zero-fills
+            kern::packed_conv_dcols(gout.sample_ptr(i), pwd, geom_, dcols);
+            col2im_add(dcols, geom_, gin.sample_ptr(i));
+          }
+        },
+        "nn/conv2d_dgrad", audit::sample_block(gin));
+    return;
+  }
 
   // Weight/bias gradient, channel-parallel: each gw row belongs to exactly
   // one output channel, so partitioning over channels gives disjoint writes

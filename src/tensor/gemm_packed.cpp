@@ -1,0 +1,845 @@
+#include "hylo/tensor/gemm_packed.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hylo/common/check.hpp"
+#include "hylo/par/thread_pool.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace hylo::kern {
+
+namespace {
+
+// Cache blocking: KC-deep panels keep one MRxKC A panel (16 KB at MR=8)
+// plus one KCxNR B panel (8-16 KB) L1-resident under the microkernel while
+// the MCxKC A block stays in L2. Both are multiples of every tier's MR/NR.
+constexpr index_t kKC = 256;
+constexpr index_t kMC = 64;
+constexpr index_t kMaxMR = 8;
+constexpr index_t kMaxNR = 8;
+
+/// C-tile (MR x NR at stride ldc) += Apanel · Bpanel over kc steps.
+/// Apanel is MR-interleaved (ap[kk*MR + r]), Bpanel NR-interleaved
+/// (bp[kk*NR + c]); the k loop is innermost, so each C element accumulates
+/// in strictly ascending k order — the per-tier determinism anchor.
+using MicroFn = void (*)(index_t kc, const real_t* ap, const real_t* bp,
+                         real_t* c, index_t ldc);
+
+#if defined(__x86_64__) || defined(__i386__)
+
+__attribute__((target("avx2,fma"))) void micro_avx2_8x4(index_t kc,
+                                                        const real_t* ap,
+                                                        const real_t* bp,
+                                                        real_t* c,
+                                                        index_t ldc) {
+  __m256d c0 = _mm256_loadu_pd(c + 0 * ldc);
+  __m256d c1 = _mm256_loadu_pd(c + 1 * ldc);
+  __m256d c2 = _mm256_loadu_pd(c + 2 * ldc);
+  __m256d c3 = _mm256_loadu_pd(c + 3 * ldc);
+  __m256d c4 = _mm256_loadu_pd(c + 4 * ldc);
+  __m256d c5 = _mm256_loadu_pd(c + 5 * ldc);
+  __m256d c6 = _mm256_loadu_pd(c + 6 * ldc);
+  __m256d c7 = _mm256_loadu_pd(c + 7 * ldc);
+  for (index_t k = 0; k < kc; ++k) {
+    const __m256d b = _mm256_loadu_pd(bp + k * 4);
+    const real_t* a = ap + k * 8;
+    c0 = _mm256_fmadd_pd(_mm256_set1_pd(a[0]), b, c0);
+    c1 = _mm256_fmadd_pd(_mm256_set1_pd(a[1]), b, c1);
+    c2 = _mm256_fmadd_pd(_mm256_set1_pd(a[2]), b, c2);
+    c3 = _mm256_fmadd_pd(_mm256_set1_pd(a[3]), b, c3);
+    c4 = _mm256_fmadd_pd(_mm256_set1_pd(a[4]), b, c4);
+    c5 = _mm256_fmadd_pd(_mm256_set1_pd(a[5]), b, c5);
+    c6 = _mm256_fmadd_pd(_mm256_set1_pd(a[6]), b, c6);
+    c7 = _mm256_fmadd_pd(_mm256_set1_pd(a[7]), b, c7);
+  }
+  _mm256_storeu_pd(c + 0 * ldc, c0);
+  _mm256_storeu_pd(c + 1 * ldc, c1);
+  _mm256_storeu_pd(c + 2 * ldc, c2);
+  _mm256_storeu_pd(c + 3 * ldc, c3);
+  _mm256_storeu_pd(c + 4 * ldc, c4);
+  _mm256_storeu_pd(c + 5 * ldc, c5);
+  _mm256_storeu_pd(c + 6 * ldc, c6);
+  _mm256_storeu_pd(c + 7 * ldc, c7);
+}
+
+__attribute__((target("avx512f,avx512dq"))) void micro_avx512_8x8(
+    index_t kc, const real_t* ap, const real_t* bp, real_t* c, index_t ldc) {
+  __m512d c0 = _mm512_loadu_pd(c + 0 * ldc);
+  __m512d c1 = _mm512_loadu_pd(c + 1 * ldc);
+  __m512d c2 = _mm512_loadu_pd(c + 2 * ldc);
+  __m512d c3 = _mm512_loadu_pd(c + 3 * ldc);
+  __m512d c4 = _mm512_loadu_pd(c + 4 * ldc);
+  __m512d c5 = _mm512_loadu_pd(c + 5 * ldc);
+  __m512d c6 = _mm512_loadu_pd(c + 6 * ldc);
+  __m512d c7 = _mm512_loadu_pd(c + 7 * ldc);
+  for (index_t k = 0; k < kc; ++k) {
+    const __m512d b = _mm512_loadu_pd(bp + k * 8);
+    const real_t* a = ap + k * 8;
+    c0 = _mm512_fmadd_pd(_mm512_set1_pd(a[0]), b, c0);
+    c1 = _mm512_fmadd_pd(_mm512_set1_pd(a[1]), b, c1);
+    c2 = _mm512_fmadd_pd(_mm512_set1_pd(a[2]), b, c2);
+    c3 = _mm512_fmadd_pd(_mm512_set1_pd(a[3]), b, c3);
+    c4 = _mm512_fmadd_pd(_mm512_set1_pd(a[4]), b, c4);
+    c5 = _mm512_fmadd_pd(_mm512_set1_pd(a[5]), b, c5);
+    c6 = _mm512_fmadd_pd(_mm512_set1_pd(a[6]), b, c6);
+    c7 = _mm512_fmadd_pd(_mm512_set1_pd(a[7]), b, c7);
+  }
+  _mm512_storeu_pd(c + 0 * ldc, c0);
+  _mm512_storeu_pd(c + 1 * ldc, c1);
+  _mm512_storeu_pd(c + 2 * ldc, c2);
+  _mm512_storeu_pd(c + 3 * ldc, c3);
+  _mm512_storeu_pd(c + 4 * ldc, c4);
+  _mm512_storeu_pd(c + 5 * ldc, c5);
+  _mm512_storeu_pd(c + 6 * ldc, c6);
+  _mm512_storeu_pd(c + 7 * ldc, c7);
+}
+
+__attribute__((target("avx2"))) void vmul_avx2(real_t* a, const real_t* b,
+                                               index_t n) {
+  index_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(a + i,
+                     _mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                   _mm256_loadu_pd(b + i)));
+  for (; i < n; ++i) a[i] *= b[i];
+}
+
+__attribute__((target("avx512f"))) void vmul_avx512(real_t* a, const real_t* b,
+                                                    index_t n) {
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm512_storeu_pd(a + i,
+                     _mm512_mul_pd(_mm512_loadu_pd(a + i),
+                                   _mm512_loadu_pd(b + i)));
+  for (; i < n; ++i) a[i] *= b[i];
+}
+
+__attribute__((target("avx2"))) void vscale_avx2(real_t* dst,
+                                                 const real_t* src, real_t s,
+                                                 index_t n) {
+  const __m256d sv = _mm256_set1_pd(s);
+  index_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(dst + i, _mm256_mul_pd(sv, _mm256_loadu_pd(src + i)));
+  for (; i < n; ++i) dst[i] = s * src[i];
+}
+
+__attribute__((target("avx512f"))) void vscale_avx512(real_t* dst,
+                                                      const real_t* src,
+                                                      real_t s, index_t n) {
+  const __m512d sv = _mm512_set1_pd(s);
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm512_storeu_pd(dst + i, _mm512_mul_pd(sv, _mm512_loadu_pd(src + i)));
+  for (; i < n; ++i) dst[i] = s * src[i];
+}
+
+// Lane-partial dot products: 4/8 running lane sums folded pairwise at the
+// end, plus a scalar tail — a fixed reduction tree, deterministic within
+// the tier (reassociated relative to the scalar ascending loop).
+__attribute__((target("avx2,fma"))) real_t vdot_avx2(const real_t* a,
+                                                     const real_t* b,
+                                                     index_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  index_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), acc);
+  alignas(32) real_t lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  real_t out = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) out += a[i] * b[i];
+  return out;
+}
+
+__attribute__((target("avx512f"))) real_t vdot_avx512(const real_t* a,
+                                                      const real_t* b,
+                                                      index_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    acc = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i), acc);
+  alignas(64) real_t lanes[8];
+  _mm512_storeu_pd(lanes, acc);
+  real_t out = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+               ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  for (; i < n; ++i) out += a[i] * b[i];
+  return out;
+}
+
+#endif  // x86
+
+#if defined(__aarch64__)
+
+void micro_neon_8x4(index_t kc, const real_t* ap, const real_t* bp, real_t* c,
+                    index_t ldc) {
+  float64x2_t c0a = vld1q_f64(c + 0 * ldc), c0b = vld1q_f64(c + 0 * ldc + 2);
+  float64x2_t c1a = vld1q_f64(c + 1 * ldc), c1b = vld1q_f64(c + 1 * ldc + 2);
+  float64x2_t c2a = vld1q_f64(c + 2 * ldc), c2b = vld1q_f64(c + 2 * ldc + 2);
+  float64x2_t c3a = vld1q_f64(c + 3 * ldc), c3b = vld1q_f64(c + 3 * ldc + 2);
+  float64x2_t c4a = vld1q_f64(c + 4 * ldc), c4b = vld1q_f64(c + 4 * ldc + 2);
+  float64x2_t c5a = vld1q_f64(c + 5 * ldc), c5b = vld1q_f64(c + 5 * ldc + 2);
+  float64x2_t c6a = vld1q_f64(c + 6 * ldc), c6b = vld1q_f64(c + 6 * ldc + 2);
+  float64x2_t c7a = vld1q_f64(c + 7 * ldc), c7b = vld1q_f64(c + 7 * ldc + 2);
+  for (index_t k = 0; k < kc; ++k) {
+    const float64x2_t blo = vld1q_f64(bp + k * 4);
+    const float64x2_t bhi = vld1q_f64(bp + k * 4 + 2);
+    const real_t* a = ap + k * 8;
+    c0a = vfmaq_n_f64(c0a, blo, a[0]);
+    c0b = vfmaq_n_f64(c0b, bhi, a[0]);
+    c1a = vfmaq_n_f64(c1a, blo, a[1]);
+    c1b = vfmaq_n_f64(c1b, bhi, a[1]);
+    c2a = vfmaq_n_f64(c2a, blo, a[2]);
+    c2b = vfmaq_n_f64(c2b, bhi, a[2]);
+    c3a = vfmaq_n_f64(c3a, blo, a[3]);
+    c3b = vfmaq_n_f64(c3b, bhi, a[3]);
+    c4a = vfmaq_n_f64(c4a, blo, a[4]);
+    c4b = vfmaq_n_f64(c4b, bhi, a[4]);
+    c5a = vfmaq_n_f64(c5a, blo, a[5]);
+    c5b = vfmaq_n_f64(c5b, bhi, a[5]);
+    c6a = vfmaq_n_f64(c6a, blo, a[6]);
+    c6b = vfmaq_n_f64(c6b, bhi, a[6]);
+    c7a = vfmaq_n_f64(c7a, blo, a[7]);
+    c7b = vfmaq_n_f64(c7b, bhi, a[7]);
+  }
+  vst1q_f64(c + 0 * ldc, c0a);
+  vst1q_f64(c + 0 * ldc + 2, c0b);
+  vst1q_f64(c + 1 * ldc, c1a);
+  vst1q_f64(c + 1 * ldc + 2, c1b);
+  vst1q_f64(c + 2 * ldc, c2a);
+  vst1q_f64(c + 2 * ldc + 2, c2b);
+  vst1q_f64(c + 3 * ldc, c3a);
+  vst1q_f64(c + 3 * ldc + 2, c3b);
+  vst1q_f64(c + 4 * ldc, c4a);
+  vst1q_f64(c + 4 * ldc + 2, c4b);
+  vst1q_f64(c + 5 * ldc, c5a);
+  vst1q_f64(c + 5 * ldc + 2, c5b);
+  vst1q_f64(c + 6 * ldc, c6a);
+  vst1q_f64(c + 6 * ldc + 2, c6b);
+  vst1q_f64(c + 7 * ldc, c7a);
+  vst1q_f64(c + 7 * ldc + 2, c7b);
+}
+
+void vmul_neon(real_t* a, const real_t* b, index_t n) {
+  index_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    vst1q_f64(a + i, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  for (; i < n; ++i) a[i] *= b[i];
+}
+
+void vscale_neon(real_t* dst, const real_t* src, real_t s, index_t n) {
+  index_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    vst1q_f64(dst + i, vmulq_n_f64(vld1q_f64(src + i), s));
+  for (; i < n; ++i) dst[i] = s * src[i];
+}
+
+real_t vdot_neon(const real_t* a, const real_t* b, index_t n) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  index_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    acc = vfmaq_f64(acc, vld1q_f64(a + i), vld1q_f64(b + i));
+  real_t out = vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+  for (; i < n; ++i) out += a[i] * b[i];
+  return out;
+}
+
+#endif  // aarch64
+
+struct TierCfg {
+  index_t mr = 0;
+  index_t nr = 0;
+  MicroFn micro = nullptr;
+};
+
+TierCfg tier_cfg(Tier t) {
+  switch (t) {
+#if defined(__x86_64__) || defined(__i386__)
+    case Tier::kAvx2:
+      return {8, 4, micro_avx2_8x4};
+    case Tier::kAvx512:
+      return {8, 8, micro_avx512_8x8};
+#endif
+#if defined(__aarch64__)
+    case Tier::kNeon:
+      return {8, 4, micro_neon_8x4};
+#endif
+    default:
+      break;
+  }
+  HYLO_CHECK(false, "packed GEMM requires a SIMD kernel tier (active: "
+                        << tier_name(t) << ")");
+  return {};  // unreachable
+}
+
+/// Per-thread pack scratch, indexed so that buffers alive at the same time
+/// on one thread never alias: 0 = caller-side B pack, 1 = chunk-side A
+/// pack, 2/3 = fused-conv B/A packs (used inside conv's parallel chunks,
+/// which never run a packed_gemm_* of their own).
+std::vector<real_t>& tl_scratch(int which) {
+  static thread_local std::vector<real_t> bufs[4];
+  return bufs[which];
+}
+
+/// Pack rows [i0, i0+mc) x [k0, k0+kc) of a logical operand into MR-tall
+/// panels: dst[panel][kk*mr + r]. Rows past the operand (padding to MR) are
+/// zero-filled so the microkernel can always run full-height.
+template <typename SrcA>
+void pack_a(real_t* dst, index_t i0, index_t mc, index_t k0, index_t kc,
+            index_t mr, const SrcA& src) {
+  index_t off = 0;
+  for (index_t p = 0; p < mc; p += mr) {
+    const index_t rows = std::min(mr, mc - p);
+    for (index_t r = 0; r < mr; ++r) {
+      real_t* out = dst + off + r;
+      if (r < rows) {
+        const index_t i = i0 + p + r;
+        for (index_t kk = 0; kk < kc; ++kk) out[kk * mr] = src(i, k0 + kk);
+      } else {
+        for (index_t kk = 0; kk < kc; ++kk) out[kk * mr] = 0.0;
+      }
+    }
+    off += kc * mr;
+  }
+}
+
+/// Pack [k0, k0+kc) x [0, n) of a logical operand into NR-wide panels:
+/// dst[panel][kk*nr + c], padding lanes zero-filled.
+template <typename SrcB>
+void pack_b(real_t* dst, index_t k0, index_t kc, index_t n, index_t nr,
+            const SrcB& src) {
+  index_t off = 0;
+  for (index_t j0 = 0; j0 < n; j0 += nr) {
+    const index_t jw = std::min(nr, n - j0);
+    for (index_t kk = 0; kk < kc; ++kk) {
+      real_t* out = dst + off + kk * nr;
+      for (index_t l = 0; l < jw; ++l) out[l] = src(k0 + kk, j0 + l);
+      for (index_t l = jw; l < nr; ++l) out[l] = 0.0;
+    }
+    off += kc * nr;
+  }
+}
+
+/// Edge tile: run the microkernel on a copy-in/copy-out scratch tile so the
+/// per-element fma chain is identical to the direct path, then write back
+/// only the `rows` x `cols` valid region.
+void micro_edge(const TierCfg& cfg, index_t kc, const real_t* ap,
+                const real_t* bp, real_t* c, index_t ldc, index_t rows,
+                index_t cols) {
+  real_t tmp[kMaxMR * kMaxNR];
+  std::fill(tmp, tmp + cfg.mr * cfg.nr, 0.0);
+  for (index_t r = 0; r < rows; ++r)
+    for (index_t l = 0; l < cols; ++l) tmp[r * cfg.nr + l] = c[r * ldc + l];
+  cfg.micro(kc, ap, bp, tmp, cfg.nr);
+  for (index_t r = 0; r < rows; ++r)
+    for (index_t l = 0; l < cols; ++l) c[r * ldc + l] = tmp[r * cfg.nr + l];
+}
+
+/// gram_nt's diagonal-straddling tiles: like micro_edge, but only elements
+/// with global column >= global row (the declared add_row_tail region) are
+/// copied in and written back.
+void micro_edge_tri(const TierCfg& cfg, index_t kc, const real_t* ap,
+                    const real_t* bp, real_t* c, index_t ldc, index_t rows,
+                    index_t cols, index_t i, index_t j0) {
+  real_t tmp[kMaxMR * kMaxNR];
+  std::fill(tmp, tmp + cfg.mr * cfg.nr, 0.0);
+  for (index_t r = 0; r < rows; ++r)
+    for (index_t l = 0; l < cols; ++l)
+      if (j0 + l >= i + r) tmp[r * cfg.nr + l] = c[r * ldc + l];
+  cfg.micro(kc, ap, bp, tmp, cfg.nr);
+  for (index_t r = 0; r < rows; ++r)
+    for (index_t l = 0; l < cols; ++l)
+      if (j0 + l >= i + r) c[r * ldc + l] = tmp[r * cfg.nr + l];
+}
+
+/// Shared driver: C += srcA · srcB with C m x n, inner dimension k. B is
+/// packed once on the calling thread; rows of C are partitioned through
+/// hylo::par with an MR-aligned grain, each chunk packing its own A blocks.
+template <typename SrcA, typename SrcB>
+void gemm_driver(index_t m, index_t n, index_t k, const SrcA& srcA,
+                 const SrcB& srcB, Matrix& c, const char* label) {
+  if (m == 0 || n == 0 || k == 0) return;
+  const TierCfg cfg = tier_cfg(active());
+  const index_t mr = cfg.mr, nr = cfg.nr;
+  const index_t npanels = (n + nr - 1) / nr;
+
+  std::vector<real_t>& bpack = tl_scratch(0);
+  bpack.resize(static_cast<std::size_t>(k * npanels * nr));
+  for (index_t k0 = 0; k0 < k; k0 += kKC) {
+    const index_t kc = std::min(kKC, k - k0);
+    pack_b(bpack.data() + k0 * npanels * nr, k0, kc, n, nr, srcB);
+  }
+  const real_t* bp_all = bpack.data();
+  const index_t ldc = c.cols();
+  real_t* cp = c.data();
+
+  par::parallel_for(
+      0, m, mr,
+      [&](index_t i0, index_t i1) {
+        std::vector<real_t>& apack = tl_scratch(1);
+        // pack_a pads the row count up to a whole number of MR panels.
+        const index_t mc_pad =
+            ((std::min(kMC, i1 - i0) + mr - 1) / mr) * mr;
+        apack.resize(static_cast<std::size_t>(mc_pad * std::min(kKC, k)));
+        for (index_t k0 = 0; k0 < k; k0 += kKC) {
+          const index_t kc = std::min(kKC, k - k0);
+          const real_t* bblk = bp_all + k0 * npanels * nr;
+          for (index_t ic = i0; ic < i1; ic += kMC) {
+            const index_t mc = std::min(kMC, i1 - ic);
+            pack_a(apack.data(), ic, mc, k0, kc, mr, srcA);
+            for (index_t p = 0; p < mc; p += mr) {
+              const real_t* ap = apack.data() + (p / mr) * kc * mr;
+              const index_t rows = std::min(mr, mc - p);
+              real_t* crow = cp + (ic + p) * ldc;
+              for (index_t q = 0; q < npanels; ++q) {
+                const real_t* bpan = bblk + q * kc * nr;
+                const index_t j0 = q * nr;
+                const index_t jw = std::min(nr, n - j0);
+                if (rows == mr && jw == nr)
+                  cfg.micro(kc, ap, bpan, crow + j0, ldc);
+                else
+                  micro_edge(cfg, kc, ap, bpan, crow + j0, ldc, rows, jw);
+              }
+            }
+          }
+        }
+      },
+      label, audit::row_block(c));
+}
+
+// ---- Fused im2col pack sources ----------------------------------------
+
+/// Forward B pack: logical operand colsᵀ (k = patch coordinate, lane =
+/// output position), elements generated straight from the NCHW sample.
+/// `capture` accumulates the spatial sum Σ_p cols(p, j) per patch
+/// coordinate while the values stream through the pack (panel-major, lane
+/// ascending — deterministic at any thread count because the whole pack is
+/// per sample inside one chunk).
+void pack_b_conv_forward(real_t* dst, const real_t* x, const ConvGeometry& g,
+                         index_t k0, index_t kc, index_t s, index_t nr,
+                         real_t* capture) {
+  const index_t ow = g.out_w();
+  const index_t hw = g.in_h * g.in_w;
+  const index_t khw = g.kernel_h * g.kernel_w;
+  index_t oy[kMaxNR], ox[kMaxNR];
+  index_t off = 0;
+  for (index_t p0 = 0; p0 < s; p0 += nr) {
+    const index_t lanes = std::min(nr, s - p0);
+    for (index_t l = 0; l < lanes; ++l) {
+      oy[l] = (p0 + l) / ow;
+      ox[l] = (p0 + l) % ow;
+    }
+    for (index_t kk = 0; kk < kc; ++kk) {
+      const index_t j = k0 + kk;
+      const index_t ch = j / khw, rem = j % khw;
+      const index_t ky = rem / g.kernel_w, kx = rem % g.kernel_w;
+      const real_t* plane = x + ch * hw;
+      real_t* out = dst + off + kk * nr;
+      real_t acc = 0.0;
+      for (index_t l = 0; l < nr; ++l) {
+        real_t v = 0.0;
+        if (l < lanes) {
+          const index_t iy = oy[l] * g.stride + ky - g.pad;
+          const index_t ix = ox[l] * g.stride + kx - g.pad;
+          if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+            v = plane[iy * g.in_w + ix];
+        }
+        out[l] = v;
+        acc += v;
+      }
+      if (capture != nullptr) capture[j] += acc;
+    }
+    off += kc * nr;
+  }
+}
+
+/// Weight-gradient B pack: logical operand [cols | 1] (k = output position,
+/// lane = patch coordinate; lane == patch is the augmented ones column).
+void pack_b_conv_t(real_t* dst, const real_t* x, const ConvGeometry& g,
+                   index_t k0, index_t kc, index_t naug, index_t nr) {
+  const index_t ow = g.out_w();
+  const index_t hw = g.in_h * g.in_w;
+  const index_t khw = g.kernel_h * g.kernel_w;
+  const index_t patch = naug - 1;
+  index_t ch[kMaxNR], ky[kMaxNR], kx[kMaxNR];
+  index_t off = 0;
+  for (index_t j0 = 0; j0 < naug; j0 += nr) {
+    const index_t lanes = std::min(nr, naug - j0);
+    for (index_t l = 0; l < lanes; ++l) {
+      const index_t j = j0 + l;
+      if (j == patch) continue;  // ones column, handled below
+      ch[l] = j / khw;
+      const index_t rem = j % khw;
+      ky[l] = rem / g.kernel_w;
+      kx[l] = rem % g.kernel_w;
+    }
+    for (index_t kk = 0; kk < kc; ++kk) {
+      const index_t p = k0 + kk;
+      const index_t oy = p / ow, ox = p % ow;
+      real_t* out = dst + off + kk * nr;
+      for (index_t l = 0; l < nr; ++l) {
+        real_t v = 0.0;
+        if (l < lanes) {
+          if (j0 + l == patch) {
+            v = 1.0;
+          } else {
+            const index_t iy = oy * g.stride + ky[l] - g.pad;
+            const index_t ix = ox * g.stride + kx[l] - g.pad;
+            if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+              v = x[ch[l] * hw + iy * g.in_w + ix];
+          }
+        }
+        out[l] = v;
+      }
+    }
+    off += kc * nr;
+  }
+}
+
+/// Serial tile sweep shared by the conv entry points: C rows [m0, m1)
+/// (ldc-strided) += packed A block · packed B block for one KC slice.
+void conv_tiles(const TierCfg& cfg, index_t kc, const real_t* ablk,
+                const real_t* bblk, real_t* cbase, index_t ldc, index_t m0,
+                index_t m1, index_t n) {
+  const index_t mr = cfg.mr, nr = cfg.nr;
+  const index_t npanels = (n + nr - 1) / nr;
+  for (index_t p = m0; p < m1; p += mr) {
+    const real_t* ap = ablk + ((p - m0) / mr) * kc * mr;
+    const index_t rows = std::min(mr, m1 - p);
+    real_t* crow = cbase + p * ldc;
+    for (index_t q = 0; q < npanels; ++q) {
+      const real_t* bpan = bblk + q * kc * nr;
+      const index_t j0 = q * nr;
+      const index_t jw = std::min(nr, n - j0);
+      if (rows == mr && jw == nr)
+        cfg.micro(kc, ap, bpan, crow + j0, ldc);
+      else
+        micro_edge(cfg, kc, ap, bpan, crow + j0, ldc, rows, jw);
+    }
+  }
+}
+
+}  // namespace
+
+void packed_gemm_nn(const Matrix& a, const Matrix& b, Matrix& c,
+                    real_t alpha) {
+  const index_t m = a.rows(), k = a.cols(), n = b.cols();
+  const real_t* pa = a.data();
+  const real_t* pb = b.data();
+  const index_t lda = k, ldb = n;
+  gemm_driver(
+      m, n, k,
+      [pa, lda, alpha](index_t i, index_t kk) { return alpha * pa[i * lda + kk]; },
+      [pb, ldb](index_t kk, index_t j) { return pb[kk * ldb + j]; }, c,
+      "tensor/gemm");
+}
+
+void packed_gemm_tn(const Matrix& a, const real_t* s, const Matrix& b,
+                    Matrix& c, real_t alpha) {
+  const index_t k = a.rows(), m = a.cols(), n = b.cols();
+  const real_t* pa = a.data();
+  const real_t* pb = b.data();
+  const index_t lda = m, ldb = n;
+  if (s == nullptr) {
+    gemm_driver(
+        m, n, k,
+        [pa, lda, alpha](index_t i, index_t kk) {
+          return alpha * pa[kk * lda + i];
+        },
+        [pb, ldb](index_t kk, index_t j) { return pb[kk * ldb + j]; }, c,
+        "tensor/gemm_tn");
+  } else {
+    // Fold the diagonal into the A pack with the same association as the
+    // scalar kernel: (alpha * s_k) * a_ki.
+    gemm_driver(
+        m, n, k,
+        [pa, lda, alpha, s](index_t i, index_t kk) {
+          return (alpha * s[kk]) * pa[kk * lda + i];
+        },
+        [pb, ldb](index_t kk, index_t j) { return pb[kk * ldb + j]; }, c,
+        "tensor/gemm_tn");
+  }
+}
+
+void packed_gemm_nt(const Matrix& a, const Matrix& b, Matrix& c,
+                    real_t alpha) {
+  const index_t m = a.rows(), k = a.cols(), n = b.rows();
+  const real_t* pa = a.data();
+  const real_t* pb = b.data();
+  const index_t lda = k, ldb = k;
+  gemm_driver(
+      m, n, k,
+      [pa, lda, alpha](index_t i, index_t kk) { return alpha * pa[i * lda + kk]; },
+      [pb, ldb](index_t kk, index_t j) { return pb[j * ldb + kk]; }, c,
+      "tensor/gemm_nt");
+}
+
+void packed_gram_nt(const Matrix& a, Matrix& c) {
+  const index_t m = a.rows(), k = a.cols();
+  HYLO_CHECK(c.rows() == m && c.cols() == m, "packed_gram_nt C shape");
+  if (m == 0) return;
+  const TierCfg cfg = tier_cfg(active());
+  const index_t mr = cfg.mr, nr = cfg.nr;
+  const index_t npanels = (m + nr - 1) / nr;
+  const real_t* pa = a.data();
+
+  std::vector<real_t>& bpack = tl_scratch(0);
+  bpack.resize(static_cast<std::size_t>(std::max<index_t>(k, 1) * npanels * nr));
+  for (index_t k0 = 0; k0 < k; k0 += kKC) {
+    const index_t kc = std::min(kKC, k - k0);
+    pack_b(bpack.data() + k0 * npanels * nr, k0, kc, m, nr,
+           [pa, k](index_t kk, index_t j) { return pa[j * k + kk]; });
+  }
+  const real_t* bp_all = bpack.data();
+  const index_t ldc = m;
+  real_t* cp = c.data();
+
+  par::parallel_for(
+      0, m, mr,
+      [&](index_t i0, index_t i1) {
+        std::vector<real_t>& apack = tl_scratch(1);
+        const index_t mc_pad =
+            ((std::min(kMC, i1 - i0) + mr - 1) / mr) * mr;
+        apack.resize(static_cast<std::size_t>(
+            mc_pad * std::min(kKC, std::max<index_t>(k, 1))));
+        for (index_t k0 = 0; k0 < k; k0 += kKC) {
+          const index_t kc = std::min(kKC, k - k0);
+          const real_t* bblk = bp_all + k0 * npanels * nr;
+          for (index_t ic = i0; ic < i1; ic += kMC) {
+            const index_t mc = std::min(kMC, i1 - ic);
+            pack_a(apack.data(), ic, mc, k0, kc, mr,
+                   [pa, k](index_t i, index_t kk) { return pa[i * k + kk]; });
+            for (index_t p = 0; p < mc; p += mr) {
+              const real_t* ap = apack.data() + (p / mr) * kc * mr;
+              const index_t i = ic + p;
+              const index_t rows = std::min(mr, mc - p);
+              real_t* crow = cp + i * ldc;
+              for (index_t q = 0; q < npanels; ++q) {
+                const index_t j0 = q * nr;
+                if (j0 + nr <= i) continue;  // tile fully below the diagonal
+                const real_t* bpan = bblk + q * kc * nr;
+                const index_t jw = std::min(nr, m - j0);
+                if (rows == mr && jw == nr && j0 >= i + mr - 1)
+                  cfg.micro(kc, ap, bpan, crow + j0, ldc);
+                else
+                  micro_edge_tri(cfg, kc, ap, bpan, crow + j0, ldc, rows, jw,
+                                 i, j0);
+              }
+            }
+          }
+        }
+        // Mirror the chunk's rows into the column tail once, after every
+        // KC block has accumulated: C(j, i) = C(i, j) — the same double, so
+        // symmetry is exact.
+        for (index_t i = i0; i < i1; ++i) {
+          const real_t* ri = cp + i * ldc;
+          for (index_t j = i + 1; j < m; ++j) cp[j * ldc + i] = ri[j];
+        }
+      },
+      "tensor/gram_nt",
+      audit::Footprint([&c](index_t i0, index_t i1, audit::WriteSet& ws) {
+        ws.add_row_tail(c, i0, i1);
+        ws.add_col_tail(c, i0, i1);
+      }));
+}
+
+// ---- Vector helpers ----------------------------------------------------
+
+void vmul(real_t* a, const real_t* b, index_t n) {
+  switch (active()) {
+#if defined(__x86_64__) || defined(__i386__)
+    case Tier::kAvx512:
+      vmul_avx512(a, b, n);
+      return;
+    case Tier::kAvx2:
+      vmul_avx2(a, b, n);
+      return;
+#endif
+#if defined(__aarch64__)
+    case Tier::kNeon:
+      vmul_neon(a, b, n);
+      return;
+#endif
+    default:
+      break;
+  }
+  for (index_t i = 0; i < n; ++i) a[i] *= b[i];
+}
+
+void vscale(real_t* dst, const real_t* src, real_t s, index_t n) {
+  switch (active()) {
+#if defined(__x86_64__) || defined(__i386__)
+    case Tier::kAvx512:
+      vscale_avx512(dst, src, s, n);
+      return;
+    case Tier::kAvx2:
+      vscale_avx2(dst, src, s, n);
+      return;
+#endif
+#if defined(__aarch64__)
+    case Tier::kNeon:
+      vscale_neon(dst, src, s, n);
+      return;
+#endif
+    default:
+      break;
+  }
+  for (index_t i = 0; i < n; ++i) dst[i] = s * src[i];
+}
+
+real_t vdot(const real_t* a, const real_t* b, index_t n) {
+  switch (active()) {
+#if defined(__x86_64__) || defined(__i386__)
+    case Tier::kAvx512:
+      return vdot_avx512(a, b, n);
+    case Tier::kAvx2:
+      return vdot_avx2(a, b, n);
+#endif
+#if defined(__aarch64__)
+    case Tier::kNeon:
+      return vdot_neon(a, b, n);
+#endif
+    default:
+      break;
+  }
+  real_t acc = 0.0;
+  for (index_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// ---- Fused-im2col convolution ------------------------------------------
+
+PackedW pack_conv_forward_w(const Matrix& w_aug) {
+  const TierCfg cfg = tier_cfg(active());
+  const index_t c_out = w_aug.rows(), patch = w_aug.cols() - 1;
+  const index_t npan = (c_out + cfg.mr - 1) / cfg.mr;
+  PackedW pw;
+  pw.tier = active();
+  pw.rows = c_out;
+  pw.cols = patch;
+  pw.data.resize(static_cast<std::size_t>(patch * npan * cfg.mr));
+  const real_t* pw_ = w_aug.data();
+  const index_t ldw = w_aug.cols();
+  for (index_t k0 = 0; k0 < patch; k0 += kKC) {
+    const index_t kc = std::min(kKC, patch - k0);
+    pack_a(pw.data.data() + k0 * npan * cfg.mr, 0, c_out, k0, kc, cfg.mr,
+           [pw_, ldw](index_t i, index_t kk) { return pw_[i * ldw + kk]; });
+  }
+  pw.bias.resize(static_cast<std::size_t>(c_out));
+  for (index_t o = 0; o < c_out; ++o)
+    pw.bias[static_cast<std::size_t>(o)] = w_aug(o, patch);
+  return pw;
+}
+
+PackedW pack_conv_dgrad_w(const Matrix& w_aug) {
+  const TierCfg cfg = tier_cfg(active());
+  const index_t c_out = w_aug.rows(), patch = w_aug.cols() - 1;
+  const index_t npan = (patch + cfg.nr - 1) / cfg.nr;
+  PackedW pw;
+  pw.tier = active();
+  pw.rows = c_out;
+  pw.cols = patch;
+  pw.data.resize(static_cast<std::size_t>(c_out * npan * cfg.nr));
+  const real_t* pw_ = w_aug.data();
+  const index_t ldw = w_aug.cols();
+  for (index_t k0 = 0; k0 < c_out; k0 += kKC) {
+    const index_t kc = std::min(kKC, c_out - k0);
+    pack_b(pw.data.data() + k0 * npan * cfg.nr, k0, kc, patch, cfg.nr,
+           [pw_, ldw](index_t kk, index_t j) { return pw_[kk * ldw + j]; });
+  }
+  return pw;
+}
+
+void packed_conv_forward(const PackedW& pw, const real_t* x,
+                         const ConvGeometry& g, real_t* out_plane,
+                         real_t* capture_row) {
+  HYLO_CHECK(pw.tier == active(),
+             "conv weights packed for tier '" << tier_name(pw.tier)
+                                              << "' but active tier is '"
+                                              << tier_name(active()) << "'");
+  const TierCfg cfg = tier_cfg(active());
+  const index_t c_out = pw.rows, patch = pw.cols;
+  const index_t s = g.out_h() * g.out_w();
+  const index_t npan_m = (c_out + cfg.mr - 1) / cfg.mr;
+  const index_t npan_s = (s + cfg.nr - 1) / cfg.nr;
+
+  for (index_t o = 0; o < c_out; ++o)
+    std::fill(out_plane + o * s, out_plane + (o + 1) * s,
+              pw.bias[static_cast<std::size_t>(o)]);
+  if (capture_row != nullptr) std::fill(capture_row, capture_row + patch, 0.0);
+
+  std::vector<real_t>& bbuf = tl_scratch(2);
+  bbuf.resize(static_cast<std::size_t>(std::min(kKC, patch) * npan_s * cfg.nr));
+  for (index_t k0 = 0; k0 < patch; k0 += kKC) {
+    const index_t kc = std::min(kKC, patch - k0);
+    pack_b_conv_forward(bbuf.data(), x, g, k0, kc, s, cfg.nr, capture_row);
+    const real_t* ablk = pw.data.data() + k0 * npan_m * cfg.mr;
+    conv_tiles(cfg, kc, ablk, bbuf.data(), out_plane, s, 0, c_out, s);
+  }
+}
+
+void packed_conv_wgrad(const real_t* gout_plane, const real_t* x,
+                       const ConvGeometry& g, Matrix& gw, index_t o0,
+                       index_t o1) {
+  const TierCfg cfg = tier_cfg(active());
+  const index_t naug = gw.cols();
+  const index_t s = g.out_h() * g.out_w();
+  const index_t npan_n = (naug + cfg.nr - 1) / cfg.nr;
+
+  std::vector<real_t>& bbuf = tl_scratch(2);
+  std::vector<real_t>& abuf = tl_scratch(3);
+  bbuf.resize(static_cast<std::size_t>(std::min(kKC, s) * npan_n * cfg.nr));
+  const index_t mc_max =
+      ((o1 - o0 + cfg.mr - 1) / cfg.mr) * cfg.mr;  // padded panel rows
+  abuf.resize(static_cast<std::size_t>(std::min(kKC, s) * mc_max));
+
+  for (index_t k0 = 0; k0 < s; k0 += kKC) {
+    const index_t kc = std::min(kKC, s - k0);
+    pack_b_conv_t(bbuf.data(), x, g, k0, kc, naug, cfg.nr);
+    pack_a(abuf.data(), o0, o1 - o0, k0, kc, cfg.mr,
+           [gout_plane, s](index_t o, index_t kk) {
+             return gout_plane[o * s + kk];
+           });
+    // conv_tiles indexes C rows absolutely from its base pointer.
+    conv_tiles(cfg, kc, abuf.data(), bbuf.data(), gw.data(), naug, o0, o1,
+               naug);
+  }
+}
+
+void packed_conv_dcols(const real_t* gout_plane, const PackedW& pw,
+                       const ConvGeometry& g, Matrix& dcols) {
+  HYLO_CHECK(pw.tier == active(),
+             "conv weights packed for tier '" << tier_name(pw.tier)
+                                              << "' but active tier is '"
+                                              << tier_name(active()) << "'");
+  const TierCfg cfg = tier_cfg(active());
+  const index_t c_out = pw.rows, patch = pw.cols;
+  const index_t s = g.out_h() * g.out_w();
+  HYLO_CHECK(dcols.rows() == s && dcols.cols() == patch, "dcols shape");
+  const index_t npan_n = (patch + cfg.nr - 1) / cfg.nr;
+
+  std::vector<real_t>& abuf = tl_scratch(3);
+  for (index_t k0 = 0; k0 < c_out; k0 += kKC) {
+    const index_t kc = std::min(kKC, c_out - k0);
+    const real_t* bblk = pw.data.data() + k0 * npan_n * cfg.nr;
+    for (index_t ic = 0; ic < s; ic += kMC) {
+      const index_t mc = std::min(kMC, s - ic);
+      abuf.resize(static_cast<std::size_t>(
+          ((mc + cfg.mr - 1) / cfg.mr) * cfg.mr * kc));
+      pack_a(abuf.data(), ic, mc, k0, kc, cfg.mr,
+             [gout_plane, s](index_t p, index_t kk) {
+               return gout_plane[kk * s + p];
+             });
+      conv_tiles(cfg, kc, abuf.data(), bblk, dcols.data(), patch, ic, ic + mc,
+                 patch);
+    }
+  }
+}
+
+}  // namespace hylo::kern

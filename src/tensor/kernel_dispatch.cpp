@@ -1,0 +1,129 @@
+#include "hylo/tensor/kernel_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "hylo/common/check.hpp"
+
+namespace hylo::kern {
+
+namespace {
+
+// Compile-time capability: the microkernels in gemm_packed.cpp are emitted
+// with GCC/Clang target attributes, so x86 tiers exist in any x86 build
+// regardless of -march; NEON is baseline on aarch64.
+#if defined(__x86_64__) || defined(__i386__)
+constexpr bool kCompiledX86 = true;
+#else
+constexpr bool kCompiledX86 = false;
+#endif
+#if defined(__aarch64__)
+constexpr bool kCompiledNeon = true;
+#else
+constexpr bool kCompiledNeon = false;
+#endif
+
+bool cpu_supports(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kNeon:
+      return kCompiledNeon;  // NEON is architecturally baseline on aarch64
+    case Tier::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Tier::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+// Process-wide active tier: -1 = unresolved, else the Tier value. Resolution
+// happens once under first use; set_tier stores directly.
+std::atomic<int> g_tier{-1};
+
+Tier resolve_from_env() {
+  const char* env = std::getenv("HYLO_KERNEL");
+  if (env == nullptr || *env == '\0') return best();
+  const Tier t = parse_tier(env);  // throws on unknown names
+  HYLO_CHECK(available(t), "HYLO_KERNEL=" << env
+                                          << " requests a kernel tier this "
+                                             "CPU/build cannot run");
+  return t;
+}
+
+}  // namespace
+
+bool available(Tier t) {
+  if (t == Tier::kScalar) return true;
+  if (t == Tier::kNeon) return kCompiledNeon;
+  if (!kCompiledX86) return false;
+  return cpu_supports(t);
+}
+
+Tier best() {
+  if (cpu_supports(Tier::kAvx512)) return Tier::kAvx512;
+  if (cpu_supports(Tier::kAvx2)) return Tier::kAvx2;
+  if (cpu_supports(Tier::kNeon)) return Tier::kNeon;
+  return Tier::kScalar;
+}
+
+Tier active() {
+  int v = g_tier.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const Tier t = resolve_from_env();
+    // Racing first uses resolve to the same value; last store wins harmlessly.
+    g_tier.store(static_cast<int>(t), std::memory_order_relaxed);
+    return t;
+  }
+  return static_cast<Tier>(v);
+}
+
+Tier set_tier(Tier t) {
+  HYLO_CHECK(available(t), "kernel tier '" << tier_name(t)
+                                           << "' is not available on this "
+                                              "CPU/build");
+  const Tier prev = active();
+  g_tier.store(static_cast<int>(t), std::memory_order_relaxed);
+  return prev;
+}
+
+Tier parse_tier(const std::string& name) {
+  if (name == "scalar") return Tier::kScalar;
+  if (name == "neon") return Tier::kNeon;
+  if (name == "avx2") return Tier::kAvx2;
+  if (name == "avx512") return Tier::kAvx512;
+  if (name == "native") return best();
+  HYLO_CHECK(false, "unknown kernel tier '"
+                        << name
+                        << "' (expected scalar|neon|avx2|avx512|native)");
+  return Tier::kScalar;  // unreachable
+}
+
+Tier set_tier_by_name(const std::string& name) {
+  return set_tier(parse_tier(name));
+}
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kNeon:
+      return "neon";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+}  // namespace hylo::kern

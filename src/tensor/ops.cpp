@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "hylo/par/thread_pool.hpp"
+#include "hylo/tensor/gemm_packed.hpp"
+#include "hylo/tensor/kernel_dispatch.hpp"
 
 namespace hylo {
 
@@ -45,9 +47,11 @@ void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
         for (index_t i = ib; i < iend; ++i) {
           real_t* ci = c.row_ptr(i);
           const real_t* ai = a.row_ptr(i);
+          // No `aik == 0.0` early-out here: a data-dependent branch in the
+          // hottest loop defeats vectorization and only pays off for
+          // pathological sparsity (see BENCH_gemm.json notes.early_out).
           for (index_t kk = kb; kk < kend; ++kk) {
             const real_t aik = alpha * ai[kk];
-            if (aik == 0.0) continue;
             const real_t* bk = b.row_ptr(kk);
             for (index_t j = jb; j < jend; ++j) ci[j] += aik * bk[j];
           }
@@ -62,6 +66,10 @@ void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
 // thread count; the row blocks are disjoint, so the "merge" is free.
 void gemm_tn_core(const Matrix& a, const Matrix& b, const real_t* s,
                   Matrix& c, real_t alpha) {
+  if (kern::active() != kern::Tier::kScalar) {
+    kern::packed_gemm_tn(a, s, b, c, alpha);
+    return;
+  }
   const index_t k = a.rows(), m = a.cols(), n = b.cols();
   par::parallel_for(
       0, m, kBlockI,
@@ -72,7 +80,6 @@ void gemm_tn_core(const Matrix& a, const Matrix& b, const real_t* s,
           const real_t scale = s == nullptr ? alpha : alpha * s[kk];
           for (index_t i = i0; i < i1; ++i) {
             const real_t aik = scale * ak[i];
-            if (aik == 0.0) continue;
             real_t* ci = c.row_ptr(i);
             for (index_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
           }
@@ -87,6 +94,10 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
   const index_t m = a.rows(), k = a.cols(), n = b.cols();
   HYLO_CHECK(b.rows() == k, "gemm inner dim " << b.rows() << " != " << k);
   prepare_c(c, m, n, beta, "gemm");
+  if (kern::active() != kern::Tier::kScalar) {
+    kern::packed_gemm_nn(a, b, c, alpha);
+    return;
+  }
   par::parallel_for(
       0, m, kBlockI,
       [&](index_t i0, index_t i1) { gemm_rows(a, b, c, alpha, i0, i1); },
@@ -123,6 +134,10 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, real_t alpha,
   const index_t m = a.rows(), k = a.cols(), n = b.rows();
   HYLO_CHECK(b.cols() == k, "gemm_nt inner dim " << b.cols() << " != " << k);
   prepare_c(c, m, n, beta, "gemm_nt");
+  if (kern::active() != kern::Tier::kScalar) {
+    kern::packed_gemm_nt(a, b, c, alpha);
+    return;
+  }
   par::parallel_for(
       0, m, kBlockI,
       [&](index_t i0, index_t i1) {
@@ -161,6 +176,10 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
 Matrix gram_nt(const Matrix& a) {
   const index_t m = a.rows(), k = a.cols();
   Matrix c(m, m);
+  if (kern::active() != kern::Tier::kScalar) {
+    kern::packed_gram_nt(a, c);
+    return c;
+  }
   // Each (i, j) pair with i <= j is computed by exactly one thread (the one
   // owning row i) and written to both mirror slots — disjoint elements, so
   // the row partition is race-free and bitwise deterministic. Grain 8 keeps
@@ -200,7 +219,6 @@ Matrix gram_tn(const Matrix& a) {
           const real_t* ar = a.row_ptr(r);
           for (index_t i = i0; i < i1; ++i) {
             const real_t v = ar[i];
-            if (v == 0.0) continue;
             real_t* ci = c.row_ptr(i);
             for (index_t j = i; j < k; ++j) ci[j] += v * ar[j];
           }
@@ -251,9 +269,7 @@ void hadamard_inplace(Matrix& a, const Matrix& b) {
   const real_t* pb = b.data();
   par::parallel_for(
       0, a.size(), 1 << 14,
-      [&](index_t i0, index_t i1) {
-        for (index_t i = i0; i < i1; ++i) pa[i] *= pb[i];
-      },
+      [&](index_t i0, index_t i1) { kern::vmul(pa + i0, pb + i0, i1 - i0); },
       "tensor/hadamard", audit::elem_block(pa));
 }
 

@@ -1,0 +1,20 @@
+// Synthetic lint fixture: a parallel_for in kernel code (tensor/) that
+// opts out of the write-set auditor with audit::unchecked — rule:
+// kernel_footprint. Kernel write sets (row blocks, triangular tails) are
+// always expressible as spans, so the opt-out is forbidden in tensor/ and
+// linalg/ even though it satisfies the plain write_set rule. Never
+// compiled.
+
+namespace fixture {
+
+void violate_kernel_footprint(double* c, long m) {
+  // rule: kernel_footprint — checked footprint required in kernel code.
+  par::parallel_for(
+      0, m, 8,
+      [&](long i0, long i1) {
+        for (long i = i0; i < i1; ++i) c[i] = 0.0;
+      },
+      "tensor/bad_kernel", audit::unchecked("rows are disjoint, trust me"));
+}
+
+}  // namespace fixture

@@ -22,6 +22,13 @@ Rules (each failure prints `file:line: [rule] message` and the run exits 1):
                  output footprint: the call's argument span must mention
                  `audit::` (a WriteSet helper, a Footprint lambda, or an
                  explicit `audit::unchecked(...)` opt-out).
+  kernel_footprint -- parallel_for / parallel_reduce sites in the dense
+                 kernel code (tensor/ and linalg/) must declare a *checked*
+                 footprint: `audit::unchecked(...)` is forbidden there.
+                 Every GEMM-family kernel writes a row/element block or a
+                 triangular tail, all expressible as WriteSet spans — an
+                 opt-out in that code hides exactly the overlap bugs the
+                 auditor exists to catch (packed edge tiles, gram mirrors).
   metric_name -- obs metric names passed to counter(" / gauge(" /
                  histogram(" literals follow `subsystem/name`
                  (lowercase, at least one '/').
@@ -229,6 +236,8 @@ class Linter:
                               "the alert-rule catalogue "
                               "(include/hylo/obs/alerts.hpp)")
 
+        in_kernel = rel.startswith(("tensor/", "linalg/")) \
+            or "/tensor/" in f"/{rel}" or "/linalg/" in f"/{rel}"
         if not in_par and not in_audit:
             for m in PARALLEL_RE.finditer(code):
                 line_no = code.count("\n", 0, m.start()) + 1
@@ -239,6 +248,12 @@ class Linter:
                               "declares no write set: pass an "
                               "audit::Footprint (e.g. audit::row_block(c)) "
                               "or an explicit audit::unchecked(\"why\")")
+                elif in_kernel and "audit::unchecked" in span:
+                    self.fail(path, line_no, "kernel_footprint",
+                              "kernel code (tensor/, linalg/) must declare "
+                              "a checked footprint — audit::unchecked is "
+                              "forbidden here; express the write set with "
+                              "WriteSet spans (row_block, add_row_tail, ...)")
 
     def run(self) -> int:
         files = sorted(p for p in self.root.rglob("*")
