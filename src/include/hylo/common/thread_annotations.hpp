@@ -1,0 +1,103 @@
+#pragma once
+
+// Clang thread-safety annotations (-Wthread-safety), no-ops elsewhere.
+// The macro set mirrors the documented attribute names; DESIGN.md §14
+// carries the table. Every mutex-protected region in obs/ and par/ is
+// annotated with these, and CI's clang lane builds with
+// -Werror=thread-safety so a guarded field accessed without its lock is
+// a compile error, not a TSan coin flip.
+//
+// std::mutex itself carries no capability attribute in libstdc++, so the
+// repo locks through the hylo::Mutex wrapper below; hylo::MutexLock and
+// hylo::UniqueLock are the scoped guards (UniqueLock exposes the native
+// std::unique_lock for condition_variable::wait, which the analysis
+// treats as held across the wait — exactly the contract the predicate
+// re-check gives you).
+
+#include <mutex>
+
+#if defined(__clang__)
+#define HYLO_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define HYLO_THREAD_ANNOTATION_ATTRIBUTE__(x)
+#endif
+
+#define HYLO_CAPABILITY(x) \
+  HYLO_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+#define HYLO_SCOPED_CAPABILITY \
+  HYLO_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+#define HYLO_GUARDED_BY(x) \
+  HYLO_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+#define HYLO_PT_GUARDED_BY(x) \
+  HYLO_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+#define HYLO_ACQUIRE(...) \
+  HYLO_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define HYLO_RELEASE(...) \
+  HYLO_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define HYLO_REQUIRES(...) \
+  HYLO_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define HYLO_EXCLUDES(...) \
+  HYLO_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+#define HYLO_ACQUIRED_AFTER(...) \
+  HYLO_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+#define HYLO_ACQUIRED_BEFORE(...) \
+  HYLO_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define HYLO_RETURN_CAPABILITY(x) \
+  HYLO_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+#define HYLO_NO_THREAD_SAFETY_ANALYSIS \
+  HYLO_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace hylo {
+
+/// std::mutex with a capability attribute, so HYLO_GUARDED_BY(mu_) means
+/// something to the analysis. Zero overhead: lock/unlock forward directly.
+class HYLO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HYLO_ACQUIRE() { mu_.lock(); }
+  void unlock() HYLO_RELEASE() { mu_.unlock(); }
+
+  /// The wrapped mutex, for std::unique_lock/condition_variable plumbing.
+  /// Callers go through UniqueLock so the acquisition stays visible to the
+  /// analysis.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock (std::lock_guard shape) over hylo::Mutex.
+class HYLO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HYLO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() HYLO_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped lock with mid-scope unlock/relock and condition_variable support
+/// (the std::unique_lock shape). `cv.wait(lk.native())` keeps the
+/// capability held from the analysis' point of view — sound, because wait
+/// returns with the lock reacquired.
+class HYLO_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) HYLO_ACQUIRE(mu) : lk_(mu.native()) {}
+  ~UniqueLock() HYLO_RELEASE() {}
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() HYLO_ACQUIRE() { lk_.lock(); }
+  void unlock() HYLO_RELEASE() { lk_.unlock(); }
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+}  // namespace hylo

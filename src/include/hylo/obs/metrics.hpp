@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "hylo/common/check.hpp"
+#include "hylo/common/thread_annotations.hpp"
 #include "hylo/common/types.hpp"
 
 namespace hylo::obs {
@@ -72,9 +73,9 @@ class Histogram {
 
   /// Moves/copies transfer the data but give the destination a fresh mutex
   /// (needed so the registry map can emplace; not concurrency-safe against
-  /// writers of the source).
-  Histogram(Histogram&& o) noexcept;
-  Histogram(const Histogram& o);
+  /// writers of the source — hence exempt from the thread-safety analysis).
+  Histogram(Histogram&& o) noexcept HYLO_NO_THREAD_SAFETY_ANALYSIS;
+  Histogram(const Histogram& o) HYLO_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Geometric bucket edges start, start*factor, ... (`count` edges) — the
   /// default shape for timing metrics spanning decades.
@@ -118,7 +119,7 @@ class Histogram {
   /// bounds().size() + 1 entries; last is the overflow bucket. Returns a
   /// snapshot copy so concurrent observe() cannot invalidate the read.
   std::vector<std::int64_t> bucket_counts() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return counts_;
   }
 
@@ -128,16 +129,17 @@ class Histogram {
     double sum_, min_, max_;
   };
   State locked() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return State{count_, sum_, min_, max_};
   }
 
   std::vector<double> bounds_;  ///< immutable after construction
-  std::vector<std::int64_t> counts_;
-  std::int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0, max_ = 0.0;
-  mutable std::mutex mu_;
+  std::vector<std::int64_t> counts_ HYLO_GUARDED_BY(mu_);
+  std::int64_t count_ HYLO_GUARDED_BY(mu_) = 0;
+  double sum_ HYLO_GUARDED_BY(mu_) = 0.0;
+  double min_ HYLO_GUARDED_BY(mu_) = 0.0;
+  double max_ HYLO_GUARDED_BY(mu_) = 0.0;
+  mutable Mutex mu_;
 };
 
 /// Accumulated seconds + call count under a section name. This is the exact
@@ -161,7 +163,7 @@ class MetricsRegistry {
 
   /// Timing sections (Profiler facade backend).
   void add_timing(const std::string& name, double seconds) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     auto& e = timings_[name];
     e.seconds += seconds;
     e.calls += 1;
@@ -171,30 +173,41 @@ class MetricsRegistry {
   /// interrupted run's seconds *and* calls without off-by-one drift.
   void set_timing(const std::string& name, double seconds,
                   std::int64_t calls) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     auto& e = timings_[name];
     e.seconds = seconds;
     e.calls = calls;
   }
   double timing_seconds(const std::string& name) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     const auto it = timings_.find(name);
     return it == timings_.end() ? 0.0 : it->second.seconds;
   }
   std::int64_t timing_calls(const std::string& name) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     const auto it = timings_.find(name);
     return it == timings_.end() ? 0 : it->second.calls;
   }
-  const std::map<std::string, TimingEntry>& timings() const {
+  /// Bulk accessors hand out unguarded references to the whole maps; the
+  /// header contract requires external quiescence, so they are exempt from
+  /// the thread-safety analysis rather than (uselessly) locking.
+  const std::map<std::string, TimingEntry>& timings() const
+      HYLO_NO_THREAD_SAFETY_ANALYSIS {
     return timings_;
   }
 
   std::int64_t counter_value(const std::string& name) const;
 
-  const std::map<std::string, Counter>& counters() const { return counters_; }
-  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
-  const std::map<std::string, Histogram>& histograms() const {
+  const std::map<std::string, Counter>& counters() const
+      HYLO_NO_THREAD_SAFETY_ANALYSIS {
+    return counters_;
+  }
+  const std::map<std::string, Gauge>& gauges() const
+      HYLO_NO_THREAD_SAFETY_ANALYSIS {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram>& histograms() const
+      HYLO_NO_THREAD_SAFETY_ANALYSIS {
     return histograms_;
   }
 
@@ -203,17 +216,17 @@ class MetricsRegistry {
   Json snapshot() const;
 
   void reset_timings() {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     timings_.clear();
   }
   void reset();
 
  private:
-  mutable std::mutex mu_;  ///< guards the four maps and timing entries
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
-  std::map<std::string, TimingEntry> timings_;
+  mutable Mutex mu_;  ///< guards the four maps and timing entries
+  std::map<std::string, Counter> counters_ HYLO_GUARDED_BY(mu_);
+  std::map<std::string, Gauge> gauges_ HYLO_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ HYLO_GUARDED_BY(mu_);
+  std::map<std::string, TimingEntry> timings_ HYLO_GUARDED_BY(mu_);
 };
 
 }  // namespace hylo::obs

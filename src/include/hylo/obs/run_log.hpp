@@ -9,6 +9,10 @@
 /// Artifact layout under `dir`:
 ///   run.jsonl   one JSON object per line: {"type": ..., "seq": N, ...}
 ///   trace.json  Chrome trace format (chrome://tracing, Perfetto)
+///
+/// Thread safety: record/console/finish serialize on an internal mutex, so
+/// JSONL lines never interleave even when telemetry fires from concurrent
+/// contexts; the TraceBuffer member is independently synchronized.
 
 #include <fstream>
 #include <string>
@@ -72,23 +76,33 @@ class RunLogger {
 
   std::string run_log_path() const;
   std::string trace_path() const;
-  std::int64_t records_written() const { return seq_; }
+  std::int64_t records_written() const {
+    MutexLock lk(mu_);
+    return seq_;
+  }
 
   /// Continue an interrupted run's sequence numbers (append mode): the next
   /// record gets `seq`, keeping the combined log monotonic. Never rewinds.
   void set_next_seq(std::int64_t seq) {
+    MutexLock lk(mu_);
     HYLO_CHECK(seq >= seq_, "run log seq cannot rewind (have "
                                 << seq_ << ", asked for " << seq << ")");
     seq_ = seq;
   }
 
  private:
+  // finish() emits records itself, so the public entry points lock once and
+  // delegate to these _locked internals (no recursive locking).
+  void record_locked(const std::string& type, Json fields) HYLO_REQUIRES(mu_);
+  void finish_locked() HYLO_REQUIRES(mu_);
+
   RunLogConfig cfg_;
   TraceBuffer trace_;
-  const MetricsRegistry* metrics_ = nullptr;
-  std::ofstream jsonl_;
-  std::int64_t seq_ = 0;
-  bool finished_ = false;
+  const MetricsRegistry* metrics_ = nullptr;  ///< set once during setup
+  mutable Mutex mu_;
+  std::ofstream jsonl_ HYLO_GUARDED_BY(mu_);
+  std::int64_t seq_ HYLO_GUARDED_BY(mu_) = 0;
+  bool finished_ HYLO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hylo::obs

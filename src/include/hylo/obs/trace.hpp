@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "hylo/common/thread_annotations.hpp"
 #include "hylo/common/timer.hpp"
 #include "hylo/common/types.hpp"
 #include "hylo/obs/json.hpp"
@@ -66,12 +67,12 @@ class TraceBuffer {
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return ring_.size();
   }
   /// Events evicted from the ring so far.
   std::int64_t dropped() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return dropped_;
   }
   /// Oldest-first access, i in [0, size()). The reference stays valid only
@@ -86,16 +87,15 @@ class TraceBuffer {
   void clear();
 
  private:
-  /// Callers hold mu_.
-  void record(TraceEvent e);
+  void record(TraceEvent e) HYLO_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::size_t capacity_;
-  std::vector<TraceEvent> ring_;  ///< circular once full
-  std::size_t head_ = 0;          ///< next write slot when full
-  std::int64_t dropped_ = 0;
-  std::map<int, double> cursor_us_;
-  std::map<int, std::string> track_names_;
+  std::vector<TraceEvent> ring_ HYLO_GUARDED_BY(mu_);  ///< circular once full
+  std::size_t head_ HYLO_GUARDED_BY(mu_) = 0;  ///< next write slot when full
+  std::int64_t dropped_ HYLO_GUARDED_BY(mu_) = 0;
+  std::map<int, double> cursor_us_ HYLO_GUARDED_BY(mu_);
+  std::map<int, std::string> track_names_ HYLO_GUARDED_BY(mu_);
 };
 
 /// RAII measured span: wall-times its own lifetime and records it on the

@@ -47,7 +47,7 @@ std::vector<double> Histogram::linear_bounds(double lo, double hi, int count) {
 }
 
 void Histogram::observe(double v) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
   if (count_ == 0) {
@@ -61,7 +61,7 @@ void Histogram::observe(double v) {
 }
 
 double Histogram::quantile(double q) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   // Nearest-rank target, then linear interpolation inside the bucket that
@@ -89,18 +89,18 @@ double Histogram::quantile(double q) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return counters_[name];
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return gauges_[name];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   if (bounds.empty())
@@ -109,13 +109,13 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 std::int64_t MetricsRegistry::counter_value(const std::string& name) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
 }
 
 Json MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Json out = Json::object();
   Json counters = Json::object();
   for (const auto& [name, c] : counters_) counters.set(name, c.value());
@@ -151,7 +151,7 @@ Json MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -19,12 +19,16 @@ RunLogger::RunLogger(RunLogConfig cfg)
 RunLogger::~RunLogger() {
   try {
     finish();
-  } catch (...) {
-    // Destructors must not throw; a failed flush loses telemetry, not data.
+  } catch (...) {  // hylo-lint: allow(catch_all: destructor must not throw; a failed flush loses telemetry, not data)
   }
 }
 
 void RunLogger::record(const std::string& type, Json fields) {
+  MutexLock lk(mu_);
+  record_locked(type, std::move(fields));
+}
+
+void RunLogger::record_locked(const std::string& type, Json fields) {
   if (!enabled() || finished_) return;
   HYLO_CHECK(fields.is_object(), "run log record must be a JSON object");
   Json rec = Json::object();
@@ -37,17 +41,23 @@ void RunLogger::record(const std::string& type, Json fields) {
 }
 
 void RunLogger::console(const std::string& line) {
+  MutexLock lk(mu_);
   if (cfg_.echo) std::cout << line << "\n";
-  record("console", Json::object().set("line", line));
+  record_locked("console", Json::object().set("line", line));
 }
 
 void RunLogger::finish() {
+  MutexLock lk(mu_);
+  finish_locked();
+}
+
+void RunLogger::finish_locked() {
   if (!enabled() || finished_) return;
-  if (metrics_ != nullptr) record("metrics", metrics_->snapshot());
+  if (metrics_ != nullptr) record_locked("metrics", metrics_->snapshot());
   Json close = Json::object();
   close.set("trace_events", static_cast<std::int64_t>(trace_.size()));
   close.set("trace_dropped", trace_.dropped());
-  record("run_end", std::move(close));
+  record_locked("run_end", std::move(close));
   jsonl_.flush();
   trace_.write_chrome_trace(trace_path());
   finished_ = true;

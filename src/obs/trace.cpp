@@ -11,7 +11,7 @@ TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
 }
 
 double TraceBuffer::track_now_us(int tid) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = cursor_us_.find(tid);
   return it == cursor_us_.end() ? 0.0 : it->second;
 }
@@ -27,14 +27,14 @@ void TraceBuffer::record(TraceEvent e) {
 }
 
 const TraceEvent& TraceBuffer::event(std::size_t i) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   HYLO_CHECK(i < ring_.size(), "trace event index out of range");
   return ring_[(head_ + i) % ring_.size()];
 }
 
 void TraceBuffer::add_span(const std::string& name, const std::string& cat,
                            int tid, double dur_s, Json args) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   double& cursor = cursor_us_[tid];
   TraceEvent e;
   e.name = name;
@@ -50,7 +50,7 @@ void TraceBuffer::add_span(const std::string& name, const std::string& cat,
 
 void TraceBuffer::add_collective(const std::string& name, double dur_s,
                                  Json args) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   // Barrier: the wire transfer starts once the latest track arrives...
   double start = cursor_us_[kCommTrack];
   for (const auto& kv : cursor_us_) start = std::max(start, kv.second);
@@ -70,7 +70,7 @@ void TraceBuffer::add_collective(const std::string& name, double dur_s,
 
 void TraceBuffer::add_instant(const std::string& name, const std::string& cat,
                               int tid, Json args) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   TraceEvent e;
   e.name = name;
   e.cat = cat;
@@ -83,12 +83,12 @@ void TraceBuffer::add_instant(const std::string& name, const std::string& cat,
 }
 
 void TraceBuffer::set_track_name(int tid, std::string name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   track_names_[tid] = std::move(name);
 }
 
 void TraceBuffer::write_chrome_trace(std::ostream& os) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Json events = Json::array();
   for (const auto& [tid, name] : track_names_) {
     Json meta = Json::object();
@@ -130,7 +130,7 @@ void TraceBuffer::write_chrome_trace(const std::string& path) const {
 }
 
 void TraceBuffer::clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ring_.clear();
   head_ = 0;
   dropped_ = 0;

@@ -287,6 +287,7 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
   // assembled locally (bitwise equal to the modeled allgather result) and
   // the comm model is charged afterwards, in stage 3. Kernel-level
   // parallel_for calls nested inside run inline on this thread.
+  // hylo-scratch-begin(hylo_update)
   par::parallel_for(
       0, layers, 1,
       [&](index_t l0, index_t l1) {
@@ -356,14 +357,17 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
         comm->charge_broadcast(wire_bytes(*comm, sc.a_s.rows() * sc.a_s.rows()),
                                "comm/broadcast");
       } catch (const CommFailure&) {
+        // hylo-commit-begin(hylo_stale)
         note_stale_refresh(*comm, "hylo", l, st.ready);
         ++st.staleness;
+        // hylo-commit-end(hylo_stale)
         continue;
       }
       inv_max = std::max(inv_max, sc.inv_s);
       comm->profiler().registry().histogram("optim/hylo/inversion_seconds")
           .observe(sc.inv_s);
     }
+    // hylo-commit-begin(hylo_update)
     st.mode = mode_;
     st.a_s = std::move(sc.a_s);
     st.g_s = std::move(sc.g_s);
@@ -371,6 +375,7 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
     st.kis_chol = std::move(sc.kis_chol);
     st.ready = true;
     st.staleness = 0;
+    // hylo-commit-end(hylo_update)
   }
   if (comm != nullptr) {
     comm->profiler().add("comp/inversion_critical", inv_max);
@@ -434,6 +439,7 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
       health_->report_layer(h);
     }
   }
+  // hylo-scratch-end(hylo_update)
 }
 
 Matrix HyloOptimizer::preconditioned(const Matrix& grad, index_t layer) const {

@@ -36,6 +36,7 @@ std::vector<char> KFac::refresh_factors(const std::vector<ParamBlock*>& blocks,
   // Compute the merged running factors into candidates first; each layer's
   // candidate replaces the running state only once its factor allreduce
   // landed, so a lost collective keeps the previous statistics.
+  // hylo-scratch-begin(kfac_factors)
   WallTimer timer;
   std::vector<std::pair<Matrix, Matrix>> cand(static_cast<std::size_t>(layers));
   for (index_t l = 0; l < layers; ++l) {
@@ -82,12 +83,15 @@ std::vector<char> KFac::refresh_factors(const std::vector<ParamBlock*>& blocks,
       }
     }
   }
+  // hylo-commit-begin(kfac_factors)
   for (index_t l = 0; l < layers; ++l) {
     if (degraded[static_cast<std::size_t>(l)]) continue;
     LayerState& st = layers_[static_cast<std::size_t>(l)];
     st.a_factor = std::move(cand[static_cast<std::size_t>(l)].first);
     st.g_factor = std::move(cand[static_cast<std::size_t>(l)].second);
   }
+  // hylo-commit-end(kfac_factors)
+  // hylo-scratch-end(kfac_factors)
   return degraded;
 }
 
@@ -98,6 +102,7 @@ void KFac::update_curvature(const std::vector<ParamBlock*>& blocks,
   // are distributed over owners), the max single layer is the critical path
   // when P exceeds the layer count. Inverses are staged per layer and
   // committed only after the layer's broadcast landed.
+  // hylo-scratch-begin(kfac_update)
   double inv_total = 0.0, inv_max = 0.0;
   std::vector<std::pair<Matrix, Matrix>> inv(layers_.size());
   for (std::size_t l = 0; l < layers_.size(); ++l) {
@@ -127,6 +132,7 @@ void KFac::update_curvature(const std::vector<ParamBlock*>& blocks,
       }
     }
   }
+  // hylo-commit-begin(kfac_update)
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     LayerState& st = layers_[l];
     if (degraded[l]) {
@@ -140,6 +146,8 @@ void KFac::update_curvature(const std::vector<ParamBlock*>& blocks,
     st.ready = true;
     st.staleness = 0;
   }
+  // hylo-commit-end(kfac_update)
+  // hylo-scratch-end(kfac_update)
 
   // Health probes over the served Kronecker factor pairs: κ∞ estimates come
   // free from the factor/inverse pairs already held. No rank truncation,
@@ -184,6 +192,7 @@ void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
 
   // Candidate eigenbases + merged scalings, committed per layer only after
   // that layer's broadcast landed.
+  // hylo-scratch-begin(ekfac_update)
   double inv_total = 0.0, inv_max = 0.0;
   std::vector<EigState> cand(static_cast<std::size_t>(layers));
   for (index_t l = 0; l < layers; ++l) {
@@ -238,6 +247,7 @@ void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
       }
     }
   }
+  // hylo-commit-begin(ekfac_update)
   for (index_t l = 0; l < layers; ++l) {
     EigState& est = eig_[static_cast<std::size_t>(l)];
     if (degraded[static_cast<std::size_t>(l)]) {
@@ -249,6 +259,8 @@ void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
     est = std::move(cand[static_cast<std::size_t>(l)]);
     est.staleness = 0;
   }
+  // hylo-commit-end(ekfac_update)
+  // hylo-scratch-end(ekfac_update)
 
   // Health probes: the damped eigenbasis scalings are exactly the spectrum
   // the preconditioner divides by, so their spread is the served condition
@@ -307,6 +319,7 @@ void KBfgs::update_curvature(const std::vector<ParamBlock*>& blocks,
   // built on a candidate copy and swapped in only after the layer's
   // collectives landed, so a lost allreduce/broadcast keeps the previous
   // curvature intact — including the (s, y) history.
+  // hylo-scratch-begin(kbfgs_update)
   WallTimer factor_timer;
   std::vector<LayerState> cand(static_cast<std::size_t>(layers));
   for (index_t l = 0; l < layers; ++l) {
@@ -385,6 +398,7 @@ void KBfgs::update_curvature(const std::vector<ParamBlock*>& blocks,
       }
     }
   }
+  // hylo-commit-begin(kbfgs_update)
   for (index_t l = 0; l < layers; ++l) {
     LayerState& st = layers_[static_cast<std::size_t>(l)];
     if (degraded[static_cast<std::size_t>(l)]) {
@@ -396,6 +410,8 @@ void KBfgs::update_curvature(const std::vector<ParamBlock*>& blocks,
     st = std::move(cand[static_cast<std::size_t>(l)]);
     st.staleness = 0;
   }
+  // hylo-commit-end(kbfgs_update)
+  // hylo-scratch-end(kbfgs_update)
 
   // Health probes: κ∞ of the input-side factor via the held inverse pair
   // (the G side is applied through the BFGS recursion, no inverse to read).

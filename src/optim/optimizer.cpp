@@ -81,9 +81,11 @@ void Optimizer::apply_sgd_update(Network& net, real_t scale) {
 
 index_t Optimizer::momentum_bytes() const {
   index_t total = 0;
+  // hylo-lint: allow-begin(det_unordered_iter: commutative integer byte total, order-independent)
   for (const auto& [ptr, m] : momentum_w_) total += m.size();
   for (const auto& [ptr, v] : momentum_plain_)
     total += static_cast<index_t>(v.size());
+  // hylo-lint: allow-end(det_unordered_iter)
   return total * static_cast<index_t>(sizeof(real_t));
 }
 
@@ -152,10 +154,12 @@ void Adam::step(Network& net, index_t /*iteration*/) {
 
 index_t Adam::state_bytes() const {
   index_t total = 0;
+  // hylo-lint: allow-begin(det_unordered_iter: commutative integer byte total, order-independent)
   for (const auto& [ptr, st] : state_) {
     total += st.m.size() + st.v.size();
     total += static_cast<index_t>(st.m_plain.size() + st.v_plain.size());
   }
+  // hylo-lint: allow-end(det_unordered_iter)
   return total * static_cast<index_t>(sizeof(real_t)) + momentum_bytes();
 }
 

@@ -21,6 +21,7 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
   // Pure compute on disjoint per-layer *candidate* state; the comm model is
   // charged afterwards, serially, so its trace is unchanged by threading,
   // and candidates commit only once their collectives landed.
+  // hylo-scratch-begin(sngd_update)
   std::vector<LayerState> cand(static_cast<std::size_t>(layers));
   std::vector<double> inv_s(static_cast<std::size_t>(layers), 0.0);
   par::parallel_for(
@@ -30,10 +31,8 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
           LayerState& st = cand[static_cast<std::size_t>(l)];
           const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
           const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
-          std::vector<Matrix> ap(a_ranks.begin(), a_ranks.end());
-          std::vector<Matrix> gp(g_ranks.begin(), g_ranks.end());
-          st.a_glob = vstack(ap);
-          st.g_glob = vstack(gp);
+          st.a_glob = vstack(a_ranks);
+          st.g_glob = vstack(g_ranks);
 
           // Kernel inversion at global-batch dimension (step 3).
           WallTimer timer;
@@ -49,11 +48,13 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
         ws.add_range(inv_s.data(), l0, l1);
       }));
 
+  // hylo-commit-begin(sngd_update)
   auto commit = [&](index_t l) {
     LayerState& st = layers_[static_cast<std::size_t>(l)];
     st = std::move(cand[static_cast<std::size_t>(l)]);
     st.staleness = 0;
   };
+  // hylo-commit-end(sngd_update)
 
   // Health probes over the committed (served) state. The exact SNGD kernel
   // has no rank truncation, so energy_fraction stays NaN (not applicable).
@@ -106,9 +107,11 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
           comm->wire_bytes(st.a_glob.rows() * st.a_glob.rows()),
           "comm/broadcast");
     } catch (const CommFailure&) {
+      // hylo-commit-begin(sngd_stale)
       LayerState& old = layers_[static_cast<std::size_t>(l)];
       note_stale_refresh(*comm, "sngd", l, old.ready);
       ++old.staleness;
+      // hylo-commit-end(sngd_stale)
       continue;
     }
     commit(l);
@@ -116,6 +119,7 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
   comm->profiler().add("comp/inversion", inv_total);
   comm->profiler().add("comp/inversion_critical", inv_max);
   probe_all();
+  // hylo-scratch-end(sngd_update)
 }
 
 Matrix Sngd::preconditioned(const Matrix& grad, index_t layer) const {

@@ -10,6 +10,7 @@
 
 #include "hylo/audit/audit.hpp"
 #include "hylo/common/check.hpp"
+#include "hylo/common/thread_annotations.hpp"
 #include "hylo/obs/metrics.hpp"
 
 namespace hylo::par {
@@ -45,22 +46,26 @@ index_t partition_chunk(index_t range, index_t grain, index_t participants) {
 
 struct ThreadPool::Impl {
   // Job slot: one in-flight parallel_for, broadcast to all workers by epoch.
-  std::mutex mu;
+  Mutex mu;
   std::condition_variable cv_work;
   std::condition_variable cv_done;
-  std::uint64_t epoch = 0;
-  bool stop = false;
-  const RangeFn* fn = nullptr;
-  index_t begin = 0, end = 0, chunk = 0;
-  index_t nchunks = 0;
-  int pending = 0;  ///< worker chunks not yet finished
-  std::exception_ptr error;
+  std::uint64_t epoch HYLO_GUARDED_BY(mu) = 0;
+  bool stop HYLO_GUARDED_BY(mu) = false;
+  const RangeFn* fn HYLO_GUARDED_BY(mu) = nullptr;
+  index_t begin HYLO_GUARDED_BY(mu) = 0;
+  index_t end HYLO_GUARDED_BY(mu) = 0;
+  index_t chunk HYLO_GUARDED_BY(mu) = 0;
+  index_t nchunks HYLO_GUARDED_BY(mu) = 0;
+  int pending HYLO_GUARDED_BY(mu) = 0;  ///< worker chunks not yet finished
+  std::exception_ptr error HYLO_GUARDED_BY(mu);
 
+  // Control-thread only: start_workers/stop_workers are documented as not
+  // concurrent with parallel work, and workers never touch this vector.
   std::vector<std::thread> workers;
 
   // Telemetry, keyed by call-site label; touched once per parallel_for.
-  mutable std::mutex stats_mu;
-  std::map<std::string, LabelStats> stats;
+  mutable Mutex stats_mu;
+  std::map<std::string, LabelStats> stats HYLO_GUARDED_BY(stats_mu);
 };
 
 ThreadPool& ThreadPool::instance() {
@@ -85,19 +90,23 @@ void ThreadPool::set_threads(int n) {
 }
 
 void ThreadPool::start_workers(int workers) {
-  impl_->stop = false;
-  impl_->workers.reserve(static_cast<std::size_t>(workers));
   // Workers must start at the *current* epoch: after a set_threads() restart
   // the job-slot fields still describe the last job, and a worker born with
   // an older epoch would run that stale (already-freed) closure.
-  const std::uint64_t epoch = impl_->epoch;
+  std::uint64_t epoch = 0;
+  {
+    MutexLock lk(impl_->mu);
+    impl_->stop = false;
+    epoch = impl_->epoch;
+  }
+  impl_->workers.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w)
     impl_->workers.emplace_back([this, w, epoch] { worker_loop(w, epoch); });
 }
 
 void ThreadPool::stop_workers() {
   {
-    std::lock_guard<std::mutex> lk(impl_->mu);
+    MutexLock lk(impl_->mu);
     impl_->stop = true;
   }
   impl_->cv_work.notify_all();
@@ -107,9 +116,10 @@ void ThreadPool::stop_workers() {
 
 void ThreadPool::worker_loop(int worker_index, std::uint64_t seen) {
   for (;;) {
-    std::unique_lock<std::mutex> lk(impl_->mu);
-    impl_->cv_work.wait(
-        lk, [&] { return impl_->stop || impl_->epoch != seen; });
+    UniqueLock lk(impl_->mu);
+    // Manual predicate loop (not the lambda overload) so the guarded-field
+    // reads stay visible to the thread-safety analysis.
+    while (!impl_->stop && impl_->epoch == seen) impl_->cv_work.wait(lk.native());
     if (impl_->stop) return;
     seen = impl_->epoch;
     // Static assignment: worker w owns chunk w+1 (the caller runs chunk 0).
@@ -136,7 +146,7 @@ void ThreadPool::worker_loop(int worker_index, std::uint64_t seen) {
 }
 
 void ThreadPool::note(const char* label, bool fanned, std::int64_t chunks) {
-  std::lock_guard<std::mutex> lk(impl_->stats_mu);
+  MutexLock lk(impl_->stats_mu);
   LabelStats& s = impl_->stats[label];
   s.calls += 1;
   if (fanned) {
@@ -200,7 +210,7 @@ void ThreadPool::for_range(index_t begin, index_t end, index_t grain,
   note(label, true, nchunks);
 
   {
-    std::lock_guard<std::mutex> lk(impl_->mu);
+    MutexLock lk(impl_->mu);
     impl_->fn = &fn;
     impl_->begin = begin;
     impl_->end = end;
@@ -222,8 +232,8 @@ void ThreadPool::for_range(index_t begin, index_t end, index_t grain,
   }
   tl_in_parallel = false;
 
-  std::unique_lock<std::mutex> lk(impl_->mu);
-  impl_->cv_done.wait(lk, [&] { return impl_->pending == 0; });
+  UniqueLock lk(impl_->mu);
+  while (impl_->pending != 0) impl_->cv_done.wait(lk.native());
   impl_->fn = nullptr;
   if (!impl_->error && err) impl_->error = err;
   if (impl_->error) {
@@ -235,12 +245,12 @@ void ThreadPool::for_range(index_t begin, index_t end, index_t grain,
 }
 
 std::map<std::string, ThreadPool::LabelStats> ThreadPool::stats() const {
-  std::lock_guard<std::mutex> lk(impl_->stats_mu);
+  MutexLock lk(impl_->stats_mu);
   return impl_->stats;
 }
 
 void ThreadPool::reset_stats() {
-  std::lock_guard<std::mutex> lk(impl_->stats_mu);
+  MutexLock lk(impl_->stats_mu);
   impl_->stats.clear();
 }
 

@@ -28,7 +28,7 @@ void prepare_c(Matrix& c, index_t m, index_t n, real_t beta,
   }
   if (beta == 0.0)
     c.zero();
-  else if (beta != 1.0)
+  else if (beta != 1.0)  // hylo-lint: allow(float_compare: exactly 1.0 means skip the scale; a tolerance would corrupt C)
     c *= beta;
 }
 

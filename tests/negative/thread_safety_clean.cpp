@@ -1,0 +1,49 @@
+// Control fixture for the thread-safety negative test: exercises every
+// annotation pattern the real tree uses — MutexLock scopes, UniqueLock with
+// a manual condition_variable wait loop, HYLO_REQUIRES internals — and must
+// compile warning-free under -Werror=thread-safety. If this fails, the
+// lane's flags are broken, not the violation fixture.
+#include <condition_variable>
+
+#include "hylo/common/thread_annotations.hpp"
+
+namespace {
+
+class Mailbox {
+ public:
+  void post(int v) {
+    hylo::MutexLock lk(mu_);
+    value_ = v;
+    ready_ = true;
+    cv_.notify_one();
+  }
+
+  int take() {
+    hylo::UniqueLock lk(mu_);
+    while (!ready_) cv_.wait(lk.native());
+    ready_ = false;
+    return drain_locked();
+  }
+
+  int peek() const {
+    hylo::MutexLock lk(mu_);
+    return value_;
+  }
+
+ private:
+  int drain_locked() HYLO_REQUIRES(mu_) { return value_; }
+
+  mutable hylo::Mutex mu_;
+  std::condition_variable cv_;
+  int value_ HYLO_GUARDED_BY(mu_) = 0;
+  bool ready_ HYLO_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Mailbox m;
+  m.post(7);
+  const int got = m.take();
+  return got == 7 && m.peek() == 7 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Negative compile fixture: under Clang with -Werror=thread-safety this
+// translation unit MUST fail to compile — `balance_` is written without
+// holding its guard. The ctest wrapper compiles it with -fsyntax-only and
+// expects failure (WILL_FAIL); thread_safety_clean.cpp is the control that
+// proves the flags and include paths themselves are sound.
+#include "hylo/common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int n) {
+    balance_ += n;  // no lock held: the analysis must reject this
+  }
+
+ private:
+  hylo::Mutex mu_;
+  int balance_ HYLO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit(1);
+  return 0;
+}

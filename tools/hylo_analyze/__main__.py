@@ -1,0 +1,13 @@
+import pathlib
+import sys
+
+if __package__ in (None, ""):
+    # Invoked as `python3 tools/hylo_analyze` (directory run): put tools/
+    # on sys.path so the package imports resolve.
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from hylo_analyze.cli import main
+else:
+    from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

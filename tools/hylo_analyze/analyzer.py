@@ -1,0 +1,56 @@
+"""Driver: walk a tree, run every rule, apply suppressions + baseline."""
+
+from __future__ import annotations
+
+import pathlib
+
+from . import engine, rules
+from .engine import Finding
+
+
+class Analyzer:
+    def __init__(self, root: pathlib.Path,
+                 only_rules: set[str] | None = None):
+        self.root = root.resolve()
+        self.only_rules = only_rules
+        self.files: list[engine.FileContext] = []
+        self.findings: list[Finding] = []
+
+    def _files(self) -> list[pathlib.Path]:
+        return sorted(p for p in self.root.rglob("*")
+                      if p.suffix in engine.SOURCE_EXT and p.is_file())
+
+    def run(self) -> list[Finding]:
+        paths = self._files()
+        contexts = [engine.build_context(p, p.relative_to(self.root)
+                                         .as_posix())
+                    for p in paths]
+        self.files = contexts
+        tree = rules.build_tree_context(self.root, contexts)
+        for ctx in contexts:
+            def report(rule: str, line: int, msg: str,
+                       _ctx: engine.FileContext = ctx) -> None:
+                if self.only_rules is not None \
+                        and rule not in self.only_rules:
+                    return
+                if line is None:
+                    line = 1
+                if _ctx.suppressed(rule, line):
+                    return
+                self.findings.append(
+                    Finding(rule, _ctx.path, _ctx.rel, line, msg))
+            for check in rules.ALL_CHECKS:
+                check(ctx, tree, report)
+        self.findings.sort(key=lambda f: (f.rel, f.line, f.rule))
+        return self.findings
+
+    def line_text(self, f: Finding) -> str:
+        for ctx in self.files:
+            if ctx.rel == f.rel:
+                if 1 <= f.line <= len(ctx.lex.stripped_lines):
+                    return ctx.lex.stripped_lines[f.line - 1]
+                return ""
+        return ""
+
+    def fingerprinted(self) -> list[tuple[Finding, str]]:
+        return engine.finding_fingerprints(self.findings, self.line_text)

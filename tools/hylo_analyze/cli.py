@@ -1,0 +1,109 @@
+"""Command-line interface for hylo_analyze.
+
+  python3 tools/hylo_analyze [--root DIR] [--baseline FILE]
+                             [--write-baseline] [--sarif FILE]
+                             [--rules r1,r2] [--list-rules]
+
+Exit status: 0 clean (all findings baselined or none), 1 new findings,
+2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from . import engine, sarif
+from .analyzer import Analyzer
+from .rules import RULES
+
+
+def main(argv: list[str] | None = None) -> int:
+    here = pathlib.Path(__file__).resolve().parent
+    ap = argparse.ArgumentParser(
+        prog="hylo_analyze",
+        description="hylo repo-invariant static analyzer")
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=here.parent.parent / "src",
+                    help="tree to analyze (default: repo src/)")
+    ap.add_argument("--baseline", type=pathlib.Path, default=None,
+                    help="baseline JSON of grandfathered fingerprints "
+                         "(default: tools/hylo_analyze/baseline.json when "
+                         "scanning the repo src/, else none)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="write current findings to the baseline file and "
+                         "exit 0")
+    ap.add_argument("--sarif", type=pathlib.Path, default=None,
+                    help="also emit SARIF 2.1.0 to this path")
+    ap.add_argument("--rules", type=str, default=None,
+                    help="comma-separated rule subset to run")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalogue and exit")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(r) for r in RULES)
+        for rid in sorted(RULES):
+            print(f"{rid:<{width}}  {RULES[rid][0]}")
+        return 0
+
+    only = None
+    if args.rules:
+        only = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = only - set(RULES)
+        if unknown:
+            print(f"hylo_analyze: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"hylo_analyze: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    default_src = (here.parent.parent / "src").resolve()
+    baseline_path = args.baseline
+    if baseline_path is None and root == default_src:
+        baseline_path = here / "baseline.json"
+
+    an = Analyzer(root, only)
+    an.run()
+    if not an.files:
+        print(f"hylo_analyze: no sources under {root}", file=sys.stderr)
+        return 2
+
+    pairs = an.fingerprinted()
+
+    if args.write_baseline:
+        target = baseline_path or (here / "baseline.json")
+        engine.write_baseline(target, pairs)
+        print(f"hylo_analyze: wrote {len(pairs)} fingerprint(s) to {target}")
+        return 0
+
+    baseline: set[str] = set()
+    if baseline_path is not None and baseline_path.exists():
+        baseline = engine.load_baseline(baseline_path)
+
+    fresh: list[tuple[engine.Finding, str]] = []
+    n_baselined = 0
+    for f, fp in pairs:
+        if fp in baseline:
+            f.baselined = True
+            n_baselined += 1
+        else:
+            fresh.append((f, fp))
+
+    for f, _fp in pairs:
+        print(f.render())
+
+    if args.sarif is not None:
+        sarif.write(args.sarif, fresh, root)
+
+    print(f"hylo_analyze: {len(an.files)} files, {len(fresh)} violation(s)"
+          + (f", {n_baselined} baselined" if n_baselined else ""))
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

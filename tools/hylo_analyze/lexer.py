@@ -1,0 +1,380 @@
+"""C++-aware lexer for hylo_analyze.
+
+Not a full C++ front end — a line-preserving token stream good enough for
+the repo's invariant rules. Handles // and /* */ comments, ordinary and
+raw string literals (R"delim(...)delim"), char literals, preprocessor
+lines, and multi-character punctuators. Comments are captured separately
+(per line) so suppression tags and region markers can be read from them;
+string literals become single tokens with their decoded text preserved so
+metric-name rules survive line wrapping and adjacent-literal
+concatenation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+# Longest-match punctuator table. Order within each length bucket does not
+# matter; lookup tries 3-char, then 2-char, then 1-char.
+_PUNCT3 = {"<<=", ">>=", "->*", "...", "<=>"}
+_PUNCT2 = {"::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+           "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+           "##"}
+
+_ID_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_ID_CONT = _ID_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_STR_PREFIXES = {"u8", "u", "U", "L"}  # optionally followed by R
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str   # 'id' | 'num' | 'str' | 'char' | 'punct' | 'pp'
+    text: str   # source text ('str' carries the *decoded* literal value)
+    line: int   # 1-based line of the token's first character
+
+
+@dataclasses.dataclass(frozen=True)
+class Comment:
+    line: int   # 1-based line this comment text sits on
+    text: str   # comment body for this line (no // or /* */ fences)
+
+
+@dataclasses.dataclass
+class LexedFile:
+    tokens: list[Token]
+    comments: list[Comment]          # one entry per comment *line*
+    stripped_lines: list[str]        # comments removed, strings blanked
+    raw_lines: list[str]
+
+
+def _decode_string(body: str) -> str:
+    """Best-effort unescape of a narrow string literal body."""
+    out: list[str] = []
+    i = 0
+    while i < len(body):
+        c = body[i]
+        if c == "\\" and i + 1 < len(body):
+            nxt = body[i + 1]
+            out.append({"n": "\n", "t": "\t", "r": "\r", "0": "\0"}.get(
+                nxt, nxt))
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Lexer:
+    def __init__(self, text: str):
+        self.text = text
+        self.n = len(text)
+        self.i = 0
+        self.line = 1
+        self.tokens: list[Token] = []
+        self.comments: list[Comment] = []
+        # Stripped view: same shape as the source, with comment bodies and
+        # string/char contents replaced by spaces (delimiters kept).
+        self._stripped: list[str] = []
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _emit(self, ch: str) -> None:
+        self._stripped.append(ch)
+
+    def _advance(self, keep: bool) -> None:
+        c = self.text[self.i]
+        if c == "\n":
+            self.line += 1
+            self._emit("\n")
+        else:
+            self._emit(c if keep else " ")
+        self.i += 1
+
+    def _comment_line(self, start_line: int, body: str) -> None:
+        for off, part in enumerate(body.split("\n")):
+            self.comments.append(Comment(start_line + off, part))
+
+    # -- scanners ----------------------------------------------------------
+
+    def _line_comment(self) -> None:
+        start = self.i
+        start_line = self.line
+        self._emit(" ")
+        self._emit(" ")
+        self.i += 2
+        while self.i < self.n and self.text[self.i] != "\n":
+            self._advance(keep=False)
+        self._comment_line(start_line, self.text[start + 2:self.i])
+
+    def _block_comment(self) -> None:
+        start = self.i
+        start_line = self.line
+        self._emit(" ")
+        self._emit(" ")
+        self.i += 2
+        while self.i < self.n:
+            if self.text.startswith("*/", self.i):
+                body = self.text[start + 2:self.i]
+                self._emit(" ")
+                self._emit(" ")
+                self.i += 2
+                self._comment_line(start_line, body)
+                return
+            self._advance(keep=False)
+        self._comment_line(start_line, self.text[start + 2:self.i])
+
+    def _raw_string(self, start_line: int) -> None:
+        # self.i sits on the R of R"delim( ... )delim"
+        self._emit(" ")
+        self.i += 1  # R
+        self._emit('"')
+        self.i += 1  # "
+        d_start = self.i
+        while self.i < self.n and self.text[self.i] != "(":
+            self._advance(keep=False)
+        delim = self.text[d_start:self.i]
+        if self.i < self.n:
+            self._advance(keep=False)  # (
+        closer = ")" + delim + '"'
+        end = self.text.find(closer, self.i)
+        if end < 0:
+            end = self.n
+        body = self.text[self.i:end]
+        while self.i < min(end + len(closer), self.n):
+            keep = self.text[self.i] == '"' and self.i == end + len(closer) - 1
+            self._advance(keep=keep)
+        self.tokens.append(Token("str", body, start_line))
+
+    def _string(self, start_line: int) -> None:
+        self._emit('"')
+        self.i += 1
+        body_start = self.i
+        while self.i < self.n:
+            c = self.text[self.i]
+            if c == "\\" and self.i + 1 < self.n:
+                self._advance(keep=False)
+                self._advance(keep=False)
+                continue
+            if c == '"':
+                body = self.text[body_start:self.i]
+                self._emit('"')
+                self.i += 1
+                self.tokens.append(
+                    Token("str", _decode_string(body), start_line))
+                return
+            if c == "\n":  # unterminated on this line; bail out gracefully
+                break
+            self._advance(keep=False)
+        self.tokens.append(
+            Token("str", _decode_string(self.text[body_start:self.i]),
+                  start_line))
+
+    def _char(self, start_line: int) -> None:
+        self._emit("'")
+        self.i += 1
+        body_start = self.i
+        while self.i < self.n:
+            c = self.text[self.i]
+            if c == "\\" and self.i + 1 < self.n:
+                self._advance(keep=False)
+                self._advance(keep=False)
+                continue
+            if c == "'":
+                self.tokens.append(
+                    Token("char", self.text[body_start:self.i], start_line))
+                self._emit("'")
+                self.i += 1
+                return
+            if c == "\n":
+                break
+            self._advance(keep=False)
+        self.tokens.append(
+            Token("char", self.text[body_start:self.i], start_line))
+
+    def _identifier(self) -> None:
+        start = self.i
+        start_line = self.line
+        while self.i < self.n and self.text[self.i] in _ID_CONT:
+            self._advance(keep=True)
+        name = self.text[start:self.i]
+        # String-literal prefix (u8"...", LR"(...)", ...)?
+        if self.i < self.n:
+            rest = name
+            is_raw = rest.endswith("R")
+            if is_raw:
+                rest = rest[:-1]
+            if (rest in _STR_PREFIXES or (is_raw and rest == "")) \
+                    and self.text[self.i] == '"':
+                if is_raw:
+                    self.i -= 1  # back onto the R for _raw_string
+                    self._stripped.pop()
+                    self._raw_string(start_line)
+                else:
+                    self._string(start_line)
+                return
+        self.tokens.append(Token("id", name, start_line))
+
+    def _number(self) -> None:
+        start = self.i
+        start_line = self.line
+        while self.i < self.n and (self.text[self.i] in _ID_CONT
+                                   or self.text[self.i] in ".'"
+                                   or (self.text[self.i] in "+-"
+                                       and self.text[self.i - 1] in "eEpP")):
+            self._advance(keep=True)
+        self.tokens.append(Token("num", self.text[start:self.i], start_line))
+
+    def _preprocessor(self) -> None:
+        # Swallow a whole (possibly continued) preprocessor line as one token.
+        start = self.i
+        start_line = self.line
+        while self.i < self.n:
+            c = self.text[self.i]
+            if c == "\n":
+                if self.text[self.i - 1] == "\\":
+                    self._advance(keep=True)
+                    continue
+                break
+            if self.text.startswith("//", self.i) \
+                    or self.text.startswith("/*", self.i):
+                break
+            self._advance(keep=True)
+        self.tokens.append(Token("pp", self.text[start:self.i], start_line))
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> LexedFile:
+        at_line_start = True
+        while self.i < self.n:
+            c = self.text[self.i]
+            if c == "\n":
+                self._advance(keep=True)
+                at_line_start = True
+                continue
+            if c in " \t\r":
+                self._advance(keep=True)
+                continue
+            if self.text.startswith("//", self.i):
+                self._line_comment()
+                continue
+            if self.text.startswith("/*", self.i):
+                self._block_comment()
+                continue
+            if at_line_start and c == "#":
+                self._preprocessor()
+                at_line_start = False
+                continue
+            at_line_start = False
+            if c == '"':
+                self._string(self.line)
+                continue
+            if c == "'":
+                self._char(self.line)
+                continue
+            if c == "R" and self.text.startswith('R"', self.i):
+                self._raw_string(self.line)
+                continue
+            if c in _ID_START:
+                self._identifier()
+                continue
+            if c in _DIGITS or (c == "." and self.i + 1 < self.n
+                                and self.text[self.i + 1] in _DIGITS):
+                self._number()
+                continue
+            # punctuator, longest match first
+            for width in (3, 2):
+                cand = self.text[self.i:self.i + width]
+                if (width == 3 and cand in _PUNCT3) \
+                        or (width == 2 and cand in _PUNCT2):
+                    ln = self.line
+                    for _ in range(width):
+                        self._advance(keep=True)
+                    self.tokens.append(Token("punct", cand, ln))
+                    break
+            else:
+                self.tokens.append(Token("punct", c, self.line))
+                self._advance(keep=True)
+        stripped = "".join(self._stripped).splitlines()
+        raw = self.text.splitlines()
+        while len(stripped) < len(raw):
+            stripped.append("")
+        return LexedFile(self.tokens, self.comments, stripped, raw)
+
+
+def lex(text: str) -> LexedFile:
+    return Lexer(text).run()
+
+
+def match_paren(tokens: list[Token], open_idx: int) -> int:
+    """Index of the ')' matching tokens[open_idx] == '('; len(tokens)-1 if
+    unbalanced."""
+    depth = 0
+    for j in range(open_idx, len(tokens)):
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text == "(":
+                depth += 1
+            elif t.text == ")":
+                depth -= 1
+                if depth == 0:
+                    return j
+    return len(tokens) - 1
+
+
+def match_brace(tokens: list[Token], open_idx: int) -> int:
+    """Index of the '}' matching tokens[open_idx] == '{'; len(tokens)-1 if
+    unbalanced."""
+    depth = 0
+    for j in range(open_idx, len(tokens)):
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    return j
+    return len(tokens) - 1
+
+
+def match_angle(tokens: list[Token], open_idx: int) -> int:
+    """Index of the '>' matching tokens[open_idx] == '<' in a template
+    argument list. Heuristic: bails (returns open_idx) on tokens that cannot
+    appear in a type argument, so `a < b` comparisons are not chased."""
+    depth = 0
+    for j in range(open_idx, min(open_idx + 64, len(tokens))):
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+                if depth == 0:
+                    return j
+            elif t.text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return j
+            elif t.text in {";", "{", "}", "==", "!=", "&&", "||"}:
+                return open_idx
+        elif t.kind == "str":
+            return open_idx
+    return open_idx
+
+
+def iter_lines(tokens: list[Token]) -> Iterator[tuple[int, list[Token]]]:
+    """Group tokens by source line."""
+    if not tokens:
+        return
+    cur = tokens[0].line
+    bucket: list[Token] = []
+    for t in tokens:
+        if t.line != cur:
+            yield cur, bucket
+            cur, bucket = t.line, []
+        bucket.append(t)
+    if bucket:
+        yield cur, bucket

@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 output for hylo_analyze.
+
+One run, one driver, one result per (non-baselined) finding. Artifact
+URIs are repo-relative when the scan root sits inside the repo so GitHub
+code-scanning annotates PR files directly; `originalUriBaseIds` carries
+the absolute root for other consumers.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .engine import Finding
+from .rules import RULES
+
+SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_VERSION = "1.0.0"
+INFO_URI = "https://example.invalid/hylo/tools/hylo_analyze"
+
+
+def _repo_root(start: pathlib.Path) -> pathlib.Path | None:
+    for p in [start] + list(start.parents):
+        if (p / ".git").exists():
+            return p
+    return None
+
+
+def build(findings: list[tuple[Finding, str]],
+          scan_root: pathlib.Path) -> dict:
+    """`findings` pairs each Finding with its fingerprint (baselined ones
+    excluded by the caller)."""
+    repo = _repo_root(scan_root)
+    rule_ids = sorted(RULES)
+    rule_index = {r: i for i, r in enumerate(rule_ids)}
+    rules_meta = [{
+        "id": rid,
+        "name": "".join(w.capitalize() for w in rid.split("_")),
+        "shortDescription": {"text": RULES[rid][0]},
+        "fullDescription": {"text": RULES[rid][1]},
+        "help": {"text": RULES[rid][1]},
+        "defaultConfiguration": {"level": "error"},
+    } for rid in rule_ids]
+
+    results = []
+    for f, fp in findings:
+        abs_path = f.path.resolve()
+        if repo is not None and repo in abs_path.parents:
+            uri = abs_path.relative_to(repo).as_posix()
+        else:
+            uri = f.rel
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": rule_index.get(f.rule, -1),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri, "uriBaseId": "REPOROOT"},
+                    "region": {"startLine": f.line},
+                },
+            }],
+            "partialFingerprints": {"hyloAnalyze/v1": fp},
+        })
+
+    base = (repo or scan_root).resolve().as_uri()
+    if not base.endswith("/"):
+        base += "/"
+    return {
+        "$schema": SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "hylo_analyze",
+                "informationUri": INFO_URI,
+                "version": TOOL_VERSION,
+                "rules": rules_meta,
+            }},
+            "originalUriBaseIds": {"REPOROOT": {"uri": base}},
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def write(path: pathlib.Path, findings: list[tuple[Finding, str]],
+          scan_root: pathlib.Path) -> None:
+    path.write_text(json.dumps(build(findings, scan_root), indent=2) + "\n",
+                    encoding="utf-8")

@@ -1,0 +1,14 @@
+// Fixture: a bare catch (...) that swallows must be flagged.
+namespace fix {
+
+int risky();
+
+int safe_default() {
+  try {
+    return risky();
+  } catch (...) {
+    return -1;
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,34 @@
+// Fixture: catch (...) is fine when it rethrows, captures the exception,
+// or carries an audited allow on the catch line.
+#include <exception>
+
+namespace fix {
+
+int risky();
+
+int rethrows() {
+  try {
+    return risky();
+  } catch (...) {
+    throw;
+  }
+}
+
+std::exception_ptr captures() {
+  try {
+    risky();
+  } catch (...) {
+    return std::current_exception();
+  }
+  return nullptr;
+}
+
+int audited_swallow() {
+  try {
+    return risky();
+  } catch (...) {  // hylo-lint: allow(catch_all: fixture demonstrates an audited swallow with a reason)
+    return -1;
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,48 @@
+// Fixture: two commit-after-charge violations — an update_curvature with no
+// region markers at all, and one whose scratch region mutates committed
+// state before the commit region opens.
+#include <cstddef>
+#include <vector>
+
+namespace fix {
+
+struct State {
+  std::vector<double> a;
+  int staleness = 0;
+};
+
+class Bare {
+ public:
+  bool update_curvature(int step);
+
+ private:
+  double damping_ = 1e-3;
+};
+
+bool Bare::update_curvature(int step) {
+  damping_ += static_cast<double>(step);
+  return true;
+}
+
+class Eager {
+ public:
+  bool update_curvature(int step);
+
+ private:
+  std::vector<State> layers_;
+  double damping_ = 1e-3;
+};
+
+bool Eager::update_curvature(int step) {
+  // hylo-scratch-begin(eager_update)
+  std::vector<State> cand(layers_.size());
+  for (auto& c : cand) c.a.assign(4, static_cast<double>(step));
+  damping_ = damping_ * 0.5;
+  // hylo-commit-begin(eager_update)
+  for (std::size_t l = 0; l < cand.size(); ++l) layers_[l] = cand[l];
+  // hylo-commit-end(eager_update)
+  // hylo-scratch-end(eager_update)
+  return true;
+}
+
+}  // namespace fix

@@ -1,0 +1,40 @@
+// Fixture: the blessed shape — candidates are computed into locals inside
+// the scratch region and land in committed state only inside the commit
+// region, after every throwing step is behind us.
+#include <cstddef>
+#include <vector>
+
+namespace fix {
+
+struct State {
+  std::vector<double> a;
+  int staleness = 0;
+};
+
+class Careful {
+ public:
+  bool update_curvature(int step);
+
+ private:
+  std::vector<State> layers_;
+  double damping_ = 1e-3;
+};
+
+bool Careful::update_curvature(int step) {
+  // hylo-scratch-begin(careful_update)
+  std::vector<State> cand(layers_.size());
+  for (auto& c : cand) c.a.assign(4, static_cast<double>(step));
+  const double next_damping = damping_ * 0.5;
+  // hylo-commit-begin(careful_update)
+  damping_ = next_damping;
+  for (std::size_t l = 0; l < cand.size(); ++l) {
+    State& st = layers_[l];
+    st = cand[l];
+    st.staleness = 0;
+  }
+  // hylo-commit-end(careful_update)
+  // hylo-scratch-end(careful_update)
+  return true;
+}
+
+}  // namespace fix

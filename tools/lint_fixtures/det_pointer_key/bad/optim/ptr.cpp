@@ -1,0 +1,20 @@
+// Fixture: iterating a pointer-keyed map into a serialization sink writes
+// address-ordered bytes — must be flagged.
+#include <map>
+#include <ostream>
+
+namespace fix {
+
+struct Layer;
+
+class Snapshot {
+ public:
+  void dump(std::ostream& os) const {
+    for (const auto& kv : ids_) os << kv.second << "\n";
+  }
+
+ private:
+  std::map<const Layer*, int> ids_;
+};
+
+}  // namespace fix

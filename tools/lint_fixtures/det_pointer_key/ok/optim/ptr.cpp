@@ -1,0 +1,26 @@
+// Fixture: a pointer-keyed map is fine as a lookup structure — only
+// iteration into a serialization sink is address-order dependent.
+#include <map>
+
+namespace fix {
+
+struct Layer;
+
+class Snapshot {
+ public:
+  int total() const {
+    int s = 0;
+    for (const auto& kv : ids_) s += kv.second;
+    return s;
+  }
+
+  int id_of(const Layer* l) const {
+    const auto it = ids_.find(l);
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+ private:
+  std::map<const Layer*, int> ids_;
+};
+
+}  // namespace fix

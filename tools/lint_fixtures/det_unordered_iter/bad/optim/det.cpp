@@ -1,0 +1,18 @@
+// Fixture: range-for over an unordered member must be flagged.
+#include <unordered_map>
+
+namespace fix {
+
+class Opt {
+ public:
+  double norm() const {
+    double s = 0.0;
+    for (const auto& kv : sq_) s += kv.second * kv.second;
+    return s;
+  }
+
+ private:
+  std::unordered_map<int, double> sq_;
+};
+
+}  // namespace fix

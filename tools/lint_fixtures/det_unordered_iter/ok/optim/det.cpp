@@ -1,0 +1,30 @@
+// Fixture: a commutative fold over an unordered member is fine once the
+// loop carries an audited allow; sorted-key traversal needs no waiver.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace fix {
+
+class Opt {
+ public:
+  double norm() const {
+    double s = 0.0;
+    for (const auto& kv : sq_) s += kv.second * kv.second;  // hylo-lint: allow(det_unordered_iter: commutative sum of squares, order-independent)
+    return s;
+  }
+
+  std::vector<int> sorted_keys() const {
+    std::vector<int> keys;
+    keys.reserve(sq_.size());
+    for (auto it = sq_.begin(); it != sq_.end(); ++it)  // hylo-lint: allow(det_unordered_iter: key harvest is sorted below before any consumer sees it)
+      keys.push_back(it->first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+ private:
+  std::unordered_map<int, double> sq_;
+};
+
+}  // namespace fix

@@ -1,0 +1,8 @@
+// Fixture: exact equality against nonzero float literals must be flagged.
+namespace fix {
+
+bool at_half(double x) { return x == 0.5; }
+
+bool not_two(float y) { return y != 2.0f; }
+
+}  // namespace fix

@@ -1,0 +1,13 @@
+// Fixture: literal-zero guards are IEEE-exact and exempt; a deliberate
+// exact compare carries an allow on the comparison line.
+namespace fix {
+
+bool is_zero(double x) { return x == 0.0; }
+
+bool is_set(double x) {
+  return x != 0.0 && x == 1.0;  // hylo-lint: allow(float_compare: sentinel assigned verbatim upstream, exact by construction)
+}
+
+bool int_compare(int n) { return n == 4; }
+
+}  // namespace fix

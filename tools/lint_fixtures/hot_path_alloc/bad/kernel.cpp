@@ -1,0 +1,23 @@
+// Fixture: sized-container construction and operator new inside a
+// parallel_for body must be flagged.
+#include <cstddef>
+#include <vector>
+
+namespace fix {
+
+using index_t = long;
+
+template <typename Fn>
+void parallel_for(index_t b, index_t e, index_t grain, Fn fn);
+
+void work(std::vector<double>& out) {
+  parallel_for(0, 64, 8, [&](index_t b, index_t e) {
+    std::vector<double> tmp(static_cast<std::size_t>(e - b), 0.0);
+    double* spill = new double[8];
+    for (index_t i = b; i < e; ++i)
+      out[static_cast<std::size_t>(i)] = tmp[0] + spill[0];
+    delete[] spill;
+  });
+}
+
+}  // namespace fix

@@ -1,0 +1,24 @@
+// Fixture: the blessed patterns inside a parallel body — default-construct
+// then resize, and reference bindings to preallocated scratch — stay clean.
+#include <cstddef>
+#include <vector>
+
+namespace fix {
+
+using index_t = long;
+
+template <typename Fn>
+void parallel_for(index_t b, index_t e, index_t grain, Fn fn);
+
+thread_local std::vector<double> tl_scratch;
+
+void work(std::vector<double>& out) {
+  parallel_for(0, 64, 8, [&](index_t b, index_t e) {
+    std::vector<double>& buf = tl_scratch;
+    buf.resize(static_cast<std::size_t>(e - b));
+    for (index_t i = b; i < e; ++i)
+      out[static_cast<std::size_t>(i)] = buf[0];
+  });
+}
+
+}  // namespace fix

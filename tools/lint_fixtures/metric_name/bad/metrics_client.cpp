@@ -1,0 +1,18 @@
+// Fixture: bad metric names — including the wrapped-literal form that the
+// old single-line regex linter could not see (regression for the token-
+// stream rewrite: adjacent string literals concatenate before the check).
+namespace fix {
+
+struct Registry {
+  int& counter(const char* name);
+  int& gauge(const char* name);
+};
+
+void emit(Registry& reg) {
+  reg.counter("BadName");
+  reg.gauge(
+      "optim/refresh"
+      ".CALLS");
+}
+
+}  // namespace fix

@@ -1,0 +1,18 @@
+// Fixture: well-formed subsystem/name metric names, including a literal
+// wrapped across lines — concatenation happens before the check, so
+// wrapping alone is not a violation.
+namespace fix {
+
+struct Registry {
+  int& counter(const char* name);
+  int& gauge(const char* name);
+};
+
+void emit(Registry& reg) {
+  reg.counter("optim/refresh.calls");
+  reg.gauge(
+      "optim/"
+      "refresh.seconds");
+}
+
+}  // namespace fix

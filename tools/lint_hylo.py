@@ -1,284 +1,21 @@
 #!/usr/bin/env python3
-"""Repo-invariant lint for the hylo source tree.
+"""Compatibility shim: the PR-3 regex linter grew into tools/hylo_analyze.
 
-Rules (each failure prints `file:line: [rule] message` and the run exits 1):
-
-  io          -- no std::cout / std::cerr / printf / fprintf inside src/
-                 outside the obs/ subsystem. Telemetry goes through
-                 hylo::obs; everything else must stay silent. Suppress a
-                 deliberate use with a `hylo-lint: allow(io)` comment on the
-                 line.
-  randomness  -- no rand() / srand() / std::random_device / time() /
-                 clock() / <random> engines or distributions
-                 (std::mt19937, std::uniform_*_distribution, ...) outside
-                 common/rng.*. All randomness — including fault-injection
-                 schedules — flows through hylo::Rng so runs are
-                 replayable; wall-clock entropy and unseeded engines break
-                 the determinism contract. Suppress with
-                 `hylo-lint: allow(randomness)`.
-  pragma_once -- every header under src/ starts with `#pragma once`.
-  write_set   -- every par::parallel_for / par::parallel_reduce call site in
-                 src/ (outside par/ and audit/ themselves) declares its
-                 output footprint: the call's argument span must mention
-                 `audit::` (a WriteSet helper, a Footprint lambda, or an
-                 explicit `audit::unchecked(...)` opt-out).
-  kernel_footprint -- parallel_for / parallel_reduce sites in the dense
-                 kernel code (tensor/ and linalg/) must declare a *checked*
-                 footprint: `audit::unchecked(...)` is forbidden there.
-                 Every GEMM-family kernel writes a row/element block or a
-                 triangular tail, all expressible as WriteSet spans — an
-                 opt-out in that code hides exactly the overlap bugs the
-                 auditor exists to catch (packed edge tiles, gram mirrors).
-  metric_name -- obs metric names passed to counter(" / gauge(" /
-                 histogram(" literals follow `subsystem/name`
-                 (lowercase, at least one '/').
-  ckpt_io     -- no raw std::ofstream outside the ckpt/ and obs/
-                 subsystems. Durable artifacts (weights, run snapshots)
-                 must be written through ckpt::AtomicFile (tmp + rename +
-                 CRC) so a crash mid-write can never clobber the previous
-                 file with a torn one. Suppress a deliberately non-atomic
-                 write with `hylo-lint: allow(ckpt_io)`.
-  health_catalogue -- every literal metric name containing `/health/` names
-                 a probe registered in the catalogue block of
-                 include/hylo/obs/health.hpp, and every `obs/alerts/` metric
-                 names an alert rule from include/hylo/obs/alerts.hpp (or
-                 the engine's own fired/critical counters). The catalogues
-                 are the contract hylo_report and DESIGN.md §12 document;
-                 an unregistered name is a typo or an undocumented probe.
-
-Usage: lint_hylo.py [--root DIR]   (default: <repo>/src next to this script)
+Same contract as before (exit 0 clean / 1 violations / 2 usage error,
+`--root DIR` to point at a tree); everything else — the rule catalogue,
+suppression grammar, baseline, SARIF output — lives in the package.
+Prefer `python3 tools/hylo_analyze` directly; this entry point stays for
+muscle memory and old CI scripts.
 """
 
 from __future__ import annotations
 
-import argparse
 import pathlib
-import re
 import sys
 
-HEADER_EXT = {".hpp", ".h"}
-SOURCE_EXT = {".cpp", ".cc", ".cxx"} | HEADER_EXT
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-IO_RE = re.compile(r"std::cout|std::cerr|\bprintf\s*\(|\bfprintf\s*\(")
-RAND_RE = re.compile(
-    r"\brand\s*\(|\bsrand\s*\(|std::random_device|\btime\s*\(|\bclock\s*\(|"
-    r"std::mt19937|std::minstd_rand|std::default_random_engine|"
-    r"std::uniform_(?:int|real)_distribution|std::bernoulli_distribution")
-PARALLEL_RE = re.compile(r"\bparallel_(?:for|reduce)\s*\(")
-OFSTREAM_RE = re.compile(r"std::ofstream")
-METRIC_RE = re.compile(r"\b(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
-METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(/[a-z0-9_.\-]+)+$")
-ALLOW_RE = re.compile(r"hylo-lint:\s*allow\(([a-z_,\s]+)\)")
-
-
-def load_catalogue(path: pathlib.Path, marker: str) -> frozenset[str]:
-    """String literals between `hylo-<marker>-catalogue-begin/-end` comment
-    markers in a header. Missing file or markers -> empty set, so every
-    /health/ or obs/alerts/ metric in such a tree fails the rule (the
-    catalogue is part of the contract, not optional)."""
-    try:
-        text = path.read_text(encoding="utf-8", errors="replace")
-    except OSError:
-        return frozenset()
-    begin = text.find(f"hylo-{marker}-catalogue-begin")
-    end = text.find(f"hylo-{marker}-catalogue-end")
-    if begin < 0 or end < begin:
-        return frozenset()
-    return frozenset(re.findall(r'"([a-z0-9_]+)"', text[begin:end]))
-
-
-def allowed(line: str, rule: str) -> bool:
-    m = ALLOW_RE.search(line)
-    return m is not None and rule in {t.strip() for t in m.group(1).split(",")}
-
-
-def strip_comments_keep_lines(text: str) -> str:
-    """Remove // and /* */ comment bodies but preserve line numbering, so
-    commented-out code never trips the content rules. Allow tags are read
-    from the raw line before stripping."""
-    out: list[str] = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                i += 2
-                continue
-            if c == '"':
-                state = "string"
-            elif c == "'":
-                state = "char"
-            out.append(c)
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                i += 2
-                continue
-            if c == "\n":
-                out.append(c)
-        elif state == "string":
-            if c == "\\":
-                out.append(c)
-                if nxt:
-                    out.append(nxt)
-                    i += 2
-                    continue
-            elif c == '"':
-                state = "code"
-            out.append(c)
-        else:  # char literal
-            if c == "\\":
-                out.append(c)
-                if nxt:
-                    out.append(nxt)
-                    i += 2
-                    continue
-            elif c == "'":
-                state = "code"
-            out.append(c)
-        i += 1
-    return "".join(out)
-
-
-def call_span(code: str, open_paren: int) -> str:
-    """The argument text of a call, from its '(' to the matching ')'."""
-    depth = 0
-    for j in range(open_paren, len(code)):
-        if code[j] == "(":
-            depth += 1
-        elif code[j] == ")":
-            depth -= 1
-            if depth == 0:
-                return code[open_paren : j + 1]
-    return code[open_paren:]  # unbalanced: fall back to rest of file
-
-
-class Linter:
-    def __init__(self, root: pathlib.Path):
-        self.root = root
-        self.failures: list[str] = []
-        obs_inc = root / "include" / "hylo" / "obs"
-        self.probe_catalogue = load_catalogue(obs_inc / "health.hpp", "probe")
-        # The alert engine's own bookkeeping counters ride on the rule set.
-        self.alert_catalogue = load_catalogue(
-            obs_inc / "alerts.hpp", "alert") | {"fired", "critical"}
-
-    def fail(self, path: pathlib.Path, line: int, rule: str, msg: str) -> None:
-        rel = path.relative_to(self.root.parent) if self.root.parent in path.parents \
-            else path
-        self.failures.append(f"{rel}:{line}: [{rule}] {msg}")
-
-    def lint_file(self, path: pathlib.Path) -> None:
-        raw = path.read_text(encoding="utf-8", errors="replace")
-        raw_lines = raw.splitlines()
-        code = strip_comments_keep_lines(raw)
-        code_lines = code.splitlines()
-        rel = path.relative_to(self.root).as_posix()
-
-        in_obs = rel.startswith("obs/") or "/obs/" in f"/{rel}"
-        in_rng = pathlib.Path(rel).name.startswith("rng.")
-        in_par = rel.startswith("par/") or "/par/" in f"/{rel}"
-        in_audit = rel.startswith("audit/") or "/audit/" in f"/{rel}"
-        in_ckpt = rel.startswith("ckpt/") or "/ckpt/" in f"/{rel}"
-
-        if path.suffix in HEADER_EXT:
-            first = next(
-                (ln for ln in raw_lines if ln.strip()), "")
-            if first.strip() != "#pragma once":
-                self.fail(path, 1, "pragma_once",
-                          "header must start with '#pragma once'")
-
-        for i, ln in enumerate(code_lines, start=1):
-            raw_ln = raw_lines[i - 1] if i <= len(raw_lines) else ""
-            if not in_obs and IO_RE.search(ln) and not allowed(raw_ln, "io"):
-                self.fail(path, i, "io",
-                          "direct console IO outside hylo::obs "
-                          "(use obs, or annotate 'hylo-lint: allow(io)')")
-            if not in_rng and RAND_RE.search(ln) \
-                    and not allowed(raw_ln, "randomness"):
-                self.fail(path, i, "randomness",
-                          "non-hylo::Rng randomness/wall-clock entropy "
-                          "(use hylo::Rng, or annotate "
-                          "'hylo-lint: allow(randomness)')")
-            if not in_ckpt and not in_obs and OFSTREAM_RE.search(ln) \
-                    and not allowed(raw_ln, "ckpt_io"):
-                self.fail(path, i, "ckpt_io",
-                          "raw std::ofstream outside hylo::ckpt/hylo::obs "
-                          "(write through ckpt::AtomicFile for crash "
-                          "safety, or annotate 'hylo-lint: allow(ckpt_io)')")
-            for m in METRIC_RE.finditer(ln):
-                name = m.group(1)
-                if not METRIC_NAME_RE.match(name):
-                    self.fail(path, i, "metric_name",
-                              f"metric name '{name}' does not follow "
-                              "'subsystem/name' (lowercase, '/'-separated)")
-                leaf = name.rsplit("/", 1)[-1]
-                if "/health/" in name and leaf not in self.probe_catalogue:
-                    self.fail(path, i, "health_catalogue",
-                              f"health probe '{leaf}' is not registered in "
-                              "the probe catalogue "
-                              "(include/hylo/obs/health.hpp)")
-                if name.startswith("obs/alerts/") \
-                        and leaf not in self.alert_catalogue:
-                    self.fail(path, i, "health_catalogue",
-                              f"alert metric '{leaf}' is not registered in "
-                              "the alert-rule catalogue "
-                              "(include/hylo/obs/alerts.hpp)")
-
-        in_kernel = rel.startswith(("tensor/", "linalg/")) \
-            or "/tensor/" in f"/{rel}" or "/linalg/" in f"/{rel}"
-        if not in_par and not in_audit:
-            for m in PARALLEL_RE.finditer(code):
-                line_no = code.count("\n", 0, m.start()) + 1
-                span = call_span(code, m.end() - 1)
-                if "audit::" not in span:
-                    self.fail(path, line_no, "write_set",
-                              f"{m.group(0).rstrip('(').strip()} call site "
-                              "declares no write set: pass an "
-                              "audit::Footprint (e.g. audit::row_block(c)) "
-                              "or an explicit audit::unchecked(\"why\")")
-                elif in_kernel and "audit::unchecked" in span:
-                    self.fail(path, line_no, "kernel_footprint",
-                              "kernel code (tensor/, linalg/) must declare "
-                              "a checked footprint — audit::unchecked is "
-                              "forbidden here; express the write set with "
-                              "WriteSet spans (row_block, add_row_tail, ...)")
-
-    def run(self) -> int:
-        files = sorted(p for p in self.root.rglob("*")
-                       if p.suffix in SOURCE_EXT and p.is_file())
-        if not files:
-            print(f"lint_hylo: no sources under {self.root}", file=sys.stderr)
-            return 2
-        for f in files:
-            self.lint_file(f)
-        for msg in self.failures:
-            print(msg)
-        print(f"lint_hylo: {len(files)} files, {len(self.failures)} "
-              f"violation(s)")
-        return 1 if self.failures else 0
-
-
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--root", type=pathlib.Path,
-                    default=pathlib.Path(__file__).resolve().parent.parent
-                    / "src",
-                    help="tree to lint (default: repo src/)")
-    args = ap.parse_args()
-    return Linter(args.root.resolve()).run()
-
+from hylo_analyze.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())
