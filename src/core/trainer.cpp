@@ -39,6 +39,13 @@ Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
   HYLO_CHECK(cfg_.world >= 1 && cfg_.epochs >= 1 && cfg_.batch_size >= 1,
              "bad train config");
   comm_.set_wire_scalar_bytes(cfg_.wire_scalar_bytes);
+  // Comm execution mode: explicit config pins it; the HYLO_COMM environment
+  // applies only when the config leaves it unset. Default stays lockstep.
+  if (cfg_.comm_mode.has_value()) {
+    comm_.set_mode(*cfg_.comm_mode);
+  } else if (const auto env = comm_mode_from_env(); env.has_value()) {
+    comm_.set_mode(*env);
+  }
   // Explicit config pins the fault schedule; the HYLO_FAULTS environment
   // spec applies only when the config leaves it open.
   if (cfg_.faults.has_value()) {
@@ -66,7 +73,8 @@ Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
     }
     health_ = obs::HealthMonitor(hc);
     alerts_ = obs::AlertEngine(hc.alerts);
-    uses_capture_ = dynamic_cast<CurvatureOptimizer*>(opt_) != nullptr;
+    curv_ = dynamic_cast<CurvatureOptimizer*>(opt_);
+    uses_capture_ = curv_ != nullptr;
     if (hc.enabled) {
       std::string method = opt_->name();
       for (char& c : method)
@@ -97,6 +105,10 @@ Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
     start.set("lr", opt_->lr());
     start.set("wire_scalar_bytes", cfg_.wire_scalar_bytes);
     start.set("interconnect", cfg_.interconnect.name);
+    if (comm_.async()) {
+      start.set("comm_mode", "async");
+      start.set("compute_model", cfg_.compute.name);
+    }
     start.set("params", net_->num_params());
     start.set("segmentation", segmentation_);
     if (comm_.faults_active()) {
@@ -198,6 +210,16 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
   const bool elastic = comm_.faults_active();
   const bool snapshots = ckpt_.enabled();
   const bool health_on = health_.enabled();
+  // Async timeline: each rank's simulated clock advances by *modeled*
+  // fwd/bwd compute (never measured wall time — replays stay bitwise), so
+  // curvature gathers issued at refresh t genuinely overlap the compute of
+  // iterations t+1..t+f-1.
+  const bool async_mode = comm_.async();
+  const double modeled_step_s =
+      async_mode ? compute_seconds(cfg_.compute,
+                                   train_step_flops(net_->num_params(),
+                                                    cfg_.batch_size))
+                 : 0.0;
 
   for (index_t it = start_iter; it < iters; ++it) {
     const bool capture = opt_->needs_capture(global_iter_);
@@ -252,11 +274,17 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
         for (auto& g : *pp.grad) g *= inv_world;
     }
     comm_.profiler().add("comp/forward_backward", fb_timer.seconds());
+    if (async_mode)
+      for (index_t rank = 0; rank < world_; ++rank)
+        comm_.timeline()->advance(rank, modeled_step_s);
     // The gradient allreduce must complete for the replicas to stay
     // bit-identical: injected rank_down faults re-form and retry.
     comm_.charge_allreduce(comm_.wire_bytes(grad_scalars),
                            "comm/grad_allreduce",
                            FailMode::kRetryUntilSuccess);
+    // Commit every curvature chain that completed while this iteration's
+    // compute ran — *before* a refresh would declare the stragglers stale.
+    if (async_mode && curv_ != nullptr) curv_->poll_async(comm_);
 
     if (capture) opt_->update_curvature(blocks, cap, &comm_);
 
@@ -330,7 +358,12 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
   comp_par_seconds_ = par;
   comp_rep_seconds_ = rep;
   comm_seconds_ = comm;
-  wall_seconds_ = comp_par_seconds_ + comp_rep_seconds_ + comm_seconds_;
+  // Lockstep: compute and comm serialize, so wall is their sum. Async: the
+  // event timeline already interleaved them — wall is its horizon (the last
+  // clock or in-flight wire completion), which is what overlap buys.
+  wall_seconds_ = async_mode
+                      ? comm_.timeline()->horizon() + comp_rep_seconds_
+                      : comp_par_seconds_ + comp_rep_seconds_ + comm_seconds_;
 
   const auto [test_loss, test_metric] = evaluate();
   EpochStats stats;
@@ -532,6 +565,7 @@ TrainResult Trainer::run_from() {
     if (comm_.faults_active()) {
       const auto& reg = comm_.profiler().registry();
       rec.set("faults_injected", reg.counter_value("comm/faults/injected"));
+      rec.set("total_retry_bytes", comm_.total_retry_bytes());
       std::int64_t stale = 0;
       const std::string suffix = "/stale_refreshes";
       for (const auto& [name, c] : reg.counters())
@@ -622,6 +656,11 @@ void Trainer::write_snapshot(index_t epoch, index_t next_iter, real_t loss_acc,
     clock.str(name);
     clock.i64(v);
   }
+
+  // timeline: the async simulator's clocks / wire cursor / event sequence,
+  // present exactly when async mode is active (presence checked on restore)
+  // — resuming mid-overlap must replay the same completion order.
+  if (comm_.async()) comm_.timeline()->save(snap.section("timeline"));
 
   // faults: the plan's draw cursor and the elastic world, present only when
   // fault injection is active (presence is itself checked on restore).
@@ -749,6 +788,23 @@ void Trainer::restore_snapshot(const std::string& path) {
     last_fault_counters_[name] = clock.i64();
   }
   clock.expect_done();
+
+  // The timeline section must be present exactly when this trainer runs the
+  // async simulator: replaying an async run in lockstep (or vice versa)
+  // would silently diverge from the interrupted event order.
+  if (comm_.async()) {
+    HYLO_CHECK(snap.has("timeline"),
+               "snapshot " << path << " has no event-timeline state but this "
+                              "trainer runs HYLO_COMM=async");
+    ckpt::ByteReader t = snap.open("timeline");
+    comm_.timeline()->load(t);
+    t.expect_done();
+  } else {
+    HYLO_CHECK(!snap.has("timeline"),
+               "snapshot " << path << " carries event-timeline state but "
+                              "this trainer runs the lockstep simulator — "
+                              "configure the same HYLO_COMM mode");
+  }
 
   // The fault section must be present exactly when this trainer has an
   // active plan: replaying a faulted run fault-free (or vice versa) would

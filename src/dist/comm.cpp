@@ -1,10 +1,38 @@
 #include "hylo/dist/comm.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
 
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
+
+const char* to_string(CommMode mode) {
+  switch (mode) {
+    case CommMode::kLockstep: return "lockstep";
+    case CommMode::kAsync: return "async";
+  }
+  return "?";
+}
+
+std::optional<CommMode> comm_mode_from_env() {
+  const char* raw = std::getenv("HYLO_COMM");
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  std::string v(raw);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "lockstep" || v == "sync") return CommMode::kLockstep;
+  if (v == "async" || v == "event") return CommMode::kAsync;
+  HYLO_CHECK(false, "HYLO_COMM='" << raw
+                    << "' is not a comm mode (lockstep|sync|async|event)");
+  return std::nullopt;
+}
+
+void CommSim::set_mode(CommMode mode) {
+  mode_ = mode;
+  if (mode == CommMode::kAsync && timeline_ == nullptr)
+    timeline_ = std::make_unique<EventTimeline>(world_);
+}
 
 void CommSim::allreduce_mean(std::vector<Matrix*> bufs,
                              const std::string& section) {
@@ -34,15 +62,28 @@ Matrix CommSim::allgather_rows(const std::vector<const Matrix*>& locals,
                                const std::string& section) {
   HYLO_CHECK(static_cast<index_t>(locals.size()) == world_,
              "allgather needs one block per rank");
-  std::vector<Matrix> parts;
-  parts.reserve(locals.size());
-  index_t max_bytes = 0;
+  std::vector<index_t> bytes_per_rank;
+  bytes_per_rank.reserve(locals.size());
+  HYLO_CHECK(locals.front() != nullptr, "allgather block is null");
+  const index_t cols = locals.front()->cols();
+  index_t rows = 0;
   for (const auto* m : locals) {
-    parts.push_back(*m);
-    max_bytes = std::max(max_bytes, wire_bytes(m->size()));
+    HYLO_CHECK(m != nullptr, "allgather block is null");
+    HYLO_CHECK(m->cols() == cols, "allgather column mismatch");
+    rows += m->rows();
+    bytes_per_rank.push_back(wire_bytes(m->size()));
   }
-  charge_allgather(max_bytes, section, FailMode::kRetryUntilSuccess);
-  return vstack(parts);
+  // Stack straight into the result — the seed path copied every block into
+  // a `parts` vector first and then vstack()ed that, moving each block
+  // twice.
+  Matrix out(rows, cols);
+  index_t r = 0;
+  for (const auto* m : locals) {
+    std::copy(m->data(), m->data() + m->size(), out.row_ptr(r));
+    r += m->rows();
+  }
+  charge_allgather(bytes_per_rank, section, FailMode::kRetryUntilSuccess);
+  return out;
 }
 
 void CommSim::configure_faults(const FaultConfig& cfg) {
@@ -143,6 +184,7 @@ std::vector<index_t> CommSim::commit_shrinks() {
                           std::move(args));
     }
   }
+  if (timeline_ != nullptr && !committed.empty()) timeline_->set_world(world_);
   return committed;
 }
 
@@ -151,11 +193,23 @@ void CommSim::restore_world(index_t world, std::vector<index_t> lost) {
   world_ = world;
   lost_ranks_ = std::move(lost);
   pending_lost_.clear();
+  if (timeline_ != nullptr) timeline_->set_world(world_);
 }
 
 void CommSim::charge(const char* kind, index_t bytes,
                      const std::string& section, double seconds,
                      FailMode mode) {
+  if (async()) {
+    // Blocking collective on the event timeline: it starts once the slowest
+    // rank has arrived and every rank then waits out its completion.
+    const CommEvent ev =
+        icharge(kind, bytes, section, seconds, timeline_->max_clock(), mode);
+    timeline_->barrier_at(ev.failed ? ev.start_s : ev.ready_s);
+    if (ev.failed)
+      throw CommFailure("collective " + std::string(kind) + " under '" +
+                        section + "' lost a rank and could not complete");
+    return;
+  }
   FaultEvent ev;
   double extra = 0.0;
   if (faults_active()) {
@@ -180,6 +234,58 @@ void CommSim::charge(const char* kind, index_t bytes,
   }
 }
 
+CommEvent CommSim::icharge(const char* kind, index_t ledger_bytes,
+                           const std::string& section, double seconds,
+                           double earliest_start_s, FailMode mode) {
+  HYLO_CHECK(async() && timeline_ != nullptr,
+             "icharge requires async comm mode");
+  FaultEvent fev;
+  double extra = 0.0;
+  bool failed = false;
+  if (faults_active()) {
+    fev = fault_plan_->next(world_);
+    if (fev.kind != FaultKind::kNone) {
+      try {
+        extra = apply_fault(kind, fev, ledger_bytes, section, seconds, mode);
+      } catch (const CommFailure&) {
+        // Event-based failure reporting: the wasted attempts were charged
+        // by apply_fault; the handle carries the loss to the caller.
+        failed = true;
+      }
+    }
+  }
+  const TimelineEvent tev = timeline_->issue(
+      section, earliest_start_s, failed ? 0.0 : seconds + extra, failed);
+  if (!failed) {
+    profiler_.add(section, seconds + extra);
+    auto& reg = profiler_.registry();
+    reg.counter(section + ".bytes").inc(ledger_bytes);
+    reg.counter(section + ".msgs").inc();
+    if (trace_ != nullptr) {
+      obs::Json args = obs::Json::object();
+      args.set("kind", kind);
+      args.set("bytes", static_cast<std::int64_t>(ledger_bytes));
+      args.set("world", static_cast<std::int64_t>(world_));
+      args.set("seq", static_cast<std::int64_t>(tev.seq));
+      if (fev.kind != FaultKind::kNone) {
+        args.set("fault", to_string(fev.kind));
+        args.set("fault_extra_s", extra);
+      }
+      trace_->add_span_at(section, "comm", obs::TraceBuffer::kCommTrack,
+                          tev.start_s, seconds + extra, std::move(args));
+    }
+  }
+  return CommEvent{tev.seq, tev.start_s, tev.ready_s, failed};
+}
+
+namespace {
+/// Total wire traffic of a ring allgather: every rank's payload traverses
+/// world-1 hops.
+index_t allgather_ledger_bytes(index_t world, index_t sum_bytes) {
+  return (world - 1) * sum_bytes;
+}
+}  // namespace
+
 void CommSim::charge_broadcast(index_t bytes, const std::string& section,
                                FailMode mode) {
   charge("broadcast", bytes, section, broadcast_seconds(model_, world_, bytes),
@@ -188,14 +294,59 @@ void CommSim::charge_broadcast(index_t bytes, const std::string& section,
 
 void CommSim::charge_allgather(index_t bytes_per_rank,
                                const std::string& section, FailMode mode) {
-  charge("allgather", bytes_per_rank, section,
+  charge("allgather",
+         allgather_ledger_bytes(world_, world_ * bytes_per_rank), section,
          allgather_seconds(model_, world_, bytes_per_rank), mode);
+}
+
+void CommSim::charge_allgather(const std::vector<index_t>& bytes_per_rank,
+                               const std::string& section, FailMode mode) {
+  HYLO_CHECK(static_cast<index_t>(bytes_per_rank.size()) == world_,
+             "allgather needs one payload size per rank");
+  index_t sum = 0, mx = 0;
+  for (const index_t b : bytes_per_rank) {
+    HYLO_CHECK(b >= 0, "negative allgather payload");
+    sum += b;
+    mx = std::max(mx, b);
+  }
+  charge("allgather", allgather_ledger_bytes(world_, sum), section,
+         allgather_seconds(model_, world_, mx), mode);
 }
 
 void CommSim::charge_allreduce(index_t bytes, const std::string& section,
                                FailMode mode) {
   charge("allreduce", bytes, section, allreduce_seconds(model_, world_, bytes),
          mode);
+}
+
+CommEvent CommSim::icharge_allgather(const std::vector<index_t>& bytes_per_rank,
+                                     const std::string& section,
+                                     double earliest_start_s, FailMode mode) {
+  HYLO_CHECK(static_cast<index_t>(bytes_per_rank.size()) == world_,
+             "allgather needs one payload size per rank");
+  index_t sum = 0, mx = 0;
+  for (const index_t b : bytes_per_rank) {
+    HYLO_CHECK(b >= 0, "negative allgather payload");
+    sum += b;
+    mx = std::max(mx, b);
+  }
+  return icharge("allgather", allgather_ledger_bytes(world_, sum), section,
+                 allgather_seconds(model_, world_, mx), earliest_start_s,
+                 mode);
+}
+
+CommEvent CommSim::icharge_broadcast(index_t bytes, const std::string& section,
+                                     double earliest_start_s, FailMode mode) {
+  return icharge("broadcast", bytes, section,
+                 broadcast_seconds(model_, world_, bytes), earliest_start_s,
+                 mode);
+}
+
+CommEvent CommSim::icharge_allreduce(index_t bytes, const std::string& section,
+                                     double earliest_start_s, FailMode mode) {
+  return icharge("allreduce", bytes, section,
+                 allreduce_seconds(model_, world_, bytes), earliest_start_s,
+                 mode);
 }
 
 double CommSim::comm_seconds() const {

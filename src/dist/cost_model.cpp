@@ -77,4 +77,24 @@ double retry_seconds(const InterconnectModel& m, double base_seconds,
   return total;
 }
 
+ComputeModel v100_fp32() {
+  // ~14 TFLOP/s sustained on large FP32 GEMMs (15.7 peak).
+  return {.name = "v100-fp32", .flops_per_s = 14e12};
+}
+
+ComputeModel k80_fp32() {
+  // ~4 TFLOP/s sustained per GK210 die.
+  return {.name = "k80-fp32", .flops_per_s = 4e12};
+}
+
+double compute_seconds(const ComputeModel& m, double flops) {
+  HYLO_CHECK(flops >= 0.0 && m.flops_per_s > 0.0, "bad compute args");
+  return flops / m.flops_per_s;
+}
+
+double train_step_flops(index_t params, index_t local_batch) {
+  HYLO_CHECK(params >= 0 && local_batch >= 0, "bad step-flop args");
+  return 6.0 * static_cast<double>(params) * static_cast<double>(local_batch);
+}
+
 }  // namespace hylo

@@ -26,6 +26,8 @@
 
 namespace hylo {
 
+class CurvatureOptimizer;
+
 /// Step decay: lr *= gamma at the start of each listed epoch.
 struct LrSchedule {
   std::vector<index_t> milestones;
@@ -46,6 +48,15 @@ struct TrainConfig {
   /// Modeled bytes per communicated scalar: 4 = FP32 (KAISA's wire format),
   /// 2 = FP16, 2.625 = the 21-bit custom float of Ueno et al. [7].
   double wire_scalar_bytes = 4.0;
+  /// Comm execution mode (DESIGN.md §15). Set here to pin it — this takes
+  /// precedence over the HYLO_COMM environment variable, which applies only
+  /// when this is unset. With neither, the lockstep simulator runs and the
+  /// trainer is bitwise-identical to builds without the async path.
+  std::optional<CommMode> comm_mode;
+  /// Modeled device throughput driving the async timeline's per-rank
+  /// compute advance (never measured wall time, so replays are bitwise).
+  /// Ignored in lockstep mode.
+  ComputeModel compute = v100_fp32();
   LrSchedule lr_schedule;
   std::uint64_t data_seed = 1;
   /// Cap on iterations per epoch (-1 = full epoch); used by profiling
@@ -185,6 +196,7 @@ class Trainer {
   obs::HealthMonitor health_;
   obs::AlertEngine alerts_;
   bool uses_capture_ = false;  ///< optimizer has curvature refreshes
+  CurvatureOptimizer* curv_ = nullptr;  ///< non-null iff uses_capture_
   std::int64_t last_alert_faults_ = 0;  ///< fault-budget epoch delta base
   std::vector<DataLoader> loaders_;
   SoftmaxCrossEntropy ce_;

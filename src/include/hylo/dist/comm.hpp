@@ -1,18 +1,38 @@
 #pragma once
 /// \file comm.hpp
-/// Lockstep-simulated communicator. Data movement between the P simulated
-/// ranks happens in shared memory (the runner executes ranks sequentially,
+/// Simulated communicator. Data movement between the P simulated ranks
+/// happens in shared memory (the runner executes ranks sequentially,
 /// bit-exactly), while each collective charges its modeled wire time to a
 /// profiler section. Compute sections are measured and attributed separately
 /// so benches can report the paper's computation/communication breakdowns.
+///
+/// Two execution modes (DESIGN.md §15):
+///  - kLockstep (default): every collective is a barrier; its modeled
+///    seconds accumulate in the profiler and the epoch wall is recomposed
+///    analytically. This is the seed behavior, bit for bit.
+///  - kAsync: collectives issued through icharge_* become events on a
+///    per-rank EventTimeline with a FIFO wire; completion is a (time, seq)
+///    handle the caller polls, which is what lets curvature-factor gathers
+///    overlap the next iteration's forward/backward.
+///
+/// Wire-byte ledger semantics (`<section>.bytes` counters): every charge
+/// records the **total bytes crossing the wire**, summed over ranks and
+/// ring/tree steps — allgather records (P-1)·Σ per-rank payloads, allreduce
+/// and broadcast record their logical payload once (the reduction/fan-out
+/// traffic is folded into modeled seconds, matching how KAISA reports
+/// volumes). Retried attempts re-send bytes but land in the separate
+/// total_retry_bytes() ledger so clean and faulty runs stay comparable.
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "hylo/common/timer.hpp"
 #include "hylo/dist/cost_model.hpp"
+#include "hylo/dist/event_sim.hpp"
 #include "hylo/dist/fault_plan.hpp"
 #include "hylo/obs/trace.hpp"
 #include "hylo/tensor/matrix.hpp"
@@ -27,6 +47,27 @@ enum class FailMode {
   /// The fabric re-forms around the dead rank and retries until the
   /// collective completes — charged, never thrown (gradient allreduce).
   kRetryUntilSuccess,
+};
+
+/// How the communicator executes collectives (see file header).
+enum class CommMode { kLockstep, kAsync };
+
+const char* to_string(CommMode mode);
+
+/// Parse HYLO_COMM ("lockstep"/"sync" or "async"/"event"); nullopt when the
+/// variable is unset or empty, loud failure on anything else.
+std::optional<CommMode> comm_mode_from_env();
+
+/// Completion handle for a nonblocking (icharge_*) collective. In async
+/// mode the caller keeps the handle and commits its dependent state once
+/// ready_s is behind the rank clocks; `failed` marks a kMayFail collective
+/// lost to an injected fault — the caller degrades exactly as it would on a
+/// lockstep CommFailure.
+struct CommEvent {
+  std::uint64_t seq = 0;
+  double start_s = 0.0;
+  double ready_s = 0.0;
+  bool failed = false;
 };
 
 class CommSim {
@@ -47,7 +88,8 @@ class CommSim {
   void allreduce_mean(std::vector<Matrix*> bufs, const std::string& section);
 
   /// Gather per-rank row blocks into one stacked matrix on every rank
-  /// (allgather); charges per-rank-contribution time under `section`
+  /// (allgather); charges ring time paced by the largest per-rank block and
+  /// ledgers the total wire traffic, (world-1)·Σ per-rank bytes
   /// (retry-until-success — the stacked result is returned by value).
   Matrix allgather_rows(const std::vector<const Matrix*>& locals,
                         const std::string& section);
@@ -59,12 +101,49 @@ class CommSim {
                         FailMode mode = FailMode::kMayFail);
 
   /// Charge an allgather where each rank contributes `bytes_per_rank`.
+  /// Ledger: (world-1)·world·bytes_per_rank total wire bytes; the latency
+  /// term uses bytes_per_rank (ring step size).
   void charge_allgather(index_t bytes_per_rank, const std::string& section,
+                        FailMode mode = FailMode::kMayFail);
+
+  /// Charge an allgather with per-rank payload sizes (HyLo/SNGD gather
+  /// unequal row blocks). Ledger: (world-1)·Σ bytes; the latency term uses
+  /// the max per-rank payload — the ring is paced by its largest block.
+  void charge_allgather(const std::vector<index_t>& bytes_per_rank,
+                        const std::string& section,
                         FailMode mode = FailMode::kMayFail);
 
   /// Charge an allreduce of `bytes`.
   void charge_allreduce(index_t bytes, const std::string& section,
                         FailMode mode = FailMode::kMayFail);
+
+  /// --- Async (event-timeline) mode -------------------------------------
+
+  /// Switch modes. kAsync creates the EventTimeline on first use; switching
+  /// is only meaningful before any collective has been charged.
+  void set_mode(CommMode mode);
+  CommMode mode() const { return mode_; }
+  bool async() const { return mode_ == CommMode::kAsync; }
+
+  /// The event timeline (non-null iff async mode is active).
+  EventTimeline* timeline() { return timeline_.get(); }
+  const EventTimeline* timeline() const { return timeline_.get(); }
+
+  /// Nonblocking collectives (async mode only). The operation is charged
+  /// now (profiler seconds, wire-byte ledger, fault-plan draw) and placed
+  /// on the wire no earlier than `earliest_start_s`; the returned handle
+  /// carries its modeled completion. Unlike the blocking forms, a kMayFail
+  /// fault does not throw — it comes back as event.failed.
+  CommEvent icharge_allgather(const std::vector<index_t>& bytes_per_rank,
+                              const std::string& section,
+                              double earliest_start_s,
+                              FailMode mode = FailMode::kMayFail);
+  CommEvent icharge_broadcast(index_t bytes, const std::string& section,
+                              double earliest_start_s,
+                              FailMode mode = FailMode::kMayFail);
+  CommEvent icharge_allreduce(index_t bytes, const std::string& section,
+                              double earliest_start_s,
+                              FailMode mode = FailMode::kMayFail);
 
   /// Install the deterministic fault schedule (disabled config removes it).
   /// Every subsequent collective consults the plan; comm/faults/* counters
@@ -112,9 +191,20 @@ class CommSim {
   std::int64_t messages(const std::string& section) const {
     return profiler_.registry().counter_value(section + ".msgs");
   }
-  /// Totals across every comm/* section.
+  /// Totals across every comm/* section. Retried attempts are *excluded*
+  /// by design (the fault suite pins clean and faulty runs to the same
+  /// wire totals so compression ratios stay comparable); they are exposed
+  /// separately via total_retry_bytes().
   std::int64_t total_wire_bytes() const;
   std::int64_t total_messages() const;
+
+  /// Bytes re-sent by retried attempts (timeout / corrupt / rank_down
+  /// recovery), i.e. the comm/faults/retry_bytes counter. Zero on clean
+  /// runs; total_wire_bytes() + total_retry_bytes() is everything that
+  /// crossed the modeled wire including waste.
+  std::int64_t total_retry_bytes() const {
+    return profiler_.registry().counter_value("comm/faults/retry_bytes");
+  }
 
   /// Attach a trace buffer: every charged collective is then also recorded
   /// as a barrier span on the simulated timeline. Not owned; may be null.
@@ -144,9 +234,18 @@ class CommSim {
  private:
   /// Shared bookkeeping behind every charge_*: fault-plan consultation,
   /// profiler seconds, byte and message counters, and (when attached) the
-  /// trace barrier span.
+  /// trace barrier span. In async mode this routes through icharge() and
+  /// barriers every rank clock at the completion time (blocking-collective
+  /// semantics on the event timeline).
   void charge(const char* kind, index_t bytes, const std::string& section,
               double seconds, FailMode mode);
+
+  /// Async core behind icharge_* and async-mode charge(): draws the fault
+  /// plan, reserves the wire, and books seconds/bytes/msgs plus an
+  /// absolute-time trace span for completed operations.
+  CommEvent icharge(const char* kind, index_t ledger_bytes,
+                    const std::string& section, double seconds,
+                    double earliest_start_s, FailMode mode);
 
   /// Account an injected event (counters + trace instant) and return its
   /// extra modeled seconds; throws CommFailure for an unrecoverable event
@@ -160,6 +259,8 @@ class CommSim {
   Profiler profiler_;
   obs::TraceBuffer* trace_ = nullptr;
   double wire_scalar_bytes_ = kWireScalarBytes;
+  CommMode mode_ = CommMode::kLockstep;
+  std::unique_ptr<EventTimeline> timeline_;
   std::unique_ptr<FaultPlan> fault_plan_;
   std::vector<index_t> pending_lost_;  ///< deaths awaiting commit_shrinks()
   std::vector<index_t> lost_ranks_;    ///< committed deaths, run lifetime

@@ -58,4 +58,27 @@ double reduce_seconds(const InterconnectModel& m, index_t world, index_t bytes);
 double retry_seconds(const InterconnectModel& m, double base_seconds,
                      int retries);
 
+/// Per-rank compute throughput. The event-timeline simulator (DESIGN.md §15)
+/// advances each rank's clock by *modeled* compute time — never measured wall
+/// time, which would break bitwise replay — so the same flop count always
+/// advances a clock by the same amount.
+struct ComputeModel {
+  std::string name;
+  double flops_per_s = 14e12;  ///< sustained dense-GEMM throughput
+};
+
+/// V100 sustained FP32 GEMM throughput (pairs with mist_v100()).
+ComputeModel v100_fp32();
+
+/// K80 sustained FP32 GEMM throughput (pairs with aws_p2_k80()).
+ComputeModel k80_fp32();
+
+/// Seconds to execute `flops` floating-point operations on one rank.
+double compute_seconds(const ComputeModel& m, double flops);
+
+/// Flop estimate for one training step (forward + backward) of a dense
+/// network: the standard 6·params·batch rule (2 for forward, 4 for the two
+/// backward GEMMs).
+double train_step_flops(index_t params, index_t local_batch);
+
 }  // namespace hylo

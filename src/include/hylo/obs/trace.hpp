@@ -58,6 +58,14 @@ class TraceBuffer {
   void add_collective(const std::string& name, double dur_s,
                       Json args = Json::object());
 
+  /// Span at an absolute position on the simulated timeline, no barrier:
+  /// used by the async event simulator, whose operations carry their own
+  /// modeled start times (comm overlapping compute would be misrendered by
+  /// cursor placement). Advances `tid`'s cursor to the span end if the span
+  /// ends beyond it, and no other cursor.
+  void add_span_at(const std::string& name, const std::string& cat, int tid,
+                   double start_s, double dur_s, Json args = Json::object());
+
   /// Instant event at `tid`'s cursor.
   void add_instant(const std::string& name, const std::string& cat, int tid,
                    Json args = Json::object());

@@ -87,6 +87,11 @@ class HyloOptimizer : public CurvatureOptimizer {
     return layers_[static_cast<std::size_t>(layer)].staleness;
   }
 
+  void poll_async(CommSim& comm) override;
+  index_t async_pending() const override {
+    return static_cast<index_t>(pending_.size());
+  }
+
  protected:
   void precondition_block(ParamBlock& pb, index_t layer) override;
   bool layer_ready(index_t layer) const override {
@@ -117,6 +122,16 @@ class HyloOptimizer : public CurvatureOptimizer {
   std::vector<LayerState> layers_;
   index_t last_rank_ = 0;
   Rng rng_;
+
+  struct Pending {
+    index_t layer = 0;
+    CommEvent event;
+    LayerState state;
+  };
+  /// Commit completed pendings in (ready, seq) order; with `deadline`, a
+  /// pending that has not completed degrades to stale factors.
+  void resolve_pending(CommSim& comm, bool deadline);
+  std::vector<Pending> pending_;
 };
 
 }  // namespace hylo

@@ -32,6 +32,11 @@ class KFac : public CurvatureOptimizer {
     return layers_[static_cast<std::size_t>(layer)].staleness;
   }
 
+  void poll_async(CommSim& comm) override;
+  index_t async_pending() const override {
+    return static_cast<index_t>(pending_.size());
+  }
+
  protected:
   void precondition_block(ParamBlock& pb, index_t layer) override;
   bool layer_ready(index_t layer) const override {
@@ -47,6 +52,13 @@ class KFac : public CurvatureOptimizer {
   };
   std::vector<LayerState> layers_;
 
+  /// Merged running-factor candidates for every layer (stat-decay blend of
+  /// the capture's per-rank Gram sums into the committed running factors);
+  /// charges comp/factorization. Pure compute — no collectives.
+  std::vector<std::pair<Matrix, Matrix>> factor_candidates(
+      const std::vector<ParamBlock*>& blocks, const CaptureSet& capture,
+      CommSim* comm);
+
   /// Accumulate running factors from a capture (shared with EKFac): updates
   /// a_factor/g_factor in layers_ and charges the factor allreduce. A layer
   /// whose allreduce is lost to an injected fault keeps its previous running
@@ -54,6 +66,27 @@ class KFac : public CurvatureOptimizer {
   /// the caller folds the loss into its own staleness accounting.
   std::vector<char> refresh_factors(const std::vector<ParamBlock*>& blocks,
                                     const CaptureSet& capture, CommSim* comm);
+
+  /// Health probes over the served (committed) factor/inverse pairs.
+  void probe_health();
+
+ private:
+  /// Async-mode refresh: full candidate state (factors + inverses) is
+  /// computed now, its allreduce→broadcast chain is issued as events, and
+  /// the commit is deferred to the handle (poll_async / next-refresh
+  /// deadline).
+  void async_refresh(const std::vector<ParamBlock*>& blocks,
+                     const CaptureSet& capture, CommSim& comm);
+
+  struct Pending {
+    index_t layer = 0;
+    CommEvent event;
+    LayerState state;
+  };
+  /// Commit completed pendings in (ready, seq) order; with `deadline`, a
+  /// pending that has not completed degrades to stale factors.
+  void resolve_pending(CommSim& comm, bool deadline);
+  std::vector<Pending> pending_;
 };
 
 class EKFac : public KFac {
@@ -73,6 +106,11 @@ class EKFac : public KFac {
     return eig_[static_cast<std::size_t>(layer)].staleness;
   }
 
+  void poll_async(CommSim& comm) override;
+  index_t async_pending() const override {
+    return static_cast<index_t>(epending_.size());
+  }
+
  protected:
   void precondition_block(ParamBlock& pb, index_t layer) override;
   bool layer_ready(index_t layer) const override {
@@ -88,6 +126,29 @@ class EKFac : public KFac {
     index_t staleness = 0;  ///< refreshes since this layer last landed
   };
   std::vector<EigState> eig_;
+
+  /// Candidate eigenbasis + merged second-moment scaling for layer `l`,
+  /// computed from the given (candidate or committed) Kronecker factors and
+  /// blended into the committed scaling with stat_decay. Pure compute.
+  EigState build_eig(const Matrix& a_factor, const Matrix& g_factor,
+                     const CaptureSet& capture, index_t l) const;
+
+  /// Health probes over the served eigenbasis scalings.
+  void probe_eig_health();
+
+  void async_refresh(const std::vector<ParamBlock*>& blocks,
+                     const CaptureSet& capture, CommSim& comm);
+
+  /// One chain covers factors + eigenbasis for a layer, so a missed
+  /// deadline keeps the old factors *and* the old basis (never half-new).
+  struct EigPending {
+    index_t layer = 0;
+    CommEvent event;
+    Matrix a_factor, g_factor;
+    EigState eig;
+  };
+  void resolve_eig_pending(CommSim& comm, bool deadline);
+  std::vector<EigPending> epending_;
 };
 
 class KBfgs : public CurvatureOptimizer {
@@ -105,6 +166,11 @@ class KBfgs : public CurvatureOptimizer {
     HYLO_CHECK(layer >= 0 && layer < static_cast<index_t>(layers_.size()),
                "KBFGS layer " << layer << " unknown");
     return layers_[static_cast<std::size_t>(layer)].staleness;
+  }
+
+  void poll_async(CommSim& comm) override;
+  index_t async_pending() const override {
+    return static_cast<index_t>(pending_.size());
   }
 
  protected:
@@ -129,6 +195,23 @@ class KBfgs : public CurvatureOptimizer {
   /// Two-loop L-BFGS application of the inverse G-side Hessian to each
   /// column of `m` (in place).
   void apply_hg(const LayerState& st, Matrix& m) const;
+
+  /// Full per-layer candidate refreshes from a capture (running factors,
+  /// input-side inverse, BFGS pair update) — pure compute on copies.
+  std::vector<LayerState> build_candidates(const CaptureSet& capture);
+
+  /// Health probes over the served input-side factor/inverse pairs.
+  void probe_health();
+
+  void async_refresh(const CaptureSet& capture, CommSim& comm);
+
+  struct Pending {
+    index_t layer = 0;
+    CommEvent event;
+    LayerState state;
+  };
+  void resolve_pending(CommSim& comm, bool deadline);
+  std::vector<Pending> pending_;
 
   std::vector<LayerState> layers_;
 };

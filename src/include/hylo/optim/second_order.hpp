@@ -1,7 +1,11 @@
 #pragma once
 /// \file second_order.hpp
 /// Shared machinery for the NGD family: capture scheduling, KL-clipped
-/// trust-region application, and damped inversion helpers with escalation.
+/// trust-region application, damped inversion helpers with escalation, and
+/// the async-refresh plumbing (pending-commit handles on the event
+/// timeline, DESIGN.md §15).
+
+#include <algorithm>
 
 #include "hylo/optim/optimizer.hpp"
 
@@ -29,6 +33,18 @@ class CurvatureOptimizer : public Optimizer {
   /// SGD directions).
   virtual index_t layer_staleness(index_t /*layer*/) const { return 0; }
 
+  /// Async comm mode only: commit every pending refresh whose collectives
+  /// have completed by the timeline's current clock, in (ready time, seq)
+  /// order. The trainer calls this each iteration so factor gathers issued
+  /// at refresh t land while iterations t+1..t+f-1 compute; anything still
+  /// in flight when the *next* refresh starts has missed its commit
+  /// deadline and degrades to stale factors, exactly like a lost lockstep
+  /// collective (PR-4 semantics).
+  virtual void poll_async(CommSim& /*comm*/) {}
+
+  /// Number of layers with an in-flight async refresh.
+  virtual index_t async_pending() const { return 0; }
+
  protected:
   /// Replace pb.gw by the preconditioned gradient for layer index `layer`.
   /// Called only after at least one update_curvature() succeeded for that
@@ -43,6 +59,35 @@ class CurvatureOptimizer : public Optimizer {
   /// drops a trace instant naming the fallback the layer degrades to.
   void note_stale_refresh(CommSim& comm, const char* method,
                           index_t layer, bool has_previous) const;
+
+  /// Completion handle for a dependent chain of nonblocking collectives
+  /// (e.g. factor allreduce → inverse broadcast): the chain starts with its
+  /// first link, completes with its last, and fails if any link failed.
+  static CommEvent chain_event(const CommEvent& first, const CommEvent& last) {
+    CommEvent ev;
+    ev.seq = last.seq;
+    ev.start_s = first.start_s;
+    ev.ready_s = last.ready_s;
+    ev.failed = first.failed || last.failed;
+    return ev;
+  }
+
+  /// The event-queue ordering rule: pendings commit in (ready time, seq)
+  /// order, which totally orders the replayed timeline. `P` is any struct
+  /// with a CommEvent member named `event`.
+  template <typename P>
+  static void sort_by_completion(std::vector<P>& pending) {
+    std::sort(pending.begin(), pending.end(), [](const P& x, const P& y) {
+      if (x.event.ready_s != y.event.ready_s)
+        return x.event.ready_s < y.event.ready_s;
+      return x.event.seq < y.event.seq;
+    });
+  }
+
+  /// Pending-handle serialization (snapshots taken with gathers in flight
+  /// must resume bitwise — DESIGN.md §15).
+  static void write_event(ckpt::ByteWriter& w, const CommEvent& ev);
+  static CommEvent read_event(ckpt::ByteReader& r);
 };
 
 /// SPD inverse of (c + damping·I) with escalating damping retries (10× per

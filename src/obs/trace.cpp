@@ -68,6 +68,23 @@ void TraceBuffer::add_collective(const std::string& name, double dur_s,
   record(std::move(e));
 }
 
+void TraceBuffer::add_span_at(const std::string& name, const std::string& cat,
+                              int tid, double start_s, double dur_s,
+                              Json args) {
+  MutexLock lk(mu_);
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.tid = tid;
+  e.ts_us = start_s * 1e6;
+  e.dur_us = dur_s * 1e6;
+  e.args = std::move(args);
+  double& cursor = cursor_us_[tid];
+  cursor = std::max(cursor, e.ts_us + e.dur_us);
+  record(std::move(e));
+}
+
 void TraceBuffer::add_instant(const std::string& name, const std::string& cat,
                               int tid, Json args) {
   MutexLock lk(mu_);

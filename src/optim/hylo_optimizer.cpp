@@ -124,10 +124,15 @@ void factorize_kis(LayerScratch& sc, const std::vector<Matrix>& a_ranks,
   }
 }
 
-index_t max_part_bytes(const CommSim& comm, const std::vector<Matrix>& parts) {
-  index_t b = 0;
-  for (const auto& m : parts) b = std::max(b, comm.wire_bytes(m.size()));
-  return b;
+// Per-rank gather sizes: the cost model's latency term follows the slowest
+// rank, the wire ledger sums every rank's contribution (ranks can compress
+// to different local ranks when a local batch is short).
+std::vector<index_t> part_bytes(const CommSim& comm,
+                                const std::vector<Matrix>& parts) {
+  std::vector<index_t> bytes;
+  bytes.reserve(parts.size());
+  for (const auto& m : parts) bytes.push_back(comm.wire_bytes(m.size()));
+  return bytes;
 }
 }  // namespace
 
@@ -212,6 +217,11 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
              "capture/block count mismatch");
   if (static_cast<index_t>(layers_.size()) != layers)
     layers_.resize(static_cast<std::size_t>(layers));
+
+  // Async mode: anything still in flight from the previous refresh has
+  // missed its commit deadline and degrades to stale factors.
+  const bool async = comm != nullptr && comm->async();
+  if (async) resolve_pending(*comm, true);
 
   // Global batch and rank budget: r = rank_ratio · (P·m), split evenly as
   // ρ = r / P rows per worker (paper Table I).
@@ -336,20 +346,53 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
   // previous refresh serving, one refresh staler.
   double inv_max = 0.0;
   int escalations = 0;
+  std::vector<Pending> fresh;
+  if (async) fresh.reserve(static_cast<std::size_t>(layers));
   for (index_t l = 0; l < layers; ++l) {
     LayerState& st = layers_[static_cast<std::size_t>(l)];
     LayerScratch& sc = scratch[static_cast<std::size_t>(l)];
     escalations += sc.escalations;
     if (comm != nullptr) {
       comm->profiler().add("comp/factorization", sc.factor_s);
-      try {
-        comm->charge_allgather(max_part_bytes(*comm, sc.a_parts),
-                               "comm/gather");
-        comm->charge_allgather(max_part_bytes(*comm, sc.g_parts),
-                               "comm/gather");
+      if (async) {
+        // Nonblocking chain: gathers of the compressed factors (and the
+        // KID residual projections), then the inverse broadcast. The full
+        // candidate state exists now; only its commit waits on the chain.
+        comm->profiler().add("comp/inversion", sc.inv_s);
+        inv_max = std::max(inv_max, sc.inv_s);
+        comm->profiler().registry().histogram("optim/hylo/inversion_seconds")
+            .observe(sc.inv_s);
+        const double now = comm->timeline()->max_clock();
+        CommEvent ev = comm->icharge_allgather(part_bytes(*comm, sc.a_parts),
+                                               "comm/gather", now);
+        ev = chain_event(
+            ev, comm->icharge_allgather(part_bytes(*comm, sc.g_parts),
+                                        "comm/gather", ev.ready_s));
         if (mode_ == HyloMode::kKid)
-          comm->charge_allgather(wire_bytes(*comm, sc.y_parts[0].size()),
-                                 "comm/gather");
+          ev = chain_event(
+              ev, comm->icharge_allgather(part_bytes(*comm, sc.y_parts),
+                                          "comm/gather", ev.ready_s));
+        ev = chain_event(
+            ev, comm->icharge_broadcast(
+                    wire_bytes(*comm, sc.a_s.rows() * sc.a_s.rows()),
+                    "comm/broadcast", ev.ready_s));
+        Pending p;
+        p.layer = l;
+        p.event = ev;
+        p.state.mode = mode_;
+        p.state.a_s = std::move(sc.a_s);
+        p.state.g_s = std::move(sc.g_s);
+        p.state.kid_middle = std::move(sc.kid_middle);
+        p.state.kis_chol = std::move(sc.kis_chol);
+        p.state.ready = true;
+        fresh.push_back(std::move(p));
+        continue;
+      }
+      try {
+        comm->charge_allgather(part_bytes(*comm, sc.a_parts), "comm/gather");
+        comm->charge_allgather(part_bytes(*comm, sc.g_parts), "comm/gather");
+        if (mode_ == HyloMode::kKid)
+          comm->charge_allgather(part_bytes(*comm, sc.y_parts), "comm/gather");
         comm->profiler().add("comp/inversion", sc.inv_s);
         trace_inversion(comm, l, static_cast<int>(assignment.owner(l)),
                         sc.inv_s);
@@ -377,6 +420,9 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
     st.staleness = 0;
     // hylo-commit-end(hylo_update)
   }
+  // hylo-commit-begin(hylo_async)
+  for (auto& p : fresh) pending_.push_back(std::move(p));
+  // hylo-commit-end(hylo_async)
   if (comm != nullptr) {
     comm->profiler().add("comp/inversion_critical", inv_max);
     auto& reg = comm->profiler().registry();
@@ -441,6 +487,30 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
   }
   // hylo-scratch-end(hylo_update)
 }
+
+void HyloOptimizer::resolve_pending(CommSim& comm, bool deadline) {
+  if (pending_.empty()) return;
+  const double now = comm.timeline()->max_clock();
+  sort_by_completion(pending_);
+  std::vector<Pending> keep;
+  for (auto& p : pending_) {
+    const std::size_t l = static_cast<std::size_t>(p.layer);
+    if (l >= layers_.size()) continue;  // network shrank; refresh is moot
+    LayerState& st = layers_[l];
+    if (!p.event.failed && p.event.ready_s <= now) {
+      st = std::move(p.state);
+      st.staleness = 0;
+    } else if (p.event.failed || deadline) {
+      note_stale_refresh(comm, "hylo", p.layer, st.ready);
+      ++st.staleness;
+    } else {
+      keep.push_back(std::move(p));
+    }
+  }
+  pending_.swap(keep);
+}
+
+void HyloOptimizer::poll_async(CommSim& comm) { resolve_pending(comm, false); }
 
 Matrix HyloOptimizer::preconditioned(const Matrix& grad, index_t layer) const {
   HYLO_CHECK(layer >= 0 && layer < static_cast<index_t>(layers_.size()),
@@ -511,6 +581,21 @@ void HyloOptimizer::save_state(Network& net, ckpt::ByteWriter& w) const {
   }
   w.i64(last_rank_);
   ckpt::write_rng_state(w, rng_.state());
+  // In-flight async refreshes (see DESIGN.md §15): snapshots taken with
+  // gathers on the wire must resume bitwise.
+  w.u64(pending_.size());
+  for (const auto& p : pending_) {
+    w.i64(p.layer);
+    write_event(w, p.event);
+    w.u8(mode_tag(p.state.mode));
+    w.matrix(p.state.a_s);
+    w.matrix(p.state.g_s);
+    w.matrix(p.state.kid_middle.lu);
+    w.index_vec(p.state.kid_middle.piv);
+    w.matrix(p.state.kis_chol);
+    w.b(p.state.ready);
+    w.i64(p.state.staleness);
+  }
 }
 
 void HyloOptimizer::load_state(Network& net, ckpt::ByteReader& r) {
@@ -549,6 +634,19 @@ void HyloOptimizer::load_state(Network& net, ckpt::ByteReader& r) {
   }
   last_rank_ = r.i64();
   rng_.set_state(ckpt::read_rng_state(r));
+  pending_.assign(r.u64(), Pending{});
+  for (auto& p : pending_) {
+    p.layer = r.i64();
+    p.event = read_event(r);
+    p.state.mode = mode_from_tag(r.u8());
+    p.state.a_s = r.matrix();
+    p.state.g_s = r.matrix();
+    p.state.kid_middle.lu = r.matrix();
+    p.state.kid_middle.piv = r.index_vec();
+    p.state.kis_chol = r.matrix();
+    p.state.ready = r.b();
+    p.state.staleness = r.i64();
+  }
 }
 
 }  // namespace hylo

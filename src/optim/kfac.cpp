@@ -24,19 +24,14 @@ index_t wire_bytes(const CommSim& comm, index_t scalars) {
 }
 }  // namespace
 
-std::vector<char> KFac::refresh_factors(const std::vector<ParamBlock*>& blocks,
-                                        const CaptureSet& capture,
-                                        CommSim* comm) {
+std::vector<std::pair<Matrix, Matrix>> KFac::factor_candidates(
+    const std::vector<ParamBlock*>& blocks, const CaptureSet& capture,
+    CommSim* comm) {
   const index_t layers = capture.layers();
   HYLO_CHECK(layers == static_cast<index_t>(blocks.size()),
              "capture/block count mismatch");
   if (static_cast<index_t>(layers_.size()) != layers) layers_.resize(static_cast<std::size_t>(layers));
-  std::vector<char> degraded(static_cast<std::size_t>(layers), 0);
 
-  // Compute the merged running factors into candidates first; each layer's
-  // candidate replaces the running state only once its factor allreduce
-  // landed, so a lost collective keeps the previous statistics.
-  // hylo-scratch-begin(kfac_factors)
   WallTimer timer;
   std::vector<std::pair<Matrix, Matrix>> cand(static_cast<std::size_t>(layers));
   for (index_t l = 0; l < layers; ++l) {
@@ -71,8 +66,23 @@ std::vector<char> KFac::refresh_factors(const std::vector<ParamBlock*>& blocks,
     }
     cand[static_cast<std::size_t>(l)] = {std::move(a_new), std::move(g_new)};
   }
-  if (comm != nullptr) {
+  if (comm != nullptr)
     comm->profiler().add("comp/factorization", timer.seconds());
+  return cand;
+}
+
+std::vector<char> KFac::refresh_factors(const std::vector<ParamBlock*>& blocks,
+                                        const CaptureSet& capture,
+                                        CommSim* comm) {
+  // Compute the merged running factors into candidates first; each layer's
+  // candidate replaces the running state only once its factor allreduce
+  // landed, so a lost collective keeps the previous statistics.
+  // hylo-scratch-begin(kfac_factors)
+  std::vector<std::pair<Matrix, Matrix>> cand =
+      factor_candidates(blocks, capture, comm);
+  const index_t layers = static_cast<index_t>(cand.size());
+  std::vector<char> degraded(static_cast<std::size_t>(layers), 0);
+  if (comm != nullptr) {
     for (index_t l = 0; l < layers; ++l) {
       auto& [a_new, g_new] = cand[static_cast<std::size_t>(l)];
       try {
@@ -97,6 +107,10 @@ std::vector<char> KFac::refresh_factors(const std::vector<ParamBlock*>& blocks,
 
 void KFac::update_curvature(const std::vector<ParamBlock*>& blocks,
                             const CaptureSet& capture, CommSim* comm) {
+  if (comm != nullptr && comm->async()) {
+    async_refresh(blocks, capture, *comm);
+    return;
+  }
   std::vector<char> degraded = refresh_factors(blocks, capture, comm);
   // Per-layer timing: the total is the cluster-wide inversion work (layers
   // are distributed over owners), the max single layer is the critical path
@@ -149,25 +163,103 @@ void KFac::update_curvature(const std::vector<ParamBlock*>& blocks,
   // hylo-commit-end(kfac_update)
   // hylo-scratch-end(kfac_update)
 
-  // Health probes over the served Kronecker factor pairs: κ∞ estimates come
-  // free from the factor/inverse pairs already held. No rank truncation,
-  // so energy_fraction stays NaN.
-  if (health_ != nullptr && health_->due()) {
-    for (std::size_t l = 0; l < layers_.size(); ++l) {
-      const LayerState& st = layers_[l];
-      obs::LayerHealth h;
-      h.layer = static_cast<index_t>(l);
-      h.staleness = st.staleness;
-      if (st.ready) {
-        h.cond_a = obs::cond_from_pair(st.a_factor, st.a_inv);
-        h.cond_g = obs::cond_from_pair(st.g_factor, st.g_inv);
-        h.nonfinite = obs::count_nonfinite(st.a_inv) +
-                      obs::count_nonfinite(st.g_inv);
-      }
-      health_->report_layer(h);
+  probe_health();
+}
+
+// Health probes over the served Kronecker factor pairs: κ∞ estimates come
+// free from the factor/inverse pairs already held. No rank truncation, so
+// energy_fraction stays NaN.
+void KFac::probe_health() {
+  if (health_ == nullptr || !health_->due()) return;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const LayerState& st = layers_[l];
+    obs::LayerHealth h;
+    h.layer = static_cast<index_t>(l);
+    h.staleness = st.staleness;
+    if (st.ready) {
+      h.cond_a = obs::cond_from_pair(st.a_factor, st.a_inv);
+      h.cond_g = obs::cond_from_pair(st.g_factor, st.g_inv);
+      h.nonfinite = obs::count_nonfinite(st.a_inv) +
+                    obs::count_nonfinite(st.g_inv);
     }
+    health_->report_layer(h);
   }
 }
+
+void KFac::async_refresh(const std::vector<ParamBlock*>& blocks,
+                         const CaptureSet& capture, CommSim& comm) {
+  // Commit deadline for the previous refresh round: whatever is still in
+  // flight now degrades to stale factors, exactly like a lost lockstep
+  // collective.
+  resolve_pending(comm, /*deadline=*/true);
+
+  // Full candidate state is computed immediately (the data already lives in
+  // shared memory); only the *commit* waits on the modeled
+  // allreduce→broadcast chain.
+  // hylo-scratch-begin(kfac_async)
+  std::vector<std::pair<Matrix, Matrix>> cand =
+      factor_candidates(blocks, capture, &comm);
+  const double now = comm.timeline()->max_clock();
+  double inv_total = 0.0, inv_max = 0.0;
+  std::vector<Pending> fresh;
+  fresh.reserve(cand.size());
+  for (std::size_t l = 0; l < cand.size(); ++l) {
+    Pending p;
+    p.layer = static_cast<index_t>(l);
+    p.state.a_factor = std::move(cand[l].first);
+    p.state.g_factor = std::move(cand[l].second);
+    WallTimer timer;
+    const real_t pi = pi_correction(p.state.a_factor, p.state.g_factor);
+    const real_t root = std::sqrt(cfg_.damping);
+    p.state.a_inv = damped_spd_inverse(p.state.a_factor, pi * root);
+    p.state.g_inv = damped_spd_inverse(p.state.g_factor, root / pi);
+    p.state.ready = true;
+    const double sec = timer.seconds();
+    inv_total += sec;
+    inv_max = std::max(inv_max, sec);
+    comm.profiler().registry().histogram("optim/kfac/inversion_seconds")
+        .observe(sec);
+    const CommEvent ar = comm.icharge_allreduce(
+        wire_bytes(comm, p.state.a_factor.size() + p.state.g_factor.size()),
+        "comm/gather", now);
+    const CommEvent bc = comm.icharge_broadcast(
+        wire_bytes(comm, p.state.a_inv.size() + p.state.g_inv.size()),
+        "comm/broadcast", ar.ready_s);
+    p.event = chain_event(ar, bc);
+    fresh.push_back(std::move(p));
+  }
+  comm.profiler().add("comp/inversion", inv_total);
+  comm.profiler().add("comp/inversion_critical", inv_max);
+  // hylo-commit-begin(kfac_async)
+  for (auto& p : fresh) pending_.push_back(std::move(p));
+  // hylo-commit-end(kfac_async)
+  // hylo-scratch-end(kfac_async)
+  probe_health();
+}
+
+void KFac::resolve_pending(CommSim& comm, bool deadline) {
+  if (pending_.empty()) return;
+  const double now = comm.timeline()->max_clock();
+  sort_by_completion(pending_);
+  std::vector<Pending> keep;
+  for (auto& p : pending_) {
+    const std::size_t l = static_cast<std::size_t>(p.layer);
+    if (l >= layers_.size()) continue;  // network shrank; refresh is moot
+    LayerState& st = layers_[l];
+    if (!p.event.failed && p.event.ready_s <= now) {
+      st = std::move(p.state);
+      st.staleness = 0;
+    } else if (p.event.failed || deadline) {
+      note_stale_refresh(comm, "kfac", p.layer, st.ready);
+      ++st.staleness;
+    } else {
+      keep.push_back(std::move(p));
+    }
+  }
+  pending_.swap(keep);
+}
+
+void KFac::poll_async(CommSim& comm) { resolve_pending(comm, false); }
 
 void KFac::precondition_block(ParamBlock& pb, index_t layer) {
   const LayerState& st = layers_[static_cast<std::size_t>(layer)];
@@ -186,6 +278,10 @@ index_t KFac::state_bytes() const {
 
 void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
                              const CaptureSet& capture, CommSim* comm) {
+  if (comm != nullptr && comm->async()) {
+    async_refresh(blocks, capture, *comm);
+    return;
+  }
   std::vector<char> degraded = refresh_factors(blocks, capture, comm);
   const index_t layers = capture.layers();
   if (static_cast<index_t>(eig_.size()) != layers) eig_.resize(static_cast<std::size_t>(layers));
@@ -198,34 +294,8 @@ void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
   for (index_t l = 0; l < layers; ++l) {
     WallTimer timer;
     const LayerState& kst = layers_[static_cast<std::size_t>(l)];
-    EigState& est = cand[static_cast<std::size_t>(l)];
-    est.v_a = eigh(kst.a_factor).eigenvectors;
-    est.v_g = eigh(kst.g_factor).eigenvectors;
-
-    // Per-entry second moments in the eigenbasis:
-    // s_{oj} = E_i[(V_gᵀ g_i)_o² (a_iᵀ V_a)_j²].
-    const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
-    const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
-    Matrix s_new(est.v_g.cols(), est.v_a.cols());
-    index_t m_total = 0;
-    for (std::size_t r = 0; r < a_ranks.size(); ++r) {
-      Matrix pa = matmul(a_ranks[r], est.v_a);  // m x (d_in+1)
-      Matrix pg = matmul(g_ranks[r], est.v_g);  // m x d_out
-      hadamard_inplace(pa, pa);
-      hadamard_inplace(pg, pg);
-      gemm_tn(pg, pa, s_new, 1.0, 1.0);
-      m_total += a_ranks[r].rows();
-    }
-    s_new *= 1.0 / static_cast<real_t>(m_total);
-    const EigState& prev = eig_[static_cast<std::size_t>(l)];
-    if (prev.scaling.empty()) {
-      est.scaling = std::move(s_new);
-    } else {
-      est.scaling = prev.scaling;
-      est.scaling *= cfg_.stat_decay;
-      axpy(est.scaling, s_new, 1.0 - cfg_.stat_decay);
-    }
-    est.ready = true;
+    cand[static_cast<std::size_t>(l)] =
+        build_eig(kst.a_factor, kst.g_factor, capture, l);
     const double sec = timer.seconds();
     inv_total += sec;
     inv_max = std::max(inv_max, sec);
@@ -262,30 +332,141 @@ void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
   // hylo-commit-end(ekfac_update)
   // hylo-scratch-end(ekfac_update)
 
-  // Health probes: the damped eigenbasis scalings are exactly the spectrum
-  // the preconditioner divides by, so their spread is the served condition
-  // number — no extra factorization work.
-  if (health_ != nullptr && health_->due()) {
-    for (index_t l = 0; l < layers; ++l) {
-      const EigState& est = eig_[static_cast<std::size_t>(l)];
-      obs::LayerHealth h;
-      h.layer = l;
-      h.staleness = est.staleness;
-      if (est.ready && !est.scaling.empty()) {
-        real_t lo = est.scaling[0], hi = est.scaling[0];
-        for (index_t i = 0; i < est.scaling.size(); ++i) {
-          lo = std::min(lo, est.scaling[i]);
-          hi = std::max(hi, est.scaling[i]);
-        }
-        h.cond = (hi + cfg_.damping) / (lo + cfg_.damping);
-        h.nonfinite = obs::count_nonfinite(est.v_a) +
-                      obs::count_nonfinite(est.v_g) +
-                      obs::count_nonfinite(est.scaling);
+  probe_eig_health();
+}
+
+EKFac::EigState EKFac::build_eig(const Matrix& a_factor,
+                                 const Matrix& g_factor,
+                                 const CaptureSet& capture, index_t l) const {
+  EigState est;
+  est.v_a = eigh(a_factor).eigenvectors;
+  est.v_g = eigh(g_factor).eigenvectors;
+
+  // Per-entry second moments in the eigenbasis:
+  // s_{oj} = E_i[(V_gᵀ g_i)_o² (a_iᵀ V_a)_j²].
+  const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
+  const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
+  Matrix s_new(est.v_g.cols(), est.v_a.cols());
+  index_t m_total = 0;
+  for (std::size_t r = 0; r < a_ranks.size(); ++r) {
+    Matrix pa = matmul(a_ranks[r], est.v_a);  // m x (d_in+1)
+    Matrix pg = matmul(g_ranks[r], est.v_g);  // m x d_out
+    hadamard_inplace(pa, pa);
+    hadamard_inplace(pg, pg);
+    gemm_tn(pg, pa, s_new, 1.0, 1.0);
+    m_total += a_ranks[r].rows();
+  }
+  s_new *= 1.0 / static_cast<real_t>(m_total);
+  const EigState& prev = eig_[static_cast<std::size_t>(l)];
+  if (prev.scaling.empty()) {
+    est.scaling = std::move(s_new);
+  } else {
+    est.scaling = prev.scaling;
+    est.scaling *= cfg_.stat_decay;
+    axpy(est.scaling, s_new, 1.0 - cfg_.stat_decay);
+  }
+  est.ready = true;
+  return est;
+}
+
+// Health probes: the damped eigenbasis scalings are exactly the spectrum
+// the preconditioner divides by, so their spread is the served condition
+// number — no extra factorization work.
+void EKFac::probe_eig_health() {
+  if (health_ == nullptr || !health_->due()) return;
+  for (std::size_t l = 0; l < eig_.size(); ++l) {
+    const EigState& est = eig_[l];
+    obs::LayerHealth h;
+    h.layer = static_cast<index_t>(l);
+    h.staleness = est.staleness;
+    if (est.ready && !est.scaling.empty()) {
+      real_t lo = est.scaling[0], hi = est.scaling[0];
+      for (index_t i = 0; i < est.scaling.size(); ++i) {
+        lo = std::min(lo, est.scaling[i]);
+        hi = std::max(hi, est.scaling[i]);
       }
-      health_->report_layer(h);
+      h.cond = (hi + cfg_.damping) / (lo + cfg_.damping);
+      h.nonfinite = obs::count_nonfinite(est.v_a) +
+                    obs::count_nonfinite(est.v_g) +
+                    obs::count_nonfinite(est.scaling);
     }
+    health_->report_layer(h);
   }
 }
+
+void EKFac::async_refresh(const std::vector<ParamBlock*>& blocks,
+                          const CaptureSet& capture, CommSim& comm) {
+  resolve_eig_pending(comm, /*deadline=*/true);
+  const index_t layers = capture.layers();
+  if (static_cast<index_t>(eig_.size()) != layers) eig_.resize(static_cast<std::size_t>(layers));
+
+  // One chain per layer covers factors + eigenbasis: candidate factors are
+  // built now, the eigenbasis is computed from those *candidates* (the sync
+  // path reads the just-committed factors — same values when the refresh
+  // lands), and the whole bundle commits on the chain's completion.
+  // hylo-scratch-begin(ekfac_async)
+  std::vector<std::pair<Matrix, Matrix>> cand =
+      factor_candidates(blocks, capture, &comm);
+  const double now = comm.timeline()->max_clock();
+  double inv_total = 0.0, inv_max = 0.0;
+  std::vector<EigPending> fresh;
+  fresh.reserve(cand.size());
+  for (index_t l = 0; l < layers; ++l) {
+    EigPending p;
+    p.layer = l;
+    p.a_factor = std::move(cand[static_cast<std::size_t>(l)].first);
+    p.g_factor = std::move(cand[static_cast<std::size_t>(l)].second);
+    WallTimer timer;
+    p.eig = build_eig(p.a_factor, p.g_factor, capture, l);
+    const double sec = timer.seconds();
+    inv_total += sec;
+    inv_max = std::max(inv_max, sec);
+    comm.profiler().registry().histogram("optim/ekfac/inversion_seconds")
+        .observe(sec);
+    const CommEvent ar = comm.icharge_allreduce(
+        wire_bytes(comm, p.a_factor.size() + p.g_factor.size()),
+        "comm/gather", now);
+    const CommEvent bc = comm.icharge_broadcast(
+        wire_bytes(comm, p.eig.v_a.size() + p.eig.v_g.size() +
+                             p.eig.scaling.size()),
+        "comm/broadcast", ar.ready_s);
+    p.event = chain_event(ar, bc);
+    fresh.push_back(std::move(p));
+  }
+  comm.profiler().add("comp/inversion", inv_total);
+  comm.profiler().add("comp/inversion_critical", inv_max);
+  // hylo-commit-begin(ekfac_async)
+  for (auto& p : fresh) epending_.push_back(std::move(p));
+  // hylo-commit-end(ekfac_async)
+  // hylo-scratch-end(ekfac_async)
+  probe_eig_health();
+}
+
+void EKFac::resolve_eig_pending(CommSim& comm, bool deadline) {
+  if (epending_.empty()) return;
+  const double now = comm.timeline()->max_clock();
+  sort_by_completion(epending_);
+  std::vector<EigPending> keep;
+  for (auto& p : epending_) {
+    const std::size_t l = static_cast<std::size_t>(p.layer);
+    if (l >= eig_.size() || l >= layers_.size()) continue;
+    EigState& est = eig_[l];
+    if (!p.event.failed && p.event.ready_s <= now) {
+      layers_[l].a_factor = std::move(p.a_factor);
+      layers_[l].g_factor = std::move(p.g_factor);
+      est = std::move(p.eig);
+      est.staleness = 0;
+    } else if (p.event.failed || deadline) {
+      note_stale_refresh(comm, "ekfac", p.layer, est.ready);
+      ++est.staleness;
+    } else {
+      keep.push_back(std::move(p));
+    }
+  }
+  epending_.swap(keep);
+}
+
+void EKFac::poll_async(CommSim& comm) { resolve_eig_pending(comm, false); }
 
 void EKFac::precondition_block(ParamBlock& pb, index_t layer) {
   const EigState& est = eig_[static_cast<std::size_t>(layer)];
@@ -308,19 +489,9 @@ index_t EKFac::state_bytes() const {
 
 // ------------------------------------------------------------- KBfgs ----
 
-void KBfgs::update_curvature(const std::vector<ParamBlock*>& blocks,
-                             const CaptureSet& capture, CommSim* comm) {
+std::vector<KBfgs::LayerState> KBfgs::build_candidates(
+    const CaptureSet& capture) {
   const index_t layers = capture.layers();
-  HYLO_CHECK(layers == static_cast<index_t>(blocks.size()),
-             "capture/block count mismatch");
-  if (static_cast<index_t>(layers_.size()) != layers) layers_.resize(static_cast<std::size_t>(layers));
-
-  // Each layer's whole refresh (running factors, inverse, BFGS pair) is
-  // built on a candidate copy and swapped in only after the layer's
-  // collectives landed, so a lost allreduce/broadcast keeps the previous
-  // curvature intact — including the (s, y) history.
-  // hylo-scratch-begin(kbfgs_update)
-  WallTimer factor_timer;
   std::vector<LayerState> cand(static_cast<std::size_t>(layers));
   for (index_t l = 0; l < layers; ++l) {
     const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
@@ -384,6 +555,46 @@ void KBfgs::update_curvature(const std::vector<ParamBlock*>& blocks,
     st.g_mean_prev = g_mean;
     st.ready = true;
   }
+  return cand;
+}
+
+// Health probes: κ∞ of the input-side factor via the held inverse pair
+// (the G side is applied through the BFGS recursion, no inverse to read).
+void KBfgs::probe_health() {
+  if (health_ == nullptr || !health_->due()) return;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const LayerState& st = layers_[l];
+    obs::LayerHealth h;
+    h.layer = static_cast<index_t>(l);
+    h.staleness = st.staleness;
+    if (st.ready) {
+      h.cond_a = obs::cond_from_pair(st.a_factor, st.a_inv);
+      h.nonfinite = obs::count_nonfinite(st.a_inv) +
+                    obs::count_nonfinite(st.g_factor);
+    }
+    health_->report_layer(h);
+  }
+}
+
+void KBfgs::update_curvature(const std::vector<ParamBlock*>& blocks,
+                             const CaptureSet& capture, CommSim* comm) {
+  const index_t layers = capture.layers();
+  HYLO_CHECK(layers == static_cast<index_t>(blocks.size()),
+             "capture/block count mismatch");
+  if (static_cast<index_t>(layers_.size()) != layers) layers_.resize(static_cast<std::size_t>(layers));
+
+  if (comm != nullptr && comm->async()) {
+    async_refresh(capture, *comm);
+    return;
+  }
+
+  // Each layer's whole refresh (running factors, inverse, BFGS pair) is
+  // built on a candidate copy and swapped in only after the layer's
+  // collectives landed, so a lost allreduce/broadcast keeps the previous
+  // curvature intact — including the (s, y) history.
+  // hylo-scratch-begin(kbfgs_update)
+  WallTimer factor_timer;
+  std::vector<LayerState> cand = build_candidates(capture);
   std::vector<char> degraded(static_cast<std::size_t>(layers), 0);
   if (comm != nullptr) {
     comm->profiler().add("comp/factorization", factor_timer.seconds());
@@ -413,23 +624,61 @@ void KBfgs::update_curvature(const std::vector<ParamBlock*>& blocks,
   // hylo-commit-end(kbfgs_update)
   // hylo-scratch-end(kbfgs_update)
 
-  // Health probes: κ∞ of the input-side factor via the held inverse pair
-  // (the G side is applied through the BFGS recursion, no inverse to read).
-  if (health_ != nullptr && health_->due()) {
-    for (index_t l = 0; l < layers; ++l) {
-      const LayerState& st = layers_[static_cast<std::size_t>(l)];
-      obs::LayerHealth h;
-      h.layer = l;
-      h.staleness = st.staleness;
-      if (st.ready) {
-        h.cond_a = obs::cond_from_pair(st.a_factor, st.a_inv);
-        h.nonfinite = obs::count_nonfinite(st.a_inv) +
-                      obs::count_nonfinite(st.g_factor);
-      }
-      health_->report_layer(h);
+  probe_health();
+}
+
+void KBfgs::async_refresh(const CaptureSet& capture, CommSim& comm) {
+  resolve_pending(comm, /*deadline=*/true);
+
+  // hylo-scratch-begin(kbfgs_async)
+  WallTimer factor_timer;
+  std::vector<LayerState> cand = build_candidates(capture);
+  comm.profiler().add("comp/factorization", factor_timer.seconds());
+  const double now = comm.timeline()->max_clock();
+  std::vector<Pending> fresh;
+  fresh.reserve(cand.size());
+  for (std::size_t l = 0; l < cand.size(); ++l) {
+    Pending p;
+    p.layer = static_cast<index_t>(l);
+    p.state = std::move(cand[l]);
+    const CommEvent ar = comm.icharge_allreduce(
+        wire_bytes(comm, p.state.a_factor.size() + p.state.g_factor.size()),
+        "comm/gather", now);
+    const CommEvent bc = comm.icharge_broadcast(
+        wire_bytes(comm, p.state.a_inv.size()), "comm/broadcast", ar.ready_s);
+    p.event = chain_event(ar, bc);
+    fresh.push_back(std::move(p));
+  }
+  // hylo-commit-begin(kbfgs_async)
+  for (auto& p : fresh) pending_.push_back(std::move(p));
+  // hylo-commit-end(kbfgs_async)
+  // hylo-scratch-end(kbfgs_async)
+  probe_health();
+}
+
+void KBfgs::resolve_pending(CommSim& comm, bool deadline) {
+  if (pending_.empty()) return;
+  const double now = comm.timeline()->max_clock();
+  sort_by_completion(pending_);
+  std::vector<Pending> keep;
+  for (auto& p : pending_) {
+    const std::size_t l = static_cast<std::size_t>(p.layer);
+    if (l >= layers_.size()) continue;  // network shrank; refresh is moot
+    LayerState& st = layers_[l];
+    if (!p.event.failed && p.event.ready_s <= now) {
+      st = std::move(p.state);
+      st.staleness = 0;
+    } else if (p.event.failed || deadline) {
+      note_stale_refresh(comm, "kbfgs", p.layer, st.ready);
+      ++st.staleness;
+    } else {
+      keep.push_back(std::move(p));
     }
   }
+  pending_.swap(keep);
 }
+
+void KBfgs::poll_async(CommSim& comm) { resolve_pending(comm, false); }
 
 void KBfgs::apply_hg(const LayerState& st, Matrix& m) const {
   const index_t n = m.rows(), cols = m.cols();
@@ -502,6 +751,19 @@ void KFac::save_state(Network& net, ckpt::ByteWriter& w) const {
     w.b(st.ready);
     w.i64(st.staleness);
   }
+  // In-flight async refreshes: a snapshot taken with gathers on the wire
+  // must resume bitwise, so the pending handles travel with the state.
+  w.u64(pending_.size());
+  for (const auto& p : pending_) {
+    w.i64(p.layer);
+    write_event(w, p.event);
+    w.matrix(p.state.a_factor);
+    w.matrix(p.state.g_factor);
+    w.matrix(p.state.a_inv);
+    w.matrix(p.state.g_inv);
+    w.b(p.state.ready);
+    w.i64(p.state.staleness);
+  }
 }
 
 void KFac::load_state(Network& net, ckpt::ByteReader& r) {
@@ -515,6 +777,17 @@ void KFac::load_state(Network& net, ckpt::ByteReader& r) {
     st.ready = r.b();
     st.staleness = r.i64();
   }
+  pending_.assign(r.u64(), Pending{});
+  for (auto& p : pending_) {
+    p.layer = r.i64();
+    p.event = read_event(r);
+    p.state.a_factor = r.matrix();
+    p.state.g_factor = r.matrix();
+    p.state.a_inv = r.matrix();
+    p.state.g_inv = r.matrix();
+    p.state.ready = r.b();
+    p.state.staleness = r.i64();
+  }
 }
 
 void EKFac::save_state(Network& net, ckpt::ByteWriter& w) const {
@@ -527,6 +800,18 @@ void EKFac::save_state(Network& net, ckpt::ByteWriter& w) const {
     w.b(st.ready);
     w.i64(st.staleness);
   }
+  w.u64(epending_.size());
+  for (const auto& p : epending_) {
+    w.i64(p.layer);
+    write_event(w, p.event);
+    w.matrix(p.a_factor);
+    w.matrix(p.g_factor);
+    w.matrix(p.eig.v_a);
+    w.matrix(p.eig.v_g);
+    w.matrix(p.eig.scaling);
+    w.b(p.eig.ready);
+    w.i64(p.eig.staleness);
+  }
 }
 
 void EKFac::load_state(Network& net, ckpt::ByteReader& r) {
@@ -538,6 +823,18 @@ void EKFac::load_state(Network& net, ckpt::ByteReader& r) {
     st.scaling = r.matrix();
     st.ready = r.b();
     st.staleness = r.i64();
+  }
+  epending_.assign(r.u64(), EigPending{});
+  for (auto& p : epending_) {
+    p.layer = r.i64();
+    p.event = read_event(r);
+    p.a_factor = r.matrix();
+    p.g_factor = r.matrix();
+    p.eig.v_a = r.matrix();
+    p.eig.v_g = r.matrix();
+    p.eig.scaling = r.matrix();
+    p.eig.ready = r.b();
+    p.eig.staleness = r.i64();
   }
 }
 
@@ -558,6 +855,23 @@ void KBfgs::save_state(Network& net, ckpt::ByteWriter& w) const {
     w.b(st.ready);
     w.i64(st.staleness);
   }
+  w.u64(pending_.size());
+  for (const auto& p : pending_) {
+    w.i64(p.layer);
+    write_event(w, p.event);
+    w.matrix(p.state.a_factor);
+    w.matrix(p.state.a_inv);
+    w.matrix(p.state.g_factor);
+    w.matrix(p.state.g_mean_prev);
+    w.u64(p.state.sy_pairs.size());
+    for (const auto& [s, y] : p.state.sy_pairs) {
+      w.real_vec(s);
+      w.real_vec(y);
+    }
+    w.real(p.state.h0_scale);
+    w.b(p.state.ready);
+    w.i64(p.state.staleness);
+  }
 }
 
 void KBfgs::load_state(Network& net, ckpt::ByteReader& r) {
@@ -577,6 +891,24 @@ void KBfgs::load_state(Network& net, ckpt::ByteReader& r) {
     st.h0_scale = r.real();
     st.ready = r.b();
     st.staleness = r.i64();
+  }
+  pending_.assign(r.u64(), Pending{});
+  for (auto& p : pending_) {
+    p.layer = r.i64();
+    p.event = read_event(r);
+    p.state.a_factor = r.matrix();
+    p.state.a_inv = r.matrix();
+    p.state.g_factor = r.matrix();
+    p.state.g_mean_prev = r.matrix();
+    const std::uint64_t pairs = r.u64();
+    for (std::uint64_t k = 0; k < pairs; ++k) {
+      std::vector<real_t> s = r.real_vec();
+      std::vector<real_t> y = r.real_vec();
+      p.state.sy_pairs.emplace_back(std::move(s), std::move(y));
+    }
+    p.state.h0_scale = r.real();
+    p.state.ready = r.b();
+    p.state.staleness = r.i64();
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "hylo/ckpt/snapshot.hpp"
 #include "hylo/linalg/cholesky.hpp"
 #include "hylo/obs/health.hpp"
 #include "hylo/tensor/ops.hpp"
@@ -51,6 +52,23 @@ void CurvatureOptimizer::note_stale_refresh(CommSim& comm, const char* method,
     trace->add_instant("stale_refresh", "optim", obs::TraceBuffer::kCommTrack,
                        std::move(args));
   }
+}
+
+void CurvatureOptimizer::write_event(ckpt::ByteWriter& w,
+                                     const CommEvent& ev) {
+  w.u64(ev.seq);
+  w.f64(ev.start_s);
+  w.f64(ev.ready_s);
+  w.b(ev.failed);
+}
+
+CommEvent CurvatureOptimizer::read_event(ckpt::ByteReader& r) {
+  CommEvent ev;
+  ev.seq = r.u64();
+  ev.start_s = r.f64();
+  ev.ready_s = r.f64();
+  ev.failed = r.b();
+  return ev;
 }
 
 Matrix damped_cholesky(const Matrix& c, real_t damping, int attempts) {

@@ -16,6 +16,10 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
   if (static_cast<index_t>(layers_.size()) != layers)
     layers_.resize(static_cast<std::size_t>(layers));
 
+  // Async mode: anything still in flight from the previous refresh has
+  // missed its commit deadline and degrades to stale factors.
+  if (comm != nullptr && comm->async()) resolve_pending(*comm, true);
+
   // Stage 1 (parallel across layers): assemble the global factors — bitwise
   // equal to the modeled allgather result — and invert each layer's kernel.
   // Pure compute on disjoint per-layer *candidate* state; the comm model is
@@ -84,21 +88,62 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
     probe_all();
     return;
   }
+
+  // Per-rank gather sizes: the latency term follows the slowest rank, the
+  // wire ledger sums every rank's contribution (ranks may hold different
+  // local-batch row counts).
+  auto rank_bytes = [&](const std::vector<Matrix>& ranks) {
+    std::vector<index_t> bytes;
+    bytes.reserve(ranks.size());
+    for (const auto& m : ranks) bytes.push_back(comm->wire_bytes(m.size()));
+    return bytes;
+  };
+
+  if (comm->async()) {
+    const double now = comm->timeline()->max_clock();
+    double ainv_total = 0.0, ainv_max = 0.0;
+    std::vector<Pending> fresh;
+    fresh.reserve(static_cast<std::size_t>(layers));
+    for (index_t l = 0; l < layers; ++l) {
+      Pending p;
+      p.layer = l;
+      p.state = std::move(cand[static_cast<std::size_t>(l)]);
+      const double sec = inv_s[static_cast<std::size_t>(l)];
+      ainv_total += sec;
+      ainv_max = std::max(ainv_max, sec);
+      comm->profiler().registry().histogram("optim/sngd/inversion_seconds")
+          .observe(sec);
+      const CommEvent ga = comm->icharge_allgather(
+          rank_bytes(capture.a[static_cast<std::size_t>(l)]), "comm/gather",
+          now);
+      const CommEvent gg = comm->icharge_allgather(
+          rank_bytes(capture.g[static_cast<std::size_t>(l)]), "comm/gather",
+          ga.ready_s);
+      const CommEvent bc = comm->icharge_broadcast(
+          comm->wire_bytes(p.state.a_glob.rows() * p.state.a_glob.rows()),
+          "comm/broadcast", gg.ready_s);
+      p.event = chain_event(chain_event(ga, gg), bc);
+      fresh.push_back(std::move(p));
+    }
+    comm->profiler().add("comp/inversion", ainv_total);
+    comm->profiler().add("comp/inversion_critical", ainv_max);
+    // hylo-commit-begin(sngd_async)
+    for (auto& p : fresh) pending_.push_back(std::move(p));
+    // hylo-commit-end(sngd_async)
+    probe_all();
+    return;
+  }
+
   double inv_total = 0.0, inv_max = 0.0;
   for (index_t l = 0; l < layers; ++l) {
     const LayerState& st = cand[static_cast<std::size_t>(l)];
     const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
     const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
-    index_t a_bytes = 0, g_bytes = 0;
-    for (const auto& m : a_ranks)
-      a_bytes = std::max(a_bytes, comm->wire_bytes(m.size()));
-    for (const auto& m : g_ranks)
-      g_bytes = std::max(g_bytes, comm->wire_bytes(m.size()));
     const double sec = inv_s[static_cast<std::size_t>(l)];
     inv_total += sec;
     try {
-      comm->charge_allgather(a_bytes, "comm/gather");
-      comm->charge_allgather(g_bytes, "comm/gather");
+      comm->charge_allgather(rank_bytes(a_ranks), "comm/gather");
+      comm->charge_allgather(rank_bytes(g_ranks), "comm/gather");
       inv_max = std::max(inv_max, sec);
       comm->profiler().registry().histogram("optim/sngd/inversion_seconds")
           .observe(sec);
@@ -121,6 +166,30 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
   probe_all();
   // hylo-scratch-end(sngd_update)
 }
+
+void Sngd::resolve_pending(CommSim& comm, bool deadline) {
+  if (pending_.empty()) return;
+  const double now = comm.timeline()->max_clock();
+  sort_by_completion(pending_);
+  std::vector<Pending> keep;
+  for (auto& p : pending_) {
+    const std::size_t l = static_cast<std::size_t>(p.layer);
+    if (l >= layers_.size()) continue;  // network shrank; refresh is moot
+    LayerState& st = layers_[l];
+    if (!p.event.failed && p.event.ready_s <= now) {
+      st = std::move(p.state);
+      st.staleness = 0;
+    } else if (p.event.failed || deadline) {
+      note_stale_refresh(comm, "sngd", p.layer, st.ready);
+      ++st.staleness;
+    } else {
+      keep.push_back(std::move(p));
+    }
+  }
+  pending_.swap(keep);
+}
+
+void Sngd::poll_async(CommSim& comm) { resolve_pending(comm, false); }
 
 Matrix Sngd::preconditioned(const Matrix& grad, index_t layer) const {
   HYLO_CHECK(layer >= 0 && layer < static_cast<index_t>(layers_.size()),
@@ -155,6 +224,18 @@ void Sngd::save_state(Network& net, ckpt::ByteWriter& w) const {
     w.b(st.ready);
     w.i64(st.staleness);
   }
+  // In-flight async refreshes (see DESIGN.md §15): snapshots taken with
+  // gathers on the wire must resume bitwise.
+  w.u64(pending_.size());
+  for (const auto& p : pending_) {
+    w.i64(p.layer);
+    write_event(w, p.event);
+    w.matrix(p.state.a_glob);
+    w.matrix(p.state.g_glob);
+    w.matrix(p.state.kernel_chol);
+    w.b(p.state.ready);
+    w.i64(p.state.staleness);
+  }
 }
 
 void Sngd::load_state(Network& net, ckpt::ByteReader& r) {
@@ -166,6 +247,16 @@ void Sngd::load_state(Network& net, ckpt::ByteReader& r) {
     st.kernel_chol = r.matrix();
     st.ready = r.b();
     st.staleness = r.i64();
+  }
+  pending_.assign(r.u64(), Pending{});
+  for (auto& p : pending_) {
+    p.layer = r.i64();
+    p.event = read_event(r);
+    p.state.a_glob = r.matrix();
+    p.state.g_glob = r.matrix();
+    p.state.kernel_chol = r.matrix();
+    p.state.ready = r.b();
+    p.state.staleness = r.i64();
   }
 }
 

@@ -129,6 +129,47 @@ TEST(CommSim, AllgatherStacksInRankOrder) {
   EXPECT_EQ(g(1, 0), 2.0);
 }
 
+TEST(CommSim, AllgatherMixedRowsStackAndHandComputedWireBytes) {
+  // Three ranks with different local-batch row counts. The stacked result
+  // must preserve rank order, and the wire ledger must count the ring
+  // total: every rank receives every *other* rank's block, so
+  // bytes = (world-1) * sum_r bytes_r — not one rank's payload.
+  CommSim comm(3, mist_v100());
+  Matrix r0{{1.0, 2.0}};                            // 1x2 =  8 B at FP32
+  Matrix r1{{3.0, 4.0}, {5.0, 6.0}};                // 2x2 = 16 B
+  Matrix r2{{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}}; // 3x2 = 24 B
+  const Matrix g = comm.allgather_rows({&r0, &r1, &r2}, "comm/gather");
+  ASSERT_EQ(g.rows(), 6);
+  ASSERT_EQ(g.cols(), 2);
+  EXPECT_EQ(g(0, 0), 1.0);
+  EXPECT_EQ(g(1, 0), 3.0);
+  EXPECT_EQ(g(3, 0), 7.0);
+  EXPECT_EQ(g(5, 1), 12.0);
+  // Hand-computed: (3-1) * (8+16+24) = 96 bytes, one message.
+  const auto& reg = comm.profiler().registry();
+  EXPECT_EQ(reg.counter_value("comm/gather.bytes"), 96);
+  EXPECT_EQ(reg.counter_value("comm/gather.msgs"), 1);
+  // The latency term follows the slowest (largest) rank's block.
+  EXPECT_NEAR(comm.comm_seconds(), allgather_seconds(mist_v100(), 3, 24),
+              1e-15);
+}
+
+TEST(CommSim, ScalarAllgatherLedgerMatchesUniformVector) {
+  // The scalar overload (uniform bytes_per_rank) must charge exactly what
+  // the per-rank vector overload charges for equal entries:
+  // (world-1) * world * b.
+  CommSim uniform(4, mist_v100());
+  uniform.charge_allgather(100, "comm/gather");
+  CommSim vec(4, mist_v100());
+  vec.charge_allgather(std::vector<index_t>{100, 100, 100, 100},
+                       "comm/gather");
+  EXPECT_EQ(uniform.profiler().registry().counter_value("comm/gather.bytes"),
+            4 * 3 * 100 / 4 * 4);  // (world-1)*world*b = 1200
+  EXPECT_EQ(uniform.profiler().registry().counter_value("comm/gather.bytes"),
+            vec.profiler().registry().counter_value("comm/gather.bytes"));
+  EXPECT_EQ(uniform.comm_seconds(), vec.comm_seconds());
+}
+
 TEST(CommSim, CommSecondsCountsOnlyCommSections) {
   CommSim comm(4, mist_v100());
   comm.profiler().add("comp/inversion", 100.0);

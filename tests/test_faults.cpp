@@ -200,6 +200,34 @@ TEST(CommSimFaults, FaultsInflateTimeNotWireBytes) {
             0);
 }
 
+TEST(CommSimFaults, RetryStormLandsInSeparateRetryLedger) {
+  // A timeout-only storm at high rate: every retried attempt re-sends its
+  // payload, and those bytes must land in total_retry_bytes() — never in
+  // total_wire_bytes(), which stays equal to a clean run's total so
+  // compression/volume comparisons remain apples-to-apples.
+  const index_t payload = 1 << 14;
+  CommSim comm(8, mist_v100());
+  comm.configure_faults(FaultConfig::parse("9:0.9:timeout=1"));
+  for (int i = 0; i < 50; ++i)
+    comm.charge_allreduce(payload, "comm/grad_allreduce",
+                          FailMode::kRetryUntilSuccess);
+  const auto& reg = comm.profiler().registry();
+  const std::int64_t retries = reg.counter_value("comm/faults/retries");
+  ASSERT_GT(retries, 0);  // rate 0.9 over 50 collectives: storm happened
+  // Every retry re-sent exactly one allreduce payload.
+  EXPECT_EQ(comm.total_retry_bytes(), payload * retries);
+  // The logical wire ledger is what a clean run would have charged.
+  CommSim clean(8, mist_v100());
+  for (int i = 0; i < 50; ++i)
+    clean.charge_allreduce(payload, "comm/grad_allreduce",
+                           FailMode::kRetryUntilSuccess);
+  EXPECT_EQ(clean.total_retry_bytes(), 0);
+  EXPECT_EQ(comm.total_wire_bytes(), clean.total_wire_bytes());
+  // Everything-that-moved = logical + waste.
+  EXPECT_EQ(comm.total_wire_bytes() + comm.total_retry_bytes(),
+            clean.total_wire_bytes() + payload * retries);
+}
+
 TEST(OptimizerDegradation, HyloKeepsStaleFactorsOnUnrecoverableGather) {
   Rng rng(5);
   const index_t world = 2, m = 8, din = 6, dout = 5;
