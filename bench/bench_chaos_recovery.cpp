@@ -1,0 +1,173 @@
+// Ablation: silent-corruption storms vs. the two SDC resilience layers
+// (DESIGN.md §16). For each storm rate, the same seeded workload runs in
+// three protection modes:
+//
+//   guards_off      — numeric commit gates disabled, no recovery: escaped
+//                     bit-flips commit unchecked, so hot storms end in a
+//                     non-finite "result" or a numeric abort.
+//   guards_on       — commit gates only: poisoned refreshes degrade to
+//                     stale factors, but a flip the sanity bounds cannot
+//                     see (a mantissa flip is a plausible value) can still
+//                     poison the run.
+//   guards_rollback — gates + checkpoint-rollback recovery: a non-finite
+//                     loss or critical alert rolls back to the last
+//                     verified-good snapshot and re-runs.
+//
+// A row's status is the self-healing contract: "ok" (finite completion),
+// "nonfinite" (completed with a poisoned result — silent corruption, the
+// outcome the PR exists to eliminate), "crashed" (loud numeric abort), or
+// "exhausted" (recovery budget spent, loud by construction).
+//
+// Usage: bench_chaos_recovery [smoke]   (smoke = fewer epochs, CI-sized)
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "bench_common.hpp"
+
+using namespace hylo;
+using namespace hylo::bench;
+
+namespace {
+
+enum class Mode { kGuardsOff, kGuardsOn, kGuardsRollback };
+
+const char* to_label(Mode m) {
+  switch (m) {
+    case Mode::kGuardsOff: return "guards_off";
+    case Mode::kGuardsOn: return "guards_on";
+    case Mode::kGuardsRollback: return "guards_rollback";
+  }
+  return "?";
+}
+
+struct CellResult {
+  std::string status;  // ok | nonfinite | crashed | exhausted
+  index_t completed = 0;
+  real_t final_metric = 0.0;
+  std::int64_t rollbacks = 0, guard_rejects = 0, escaped = 0, critical = 0;
+};
+
+CellResult run_cell(double rate, Mode mode, index_t epochs) {
+  const std::uint64_t seed = 42;
+  DataSplit data = make_spirals(1536, 384, 3, 0.05, seed);
+  Network net = make_mlp({2, 1, 1}, {64, 64}, 3, seed);
+
+  OptimConfig oc = method_config("HyLo");
+  oc.update_freq = 2;  // refresh often: more factor collectives in the storm
+  oc.guard_gates = mode != Mode::kGuardsOff;
+  HyloOptimizer opt(oc);
+
+  TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 16;
+  tc.world = 8;
+  tc.interconnect = mist_v100();
+  tc.data_seed = seed;
+  // Health probes run in every mode (they are pure observers): they are the
+  // detector that makes finite-but-poisoned state loud, and the critical
+  // alerts they fire are the recovery engine's second trigger.
+  obs::HealthConfig hc;
+  hc.enabled = true;
+  hc.cadence = 1;
+  tc.health = hc;
+  if (rate > 0.0) {
+    std::ostringstream spec;
+    spec << "97:" << rate << ":silent=1,escape=1.0";
+    tc.faults = FaultConfig::parse(spec.str());
+  } else {
+    tc.faults = FaultConfig{};  // pin: clean baseline ignores HYLO_FAULTS
+  }
+  const std::string snap_dir =
+      "/tmp/hylo_bench_chaos_" + std::to_string(::getpid());
+  if (mode == Mode::kGuardsRollback) {
+    tc.checkpoint.dir = snap_dir;
+    tc.checkpoint.every = 8;
+    tc.recovery = RecoveryConfig::parse("6:16:0.5");
+  } else {
+    tc.checkpoint.dir = snap_dir;
+    tc.checkpoint.every = 0;  // pin: snapshots off
+    tc.recovery = RecoveryConfig{};  // pin: recovery off
+  }
+  std::ostringstream tag;
+  tag << "chaos_" << to_label(mode) << "_rate" << rate;
+  apply_env_telemetry(tc, tag.str());
+
+  Trainer trainer(net, opt, data, tc);
+  CellResult out;
+  bool threw = false, exhausted = false;
+  TrainResult res;
+  try {
+    res = trainer.run();
+  } catch (const Error& e) {
+    threw = true;
+    exhausted =
+        std::string(e.what()).find("recovery budget exhausted") !=
+        std::string::npos;
+  }
+  bool nonfinite = false;
+  for (const auto& ep : res.epochs)
+    if (!std::isfinite(ep.train_loss) || !std::isfinite(ep.test_metric))
+      nonfinite = true;
+  out.status = threw ? (exhausted ? "exhausted" : "crashed")
+               : nonfinite ? "nonfinite"
+                           : "ok";
+  out.completed = static_cast<index_t>(res.epochs.size());
+  out.final_metric = res.epochs.empty() ? 0.0 : res.epochs.back().test_metric;
+  // From the trainer, not TrainResult: an exhausted run throws before the
+  // result is assembled, but its rollbacks still happened.
+  out.rollbacks = trainer.recovery().rollbacks();
+  out.critical = res.critical_alerts;
+  auto& reg = trainer.comm().profiler().registry();
+  out.escaped = reg.counter_value("comm/faults/sdc_escaped");
+  for (const auto& [name, c] : reg.counters())
+    if (name.rfind("optim/", 0) == 0 &&
+        name.find("/guard_rejects") != std::string::npos)
+      out.guard_rejects += c.value();
+  std::filesystem::remove_all(snap_dir);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "smoke";
+  const index_t epochs = smoke ? 4 : 10;
+  std::cout << "Ablation — silent-corruption storm vs. SDC resilience "
+               "layers (HyLo, MLP/spirals, P=8, seed 42, " << epochs
+            << " epochs)\n\n";
+  CsvWriter table({"rate", "mode", "status", "completed", "final_metric",
+                   "rollbacks", "guard_rejects", "escaped", "critical_alerts"});
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{0.0, 0.5}
+            : std::vector<double>{0.0, 0.2, 0.5, 0.9};
+  for (const double rate : rates) {
+    for (const Mode mode :
+         {Mode::kGuardsOff, Mode::kGuardsOn, Mode::kGuardsRollback}) {
+      const CellResult r = run_cell(rate, mode, epochs);
+      std::ostringstream rt;
+      rt << rate;
+      table.add(rt.str(), to_label(mode), r.status,
+                static_cast<double>(r.completed), r.final_metric,
+                static_cast<double>(r.rollbacks),
+                static_cast<double>(r.guard_rejects),
+                static_cast<double>(r.escaped),
+                static_cast<double>(r.critical));
+    }
+  }
+  table.print_table();
+  table.write_file("ablation_chaos.csv");
+  std::cout << "\nExpected: at rate 0 the three modes are identical (gates "
+               "and recovery are bitwise invisible on clean runs). Under a "
+               "hot storm guards_off ends nonfinite or crashed — escaped "
+               "bit-flips commit unchecked into factors — while the gated "
+               "modes complete finite: gates reject what the sanity bounds "
+               "can see, health alerts make the remainder loud, and "
+               "guards_rollback additionally exercises the rollback ladder "
+               "on those critical triggers.\n";
+  return 0;
+}

@@ -40,6 +40,11 @@
 //   --resume PATH         (restore a run snapshot and continue training
 //                          bitwise-identically; appends to the interrupted
 //                          run's telemetry when --telemetry points at it)
+//   --recover SPEC        (checkpoint-rollback self-healing, SPEC =
+//                          on|off|BUDGET[:FO_ITERS[:LR_BACKOFF]] as for
+//                          HYLO_RECOVER, e.g. --recover 5:40:0.25; needs
+//                          --checkpoint-dir/-every; the flag overrides the
+//                          environment spec — see DESIGN.md §16)
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -153,6 +158,8 @@ int main(int argc, char** argv) {
   tc.checkpoint.dir = args.get("checkpoint-dir", "");
   tc.checkpoint.every = args.geti("checkpoint-every", 0);
   tc.checkpoint.keep = args.geti("checkpoint-keep", 3);
+  if (const std::string spec = args.get("recover", ""); !spec.empty())
+    tc.recovery = RecoveryConfig::parse(spec);
   const bool strict_health = args.has("strict-health");
   if (args.has("health") || strict_health ||
       args.kv.count("health-cadence") > 0) {
@@ -210,6 +217,13 @@ int main(int argc, char** argv) {
     std::cout << "snapshots: every " << trainer.checkpoint_config().every
               << " iterations under " << trainer.checkpoint_config().dir
               << " (keep " << trainer.checkpoint_config().keep << ")\n";
+  if (trainer.recovery().enabled())
+    std::cout << "recovery: " << res.rollbacks << " rollback(s) of a budget "
+              << trainer.recovery().config().max_rollbacks << ", last good "
+              << (trainer.last_good_snapshot().empty()
+                      ? "(none)"
+                      : trainer.last_good_snapshot())
+              << "\n";
   if (args.has("profiling")) {
     std::cout << "\nprofile:\n";
     for (const auto& [name, e] : trainer.profiler().sections())

@@ -336,12 +336,16 @@ std::vector<std::string> list_snapshots(const std::string& dir) {
   return out;
 }
 
-void retain_last(const std::string& dir, index_t keep) {
+void retain_last(const std::string& dir, index_t keep,
+                 const std::string& pin) {
   if (keep <= 0) return;
   const auto snaps = list_snapshots(dir);
   const index_t n = static_cast<index_t>(snaps.size());
-  for (index_t i = 0; i + keep < n; ++i)
-    std::remove(snaps[static_cast<std::size_t>(i)].c_str());
+  for (index_t i = 0; i + keep < n; ++i) {
+    const std::string& path = snaps[static_cast<std::size_t>(i)];
+    if (!pin.empty() && path == pin) continue;
+    std::remove(path.c_str());
+  }
 }
 
 }  // namespace hylo::ckpt

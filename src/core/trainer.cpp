@@ -23,6 +23,13 @@ obs::RunLogConfig telemetry_config(const TrainConfig& cfg) {
   rc.echo = rc.echo || cfg.verbose;
   return rc;
 }
+
+/// Thrown by initiate_rollback to unwind run_epoch back to run_from, which
+/// owns the restore + ladder application. Never escapes run_from.
+struct RollbackSignal {
+  RecoveryAction action;
+  std::string target;
+};
 }  // namespace
 
 real_t TrainResult::best_metric() const {
@@ -60,6 +67,21 @@ Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
     ckpt_ = cfg_.checkpoint;
   } else if (const auto env = ckpt::CkptConfig::from_env(); env.has_value()) {
     ckpt_ = *env;
+  }
+  // Rollback self-healing: an explicit config pins the policy (enabled ==
+  // false pins off); the HYLO_RECOVER spec applies only when unset.
+  {
+    RecoveryConfig rc;
+    if (cfg_.recovery.has_value()) {
+      rc = *cfg_.recovery;
+    } else if (const auto env = RecoveryConfig::from_env(); env.has_value()) {
+      rc = *env;
+    }
+    HYLO_CHECK(!rc.enabled || ckpt_.enabled(),
+               "recovery needs a checkpoint cadence to roll back to — set "
+               "TrainConfig::checkpoint (dir + every) or HYLO_CKPT_DIR / "
+               "HYLO_CKPT_EVERY alongside HYLO_RECOVER");
+    recovery_ = RecoveryPolicy(rc);
   }
   // And for health probes: an explicit config pins them (enabled == false
   // pins off); the HYLO_HEALTH cadence applies only when unset.
@@ -121,7 +143,21 @@ Trainer::Trainer(Network& net, Optimizer& opt, const DataSplit& data,
       faults.set("corrupt_weight", fc.corrupt_weight);
       faults.set("rank_down_weight", fc.rank_down_weight);
       faults.set("rank_lost_weight", fc.rank_lost_weight);
+      // Silent-corruption fields appear only when the mix carries them, so
+      // pre-existing fault specs keep their exact run_start record.
+      if (fc.silent_weight > 0.0) {
+        faults.set("silent_weight", fc.silent_weight);
+        faults.set("sdc_escape", fc.sdc_escape);
+      }
       start.set("faults", std::move(faults));
+    }
+    if (recovery_.enabled()) {
+      const RecoveryConfig& rc = recovery_.config();
+      obs::Json rec = obs::Json::object();
+      rec.set("max_rollbacks", rc.max_rollbacks);
+      rec.set("first_order_iters", rc.first_order_iters);
+      rec.set("lr_backoff", rc.lr_backoff);
+      start.set("recovery", std::move(rec));
     }
     // A resumed run appends to the interrupted run's log: the original
     // run_start already opens it, resume() records the continuation point.
@@ -210,6 +246,7 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
   const bool elastic = comm_.faults_active();
   const bool snapshots = ckpt_.enabled();
   const bool health_on = health_.enabled();
+  const bool recovering = recovery_.enabled();
   // Async timeline: each rank's simulated clock advances by *modeled*
   // fwd/bwd compute (never measured wall time — replays stay bitwise), so
   // curvature gathers issued at refresh t genuinely overlap the compute of
@@ -264,6 +301,12 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
     loss_acc += iter_loss;
     metric_acc += iter_metric;
     rank_batches += world_;
+    // Non-finite-loss trigger, checked *before* the optimizer consumes this
+    // iteration's gradients: a NaN loss means the captures and gradients are
+    // poisoned too, and the curvature machinery would fail loudly (Cholesky
+    // escalation) on them rather than degrade. Unwind for a rollback first.
+    if (recovering && !std::isfinite(iter_loss))
+      initiate_rollback(epoch, it, "non_finite_loss");
     // Average gradients over workers (the allreduce's arithmetic effect —
     // each backward already used its local-batch mean). Weighted over the
     // *surviving* ranks: after a world shrink the mean reweights itself.
@@ -286,12 +329,24 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
     // compute ran — *before* a refresh would declare the stragglers stale.
     if (async_mode && curv_ != nullptr) curv_->poll_async(comm_);
 
-    if (capture) opt_->update_curvature(blocks, cap, &comm_);
+    double step_s = 0.0;
+    try {
+      if (capture) opt_->update_curvature(blocks, cap, &comm_);
 
-    opt_->accumulate_gradient(blocks);
-    WallTimer step_timer;
-    opt_->step(*net_, global_iter_);
-    const double step_s = step_timer.seconds();
+      opt_->accumulate_gradient(blocks);
+      WallTimer step_timer;
+      opt_->step(*net_, global_iter_);
+      step_s = step_timer.seconds();
+    } catch (const Error&) {
+      // A numeric abort inside the optimizer (e.g. a Cholesky that stays
+      // indefinite after damping escalation, fed by corruption the sanity
+      // gates cannot see) is a critical trigger too: roll back instead of
+      // dying, and let the rung-2 first-order window route the re-run
+      // around the crashing refresh. Without recovery armed the abort
+      // stays loud, exactly as before.
+      if (!recovering) throw;
+      initiate_rollback(epoch, it, "optimizer_abort");
+    }
     comm_.profiler().add("comp/step", step_s);
     if (trace != nullptr)
       for (index_t rank = 0; rank < world_; ++rank)
@@ -330,12 +385,33 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
                        health_.last_max_cond(),
                        health_.last_max_staleness());
     }
+    if (recovering) {
+      // Critical-alert trigger, checked before the iteration commits to a
+      // snapshot (the non-finite-loss trigger already fired above, before
+      // the step): a new critical health alert unwinds to run_from for a
+      // rollback — so any snapshot actually written below comes from an
+      // iteration that passed both checks.
+      const bool fresh_crit = alerts_.critical_count() > last_crit_seen_;
+      last_crit_seen_ = alerts_.critical_count();
+      if (fresh_crit) initiate_rollback(epoch, it, "critical_alert");
+    }
     ++global_iter_;
+    // Rung-2 window: resume serving curvature once it expires.
+    if (first_order_left_ > 0 && --first_order_left_ == 0 && curv_ != nullptr)
+      curv_->set_first_order(false);
     // Iteration boundary: permanent rank deaths recorded mid-iteration are
     // committed here, so every collective of one iteration saw one world.
     if (elastic && comm_.has_pending_shrinks()) apply_world_shrink(epoch, it + 1);
-    if (snapshots && global_iter_ % ckpt_.every == 0)
-      write_snapshot(epoch, it + 1, loss_acc, metric_acc, rank_batches);
+    if (snapshots && global_iter_ % ckpt_.every == 0) {
+      const std::string path =
+          write_snapshot(epoch, it + 1, loss_acc, metric_acc, rank_batches);
+      // Verified-good pinning: the trigger checks above passed and the
+      // weights scan clean, so this snapshot is a safe rollback target.
+      if (recovering && weights_finite()) {
+        last_good_path_ = path;
+        recovery_.note_progress();
+      }
+    }
   }
   result.iterations += iters - start_iter;
 
@@ -396,6 +472,19 @@ void Trainer::run_epoch(index_t epoch, TrainResult& result) {
     alerts_.on_epoch(epoch, global_iter_, stats.train_loss, stats.note,
                      faults - last_alert_faults_);
     last_alert_faults_ = faults;
+  }
+  // Epoch-boundary triggers (loss_divergence fires here, and a non-finite
+  // epoch mean catches blow-ups the per-iteration check may have missed on
+  // the probe-free epochs of a resumed run).
+  if (recovery_.enabled()) {
+    const char* why = nullptr;
+    if (!std::isfinite(stats.train_loss)) {
+      why = "non_finite_loss";
+    } else if (alerts_.critical_count() > last_crit_seen_) {
+      why = "critical_alert";
+    }
+    last_crit_seen_ = alerts_.critical_count();
+    if (why != nullptr) initiate_rollback(epoch, iters, why);
   }
   if (hook_) hook_(stats, *net_);
   result.epochs.push_back(stats);
@@ -509,7 +598,37 @@ TrainResult Trainer::run_from() {
       if (decayed) opt_->set_lr(opt_->lr() * cfg_.lr_schedule.gamma);
       opt_->begin_epoch(epoch, decayed);
     }
-    run_epoch(epoch, result);
+    // Recovery needs a rollback target before the first cadenced snapshot
+    // lands: pin the freshly initialized state (written after
+    // begin_epoch(0), whose effects live in the optimizer section).
+    if (recovery_.enabled() && epoch == 0 && !resumed_ &&
+        last_good_path_.empty())
+      last_good_path_ = write_snapshot(0, 0, 0.0, 0.0, 0);
+    try {
+      run_epoch(epoch, result);
+    } catch (const RollbackSignal& rb) {
+      const index_t before = global_iter_;
+      rollback_restore(rb.target);
+      comm_.profiler().registry().counter("recover/rerun_iters")
+          .inc(before - global_iter_);
+      // Apply the ladder *after* the restore — load_state just rewound the
+      // optimizer (including its lr) to the snapshot's values.
+      if (rb.action.first_order && curv_ != nullptr) {
+        curv_->set_first_order(true);
+        first_order_left_ = recovery_.config().first_order_iters;
+      }
+      if (rb.action.reduce_lr)
+        opt_->set_lr(opt_->lr() * recovery_.config().lr_backoff);
+      // Drop stats from the window being re-run; the re-run re-records
+      // them. Iterations reset to the cumulative count as of the snapshot,
+      // exactly as a resume would.
+      while (!result.epochs.empty() &&
+             result.epochs.back().epoch >= start_epoch_)
+        result.epochs.pop_back();
+      result.iterations = global_iter_;
+      epoch = start_epoch_ - 1;  // loop increment re-enters at start_epoch_
+      continue;
+    }
     const EpochStats& last = result.epochs.back();
     if (cfg_.target_metric > 0.0 && !result.time_to_target &&
         last.test_metric >= cfg_.target_metric) {
@@ -524,6 +643,26 @@ TrainResult Trainer::run_from() {
   result.comm_seconds = comm_seconds_;
   result.alerts_fired = static_cast<index_t>(alerts_.fired().size());
   result.critical_alerts = alerts_.critical_count();
+  result.rollbacks = recovery_.rollbacks();
+  if (recovery_.enabled() && runlog_.enabled()) {
+    // Post-run recovery rollup, mirroring health_summary: how much of the
+    // retry budget the run consumed and where it would roll back to now.
+    const auto& reg = comm_.profiler().registry();
+    obs::Json rec = obs::Json::object();
+    rec.set("rollbacks", recovery_.rollbacks());
+    rec.set("budget", recovery_.config().max_rollbacks);
+    rec.set("rerun_iters", reg.counter_value("recover/rerun_iters"));
+    std::int64_t rejects = 0;
+    const std::string suffix = "/guard_rejects";
+    for (const auto& [name, c] : reg.counters())
+      if (name.rfind("optim/", 0) == 0 && name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0)
+        rejects += c.value();
+    rec.set("guard_rejects", rejects);
+    rec.set("last_good", last_good_path_);
+    runlog_.record("recovery_summary", std::move(rec));
+  }
   if (health_.enabled()) {
     // Post-run rollup: one "health_summary" record plus a console line, so
     // a run's verdict is readable without replaying every probe record.
@@ -588,8 +727,9 @@ TrainResult Trainer::run_from() {
   return result;
 }
 
-void Trainer::write_snapshot(index_t epoch, index_t next_iter, real_t loss_acc,
-                             real_t metric_acc, index_t rank_batches) {
+std::string Trainer::write_snapshot(index_t epoch, index_t next_iter,
+                                    real_t loss_acc, real_t metric_acc,
+                                    index_t rank_batches) {
   WallTimer timer;
   ckpt::SnapshotWriter snap;
 
@@ -682,7 +822,10 @@ void Trainer::write_snapshot(index_t epoch, index_t next_iter, real_t loss_acc,
                 static_cast<long long>(global_iter_));
   const std::string path = (fs::path(ckpt_.dir) / name).string();
   snap.write(path);
-  ckpt::retain_last(ckpt_.dir, ckpt_.keep);
+  // The verified-good rollback target is pinned through rotation: losing
+  // it to retain_last would leave a triggered recovery with nothing to
+  // restore (it unpins naturally once a newer snapshot is verified good).
+  ckpt::retain_last(ckpt_.dir, ckpt_.keep, last_good_path_);
   // Neither comp/* nor comm/*: snapshot cost never enters the simulated
   // wall-time recompute.
   comm_.profiler().add("ckpt/write", timer.seconds());
@@ -695,6 +838,7 @@ void Trainer::write_snapshot(index_t epoch, index_t next_iter, real_t loss_acc,
     rec.set("global_iter", global_iter_);
     runlog_.record("snapshot", std::move(rec));
   }
+  return path;
 }
 
 void Trainer::restore_snapshot(const std::string& path) {
@@ -742,7 +886,9 @@ void Trainer::restore_snapshot(const std::string& path) {
   resume_rank_batches_ = static_cast<index_t>(prog.i64());
   const std::int64_t seq = prog.i64();
   prog.expect_done();
-  HYLO_CHECK(global_iter_ >= 1 && start_iter_ >= 1 && start_epoch_ >= 0,
+  // iter 0 is legal: recovery pins an initial snapshot before the first
+  // training iteration so a rollback target always exists.
+  HYLO_CHECK(global_iter_ >= 0 && start_iter_ >= 0 && start_epoch_ >= 0,
              "snapshot progress cursor is corrupt (global_iter "
                  << global_iter_ << ", epoch " << start_epoch_ << ", iter "
                  << start_iter_ << ")");
@@ -865,6 +1011,99 @@ void Trainer::restore_snapshot(const std::string& path) {
     rec.set("world", world_);
     runlog_.record("resume", std::move(rec));
   }
+}
+
+bool Trainer::weights_finite() const {
+  for (auto* pb : net_->param_blocks())
+    if (obs::count_nonfinite(pb->w) > 0) return false;
+  for (auto pp : net_->plain_params())
+    if (obs::count_nonfinite(*pp.value) > 0) return false;
+  return true;
+}
+
+void Trainer::initiate_rollback(index_t epoch, index_t iter, const char* why) {
+  HYLO_CHECK(!last_good_path_.empty(),
+             "recovery triggered (" << why << ") at epoch " << epoch
+                 << " iter " << iter
+                 << " with no verified-good snapshot to roll back to — "
+                    "tighten the checkpoint cadence (checkpoint.every / "
+                    "HYLO_CKPT_EVERY)");
+  const RecoveryAction act = recovery_.on_trigger(last_good_path_);
+  if (act.exhausted) {
+    // Loud failure with the recovery report on disk: never degrade a spent
+    // budget into a silent wrong result.
+    if (runlog_.enabled()) {
+      obs::Json rec = obs::Json::object();
+      rec.set("trigger", why);
+      rec.set("epoch", epoch);
+      rec.set("iter", iter);
+      rec.set("global_iter", global_iter_);
+      rec.set("rollbacks", recovery_.rollbacks());
+      rec.set("budget", recovery_.config().max_rollbacks);
+      rec.set("last_good", last_good_path_);
+      runlog_.record("recovery_exhausted", std::move(rec));
+      runlog_.finish();
+    }
+    HYLO_CHECK(false,
+               "recovery budget exhausted: "
+                   << recovery_.rollbacks() << "/"
+                   << recovery_.config().max_rollbacks
+                   << " rollbacks consumed and " << why
+                   << " fired again at epoch " << epoch << " iter " << iter
+                   << " — the run cannot self-heal; see the run log's "
+                      "rollback records for the incident timeline");
+  }
+  comm_.profiler().registry().counter("recover/rollbacks").inc();
+  if (runlog_.enabled()) {
+    obs::Json rec = obs::Json::object();
+    rec.set("trigger", why);
+    rec.set("epoch", epoch);
+    rec.set("iter", iter);
+    rec.set("global_iter", global_iter_);
+    rec.set("target", last_good_path_);
+    rec.set("rung", act.rung);
+    rec.set("first_order", act.first_order);
+    rec.set("reduce_lr", act.reduce_lr);
+    rec.set("rollbacks", recovery_.rollbacks());
+    rec.set("budget_left", recovery_.budget_left());
+    runlog_.record("rollback", std::move(rec));
+    obs::Json args = obs::Json::object();
+    args.set("trigger", why);
+    args.set("rung", act.rung);
+    runlog_.trace().add_instant("rollback", "recover",
+                                obs::TraceBuffer::kCommTrack, std::move(args));
+  }
+  runlog_.console("[recover] " + std::string(why) + " at epoch " +
+                  std::to_string(epoch) + " iter " + std::to_string(iter) +
+                  " — rolling back to " + last_good_path_ + " (rung " +
+                  std::to_string(act.rung) + ", " +
+                  std::to_string(recovery_.budget_left()) + " retries left)");
+  throw RollbackSignal{act, last_good_path_};
+}
+
+void Trainer::rollback_restore(const std::string& path) {
+  WallTimer timer;
+  ckpt::SnapshotReader snap(path);
+  // Network before optimizer, as in restore_snapshot. The meta section was
+  // written by this very trainer, so the structural checks are skipped; the
+  // container's per-section CRCs still verify the bytes.
+  ckpt::ByteReader net = snap.open("network");
+  net_->deserialize_state(net);
+  net.expect_done();
+  ckpt::ByteReader optr = snap.open("optimizer");
+  opt_->load_state(*net_, optr);
+  optr.expect_done();
+  ckpt::ByteReader prog = snap.open("progress");
+  global_iter_ = static_cast<index_t>(prog.i64());
+  start_epoch_ = static_cast<index_t>(prog.i64());
+  start_iter_ = static_cast<index_t>(prog.i64());
+  resume_loss_acc_ = prog.real();
+  resume_metric_acc_ = prog.real();
+  resume_rank_batches_ = static_cast<index_t>(prog.i64());
+  prog.i64();  // run-log cursor: the live log keeps appending past it
+  prog.expect_done();
+  resumed_ = true;
+  comm_.profiler().add("ckpt/restore", timer.seconds());
 }
 
 void Trainer::apply_world_shrink(index_t epoch, index_t next_iter) {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <cstring>
 
+#include "hylo/common/rng.hpp"
 #include "hylo/tensor/ops.hpp"
 
 namespace hylo {
@@ -26,6 +28,21 @@ std::optional<CommMode> comm_mode_from_env() {
   HYLO_CHECK(false, "HYLO_COMM='" << raw
                     << "' is not a comm mode (lockstep|sync|async|event)");
   return std::nullopt;
+}
+
+void corrupt_values(Matrix& m, std::uint64_t seed) {
+  if (m.size() == 0) return;
+  Rng rng(seed);
+  const index_t flips = 1 + rng.uniform_int(3);
+  for (index_t f = 0; f < flips; ++f) {
+    real_t& v = m.data()[rng.uniform_int(m.size())];
+    const index_t bit = rng.uniform_int(
+        static_cast<index_t>(sizeof(real_t)) * 8);
+    unsigned char bytes[sizeof(real_t)];
+    std::memcpy(bytes, &v, sizeof(real_t));
+    bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    std::memcpy(&v, bytes, sizeof(real_t));
+  }
 }
 
 void CommSim::set_mode(CommMode mode) {
@@ -53,9 +70,17 @@ void CommSim::allreduce_mean(std::vector<Matrix*> bufs,
   first *= 1.0 / static_cast<real_t>(world_);
   for (index_t r = 1; r < world_; ++r) *bufs[static_cast<std::size_t>(r)] = first;
   // The shared-memory exchange above already completed, so injected faults
-  // can only cost time, never the data: retry-until-success.
+  // can only cost time, never the data: retry-until-success. The one
+  // exception is an escaped silent_corrupt event, which flips bits in the
+  // reduced payload — every replica sees the same corrupted result, as a
+  // real in-ring flip would propagate.
   charge_allreduce(wire_bytes(first.size()), section,
                    FailMode::kRetryUntilSuccess);
+  if (const auto ticket = take_silent_corruption()) {
+    corrupt_values(first, *ticket);
+    for (index_t r = 1; r < world_; ++r)
+      *bufs[static_cast<std::size_t>(r)] = first;
+  }
 }
 
 Matrix CommSim::allgather_rows(const std::vector<const Matrix*>& locals,
@@ -83,6 +108,8 @@ Matrix CommSim::allgather_rows(const std::vector<const Matrix*>& locals,
     r += m->rows();
   }
   charge_allgather(bytes_per_rank, section, FailMode::kRetryUntilSuccess);
+  if (const auto ticket = take_silent_corruption())
+    corrupt_values(out, *ticket);
   return out;
 }
 
@@ -105,6 +132,8 @@ double CommSim::apply_fault(const char* kind, const FaultEvent& ev,
     if (ev.kind == FaultKind::kStraggler) args.set("slowdown", ev.slowdown);
     if (ev.retries > 0)
       args.set("retries", static_cast<std::int64_t>(ev.retries));
+    if (ev.kind == FaultKind::kSilentCorrupt)
+      args.set("escaped", static_cast<std::int64_t>(ev.detected ? 0 : 1));
     trace_->add_instant(std::string("fault:") + to_string(ev.kind), "comm",
                         obs::TraceBuffer::kCommTrack, std::move(args));
   }
@@ -159,6 +188,38 @@ double CommSim::apply_fault(const char* kind, const FaultEvent& ev,
         pending_lost_.push_back(ev.rank);
       break;
     }
+    case FaultKind::kSilentCorrupt: {
+      // The application-level CRC pass runs on every silent event, caught
+      // or escaped — its modeled cost is charged either way.
+      const double crc = checksum_seconds(model_, bytes);
+      if (ev.detected) {
+        // Caught: behaves like transport-level corruption, except the
+        // detection happened at the application layer. Degradable
+        // collectives abort to stale factors; must-complete collectives
+        // retransmit.
+        reg.counter("comm/faults/sdc_detected").inc();
+        reg.counter("comm/faults/retries").inc(ev.retries);
+        reg.counter("comm/faults/retry_bytes").inc(bytes * ev.retries);
+        if (mode == FailMode::kMayFail) {
+          profiler_.add("comm/faults/wasted",
+                        crc + retry_seconds(model_, seconds, ev.retries));
+          reg.counter("comm/faults/unrecoverable").inc();
+          throw CommFailure("collective " + std::string(kind) + " under '" +
+                            section +
+                            "' failed its payload check (silent corruption "
+                            "caught) and was dropped");
+        }
+        reg.counter("comm/faults/forced_recovery").inc();
+        extra = crc + retry_seconds(model_, seconds, ev.retries);
+      } else {
+        // Escaped: the collective "succeeds" and the caller must corrupt
+        // the payload it just moved (take_silent_corruption ticket).
+        reg.counter("comm/faults/sdc_escaped").inc();
+        pending_sdc_ = ev.payload_seed;
+        extra = crc;
+      }
+      break;
+    }
     case FaultKind::kNone:
       break;
   }
@@ -199,6 +260,9 @@ void CommSim::restore_world(index_t world, std::vector<index_t> lost) {
 void CommSim::charge(const char* kind, index_t bytes,
                      const std::string& section, double seconds,
                      FailMode mode) {
+  // A corruption ticket belongs to exactly one collective: drop any that the
+  // previous charge's caller declined to consume.
+  pending_sdc_.reset();
   if (async()) {
     // Blocking collective on the event timeline: it starts once the slowest
     // rank has arrived and every rank then waits out its completion.
@@ -239,6 +303,7 @@ CommEvent CommSim::icharge(const char* kind, index_t ledger_bytes,
                            double earliest_start_s, FailMode mode) {
   HYLO_CHECK(async() && timeline_ != nullptr,
              "icharge requires async comm mode");
+  pending_sdc_.reset();
   FaultEvent fev;
   double extra = 0.0;
   bool failed = false;

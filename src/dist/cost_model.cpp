@@ -77,6 +77,14 @@ double retry_seconds(const InterconnectModel& m, double base_seconds,
   return total;
 }
 
+double checksum_seconds(const InterconnectModel& m, index_t bytes) {
+  HYLO_CHECK(bytes >= 0, "bad checksum args");
+  // A CRC sweep is memory-bound, not wire-bound: model it as a single pass
+  // at 4x the link bandwidth plus one launch latency.
+  return m.latency_s +
+         static_cast<double>(bytes) / (4.0 * m.bandwidth_bps);
+}
+
 ComputeModel v100_fp32() {
   // ~14 TFLOP/s sustained on large FP32 GEMMs (15.7 peak).
   return {.name = "v100-fp32", .flops_per_s = 14e12};

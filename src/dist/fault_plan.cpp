@@ -14,6 +14,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::kCorruptPayload: return "corrupt_payload";
     case FaultKind::kRankDown: return "rank_down";
     case FaultKind::kRankLost: return "rank_lost";
+    case FaultKind::kSilentCorrupt: return "silent_corrupt";
   }
   return "unknown";
 }
@@ -65,6 +66,7 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
     // An explicit mix replaces the all-ones default: unnamed kinds are off.
     cfg.timeout_weight = cfg.straggler_weight = 0.0;
     cfg.corrupt_weight = cfg.rank_down_weight = cfg.rank_lost_weight = 0.0;
+    cfg.silent_weight = 0.0;
     for (const std::string& pair : split(fields[2], ',')) {
       const auto kv = split(pair, '=');
       HYLO_CHECK(kv.size() == 2,
@@ -81,12 +83,20 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
         cfg.rank_down_weight = w;
       } else if (kv[0] == "rank_lost") {
         cfg.rank_lost_weight = w;
+      } else if (kv[0] == "silent" || kv[0] == "silent_corrupt") {
+        cfg.silent_weight = w;
+      } else if (kv[0] == "escape") {
+        // Pseudo-key: the silent_corrupt detection-escape probability, not
+        // a mix weight.
+        HYLO_CHECK(w <= 1.0,
+                   "fault spec: escape " << w << " outside [0, 1]");
+        cfg.sdc_escape = w;
       } else {
         HYLO_CHECK(false,
                    "fault spec: unknown fault kind '"
                        << kv[0]
                        << "' (want timeout|straggler|corrupt|rank_down|"
-                          "rank_lost)");
+                          "rank_lost|silent|escape)");
       }
     }
   }
@@ -122,13 +132,16 @@ FaultEvent FaultPlan::next(index_t world) {
   } else if ((u -= cfg_.corrupt_weight) < 0.0) {
     ev.kind = FaultKind::kCorruptPayload;
   } else if ((u -= cfg_.rank_down_weight) < 0.0 ||
-             cfg_.rank_lost_weight <= 0.0) {
-    // The trailing clause keeps rank_down the terminal bucket when rank_lost
-    // is off, so pre-rank_lost schedules replay byte-identically even if
-    // floating-point residue leaves u marginally non-negative.
+             (cfg_.rank_lost_weight <= 0.0 && cfg_.silent_weight <= 0.0)) {
+    // The trailing clause keeps rank_down the terminal bucket when the
+    // opt-in kinds are off, so pre-existing schedules replay byte-identically
+    // even if floating-point residue leaves u marginally non-negative.
     ev.kind = FaultKind::kRankDown;
-  } else {
+  } else if ((u -= cfg_.rank_lost_weight) < 0.0 ||
+             cfg_.silent_weight <= 0.0) {
     ev.kind = FaultKind::kRankLost;
+  } else {
+    ev.kind = FaultKind::kSilentCorrupt;
   }
   ev.rank = rng_.uniform_int(world);
   switch (ev.kind) {
@@ -148,6 +161,13 @@ FaultEvent FaultPlan::next(index_t world) {
     case FaultKind::kRankLost:
       ev.retries = 1;  // the attempt the dead rank took down with it
       ev.recoverable = false;
+      break;
+    case FaultKind::kSilentCorrupt:
+      // Both draws happen unconditionally so the per-event draw count is
+      // fixed and the schedule stays a pure function of the seed.
+      ev.detected = rng_.uniform() >= cfg_.sdc_escape;
+      ev.payload_seed = rng_.next_u64();
+      ev.retries = ev.detected ? 1 : 0;  // caught: the rejected attempt
       break;
     case FaultKind::kNone:
       break;

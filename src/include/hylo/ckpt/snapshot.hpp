@@ -185,6 +185,12 @@ Rng::State read_rng_state(ByteReader& r);
 std::vector<std::string> list_snapshots(const std::string& dir);
 
 /// Delete all but the newest `keep` snapshots under `dir` (0 keeps all).
-void retain_last(const std::string& dir, index_t keep);
+/// A non-empty `pin` names one path that is never deleted even when it
+/// falls out of the keep window — the trainer pins its last verified-good
+/// snapshot so a rollback target always survives rotation (DESIGN.md §16).
+/// The pin does not count against `keep`: the newest `keep` snapshots are
+/// retained in addition to it.
+void retain_last(const std::string& dir, index_t keep,
+                 const std::string& pin = "");
 
 }  // namespace hylo::ckpt

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "hylo/ckpt/snapshot.hpp"
+#include "hylo/core/recovery.hpp"
 #include "hylo/data/datasets.hpp"
 #include "hylo/nn/loss.hpp"
 #include "hylo/obs/health.hpp"
@@ -89,6 +90,14 @@ struct TrainConfig {
   /// applies only when this is unset. With neither, the hot path takes no
   /// probe branches and training is bitwise identical to a probe-free build.
   std::optional<obs::HealthConfig> health;
+  /// Checkpoint-rollback self-healing (core/recovery.hpp, DESIGN.md §16).
+  /// Precedence mirrors `faults`: set here to pin the policy (enabled ==
+  /// false pins it off); the HYLO_RECOVER environment spec applies only
+  /// when this is unset. Requires an active checkpoint cadence — rollback
+  /// needs snapshots to roll back to. With recovery off (the default) the
+  /// trainer takes no rollback branches and training is byte-identical to
+  /// a build without the subsystem.
+  std::optional<RecoveryConfig> recovery;
 };
 
 struct EpochStats {
@@ -112,6 +121,9 @@ struct TrainResult {
   /// Alert-engine rollup (0/0 when health probes are disabled).
   index_t alerts_fired = 0;
   index_t critical_alerts = 0;
+  /// Self-healing rollbacks taken (0 unless recovery is enabled and a
+  /// critical trigger fired).
+  index_t rollbacks = 0;
 
   real_t best_metric() const;
 };
@@ -159,6 +171,11 @@ class Trainer {
   const obs::HealthMonitor& health() const { return health_; }
   const obs::AlertEngine& alerts() const { return alerts_; }
 
+  /// The rollback policy (inert unless enabled via TrainConfig::recovery
+  /// or HYLO_RECOVER) and the snapshot it would currently roll back to.
+  const RecoveryPolicy& recovery() const { return recovery_; }
+  const std::string& last_good_snapshot() const { return last_good_path_; }
+
   /// Optional per-epoch observer (benches log gradient norms etc.).
   using EpochHook = std::function<void(const EpochStats&, Network&)>;
   void set_epoch_hook(EpochHook hook) { hook_ = std::move(hook); }
@@ -171,10 +188,27 @@ class Trainer {
   /// Write a RunSnapshot after the iteration that left the run at
   /// (epoch, next_iter); `loss_acc`/`metric_acc`/`rank_batches` are the
   /// epoch-in-progress accumulators a resume needs to finish the epoch.
-  void write_snapshot(index_t epoch, index_t next_iter, real_t loss_acc,
-                      real_t metric_acc, index_t rank_batches);
+  /// Returns the snapshot's path (for verified-good pinning).
+  std::string write_snapshot(index_t epoch, index_t next_iter, real_t loss_acc,
+                             real_t metric_acc, index_t rank_batches);
   /// Parse + verify a snapshot and load every section into live state.
   void restore_snapshot(const std::string& path);
+  /// True when no live weight or bias holds a non-finite value — the
+  /// trainer-side verification gate for pinning a snapshot as the
+  /// verified-good rollback target.
+  bool weights_finite() const;
+  /// Decide and record the response to a critical trigger: consume one
+  /// unit of rollback budget and throw RollbackSignal (caught by
+  /// run_from), or fail loudly once the budget is exhausted.
+  [[noreturn]] void initiate_rollback(index_t epoch, index_t iter,
+                                      const char* why);
+  /// Partial restore for a rollback: network, optimizer, and progress
+  /// cursor only. Monotonic quantities (profiler clock, counters, fault
+  /// draw cursor, async timeline) deliberately keep running — re-run work
+  /// costs real simulated time and the fault schedule never rewinds (so a
+  /// transient corruption does not repeat and the run stays a pure
+  /// function of the seed).
+  void rollback_restore(const std::string& path);
   /// Commit pending rank_lost deaths at an iteration boundary: shrink the
   /// world, re-partition data shards and layer ownership, log the event.
   void apply_world_shrink(index_t epoch, index_t next_iter);
@@ -205,6 +239,10 @@ class Trainer {
   index_t global_iter_ = 0;
   index_t world_;            ///< live world (== cfg_.world until rank loss)
   ckpt::CkptConfig ckpt_;    ///< resolved snapshot cadence (config or env)
+  RecoveryPolicy recovery_;  ///< resolved rollback policy (config or env)
+  std::string last_good_path_;     ///< pinned verified-good rollback target
+  index_t last_crit_seen_ = 0;     ///< critical-alert trigger watermark
+  index_t first_order_left_ = 0;   ///< rung-2 window countdown
   bool resumed_ = false;
   index_t start_epoch_ = 0, start_iter_ = 0;  ///< restored resume position
   real_t resume_loss_acc_ = 0.0, resume_metric_acc_ = 0.0;

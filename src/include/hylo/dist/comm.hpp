@@ -149,6 +149,22 @@ class CommSim {
   /// Every subsequent collective consults the plan; comm/faults/* counters
   /// and trace instants record each injected event.
   void configure_faults(const FaultConfig& cfg);
+
+  /// Silent-corruption ticket for the collective just charged. A
+  /// silent_corrupt event that escaped the payload check does not throw —
+  /// the collective "succeeds" — but the caller must then corrupt the
+  /// payload it moved through shared memory: calling this after a charge
+  /// returns-and-clears the bit-flip seed when the last charge escaped
+  /// (nullopt otherwise). allreduce_mean / allgather_rows consume their own
+  /// tickets; optimizers consume tickets for their charge_*/icharge_*
+  /// curvature collectives via apply_escaped_corruption. An unconsumed
+  /// ticket is cleared by the next charge — it never leaks across
+  /// collectives.
+  std::optional<std::uint64_t> take_silent_corruption() {
+    auto t = pending_sdc_;
+    pending_sdc_.reset();
+    return t;
+  }
   bool faults_active() const {
     return fault_plan_ != nullptr && fault_plan_->active();
   }
@@ -264,7 +280,14 @@ class CommSim {
   std::unique_ptr<FaultPlan> fault_plan_;
   std::vector<index_t> pending_lost_;  ///< deaths awaiting commit_shrinks()
   std::vector<index_t> lost_ranks_;    ///< committed deaths, run lifetime
+  std::optional<std::uint64_t> pending_sdc_;  ///< escaped-corruption ticket
 };
+
+/// Apply a seeded, deterministic corruption to a payload matrix: 1–3 bit
+/// flips at Rng(seed)-chosen element/bit positions. The pure-function shape
+/// (same seed + same matrix extents → same flips) is what keeps
+/// silent-corruption runs bitwise replayable. No-op on an empty matrix.
+void corrupt_values(Matrix& m, std::uint64_t seed);
 
 /// Round-robin layer-to-rank assignment used by both distributed KFAC
 /// (KAISA) and HyLo for the inversion step.

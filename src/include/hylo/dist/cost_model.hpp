@@ -58,6 +58,12 @@ double reduce_seconds(const InterconnectModel& m, index_t world, index_t bytes);
 double retry_seconds(const InterconnectModel& m, double base_seconds,
                      int retries);
 
+/// Modeled cost of one application-level CRC pass over `bytes` of payload
+/// (the silent-corruption check in DESIGN.md §16): one launch latency plus a
+/// memory-bound scan at 4× the wire bandwidth. Charged on every
+/// silent_corrupt event, detected or escaped — the check runs either way.
+double checksum_seconds(const InterconnectModel& m, index_t bytes);
+
 /// Per-rank compute throughput. The event-timeline simulator (DESIGN.md §15)
 /// advances each rank's clock by *modeled* compute time — never measured wall
 /// time, which would break bitwise replay — so the same flop count always

@@ -12,9 +12,28 @@
 ///                      (retry_seconds in cost_model.hpp); always recovers.
 ///   straggler(s×)   -- one slow participant stretches the collective by s×;
 ///                      always recovers.
-///   corrupt_payload -- a checksum failure forces one retransmission of the
-///                      payload; always recovers (data in shared memory stays
-///                      exact — the cost is modeled, like all wire time).
+///   corrupt_payload -- wire corruption caught by the transport checksum,
+///                      forcing one retransmission of the payload; always
+///                      recovers and no corrupted value ever flows (data in
+///                      shared memory stays exact — the cost is modeled, like
+///                      all wire time).
+///   silent_corrupt  -- wire corruption that gets PAST the transport layer
+///                      and reaches the application-level payload check (the
+///                      modeled CRC pass in checksum_seconds). With
+///                      probability 1-escape the check catches it: degradable
+///                      collectives (curvature gathers/broadcasts) fail with
+///                      CommFailure after charging the wasted attempt and the
+///                      optimizer serves stale factors; must-complete
+///                      collectives retry, charged but never failing. With
+///                      probability `escape` the corruption is SILENT: the
+///                      collective "succeeds" and a seeded, deterministic
+///                      bit-flip is applied to the payload values post-charge
+///                      (the only fault kind that ever corrupts data in
+///                      shared memory). Off by default — opt in with a
+///                      silent mix weight — so existing schedules replay
+///                      byte-identically. Numeric commit gates in the
+///                      curvature optimizers (OptimConfig::guard_gates) are
+///                      the last line of defense against escaped events.
 ///   rank_down(r)    -- participant r dies mid-collective. Degradable
 ///                      collectives (curvature gathers/broadcasts) fail with
 ///                      CommFailure after charging the wasted attempt; the
@@ -35,6 +54,10 @@
 ///   HYLO_FAULTS=seed:rate[:mix]
 /// where `mix` is a comma list of kind=weight pairs, e.g.
 ///   HYLO_FAULTS=42:0.1:timeout=1,rank_down=2
+/// Silent corruption mixes in as `silent` (alias `silent_corrupt`); the
+/// pseudo-key `escape` sets the detection-escape probability instead of a
+/// weight, e.g.
+///   HYLO_FAULTS=42:0.2:silent=1,escape=0.25
 /// Unset/empty HYLO_FAULTS (and no config) means the plan is absent and the
 /// comm path takes zero new branches — bitwise-identical to a fault-free
 /// build.
@@ -64,6 +87,7 @@ enum class FaultKind {
   kCorruptPayload,
   kRankDown,
   kRankLost,  ///< permanent: the world shrinks around the dead rank
+  kSilentCorrupt,  ///< payload corruption past the transport checksum
 };
 
 const char* to_string(FaultKind k);
@@ -75,6 +99,8 @@ struct FaultEvent {
   double slowdown = 1.0;  ///< straggler stretch factor
   int retries = 0;        ///< failed attempts before resolution
   bool recoverable = true;///< false: collective cannot complete (rank_down)
+  bool detected = true;   ///< silent_corrupt: did the payload check catch it?
+  std::uint64_t payload_seed = 0;  ///< seeds the bit-flips when it escaped
 };
 
 /// Schedule parameters. `rate` is the per-collective fault probability; the
@@ -89,11 +115,19 @@ struct FaultConfig {
   /// Permanent rank loss is opt-in (default 0): mixing it in changes the
   /// shape of the run — the world shrinks — so a spec must ask for it.
   double rank_lost_weight = 0.0;
+  /// Silent corruption is opt-in (default 0): mixing it in lets corrupted
+  /// values actually flow into shared memory when an event escapes the
+  /// payload check, so a spec must ask for it.
+  double silent_weight = 0.0;
+  /// Probability a silent_corrupt event escapes the application-level
+  /// payload check (the deliberately imperfect CRC): 0 catches everything,
+  /// 1 lets every event through silently.
+  double sdc_escape = 0.25;
 
   bool enabled() const { return rate > 0.0; }
   double total_weight() const {
     return timeout_weight + straggler_weight + corrupt_weight +
-           rank_down_weight + rank_lost_weight;
+           rank_down_weight + rank_lost_weight + silent_weight;
   }
 
   /// Parse "seed:rate[:mix]" (see file comment). Throws hylo::Error on a

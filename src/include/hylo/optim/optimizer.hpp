@@ -45,6 +45,14 @@ struct OptimConfig {
   // KBFGS.
   index_t bfgs_memory = 10;
 
+  // Silent-corruption guard gates (DESIGN.md §16): numeric commit gates at
+  // the compute-into-scratch/commit-after-charge boundary of every
+  // curvature optimizer. On a clean run the gates never fire (they only
+  // reject non-finite or exploding candidates), so the default-on setting
+  // is bitwise-invisible; bench_chaos_recovery toggles it off for the
+  // guards-off ablation arm.
+  bool guard_gates = true;
+
   // Adam.
   real_t beta1 = 0.9;
   real_t beta2 = 0.999;

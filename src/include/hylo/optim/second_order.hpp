@@ -45,6 +45,13 @@ class CurvatureOptimizer : public Optimizer {
   /// Number of layers with an in-flight async refresh.
   virtual index_t async_pending() const { return 0; }
 
+  /// Recovery-ladder rung 2 (DESIGN.md §16): while set, step() skips the
+  /// preconditioning pass and applies the raw (momentum/KL-clipped)
+  /// gradient direction — curvature state keeps refreshing and aging
+  /// normally, it is just not served.
+  void set_first_order(bool on) { first_order_ = on; }
+  bool first_order() const { return first_order_; }
+
  protected:
   /// Replace pb.gw by the preconditioned gradient for layer index `layer`.
   /// Called only after at least one update_curvature() succeeded for that
@@ -59,6 +66,27 @@ class CurvatureOptimizer : public Optimizer {
   /// drops a trace instant naming the fallback the layer degrades to.
   void note_stale_refresh(CommSim& comm, const char* method,
                           index_t layer, bool has_previous) const;
+
+  /// Consume the communicator's escaped-corruption ticket (if the charges
+  /// just issued for this layer's refresh left one) and apply the seeded
+  /// bit-flips to one of the candidate matrices the collective carried. The
+  /// ticket seed picks the target deterministically; a null or empty target
+  /// is skipped. Call immediately after the charge_*/icharge_* calls whose
+  /// payload the candidates model.
+  static void apply_escaped_corruption(CommSim& comm,
+                                       std::initializer_list<Matrix*> targets);
+
+  /// Numeric commit gate (DESIGN.md §16): scan the candidate matrices about
+  /// to be committed for non-finite values, absurd magnitudes, and factor
+  /// norms exploding relative to the currently committed predecessors
+  /// (position-matched; an empty/missing predecessor skips the ratio
+  /// check). Returns true when the candidate may commit. A rejection books
+  /// optim/<method>/guard_rejects (+ a trace instant) and the caller must
+  /// degrade to stale factors exactly as for a lost collective. Always true
+  /// when cfg_.guard_gates is off.
+  bool guard_commit(CommSim& comm, const char* method, index_t layer,
+                    std::initializer_list<const Matrix*> candidates,
+                    std::initializer_list<const Matrix*> committed) const;
 
   /// Completion handle for a dependent chain of nonblocking collectives
   /// (e.g. factor allreduce → inverse broadcast): the chain starts with its
@@ -88,6 +116,9 @@ class CurvatureOptimizer : public Optimizer {
   /// must resume bitwise — DESIGN.md §15).
   static void write_event(ckpt::ByteWriter& w, const CommEvent& ev);
   static CommEvent read_event(ckpt::ByteReader& r);
+
+ private:
+  bool first_order_ = false;
 };
 
 /// SPD inverse of (c + damping·I) with escalating damping retries (10× per

@@ -365,17 +365,24 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
         const double now = comm->timeline()->max_clock();
         CommEvent ev = comm->icharge_allgather(part_bytes(*comm, sc.a_parts),
                                                "comm/gather", now);
+        apply_escaped_corruption(*comm, {&sc.a_s});
         ev = chain_event(
             ev, comm->icharge_allgather(part_bytes(*comm, sc.g_parts),
                                         "comm/gather", ev.ready_s));
-        if (mode_ == HyloMode::kKid)
+        apply_escaped_corruption(*comm, {&sc.g_s});
+        if (mode_ == HyloMode::kKid) {
           ev = chain_event(
               ev, comm->icharge_allgather(part_bytes(*comm, sc.y_parts),
                                           "comm/gather", ev.ready_s));
+          apply_escaped_corruption(*comm, {&sc.kid_middle.lu});
+        }
         ev = chain_event(
             ev, comm->icharge_broadcast(
                     wire_bytes(*comm, sc.a_s.rows() * sc.a_s.rows()),
                     "comm/broadcast", ev.ready_s));
+        apply_escaped_corruption(
+            *comm, {mode_ == HyloMode::kKid ? &sc.kid_middle.lu
+                                            : &sc.kis_chol});
         Pending p;
         p.layer = l;
         p.event = ev;
@@ -390,20 +397,37 @@ void HyloOptimizer::update_curvature(const std::vector<ParamBlock*>& blocks,
       }
       try {
         comm->charge_allgather(part_bytes(*comm, sc.a_parts), "comm/gather");
+        apply_escaped_corruption(*comm, {&sc.a_s});
         comm->charge_allgather(part_bytes(*comm, sc.g_parts), "comm/gather");
-        if (mode_ == HyloMode::kKid)
+        apply_escaped_corruption(*comm, {&sc.g_s});
+        if (mode_ == HyloMode::kKid) {
           comm->charge_allgather(part_bytes(*comm, sc.y_parts), "comm/gather");
+          apply_escaped_corruption(*comm, {&sc.kid_middle.lu});
+        }
         comm->profiler().add("comp/inversion", sc.inv_s);
         trace_inversion(comm, l, static_cast<int>(assignment.owner(l)),
                         sc.inv_s);
         // Line 11/21: broadcast the r x r inverse.
         comm->charge_broadcast(wire_bytes(*comm, sc.a_s.rows() * sc.a_s.rows()),
                                "comm/broadcast");
+        apply_escaped_corruption(
+            *comm, {mode_ == HyloMode::kKid ? &sc.kid_middle.lu
+                                            : &sc.kis_chol});
       } catch (const CommFailure&) {
         // hylo-commit-begin(hylo_stale)
         note_stale_refresh(*comm, "hylo", l, st.ready);
         ++st.staleness;
         // hylo-commit-end(hylo_stale)
+        continue;
+      }
+      if (!guard_commit(*comm, "hylo", l,
+                        {&sc.a_s, &sc.g_s, &sc.kid_middle.lu, &sc.kis_chol},
+                        {&st.a_s, &st.g_s, &st.kid_middle.lu,
+                         &st.kis_chol})) {
+        // hylo-commit-begin(hylo_guard)
+        note_stale_refresh(*comm, "hylo", l, st.ready);
+        ++st.staleness;
+        // hylo-commit-end(hylo_guard)
         continue;
       }
       inv_max = std::max(inv_max, sc.inv_s);
@@ -498,8 +522,17 @@ void HyloOptimizer::resolve_pending(CommSim& comm, bool deadline) {
     if (l >= layers_.size()) continue;  // network shrank; refresh is moot
     LayerState& st = layers_[l];
     if (!p.event.failed && p.event.ready_s <= now) {
-      st = std::move(p.state);
-      st.staleness = 0;
+      if (guard_commit(comm, "hylo", p.layer,
+                       {&p.state.a_s, &p.state.g_s, &p.state.kid_middle.lu,
+                        &p.state.kis_chol},
+                       {&st.a_s, &st.g_s, &st.kid_middle.lu,
+                        &st.kis_chol})) {
+        st = std::move(p.state);
+        st.staleness = 0;
+      } else {
+        note_stale_refresh(comm, "hylo", p.layer, st.ready);
+        ++st.staleness;
+      }
     } else if (p.event.failed || deadline) {
       note_stale_refresh(comm, "hylo", p.layer, st.ready);
       ++st.staleness;

@@ -82,15 +82,24 @@ std::vector<char> KFac::refresh_factors(const std::vector<ParamBlock*>& blocks,
       factor_candidates(blocks, capture, comm);
   const index_t layers = static_cast<index_t>(cand.size());
   std::vector<char> degraded(static_cast<std::size_t>(layers), 0);
+  // refresh_factors is shared with EKFac, so reject accounting follows the
+  // concrete method.
+  const char* method = name() == "EKFAC" ? "ekfac" : "kfac";
   if (comm != nullptr) {
     for (index_t l = 0; l < layers; ++l) {
       auto& [a_new, g_new] = cand[static_cast<std::size_t>(l)];
       try {
         comm->charge_allreduce(wire_bytes(*comm, a_new.size() + g_new.size()),
                                "comm/gather");
+        apply_escaped_corruption(*comm, {&a_new, &g_new});
       } catch (const CommFailure&) {
         degraded[static_cast<std::size_t>(l)] = 1;
       }
+      if (!degraded[static_cast<std::size_t>(l)] &&
+          !guard_commit(*comm, method, l, {&a_new, &g_new},
+                        {&layers_[static_cast<std::size_t>(l)].a_factor,
+                         &layers_[static_cast<std::size_t>(l)].g_factor}))
+        degraded[static_cast<std::size_t>(l)] = 1;
     }
   }
   // hylo-commit-begin(kfac_factors)
@@ -141,9 +150,15 @@ void KFac::update_curvature(const std::vector<ParamBlock*>& blocks,
         comm->charge_broadcast(
             wire_bytes(*comm, inv[l].first.size() + inv[l].second.size()),
             "comm/broadcast");
+        apply_escaped_corruption(*comm, {&inv[l].first, &inv[l].second});
       } catch (const CommFailure&) {
         degraded[l] = 1;
       }
+      if (!degraded[l] &&
+          !guard_commit(*comm, "kfac", static_cast<index_t>(l),
+                        {&inv[l].first, &inv[l].second},
+                        {&layers_[l].a_inv, &layers_[l].g_inv}))
+        degraded[l] = 1;
     }
   }
   // hylo-commit-begin(kfac_update)
@@ -222,9 +237,11 @@ void KFac::async_refresh(const std::vector<ParamBlock*>& blocks,
     const CommEvent ar = comm.icharge_allreduce(
         wire_bytes(comm, p.state.a_factor.size() + p.state.g_factor.size()),
         "comm/gather", now);
+    apply_escaped_corruption(comm, {&p.state.a_factor, &p.state.g_factor});
     const CommEvent bc = comm.icharge_broadcast(
         wire_bytes(comm, p.state.a_inv.size() + p.state.g_inv.size()),
         "comm/broadcast", ar.ready_s);
+    apply_escaped_corruption(comm, {&p.state.a_inv, &p.state.g_inv});
     p.event = chain_event(ar, bc);
     fresh.push_back(std::move(p));
   }
@@ -247,8 +264,16 @@ void KFac::resolve_pending(CommSim& comm, bool deadline) {
     if (l >= layers_.size()) continue;  // network shrank; refresh is moot
     LayerState& st = layers_[l];
     if (!p.event.failed && p.event.ready_s <= now) {
-      st = std::move(p.state);
-      st.staleness = 0;
+      if (guard_commit(comm, "kfac", p.layer,
+                       {&p.state.a_factor, &p.state.g_factor,
+                        &p.state.a_inv, &p.state.g_inv},
+                       {&st.a_factor, &st.g_factor, &st.a_inv, &st.g_inv})) {
+        st = std::move(p.state);
+        st.staleness = 0;
+      } else {
+        note_stale_refresh(comm, "kfac", p.layer, st.ready);
+        ++st.staleness;
+      }
     } else if (p.event.failed || deadline) {
       note_stale_refresh(comm, "kfac", p.layer, st.ready);
       ++st.staleness;
@@ -294,6 +319,14 @@ void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
   for (index_t l = 0; l < layers; ++l) {
     WallTimer timer;
     const LayerState& kst = layers_[static_cast<std::size_t>(l)];
+    // A layer whose factor allreduce has *never* landed (degraded on the
+    // first refresh) has empty running factors: eigh would hand back a 0x0
+    // basis and the capture projection below would die on a gemm shape
+    // mismatch. Skip the rebuild — the commit loop degrades it to stale.
+    if (kst.a_factor.size() == 0 || kst.g_factor.size() == 0) {
+      degraded[static_cast<std::size_t>(l)] = 1;
+      continue;
+    }
     cand[static_cast<std::size_t>(l)] =
         build_eig(kst.a_factor, kst.g_factor, capture, l);
     const double sec = timer.seconds();
@@ -307,14 +340,23 @@ void EKFac::update_curvature(const std::vector<ParamBlock*>& blocks,
     comm->profiler().add("comp/inversion", inv_total);
     comm->profiler().add("comp/inversion_critical", inv_max);
     for (index_t l = 0; l < layers; ++l) {
-      const EigState& est = cand[static_cast<std::size_t>(l)];
+      EigState& est = cand[static_cast<std::size_t>(l)];
       try {
         comm->charge_broadcast(
             wire_bytes(*comm, est.v_a.size() + est.v_g.size() + est.scaling.size()),
             "comm/broadcast");
+        apply_escaped_corruption(*comm,
+                                 {&est.v_a, &est.v_g, &est.scaling});
       } catch (const CommFailure&) {
         degraded[static_cast<std::size_t>(l)] = 1;
       }
+      if (!degraded[static_cast<std::size_t>(l)] &&
+          !guard_commit(*comm, "ekfac", l,
+                        {&est.v_a, &est.v_g, &est.scaling},
+                        {&eig_[static_cast<std::size_t>(l)].v_a,
+                         &eig_[static_cast<std::size_t>(l)].v_g,
+                         &eig_[static_cast<std::size_t>(l)].scaling}))
+        degraded[static_cast<std::size_t>(l)] = 1;
     }
   }
   // hylo-commit-begin(ekfac_update)
@@ -426,10 +468,13 @@ void EKFac::async_refresh(const std::vector<ParamBlock*>& blocks,
     const CommEvent ar = comm.icharge_allreduce(
         wire_bytes(comm, p.a_factor.size() + p.g_factor.size()),
         "comm/gather", now);
+    apply_escaped_corruption(comm, {&p.a_factor, &p.g_factor});
     const CommEvent bc = comm.icharge_broadcast(
         wire_bytes(comm, p.eig.v_a.size() + p.eig.v_g.size() +
                              p.eig.scaling.size()),
         "comm/broadcast", ar.ready_s);
+    apply_escaped_corruption(comm,
+                             {&p.eig.v_a, &p.eig.v_g, &p.eig.scaling});
     p.event = chain_event(ar, bc);
     fresh.push_back(std::move(p));
   }
@@ -452,10 +497,19 @@ void EKFac::resolve_eig_pending(CommSim& comm, bool deadline) {
     if (l >= eig_.size() || l >= layers_.size()) continue;
     EigState& est = eig_[l];
     if (!p.event.failed && p.event.ready_s <= now) {
-      layers_[l].a_factor = std::move(p.a_factor);
-      layers_[l].g_factor = std::move(p.g_factor);
-      est = std::move(p.eig);
-      est.staleness = 0;
+      if (guard_commit(comm, "ekfac", p.layer,
+                       {&p.a_factor, &p.g_factor, &p.eig.v_a, &p.eig.v_g,
+                        &p.eig.scaling},
+                       {&layers_[l].a_factor, &layers_[l].g_factor,
+                        &est.v_a, &est.v_g, &est.scaling})) {
+        layers_[l].a_factor = std::move(p.a_factor);
+        layers_[l].g_factor = std::move(p.g_factor);
+        est = std::move(p.eig);
+        est.staleness = 0;
+      } else {
+        note_stale_refresh(comm, "ekfac", p.layer, est.ready);
+        ++est.staleness;
+      }
     } else if (p.event.failed || deadline) {
       note_stale_refresh(comm, "ekfac", p.layer, est.ready);
       ++est.staleness;
@@ -599,14 +653,23 @@ void KBfgs::update_curvature(const std::vector<ParamBlock*>& blocks,
   if (comm != nullptr) {
     comm->profiler().add("comp/factorization", factor_timer.seconds());
     for (index_t l = 0; l < layers; ++l) {
-      const LayerState& st = cand[static_cast<std::size_t>(l)];
+      LayerState& st = cand[static_cast<std::size_t>(l)];
       try {
         comm->charge_allreduce(
             wire_bytes(*comm, st.a_factor.size() + st.g_factor.size()), "comm/gather");
+        apply_escaped_corruption(*comm, {&st.a_factor, &st.g_factor});
         comm->charge_broadcast(wire_bytes(*comm, st.a_inv.size()), "comm/broadcast");
+        apply_escaped_corruption(*comm, {&st.a_inv});
       } catch (const CommFailure&) {
         degraded[static_cast<std::size_t>(l)] = 1;
       }
+      if (!degraded[static_cast<std::size_t>(l)] &&
+          !guard_commit(*comm, "kbfgs", l,
+                        {&st.a_factor, &st.g_factor, &st.a_inv},
+                        {&layers_[static_cast<std::size_t>(l)].a_factor,
+                         &layers_[static_cast<std::size_t>(l)].g_factor,
+                         &layers_[static_cast<std::size_t>(l)].a_inv}))
+        degraded[static_cast<std::size_t>(l)] = 1;
     }
   }
   // hylo-commit-begin(kbfgs_update)
@@ -644,8 +707,10 @@ void KBfgs::async_refresh(const CaptureSet& capture, CommSim& comm) {
     const CommEvent ar = comm.icharge_allreduce(
         wire_bytes(comm, p.state.a_factor.size() + p.state.g_factor.size()),
         "comm/gather", now);
+    apply_escaped_corruption(comm, {&p.state.a_factor, &p.state.g_factor});
     const CommEvent bc = comm.icharge_broadcast(
         wire_bytes(comm, p.state.a_inv.size()), "comm/broadcast", ar.ready_s);
+    apply_escaped_corruption(comm, {&p.state.a_inv});
     p.event = chain_event(ar, bc);
     fresh.push_back(std::move(p));
   }
@@ -666,8 +731,16 @@ void KBfgs::resolve_pending(CommSim& comm, bool deadline) {
     if (l >= layers_.size()) continue;  // network shrank; refresh is moot
     LayerState& st = layers_[l];
     if (!p.event.failed && p.event.ready_s <= now) {
-      st = std::move(p.state);
-      st.staleness = 0;
+      if (guard_commit(comm, "kbfgs", p.layer,
+                       {&p.state.a_factor, &p.state.g_factor,
+                        &p.state.a_inv},
+                       {&st.a_factor, &st.g_factor, &st.a_inv})) {
+        st = std::move(p.state);
+        st.staleness = 0;
+      } else {
+        note_stale_refresh(comm, "kbfgs", p.layer, st.ready);
+        ++st.staleness;
+      }
     } else if (p.event.failed || deadline) {
       note_stale_refresh(comm, "kbfgs", p.layer, st.ready);
       ++st.staleness;

@@ -116,12 +116,15 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
       const CommEvent ga = comm->icharge_allgather(
           rank_bytes(capture.a[static_cast<std::size_t>(l)]), "comm/gather",
           now);
+      apply_escaped_corruption(*comm, {&p.state.a_glob});
       const CommEvent gg = comm->icharge_allgather(
           rank_bytes(capture.g[static_cast<std::size_t>(l)]), "comm/gather",
           ga.ready_s);
+      apply_escaped_corruption(*comm, {&p.state.g_glob});
       const CommEvent bc = comm->icharge_broadcast(
           comm->wire_bytes(p.state.a_glob.rows() * p.state.a_glob.rows()),
           "comm/broadcast", gg.ready_s);
+      apply_escaped_corruption(*comm, {&p.state.kernel_chol});
       p.event = chain_event(chain_event(ga, gg), bc);
       fresh.push_back(std::move(p));
     }
@@ -136,14 +139,18 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
 
   double inv_total = 0.0, inv_max = 0.0;
   for (index_t l = 0; l < layers; ++l) {
-    const LayerState& st = cand[static_cast<std::size_t>(l)];
+    LayerState& st = cand[static_cast<std::size_t>(l)];
     const auto& a_ranks = capture.a[static_cast<std::size_t>(l)];
     const auto& g_ranks = capture.g[static_cast<std::size_t>(l)];
     const double sec = inv_s[static_cast<std::size_t>(l)];
     inv_total += sec;
     try {
+      // Each charge may leave an escaped-corruption ticket for the payload
+      // it modeled; consume it against the candidate that payload carried.
       comm->charge_allgather(rank_bytes(a_ranks), "comm/gather");
+      apply_escaped_corruption(*comm, {&st.a_glob});
       comm->charge_allgather(rank_bytes(g_ranks), "comm/gather");
+      apply_escaped_corruption(*comm, {&st.g_glob});
       inv_max = std::max(inv_max, sec);
       comm->profiler().registry().histogram("optim/sngd/inversion_seconds")
           .observe(sec);
@@ -151,12 +158,25 @@ void Sngd::update_curvature(const std::vector<ParamBlock*>& blocks,
       comm->charge_broadcast(
           comm->wire_bytes(st.a_glob.rows() * st.a_glob.rows()),
           "comm/broadcast");
+      apply_escaped_corruption(*comm, {&st.kernel_chol});
     } catch (const CommFailure&) {
       // hylo-commit-begin(sngd_stale)
       LayerState& old = layers_[static_cast<std::size_t>(l)];
       note_stale_refresh(*comm, "sngd", l, old.ready);
       ++old.staleness;
       // hylo-commit-end(sngd_stale)
+      continue;
+    }
+    if (!guard_commit(*comm, "sngd", l,
+                      {&st.a_glob, &st.g_glob, &st.kernel_chol},
+                      {&layers_[static_cast<std::size_t>(l)].a_glob,
+                       &layers_[static_cast<std::size_t>(l)].g_glob,
+                       &layers_[static_cast<std::size_t>(l)].kernel_chol})) {
+      // hylo-commit-begin(sngd_guard)
+      LayerState& old = layers_[static_cast<std::size_t>(l)];
+      note_stale_refresh(*comm, "sngd", l, old.ready);
+      ++old.staleness;
+      // hylo-commit-end(sngd_guard)
       continue;
     }
     commit(l);
@@ -177,8 +197,16 @@ void Sngd::resolve_pending(CommSim& comm, bool deadline) {
     if (l >= layers_.size()) continue;  // network shrank; refresh is moot
     LayerState& st = layers_[l];
     if (!p.event.failed && p.event.ready_s <= now) {
-      st = std::move(p.state);
-      st.staleness = 0;
+      if (guard_commit(comm, "sngd", p.layer,
+                       {&p.state.a_glob, &p.state.g_glob,
+                        &p.state.kernel_chol},
+                       {&st.a_glob, &st.g_glob, &st.kernel_chol})) {
+        st = std::move(p.state);
+        st.staleness = 0;
+      } else {
+        note_stale_refresh(comm, "sngd", p.layer, st.ready);
+        ++st.staleness;
+      }
     } else if (p.event.failed || deadline) {
       note_stale_refresh(comm, "sngd", p.layer, st.ready);
       ++st.staleness;

@@ -8,6 +8,7 @@
 // HYLO_CKPT_* environment — as the CI fault matrix sets — cannot change any
 // outcome.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <cstdio>
@@ -29,7 +30,11 @@ namespace fs = std::filesystem;
 // Container-level tests
 
 std::string tmp_dir(const std::string& name) {
-  const std::string dir = "/tmp/hylo_test_ckpt_" + name;
+  // PID-qualified: ctest runs this binary twice concurrently (plain +
+  // ckpt_env_suite), and a shared path would race on remove_all vs. the
+  // sibling's live snapshots.
+  const std::string dir = "/tmp/hylo_test_ckpt_" +
+                          std::to_string(::getpid()) + "_" + name;
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;

@@ -7,6 +7,7 @@
 // assertions — except the EnvResolution test, which checks the precedence
 // rule itself and adapts to whatever the environment says.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -18,7 +19,11 @@ namespace hylo {
 namespace {
 
 std::string tmp_dir(const std::string& name) {
-  const std::string dir = "/tmp/hylo_test_event_sim_" + name;
+  // PID-qualified: ctest runs this binary twice concurrently (plain +
+  // comm_async_env_suite), and a shared path would race on remove_all vs.
+  // the sibling's live snapshots.
+  const std::string dir = "/tmp/hylo_test_event_sim_" +
+                          std::to_string(::getpid()) + "_" + name;
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   return dir;

@@ -84,6 +84,9 @@ struct RunData {
   std::optional<Json> metrics;
   std::vector<EpochRow> epochs;
   std::vector<Json> alerts;
+  std::vector<Json> rollbacks;  ///< "rollback" records, in firing order
+  std::optional<Json> recovery_summary;
+  std::optional<Json> recovery_exhausted;
   std::map<long, LayerRollup> layers;  ///< per-layer health rollup
   long health_records = 0;
   long records = 0;
@@ -118,6 +121,12 @@ RunData load(const std::string& path) {
       run.metrics = rec;
     } else if (type == "alert") {
       run.alerts.push_back(rec);
+    } else if (type == "rollback") {
+      run.rollbacks.push_back(rec);
+    } else if (type == "recovery_summary") {
+      run.recovery_summary = rec;
+    } else if (type == "recovery_exhausted") {
+      run.recovery_exhausted = rec;
     } else if (type == "epoch") {
       EpochRow row;
       row.epoch = num(rec, "epoch", -1);
@@ -283,6 +292,88 @@ void section_alerts(std::ostream& os, const RunData& run) {
   os << "\n\n";
 }
 
+void section_recovery(std::ostream& os, const RunData& run) {
+  // Rendered only when the run had the recovery engine armed: the trainer
+  // writes a "recovery" policy block into run_start and a recovery_summary
+  // at the end, and one "rollback" record per trigger in between.
+  const Json* policy =
+      run.run_start ? run.run_start->find("recovery") : nullptr;
+  if (policy == nullptr && run.rollbacks.empty() && !run.recovery_summary &&
+      !run.recovery_exhausted)
+    return;
+  os << "## Recovery\n\n";
+  if (policy != nullptr)
+    os << "policy: budget " << fmt(num(*policy, "max_rollbacks", 0), 6)
+       << " rollback(s), first-order window "
+       << fmt(num(*policy, "first_order_iters", 0), 6)
+       << " iter(s), lr backoff x" << fmt(num(*policy, "lr_backoff", 1))
+       << "\n\n";
+  if (run.rollbacks.empty()) {
+    os << "no rollbacks triggered\n";
+  } else {
+    os << "| # | trigger | epoch | iter | rung | first-order | lr cut |"
+       << " budget left | target snapshot |\n"
+       << "|---|---|---|---|---|---|---|---|---|\n";
+    for (const Json& rb : run.rollbacks) {
+      const Json* fo = rb.find("first_order");
+      const Json* lr = rb.find("reduce_lr");
+      os << "| " << fmt(num(rb, "rollbacks", 0), 6) << " | "
+         << str(rb, "trigger") << " | " << fmt(num(rb, "epoch", -1), 6)
+         << " | " << fmt(num(rb, "iter", -1), 6) << " | "
+         << fmt(num(rb, "rung", 0), 6) << " | "
+         << (fo != nullptr && fo->boolean() ? "yes" : "no") << " | "
+         << (lr != nullptr && lr->boolean() ? "yes" : "no") << " | "
+         << fmt(num(rb, "budget_left", 0), 6) << " | `"
+         << str(rb, "target") << "` |\n";
+    }
+  }
+  os << "\n";
+  if (run.recovery_summary) {
+    const Json& rs = *run.recovery_summary;
+    os << "summary: " << fmt(num(rs, "rollbacks", 0), 6) << "/"
+       << fmt(num(rs, "budget", 0), 6) << " budget consumed, "
+       << fmt(num(rs, "rerun_iters", 0), 9) << " re-run iteration(s), "
+       << fmt(num(rs, "guard_rejects", 0), 9) << " guard-rejected refresh(es)";
+    if (const std::string lg = str(rs, "last_good"); !lg.empty())
+      os << ", last verified-good snapshot `" << lg << "`";
+    os << "\n\n";
+  }
+  // Per-method gate rollup from the counter dump: "optim/<m>/guard_rejects"
+  // plus the detected/escaped split the gates were defending against.
+  if (run.metrics) {
+    if (const Json* counters = run.metrics->find("counters");
+        counters != nullptr) {
+      std::ostringstream by_method;
+      for (const auto& [name, value] : counters->members()) {
+        const std::string suffix = "/guard_rejects";
+        if (name.rfind("optim/", 0) == 0 && name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0 &&
+            value.to_double() > 0)
+          by_method << " " << name.substr(6, name.size() - 6 - suffix.size())
+                    << " x" << fmt(value.to_double(), 9) << ";";
+      }
+      if (!by_method.str().empty())
+        os << "guard rejects by method:" << by_method.str() << "\n\n";
+      const double detected = num(*counters, "comm/faults/sdc_detected", 0);
+      const double escaped = num(*counters, "comm/faults/sdc_escaped", 0);
+      if (detected > 0 || escaped > 0)
+        os << "silent corruption: " << fmt(detected, 9)
+           << " caught by the payload check, " << fmt(escaped, 9)
+           << " escaped into payloads\n\n";
+    }
+  }
+  if (run.recovery_exhausted) {
+    const Json& re = *run.recovery_exhausted;
+    os << "**recovery budget exhausted**: " << str(re, "trigger")
+       << " fired at epoch " << fmt(num(re, "epoch", -1), 6) << " iter "
+       << fmt(num(re, "iter", -1), 6) << " with "
+       << fmt(num(re, "rollbacks", 0), 6) << "/"
+       << fmt(num(re, "budget", 0), 6)
+       << " rollback(s) already spent — the run could not self-heal\n\n";
+  }
+}
+
 void section_time(std::ostream& os, const RunData& run) {
   if (!run.metrics) return;
   const Json* timings = run.metrics->find("timings");
@@ -301,6 +392,7 @@ void write_markdown(std::ostream& os, const RunData& run) {
   section_switching(os, run);
   section_health(os, run);
   section_alerts(os, run);
+  section_recovery(os, run);
   section_time(os, run);
 }
 
@@ -370,6 +462,22 @@ int diff_runs(std::ostream& os, const RunData& run, const RunData& base,
   if (crit_run > crit_base) {
     os << "- critical alerts regressed: " << crit_base << " -> " << crit_run
        << "\n";
+    ++regressions;
+  }
+  // Recovery is a last-resort mechanism: a run that needs more rollbacks
+  // than its baseline (or newly spends its whole budget) got less healthy
+  // even if every epoch it eventually produced looks fine.
+  const long rb_run = static_cast<long>(run.rollbacks.size());
+  const long rb_base = static_cast<long>(base.rollbacks.size());
+  if (rb_run > rb_base) {
+    os << "- recovery rollbacks regressed: " << rb_base << " -> " << rb_run
+       << "\n";
+    ++regressions;
+  }
+  if (run.recovery_exhausted && !base.recovery_exhausted) {
+    os << "- recovery budget newly exhausted ("
+       << str(*run.recovery_exhausted, "trigger") << " at epoch "
+       << fmt(num(*run.recovery_exhausted, "epoch", -1), 6) << ")\n";
     ++regressions;
   }
   if (regressions == 0) {
